@@ -1,0 +1,96 @@
+package lmoffload
+
+import (
+	"fmt"
+
+	"repro/internal/parallelism"
+	"repro/internal/perfmodel"
+	"repro/internal/policy"
+)
+
+// AutoTuneResult couples the two halves of LM-Offload: the offloading policy
+// (§3) and the thread-level parallelism setting (§4) that were tuned
+// against each other.
+type AutoTuneResult struct {
+	Policy      PolicyResult
+	Parallelism ParallelismSetting
+	// Profile is the execution profile the final policy was evaluated
+	// under, with the CPU efficiency derived from the tuned threading.
+	Profile ExecProfile
+	// Iterations is how many policy/parallelism rounds ran before the
+	// strategy stabilized.
+	Iterations int
+}
+
+// AutoTune closes the loop between the policy search and parallelism
+// control: the chosen policy determines the load/store volumes Algorithm 3
+// assigns threads against, and the tuned threading determines the CPU
+// efficiency the performance model evaluates policies with. The loop runs
+// until the strategy stops changing (at most maxIters rounds).
+//
+// This is the composition the paper's system performs implicitly — §4's
+// setting feeds the §3 model's cpu_flops effectiveness — surfaced as one
+// call.
+func AutoTune(plat *Platform, mod ModelConfig, work Workload, maxIters int) (*AutoTuneResult, error) {
+	if maxIters < 1 {
+		return nil, fmt.Errorf("lmoffload: maxIters must be >= 1, got %d", maxIters)
+	}
+	machine, err := parallelism.NewMachineModel(plat.CPU)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := parallelism.NewController(machine, plat.Link.BandwidthPerDir*0.5)
+	if err != nil {
+		return nil, err
+	}
+	groups := parallelism.DefaultHeadGroups
+	if groups > mod.Heads {
+		groups = mod.Heads
+	}
+	og, err := parallelism.BuildAttentionGraph(mod, work, work.PromptLen+work.GenLen/2, groups)
+	if err != nil {
+		return nil, err
+	}
+
+	exec := perfmodel.LMOffloadProfile()
+	out := &AutoTuneResult{}
+	var prev perfmodel.Strategy
+	for iter := 0; iter < maxIters; iter++ {
+		out.Iterations = iter + 1
+
+		res, err := policy.Plan(plat, mod, work, exec, policy.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		out.Policy = res
+
+		// Feed the chosen policy's actual transfer volumes to Algorithm 3.
+		e := res.Estimator
+		transfers := []parallelism.TransferTask{
+			{Name: "load_weight", Bytes: e.WeightUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+			{Name: "load_cache", Bytes: e.KVUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+			{Name: "store_cache", Bytes: e.KVDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+			{Name: "load_activation", Bytes: e.ActUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+			{Name: "store_activation", Bytes: e.ActDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+		}
+		setting, err := ctrl.Optimize(og, transfers)
+		if err != nil {
+			return nil, err
+		}
+		out.Parallelism = setting
+
+		// Close the loop: the tuned threading's efficiency becomes the
+		// model's CPU-compute effectiveness for the next round.
+		eff := ctrl.CPUEfficiency(og, setting)
+		if eff > 0 {
+			exec.CPUCompute = eff
+		}
+		out.Profile = exec
+
+		if iter > 0 && res.Strategy == prev {
+			break
+		}
+		prev = res.Strategy
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package lmoffload
+
+import "testing"
+
+func TestAutoTuneConverges(t *testing.T) {
+	work, err := NewWorkload(64, 32, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AutoTune(SingleGPUA100(), OPT30B, work, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 || res.Iterations > 5 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if res.Policy.Throughput <= 0 {
+		t.Error("non-positive tuned throughput")
+	}
+	if res.Parallelism.InterOpCompute < 1 || res.Parallelism.IntraOp < 1 {
+		t.Errorf("parallelism setting incomplete: %+v", res.Parallelism)
+	}
+	if res.Profile.CPUCompute <= 0 || res.Profile.CPUCompute > 1 {
+		t.Errorf("derived CPU efficiency %g out of range", res.Profile.CPUCompute)
+	}
+	// The coupled result should be at least as good as a single blind pass.
+	plain, err := Plan(SingleGPUA100(), OPT30B, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy.Throughput < plain.Throughput*0.8 {
+		t.Errorf("autotuned throughput %.1f far below plain plan %.1f", res.Policy.Throughput, plain.Throughput)
+	}
+}
+
+func TestAutoTuneValidation(t *testing.T) {
+	work, _ := NewWorkload(64, 8, 64, 2)
+	if _, err := AutoTune(SingleGPUA100(), OPT30B, work, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestAutoTuneSmallHeadCountModel(t *testing.T) {
+	// A custom model with fewer heads than the default head-group count
+	// must clamp gracefully.
+	mod := ModelConfig{Name: "narrow", Layers: 8, Hidden: 512, FFN: 1024, Heads: 4, Vocab: 1000, BytesPerElem: 2}
+	work, _ := NewWorkload(32, 8, 8, 2)
+	res, err := AutoTune(SingleGPUA100(), mod, work, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallelism.InterOpCompute > 4 {
+		t.Errorf("inter-op %d exceeds the model's %d heads", res.Parallelism.InterOpCompute, mod.Heads)
+	}
+}

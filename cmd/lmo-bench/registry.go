@@ -1,0 +1,139 @@
+package main
+
+import "repro/internal/experiments"
+
+// experiment is one runnable table/figure reproduction. csv is optional:
+// experiments with plottable series also emit comma-separated rows.
+type experiment struct {
+	name string
+	run  func() (string, error)
+	csv  func() (string, error)
+}
+
+// registry lists every experiment in paper order.
+func registry() []experiment {
+	return []experiment{
+		{name: "fig3", run: func() (string, error) {
+			r, err := experiments.Figure3()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "fig4", run: func() (string, error) {
+			r, err := experiments.Figure4()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "tab1", run: func() (string, error) {
+			r, err := experiments.Table1()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "fig5", run: func() (string, error) {
+			r, err := experiments.Figure5()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.Figure5()
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "tab3", run: func() (string, error) {
+			r, err := experiments.Table3(nil, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.Table3(nil, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "fig7", run: func() (string, error) {
+			r, err := experiments.Figure7()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "fig8", run: func() (string, error) {
+			r, err := experiments.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "tab5", run: func() (string, error) {
+			r, err := experiments.Table5()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "fig9", run: func() (string, error) {
+			r, err := experiments.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "functional", run: func() (string, error) {
+			r, err := experiments.FunctionalCheck()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "scale", run: func() (string, error) {
+			r, err := experiments.ScaleSweep(32)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.ScaleSweep(32)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "whatif", run: func() (string, error) {
+			r, err := experiments.PlatformWhatIf(32)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "validation", run: func() (string, error) {
+			r, err := experiments.ValidateModel(24, 7)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{name: "ablations", run: func() (string, error) {
+			r, err := experiments.Ablations()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+	}
+}

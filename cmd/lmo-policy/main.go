@@ -1,0 +1,77 @@
+// Command lmo-policy runs LM-Offload's quantization-aware policy search for
+// a model and workload and prints the chosen strategy alongside the FlexGen
+// and ZeRO-Inference baselines.
+//
+// Usage:
+//
+//	lmo-policy [-model OPT-30B] [-prompt 64] [-gen 32] [-batch 64] [-platform a100|v100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func main() {
+	modelName := flag.String("model", "OPT-30B", "model configuration (OPT-13B/30B/66B, LLaMA-13B/30B/65B)")
+	prompt := flag.Int("prompt", 64, "prompt length")
+	gen := flag.Int("gen", 32, "generation length")
+	batch := flag.Int("batch", 64, "GPU batch size")
+	platName := flag.String("platform", "a100", "platform: a100 (single GPU) or v100 (multi-GPU node)")
+	flag.Parse()
+
+	mod, err := model.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-policy:", err)
+		os.Exit(2)
+	}
+	var plat *hw.Platform
+	switch *platName {
+	case "a100":
+		plat = hw.SingleGPUA100()
+	case "v100":
+		plat = hw.MultiGPUV100().WithGPUCount(1)
+	default:
+		fmt.Fprintf(os.Stderr, "lmo-policy: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+
+	fg, err := baselines.FlexGen(plat, mod, *batch, *prompt, *gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-policy: flexgen:", err)
+		os.Exit(1)
+	}
+	zr, err := baselines.ZeRO(plat, mod, *prompt, *gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-policy: zero:", err)
+		os.Exit(1)
+	}
+	lm, err := baselines.LMOffload(plat, mod, *batch, *prompt, *gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-policy: lm-offload:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("policy search: %s on %s, s=%d n=%d bsz=%d\n\n", mod.Name, plat.Name, *prompt, *gen, *batch)
+	t := stats.NewTable("framework", "strategy", "bls", "tok/s", "vs LM-Offload")
+	for _, sys := range []*baselines.System{fg, zr, lm} {
+		t.AddRowf("%s\t%v\t%d\t%.1f\t%.2fx",
+			sys.Name, sys.Strategy, sys.Work.BlockSize(), sys.Throughput(), sys.Throughput()/lm.Throughput())
+	}
+	fmt.Println(t.String())
+
+	// Walk through the decision procedures behind LM-Offload's choice.
+	ex, err := policy.Explain(policy.Result{Strategy: lm.Strategy, Throughput: lm.Throughput(), Estimator: lm.Estimator})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-policy: explain:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ex.Format())
+}

@@ -1,0 +1,105 @@
+// Command lmo-sim runs the discrete-event simulator for one strategy and
+// prints the schedule analysis: steady-state step time, throughput, resource
+// utilizations, and the bottleneck — alongside the analytical model's view.
+//
+// Usage:
+//
+//	lmo-sim [-model OPT-30B] [-gen 128] [-wg 55] [-cg 0] [-kvbits 4]
+//	        [-wbits 0] [-cpu-attn] [-profile flexgen|zero|lmoffload] [-steps 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	modelName := flag.String("model", "OPT-30B", "model configuration")
+	gen := flag.Int("gen", 128, "generation length")
+	wg := flag.Float64("wg", 55, "percent of weights on GPU")
+	cg := flag.Float64("cg", 0, "percent of KV cache on GPU")
+	kvBits := flag.Int("kvbits", 4, "KV quantization bits (0 = off)")
+	wBits := flag.Int("wbits", 0, "weight quantization bits (0 = off)")
+	cpuAttn := flag.Bool("cpu-attn", false, "offload attention to the CPU")
+	profile := flag.String("profile", "flexgen", "execution profile: flexgen, zero, lmoffload")
+	steps := flag.Int("steps", 4, "decode steps to simulate")
+	curve := flag.Bool("curve", false, "print the per-token latency curve instead of the average")
+	flag.Parse()
+
+	mod, err := model.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+		os.Exit(2)
+	}
+	var exec perfmodel.ExecProfile
+	switch *profile {
+	case "flexgen":
+		exec = perfmodel.FlexGenProfile()
+	case "zero":
+		exec = perfmodel.ZeROProfile()
+	case "lmoffload":
+		exec = perfmodel.LMOffloadProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "lmo-sim: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	strat := perfmodel.Strategy{
+		AttnOnCPU:     *cpuAttn,
+		WeightsGPUPct: *wg / 100,
+		CacheGPUPct:   *cg / 100,
+		GroupSize:     64,
+	}
+	if *cpuAttn {
+		strat.CacheGPUPct = 0
+	}
+	if *kvBits > 0 && !*cpuAttn {
+		strat.QuantKV = true
+		strat.KVBits = *kvBits
+	}
+	if *wBits > 0 {
+		strat.QuantWeights = true
+		strat.WeightBits = *wBits
+	}
+
+	work := trace.Workload{PromptLen: 64, GenLen: *gen, GPUBatch: 64, NumBatches: 10}
+	est, err := perfmodel.New(hw.SingleGPUA100(), mod, work, strat, exec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+		os.Exit(1)
+	}
+	res, err := sim.SimulateDecode(est, *steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strategy: %v under %s profile, %s\n\n", strat, exec.Name, work)
+	fmt.Printf("simulated %d decode steps (%d tasks)\n", res.SimulatedSteps, res.Tasks)
+	fmt.Printf("steady-state step time: %.2f ms/layer (analytical model: %.2f ms)\n",
+		res.StepTime*1e3, est.TGen()*1e3)
+	fmt.Printf("throughput: %.1f tok/s (analytical: %.1f tok/s)\n\n", res.Throughput, est.Throughput())
+	for _, r := range []string{"h2d", "d2h", "gpu", "cpu"} {
+		fmt.Printf("  %-4s utilization %5.1f%%\n", r, res.Utilization[r]*100)
+	}
+	fmt.Printf("\nbottleneck resource: %s\n", res.Bottleneck())
+
+	if *curve {
+		fmt.Println("\nper-token step time (ms/layer):")
+		pts := est.LatencyCurve()
+		stride := len(pts) / 16
+		if stride < 1 {
+			stride = 1
+		}
+		for t := 0; t < len(pts); t += stride {
+			fmt.Printf("  token %3d: %.2f\n", t, pts[t]*1e3)
+		}
+	}
+}

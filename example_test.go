@@ -1,0 +1,67 @@
+package lmoffload_test
+
+import (
+	"fmt"
+	"log"
+
+	lmoffload "repro"
+)
+
+// ExamplePlan shows the quantization-aware policy search on the paper's
+// motivation setup.
+func ExamplePlan() {
+	work, err := lmoffload.NewWorkload(64, 128, 64, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lmoffload.Plan(lmoffload.SingleGPUA100(), lmoffload.OPT30B, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Strategy.AttnOnCPU, res.Strategy.QuantKV)
+	// Output: false true
+}
+
+// ExampleEstimateThroughput evaluates an explicit strategy with the
+// analytical model.
+func ExampleEstimateThroughput() {
+	work, _ := lmoffload.NewWorkload(64, 128, 64, 10)
+	s := lmoffload.Strategy{WeightsGPUPct: 0.55, QuantKV: true, KVBits: 4, GroupSize: 64}
+	plain := s
+	plain.QuantKV = false
+	qTput, err := lmoffload.EstimateThroughput(lmoffload.SingleGPUA100(), lmoffload.OPT30B, work, s, lmoffload.FlexGenProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pTput, err := lmoffload.EstimateThroughput(lmoffload.SingleGPUA100(), lmoffload.OPT30B, work, plain, lmoffload.FlexGenProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(qTput > pTput)
+	// Output: true
+}
+
+// ExampleTuneParallelism runs Algorithm 3 for the §4.1 study setup.
+func ExampleTuneParallelism() {
+	work, _ := lmoffload.NewWorkload(64, 8, 64, 10)
+	setting, err := lmoffload.TuneParallelism(lmoffload.SingleGPUA100(), lmoffload.OPT30B, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(setting.InterOpCompute)
+	// Output: 12
+}
+
+// ExampleRunTinyInference executes a real tiny model through the offloading
+// engine.
+func ExampleRunTinyInference() {
+	out, err := lmoffload.RunTinyInference(
+		lmoffload.TinyModel(),
+		lmoffload.EnginePolicy{IntraOp: 1},
+		[][]int{{1, 2, 3, 4}}, 4, 1<<30, 42, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(out.Tokens), len(out.Tokens[0]))
+	// Output: 1 4
+}

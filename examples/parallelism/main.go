@@ -1,0 +1,47 @@
+// Parallelism control walkthrough: build the attention operator graph, run
+// Algorithm 3, and compare the tuned thread configuration against PyTorch's
+// default — the §4/§5.4 story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lmoffload "repro"
+)
+
+func main() {
+	plat := lmoffload.SingleGPUA100()
+	work, err := lmoffload.NewWorkload(64, 8, 64, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	setting, err := lmoffload.TuneParallelism(plat, lmoffload.OPT30B, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine: %s (%d cores, %d hardware threads)\n\n", plat.CPU.Name, plat.CPU.Cores, plat.CPU.Threads)
+	fmt.Println("Algorithm 3 result:")
+	fmt.Printf("  compute task: inter-op %d (graph max concurrency), intra-op %d threads each\n",
+		setting.InterOpCompute, setting.IntraOp)
+	fmt.Printf("  total inter-op parallelism: %d (compute + 5 load/store tasks)\n", setting.InterOp)
+	fmt.Println("  transfer-task threads (proportional to volume):")
+	for _, name := range []string{"load_weight", "load_cache", "store_cache", "load_activation", "store_activation"} {
+		fmt.Printf("    %-18s %d\n", name, setting.TransferThreads[name])
+	}
+	fmt.Printf("  estimated compute-task time: %.1f ms; step time: %.1f ms\n",
+		setting.ComputeTime*1e3, setting.StepTime*1e3)
+	fmt.Println("\npaper's tuned setting on this machine: inter-op 12, intra-op 16 (§5.4)")
+
+	// Close the loop: let the policy search and the parallelism controller
+	// tune against each other.
+	tuned, err := lmoffload.AutoTune(plat, lmoffload.OPT30B, work, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nautotuned (policy x parallelism, %d rounds): %s\n",
+		tuned.Iterations, lmoffload.Describe(tuned.Policy))
+	fmt.Printf("derived CPU efficiency fed back into the model: %.2f\n", tuned.Profile.CPUCompute)
+}

@@ -1,0 +1,53 @@
+// Policy search walkthrough: compare FlexGen, ZeRO-Inference, and
+// LM-Offload across generation lengths for one model — a miniature Table 3
+// — and show how the quantization-aware model changes the decision.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lmoffload "repro"
+)
+
+func main() {
+	plat := lmoffload.SingleGPUA100()
+	mod := lmoffload.OPT30B
+
+	fmt.Printf("framework comparison, %s on %s (s=64, bsz=64)\n\n", mod.Name, plat.Name)
+	fmt.Printf("%-6s  %-12s  %-12s  %-12s  %-8s\n", "genlen", "FlexGen", "ZeRO", "LM-Offload", "speedup")
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		fg, zr, lm, err := lmoffload.CompareSystems(plat, mod, 64, 64, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d  %-12.1f  %-12.1f  %-12.1f  %.2fx\n",
+			n, fg.Throughput(), zr.Throughput(), lm.Throughput(), lm.Throughput()/fg.Throughput())
+	}
+
+	// Show what the winning policy actually decided for one configuration.
+	_, _, lm, err := lmoffload.CompareSystems(plat, mod, 64, 64, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLM-Offload's n=128 policy: %v\n", lm.Strategy)
+	fmt.Printf("block size %d across %d GPU batches; memory GPU %.1f GB / CPU %.1f GB\n",
+		lm.Work.BlockSize(), lm.Work.NumBatches,
+		float64(lm.Estimator.Memory().GPU)/(1<<30), float64(lm.Estimator.Memory().CPU)/(1<<30))
+
+	// The same search with the quantization models switched off (FlexGen's
+	// view of the world) picks a different, slower policy.
+	opts := lmoffload.DefaultPolicyOpts()
+	opts.QuantAware = false
+	work, _ := lmoffload.NewWorkload(64, 128, 64, 10)
+	blind, err := lmoffload.PlanWith(plat, mod, work, lmoffload.LMOffloadProfile(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, err := lmoffload.Plan(plat, mod, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquantization-blind objective picks: %v -> %.1f tok/s\n", blind.Strategy, blind.Throughput)
+	fmt.Printf("quantization-aware objective picks: %v -> %.1f tok/s\n", aware.Strategy, aware.Throughput)
+}

@@ -1,0 +1,60 @@
+// Serving walkthrough: stream tokens from the offloading engine with a
+// per-step callback and an early-stop condition — the shape an online
+// serving loop takes on top of the offline engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/runtime"
+	"repro/internal/threadpool"
+)
+
+func main() {
+	cfg := model.Small()
+	const seed = 7
+	m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := threadpool.MustNew(4)
+	eng, err := runtime.NewEngine(m, runtime.Policy{
+		QuantKV:  true,
+		KVCfg:    quant.Config{Bits: 4, GroupSize: 32},
+		HostF16:  false,
+		GPUBatch: 2,
+		IntraOp:  4,
+		Prefetch: true,
+	}, 1<<31, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prompts := [][]int{
+		{10, 20, 30, 40, 50, 60, 70, 80},
+		{5, 15, 25, 35, 45, 55, 65, 75},
+	}
+	// Treat token 0 as end-of-sequence: stop as soon as every stream emits
+	// it (or after 32 steps).
+	const eos = 0
+	fmt.Println("streaming generation (token per sequence per step):")
+	out, err := eng.GenerateStream(prompts, 32, func(step int, tokens []int) bool {
+		fmt.Printf("  step %2d: %v\n", step, tokens)
+		done := true
+		for _, tok := range tokens {
+			if tok != eos {
+				done = false
+			}
+		}
+		return !done
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerated %d + %d tokens\n", len(out[0]), len(out[1]))
+	fmt.Println("engine stats:", eng.Stats())
+}

@@ -1,0 +1,239 @@
+// Package cachesim models the CPU last-level cache as a set-associative
+// LRU array and replays synthetic access streams shaped like the offloaded
+// attention computation. It demonstrates the mechanism behind Table 5:
+// PyTorch's default threading interleaves many concurrent access streams
+// finely, thrashing the shared LLC, while LM-Offload's parallelism control
+// runs fewer, coarser streams with better locality.
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative write-allocate cache with LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int64
+
+	tags [][]uint64
+	age  [][]uint64
+	used [][]bool
+
+	clock uint64
+
+	loads, stores           int64
+	loadMisses, storeMisses int64
+}
+
+// New builds a cache of the given total size, associativity, and line size.
+// Size must be a positive multiple of ways*lineBytes, with a power-of-two
+// set count.
+func New(sizeBytes int64, ways int, lineBytes int64) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cachesim: non-positive geometry (%d, %d, %d)", sizeBytes, ways, lineBytes)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d not a power of two", lineBytes)
+	}
+	setBytes := int64(ways) * lineBytes
+	if sizeBytes%setBytes != 0 {
+		return nil, fmt.Errorf("cachesim: size %d not divisible by ways*line %d", sizeBytes, setBytes)
+	}
+	sets := int(sizeBytes / setBytes)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	c := &Cache{sets: sets, ways: ways, lineBytes: lineBytes}
+	c.tags = make([][]uint64, sets)
+	c.age = make([][]uint64, sets)
+	c.used = make([][]bool, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.age[i] = make([]uint64, ways)
+		c.used[i] = make([]bool, ways)
+	}
+	return c, nil
+}
+
+// Access touches addr; isWrite selects the store counters. It returns true
+// on a hit.
+func (c *Cache) Access(addr uint64, isWrite bool) bool {
+	c.clock++
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+
+	if isWrite {
+		c.stores++
+	} else {
+		c.loads++
+	}
+
+	ways := c.tags[set]
+	for w := 0; w < c.ways; w++ {
+		if c.used[set][w] && ways[w] == tag {
+			c.age[set][w] = c.clock
+			return true
+		}
+	}
+	// Miss: fill an empty way if one exists, otherwise evict the LRU.
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.used[set][w] {
+			victim = w
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+		for w := 1; w < c.ways; w++ {
+			if c.age[set][w] < c.age[set][victim] {
+				victim = w
+			}
+		}
+	}
+	c.used[set][victim] = true
+	c.tags[set][victim] = tag
+	c.age[set][victim] = c.clock
+	if isWrite {
+		c.storeMisses++
+	} else {
+		c.loadMisses++
+	}
+	return false
+}
+
+// Stats reports the counters.
+type Stats struct {
+	Loads, Stores           int64
+	LoadMisses, StoreMisses int64
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	return Stats{Loads: c.loads, Stores: c.stores, LoadMisses: c.loadMisses, StoreMisses: c.storeMisses}
+}
+
+// LoadMissRate returns load misses per load.
+func (s Stats) LoadMissRate() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadMisses) / float64(s.Loads)
+}
+
+// StoreMissRate returns store misses per store.
+func (s Stats) StoreMissRate() float64 {
+	if s.Stores == 0 {
+		return 0
+	}
+	return float64(s.StoreMisses) / float64(s.Stores)
+}
+
+// Reset clears the counters but keeps the cache contents.
+func (c *Cache) Reset() {
+	c.loads, c.stores, c.loadMisses, c.storeMisses = 0, 0, 0, 0
+}
+
+// StreamConfig describes a threading configuration's memory behaviour for
+// ReplayAttention: `Streams` concurrent operator streams, each making
+// interleaved passes over its own region of the working set, switching
+// between streams every `ChunkBytes` (finer interleaving = more thrashing).
+type StreamConfig struct {
+	// Streams is the number of concurrently active operator access streams
+	// (roughly active operators x threads per operator).
+	Streams int
+	// ChunkBytes is how much one stream touches before the scheduler
+	// switches to another stream.
+	ChunkBytes int64
+	// ReusePasses is how many times each region is re-read (attention reads
+	// K then V, plus softmax re-reads scores).
+	ReusePasses int
+	// StoreRatio is stores per load (the unfused path materializes
+	// intermediates, so the attention kernel writes more than it reads).
+	StoreRatio float64
+}
+
+// ReplayAttention streams a working set of totalBytes through the cache
+// under cfg and returns the stats. The address space is partitioned across
+// streams into set-aligned regions (as large contiguous tensor allocations
+// are in practice), and the replay interleaves the streams chunk by chunk:
+//
+//	for each chunk position:
+//	  for each reuse pass:            // operators re-read their tiles
+//	    for each stream: touch chunk  // co-running operators interleave
+//
+// With few streams the re-read passes hit (each set holds every stream's
+// line); once the stream count exceeds the associativity, the LRU evicts a
+// stream's lines before it returns to them and every pass misses — the
+// §4.1 cache-thrashing effect Table 5 quantifies.
+func ReplayAttention(c *Cache, totalBytes int64, cfg StreamConfig) (Stats, error) {
+	if totalBytes <= 0 {
+		return Stats{}, fmt.Errorf("cachesim: non-positive working set %d", totalBytes)
+	}
+	if cfg.Streams <= 0 || cfg.ChunkBytes <= 0 || cfg.ReusePasses <= 0 {
+		return Stats{}, fmt.Errorf("cachesim: invalid stream config %+v", cfg)
+	}
+	if cfg.StoreRatio < 0 {
+		return Stats{}, fmt.Errorf("cachesim: negative store ratio")
+	}
+	c.Reset()
+	line := c.lineBytes
+	setStride := int64(c.sets) * line
+	region := totalBytes / int64(cfg.Streams)
+	// Align regions to the set stride so concurrent streams collide in the
+	// same sets, as large page-aligned tensor buffers do.
+	region = (region / setStride) * setStride
+	if region < setStride {
+		region = setStride
+	}
+	chunkLines := cfg.ChunkBytes / line
+	if chunkLines < 1 {
+		chunkLines = 1
+	}
+	regionLines := region / line
+	storeAcc := 0.0
+	// Each stream writes consecutive distinct lines of its own output
+	// region: the unfused path materializes intermediates, producing more
+	// distinct written data than read data.
+	storeCursor := make([]int64, cfg.Streams)
+
+	for offset := int64(0); offset < regionLines; offset += chunkLines {
+		for pass := 0; pass < cfg.ReusePasses; pass++ {
+			for s := 0; s < cfg.Streams; s++ {
+				base := uint64(int64(s) * region)
+				// Stores land in a disjoint set-aligned output region past
+				// every input region.
+				storeBase := uint64(int64(cfg.Streams+s) * region * 4)
+				for l := int64(0); l < chunkLines && offset+l < regionLines; l++ {
+					addr := base + uint64((offset+l)*line)
+					c.Access(addr, false)
+					storeAcc += cfg.StoreRatio
+					for storeAcc >= 1 {
+						c.Access(storeBase+uint64(storeCursor[s]*line), true)
+						storeCursor[s]++
+						storeAcc--
+					}
+				}
+			}
+		}
+	}
+	return c.Stats(), nil
+}
+
+// DefaultThreadingStreams returns the per-socket stream shape of PyTorch's
+// default configuration on the evaluation machine: ~24 concurrent operator
+// access streams per socket (12 active operators x 56 threads spread over
+// two sockets collapses to roughly this many distinct streams) with fine
+// interleaving. Loads plus their store streams far exceed the LLC's
+// associativity, so reuse passes thrash.
+func DefaultThreadingStreams() StreamConfig {
+	return StreamConfig{Streams: 24, ChunkBytes: 4 << 10, ReusePasses: 2, StoreRatio: 1.9}
+}
+
+// ControlledThreadingStreams returns LM-Offload's tuned per-socket shape:
+// 6 operator streams per socket (12 operators over 2 sockets) with coarse
+// chunks; load and store streams together just fit a 12-way LLC, so the
+// reuse passes hit.
+func ControlledThreadingStreams() StreamConfig {
+	return StreamConfig{Streams: 6, ChunkBytes: 256 << 10, ReusePasses: 2, StoreRatio: 1.9}
+}

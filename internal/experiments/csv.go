@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+)
+
+// CSV renders Table 3 as comma-separated rows for plotting.
+func (r *Table3Result) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"framework", "model", "genlen", "block", "wg", "cg", "hg", "memGB", "tput", "norm"})
+	for _, c := range r.Cells {
+		_ = w.Write([]string{
+			c.Framework, c.Model, strconv.Itoa(c.GenLen), strconv.Itoa(c.BlockSize),
+			fmt.Sprintf("%.0f", c.WG), fmt.Sprintf("%.0f", c.CG), fmt.Sprintf("%.0f", c.HG),
+			fmt.Sprintf("%.1f", c.MemGB), fmt.Sprintf("%.2f", c.Throughput), fmt.Sprintf("%.3f", c.NormTput),
+		})
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// CSV renders the Figure 5 sweeps: series, parallelism, throughput.
+func (r *Figure5Result) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"series", "parallelism", "stepSeconds", "throughput"})
+	for _, p := range r.IntraOp {
+		_ = w.Write([]string{"intra-op", strconv.Itoa(p.Parallelism), fmt.Sprintf("%.6f", p.StepTime), fmt.Sprintf("%.4f", p.Throughput)})
+	}
+	for _, p := range r.InterOp {
+		_ = w.Write([]string{"inter-op", strconv.Itoa(p.Parallelism), fmt.Sprintf("%.6f", p.StepTime), fmt.Sprintf("%.4f", p.Throughput)})
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// CSV renders the Figure 9 weak-scaling curves.
+func (r *Figure9Result) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"model", "gpus", "framework", "tput"})
+	for _, s := range r.Series {
+		for i := range s.LMOffload {
+			_ = w.Write([]string{s.Model, strconv.Itoa(s.LMOffload[i].GPUs), "LM-Offload", fmt.Sprintf("%.2f", s.LMOffload[i].Throughput)})
+			_ = w.Write([]string{s.Model, strconv.Itoa(s.FlexGen[i].GPUs), "FlexGen", fmt.Sprintf("%.2f", s.FlexGen[i].Throughput)})
+		}
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// CSV renders the scale sweep.
+func (r *ScaleResult) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"model", "paramsB", "feasible", "flexgen", "zero", "lmoffload"})
+	for _, p := range r.Points {
+		_ = w.Write([]string{
+			p.Model, fmt.Sprintf("%.1f", p.ParamsB), strconv.FormatBool(p.Feasible),
+			fmt.Sprintf("%.2f", p.FlexGen), fmt.Sprintf("%.2f", p.ZeRO), fmt.Sprintf("%.2f", p.LM),
+		})
+	}
+	w.Flush()
+	return buf.String()
+}

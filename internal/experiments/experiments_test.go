@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure3ReproducesOrderingAndValues(t *testing.T) {
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bars) != 6 {
+		t.Fatalf("bars = %d, want 6", len(r.Bars))
+	}
+	get := func(label string) Figure3Bar {
+		b := r.Bar(label)
+		if b == nil {
+			t.Fatalf("missing bar %q", label)
+		}
+		return *b
+	}
+	offNone := get("cpu-attn, no quant")
+	offW := get("cpu-attn, w4")
+	noNone := get("gpu-attn, no quant")
+	noW := get("gpu-attn, w4")
+	noKV := get("gpu-attn, kv4")
+	noBoth := get("gpu-attn, w4+kv4")
+
+	// Observation 1 in both the model and the simulator.
+	if offW.ModelTput >= offNone.ModelTput {
+		t.Error("model: weight quant should hurt with attention offloading")
+	}
+	if noKV.ModelTput <= noNone.ModelTput || noKV.SimTput <= noNone.SimTput {
+		t.Error("KV quant should help without attention offloading (model and sim)")
+	}
+	// Observation 2 ordering in the model.
+	if !(noKV.ModelTput > noBoth.ModelTput && noBoth.ModelTput > noNone.ModelTput && noNone.ModelTput > noW.ModelTput) {
+		t.Errorf("Figure 3 ordering violated: kv=%.1f both=%.1f none=%.1f w=%.1f",
+			noKV.ModelTput, noBoth.ModelTput, noNone.ModelTput, noW.ModelTput)
+	}
+	// Within 35% of the paper's absolute values.
+	for _, bar := range r.Bars {
+		if ratio := bar.ModelTput / bar.PaperTput; ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("%s: model %.1f vs paper %.0f (ratio %.2f)", bar.Label, bar.ModelTput, bar.PaperTput, ratio)
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 3") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFigure4ZeroOverheadWithOffload(t *testing.T) {
+	r, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := r.Row("cpu-attn, w4")
+	if off == nil {
+		t.Fatal("missing cpu-attn row")
+	}
+	// With attention offloading the KV (de)quantization is zero; weight
+	// dequantization remains (the weights still stream).
+	kvOnly := r.Row("gpu-attn, kv4")
+	if kvOnly == nil || kvOnly.Quant <= 0 || kvOnly.Dequant <= 0 {
+		t.Fatalf("gpu-attn kv4 should have both quant and dequant time: %+v", kvOnly)
+	}
+	if kvOnly.Dequant <= kvOnly.Quant {
+		t.Error("dequantization should dominate quantization")
+	}
+	both := r.Row("gpu-attn, w4+kv4")
+	if both.Dequant <= kvOnly.Dequant {
+		t.Error("adding weight quantization should add dequantization time")
+	}
+	if !strings.Contains(r.Format(), "Figure 4") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, wo := r.WithOffload, r.WithoutOffload
+	within := func(name string, got, want, frac float64) {
+		t.Helper()
+		if ratio := got / want; ratio < 1-frac || ratio > 1+frac {
+			t.Errorf("%s = %.2f GB, want %.2f GB ± %.0f%%", name, got/1e9, want/1e9, frac*100)
+		}
+	}
+	within("with-offload weights up", w.WeightsUp, r.PaperWithWeightsUp, 0.25)
+	within("without-offload weights up", wo.WeightsUp, r.PaperWithoutWeightsUp, 0.25)
+	within("without-offload kv up", wo.KVCacheUp, r.PaperWithoutKVUp, 0.55)
+	within("without-offload kv down", wo.KVCacheDown, r.PaperWithoutKVDown, 0.25)
+	if w.KVCacheUp != 0 || w.KVCacheDown != 0 {
+		t.Error("attention offload must move no KV")
+	}
+	// "99.5% less" claim: the activation the offload scheme uploads is far
+	// smaller than the KV it avoids.
+	if r.KVSavingsFraction() < 0.98 {
+		t.Errorf("KV savings fraction = %.3f, want >= 0.98 (paper: 99.5%%)", r.KVSavingsFraction())
+	}
+	if !strings.Contains(r.Format(), "Table 1") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	r, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestInterOp() != 12 {
+		t.Errorf("best inter-op = %d, want 12", r.BestInterOp())
+	}
+	// Intra-op curve rises then stabilizes.
+	first, last := r.IntraOp[0], r.IntraOp[len(r.IntraOp)-1]
+	var at8 float64
+	for _, p := range r.IntraOp {
+		if p.Parallelism == 8 {
+			at8 = p.Throughput
+		}
+	}
+	if at8 <= first.Throughput {
+		t.Error("intra-op curve does not rise to 8 threads")
+	}
+	if ratio := last.Throughput / at8; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("intra-op tail not stable: 56-thread/8-thread = %.2f", ratio)
+	}
+	if !strings.Contains(r.Format(), "best inter-op parallelism: 12") {
+		t.Errorf("Format: %s", r.Format())
+	}
+}
+
+func TestTable3HeadlineSpeedups(t *testing.T) {
+	r, err := Table3(nil, []int{8, 32, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 models x 3 lengths x 3 frameworks.
+	if len(r.Cells) != 36 {
+		t.Fatalf("cells = %d, want 36", len(r.Cells))
+	}
+	// Headline bands (paper: 2.34x avg over FlexGen, 1.57x over ZeRO).
+	if r.VsFlexGen.Mean < 1.8 || r.VsFlexGen.Mean > 5.5 {
+		t.Errorf("FlexGen speedup avg = %.2f, want in [1.8, 5.5] (paper 2.34)", r.VsFlexGen.Mean)
+	}
+	// Our policy search finds a stronger 66B policy than the paper's
+	// published one (98% of the weights GPU-resident at 4 bits), so the
+	// ZeRO ratios run above the paper's 1.57x average; accept up to 5x.
+	if r.VsZeRO.Mean < 1.1 || r.VsZeRO.Mean > 5.0 {
+		t.Errorf("ZeRO speedup avg = %.2f, want in [1.1, 5.0] (paper 1.57)", r.VsZeRO.Mean)
+	}
+	// Every LM-Offload cell normalizes to 1.
+	for _, c := range r.Cells {
+		if c.Framework == "LM-Offload" && (c.NormTput < 0.999 || c.NormTput > 1.001) {
+			t.Errorf("LM-Offload norm tput = %.3f", c.NormTput)
+		}
+	}
+	// ZeRO batch sizes shrink for 66B models as in the paper.
+	z30 := r.Cell("ZeRO-Inference", "OPT-30B", 32)
+	z66 := r.Cell("ZeRO-Inference", "OPT-66B", 32)
+	if z30 == nil || z66 == nil {
+		t.Fatal("missing ZeRO cells")
+	}
+	if z66.BlockSize >= z30.BlockSize {
+		t.Errorf("ZeRO block should shrink for OPT-66B: %d >= %d", z66.BlockSize, z30.BlockSize)
+	}
+	if !strings.Contains(r.Format(), "Table 3") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFigure7GainsInBand(t *testing.T) {
+	r, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range r.Points {
+		if p.GainPct <= 0 {
+			t.Errorf("%s n=%d: quantization-aware policy does not beat FlexGen (%.0f%%)", p.Model, p.GenLen, p.GainPct)
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 7") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFigure8Reductions(t *testing.T) {
+	r, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 32% compute reduction, 19% average, 38% end-to-end.
+	if r.ComputeReductionPct < 15 || r.ComputeReductionPct > 60 {
+		t.Errorf("compute reduction = %.0f%%, want ~32%%", r.ComputeReductionPct)
+	}
+	if r.AvgReductionPct < 5 || r.AvgReductionPct > 60 {
+		t.Errorf("average reduction = %.0f%%, want ~19%%", r.AvgReductionPct)
+	}
+	if r.EndToEndReductionPct < 15 || r.EndToEndReductionPct > 60 {
+		t.Errorf("end-to-end reduction = %.0f%%, want ~38%%", r.EndToEndReductionPct)
+	}
+	if r.Tuned.InterOpCompute != 12 {
+		t.Errorf("tuned inter-op = %d, want 12", r.Tuned.InterOpCompute)
+	}
+	if !strings.Contains(r.Format(), "Figure 8") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestTable5CountsAndMechanism(t *testing.T) {
+	r, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reductions in the paper's band.
+	if red := r.LoadReductionPct(); red < 20 || red > 60 {
+		t.Errorf("load miss reduction = %.0f%%, want ~40%%", red)
+	}
+	if red := r.StoreReductionPct(); red < 20 || red > 60 {
+		t.Errorf("store miss reduction = %.0f%%, want ~37%%", red)
+	}
+	// Absolute counts within 3x of the paper (counting windows differ).
+	if ratio := float64(r.DefaultLoads) / r.PaperDefaultLoads; ratio < 0.33 || ratio > 3 {
+		t.Errorf("default load misses = %.1fB, paper 10B (ratio %.2f)", float64(r.DefaultLoads)/1e9, ratio)
+	}
+	// Stores exceed loads as in the paper.
+	if r.DefaultStores <= r.DefaultLoads {
+		t.Error("store misses should exceed load misses")
+	}
+	// The cache simulator agrees on direction.
+	if r.SimDefault.LoadMissRate() <= r.SimControlled.LoadMissRate() {
+		t.Error("cache simulation does not show the thrashing mechanism")
+	}
+	if !strings.Contains(r.Format(), "Table 5") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFigure9ScalingStory(t *testing.T) {
+	r, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(r.Series))
+	}
+	if r.MaxGainPct <= 50 {
+		t.Errorf("max gain = %.0f%%, want > 50%% (paper: up to 327%%)", r.MaxGainPct)
+	}
+	if r.GapGrowth < 2 {
+		t.Errorf("gap growth = %.1fx, want >= 2x (paper: up to 13.9x)", r.GapGrowth)
+	}
+	for _, s := range r.Series {
+		for i := range s.LMOffload {
+			if s.LMOffload[i].Throughput <= s.FlexGen[i].Throughput {
+				t.Errorf("%s %d GPUs: LM-Offload not ahead", s.Model, s.LMOffload[i].GPUs)
+			}
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 9") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: throughput is non-increasing in β.
+	for i := 1; i < len(r.OverlapTput); i++ {
+		if r.OverlapTput[i] > r.OverlapTput[i-1]+1e-9 {
+			t.Errorf("throughput rose with worse overlap: β=%.2f %.1f -> β=%.2f %.1f",
+				r.OverlapBeta[i-1], r.OverlapTput[i-1], r.OverlapBeta[i], r.OverlapTput[i])
+		}
+	}
+	// Bundling reduces op count without hurting the compute estimate much.
+	if r.BundledOps >= r.UnbundledOps {
+		t.Errorf("bundling did not reduce ops: %d -> %d", r.UnbundledOps, r.BundledOps)
+	}
+	if r.BundledTime > r.UnbundledTime*1.2 {
+		t.Errorf("bundling hurt compute time: %.4f -> %.4f", r.UnbundledTime, r.BundledTime)
+	}
+	// Proportional assignment is at least as good as uniform.
+	if r.ProportionalStep > r.UniformStep*1.001 {
+		t.Errorf("proportional (%.4f) worse than uniform (%.4f)", r.ProportionalStep, r.UniformStep)
+	}
+	// Group metadata: very small groups cost throughput.
+	if r.GroupTput[0] >= r.GroupTput[2] {
+		t.Errorf("group 16 (%.1f) should be slower than group 64 (%.1f)", r.GroupTput[0], r.GroupTput[2])
+	}
+	// 2-bit moves less than 8-bit.
+	if r.BitsTput[0] <= r.BitsTput[2] {
+		t.Errorf("2-bit (%.1f) should beat 8-bit (%.1f) on pure transfer time", r.BitsTput[0], r.BitsTput[2])
+	}
+	if !strings.Contains(r.Format(), "Ablations") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFunctionalCheck(t *testing.T) {
+	r, err := FunctionalCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := r.Row("cpu-attn, no quant")
+	gpu := r.Row("gpu-attn, no quant")
+	f16 := r.Row("gpu-attn, fp16 host")
+	kv4 := r.Row("gpu-attn, kv4")
+	if cpu == nil || gpu == nil || f16 == nil || kv4 == nil {
+		t.Fatal("missing rows")
+	}
+	// Lossless policies reproduce the reference exactly.
+	if !cpu.MatchesReference || !gpu.MatchesReference {
+		t.Error("lossless engine run diverged from the reference model")
+	}
+	// Attention offloading moves zero KV bytes (Observation 1, executably).
+	if cpu.KVUp != 0 || cpu.KVDown != 0 {
+		t.Errorf("cpu-attn moved KV: %d/%d", cpu.KVUp, cpu.KVDown)
+	}
+	if gpu.KVUp == 0 {
+		t.Error("gpu-attn moved no KV")
+	}
+	// FP16 host storage halves KV traffic; 4-bit cuts it further.
+	if f16.KVUp*2 != gpu.KVUp {
+		t.Errorf("fp16 KV traffic %d, want half of %d", f16.KVUp, gpu.KVUp)
+	}
+	if kv4.KVUp >= f16.KVUp {
+		t.Errorf("kv4 traffic %d not below fp16 %d", kv4.KVUp, f16.KVUp)
+	}
+	// Quantized runs actually exercised the (de)quantization kernels.
+	if kv4.QuantOps == 0 || kv4.DequantOps == 0 {
+		t.Error("kv4 run recorded no quantization work")
+	}
+	if !strings.Contains(r.Format(), "Functional cross-check") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestAblationSweepsExtended(t *testing.T) {
+	r, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy: SNR rises with bit width.
+	for i := 1; i < len(r.BitsSNR); i++ {
+		if r.BitsSNR[i] <= r.BitsSNR[i-1] {
+			t.Errorf("SNR not rising with bits: %v", r.BitsSNR)
+		}
+	}
+	// Block size: bigger zig-zag blocks amortize weight traffic, so
+	// throughput grows with the block (within host memory).
+	for i := 1; i < len(r.BlockTput); i++ {
+		if r.BlockTput[i] < r.BlockTput[i-1]*0.99 {
+			t.Errorf("throughput fell with block size: %v -> %v", r.BlockTput[i-1], r.BlockTput[i])
+		}
+	}
+	if r.BlockTput[len(r.BlockTput)-1] < r.BlockTput[0]*1.2 {
+		t.Errorf("large blocks should clearly beat single batches: %v", r.BlockTput)
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	r, err := ScaleSweep(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(r.Points))
+	}
+	// Throughput decreases with model size among feasible points, and
+	// LM-Offload beats FlexGen at every feasible scale (§5.3's consistency).
+	var prev float64 = 1e18
+	feasible := 0
+	for _, p := range r.Points {
+		if !p.Feasible {
+			continue
+		}
+		feasible++
+		if p.LM > prev {
+			t.Errorf("%s: throughput rose with model size", p.Model)
+		}
+		prev = p.LM
+		if p.FlexGen > 0 && p.LM <= p.FlexGen {
+			t.Errorf("%s: LM-Offload (%.1f) not ahead of FlexGen (%.1f)", p.Model, p.LM, p.FlexGen)
+		}
+	}
+	if feasible < 4 {
+		t.Errorf("only %d feasible scales", feasible)
+	}
+	// OPT-175B (350 GB of FP16 weights) exceeds the 240 GB host: infeasible.
+	last := r.Points[len(r.Points)-1]
+	if last.Feasible {
+		t.Errorf("OPT-175B should be infeasible on the 240 GB host")
+	}
+	if !strings.Contains(r.Format(), "infeasible") {
+		t.Error("Format missing infeasible marker")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	r3, err := Table3(nil, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := r3.CSV(); !strings.Contains(out, "framework,model") || !strings.Contains(out, "LM-Offload") {
+		t.Errorf("Table3 CSV malformed:\n%s", out)
+	}
+	r5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := r5.CSV(); !strings.Contains(out, "intra-op,1,") {
+		t.Errorf("Figure5 CSV malformed:\n%s", out)
+	}
+	r9, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := r9.CSV(); !strings.Contains(out, "OPT-13B,4,FlexGen") {
+		t.Errorf("Figure9 CSV malformed:\n%s", out)
+	}
+	rs, err := ScaleSweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := rs.CSV(); !strings.Contains(out, "OPT-175B") {
+		t.Errorf("Scale CSV malformed:\n%s", out)
+	}
+}
+
+func TestValidateModel(t *testing.T) {
+	r, err := ValidateModel(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 12 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// The DES realizes the Eq. 2 ideal within ~25% (it derives the overlap
+	// the hardware permits)...
+	if r.MAPEPaper > 0.25 {
+		t.Errorf("Eq. 2 vs DES MAPE = %.0f%%, want <= 25%%", r.MAPEPaper*100)
+	}
+	// ...while the calibrated β model sits above it by a bounded software
+	// margin and never under-predicts the ideal schedule.
+	if r.MAPEModel > 0.80 {
+		t.Errorf("β model margin = %.0f%%, want <= 80%%", r.MAPEModel*100)
+	}
+	if r.PessimisticFraction < 0.95 {
+		t.Errorf("β model optimistic on %.0f%% of samples", (1-r.PessimisticFraction)*100)
+	}
+	if !strings.Contains(r.Format(), "MAPE") {
+		t.Error("Format missing MAPE")
+	}
+	if _, err := ValidateModel(0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestPlatformWhatIf(t *testing.T) {
+	r, err := PlatformWhatIf(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	for mod, speedup := range r.SpeedupByModel {
+		if speedup <= 1 {
+			t.Errorf("%s: H100 speedup %.2fx not above 1", mod, speedup)
+		}
+	}
+	if !strings.Contains(r.Format(), "H100/A100") {
+		t.Error("Format missing speedup lines")
+	}
+}

@@ -1,0 +1,28 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the DAG in Graphviz dot syntax, with node weights shown in the
+// labels — handy for inspecting the Fig. 6 operator graphs.
+func (g *DAG) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for id := 0; id < g.Len(); id++ {
+		label := g.Name(id)
+		if w := g.Weight(id); w > 0 {
+			label = fmt.Sprintf("%s\\n%.3g s", label, w)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, label)
+	}
+	for id := 0; id < g.Len(); id++ {
+		for _, s := range g.Successors(id) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

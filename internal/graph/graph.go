@@ -1,0 +1,272 @@
+// Package graph provides the directed-acyclic-graph machinery behind
+// LM-Offload's parallelism control: Kahn's topological sort, concurrency-level
+// analysis of operator dependency graphs, and critical-path computation.
+//
+// Nodes are identified by dense integer IDs issued by AddNode, which keeps the
+// implementation allocation-light for the small operator graphs (tens of
+// nodes) that attention computation produces.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG is a directed acyclic graph with optional per-node weights
+// (execution times, in seconds, for operator graphs).
+type DAG struct {
+	names   []string
+	weights []float64
+	succ    [][]int
+	pred    [][]int
+}
+
+// New returns an empty DAG.
+func New() *DAG { return &DAG{} }
+
+// AddNode adds a node with a display name and weight, returning its ID.
+func (g *DAG) AddNode(name string, weight float64) int {
+	id := len(g.names)
+	g.names = append(g.names, name)
+	g.weights = append(g.weights, weight)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddEdge records that node from must complete before node to starts.
+// It is an error (panic) to reference unknown nodes; duplicate edges are
+// ignored.
+func (g *DAG) AddEdge(from, to int) {
+	if from < 0 || from >= len(g.names) || to < 0 || to >= len(g.names) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", from, to, len(g.names)))
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// Len returns the node count.
+func (g *DAG) Len() int { return len(g.names) }
+
+// Name returns the display name of node id.
+func (g *DAG) Name(id int) string { return g.names[id] }
+
+// Weight returns the weight of node id.
+func (g *DAG) Weight(id int) float64 { return g.weights[id] }
+
+// SetWeight updates the weight of node id.
+func (g *DAG) SetWeight(id int, w float64) { g.weights[id] = w }
+
+// Successors returns the out-neighbours of id. The returned slice must not
+// be modified.
+func (g *DAG) Successors(id int) []int { return g.succ[id] }
+
+// Predecessors returns the in-neighbours of id. The returned slice must not
+// be modified.
+func (g *DAG) Predecessors(id int) []int { return g.pred[id] }
+
+// TopoSort returns a topological order of the nodes using Kahn's algorithm,
+// as cited by the paper for concurrency analysis. Ties are broken by node ID
+// so the order is deterministic. It returns an error if the graph contains a
+// cycle.
+func (g *DAG) TopoSort() ([]int, error) {
+	indeg := make([]int, len(g.names))
+	for _, preds := range g.pred {
+		_ = preds
+	}
+	for id := range g.names {
+		indeg[id] = len(g.pred[id])
+	}
+	// ready is kept sorted ascending for determinism.
+	var ready []int
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	order := make([]int, 0, len(g.names))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				// Insert keeping ready sorted.
+				pos := sort.SearchInts(ready, s)
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = s
+			}
+		}
+	}
+	if len(order) != len(g.names) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.names))
+	}
+	return order, nil
+}
+
+// Levels partitions the nodes into ASAP (as-soon-as-possible) levels: a node's
+// level is one greater than the maximum level of its predecessors. Nodes in
+// the same level have no dependencies between them and can run concurrently.
+func (g *DAG) Levels() ([][]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, len(g.names))
+	maxLevel := 0
+	for _, id := range order {
+		l := 0
+		for _, p := range g.pred[id] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]int, maxLevel+1)
+	for _, id := range order {
+		out[level[id]] = append(out[level[id]], id)
+	}
+	return out, nil
+}
+
+// MaxConcurrency returns the maximum width over the ASAP levels — the
+// paper's "maximum concurrency level" used as the inter-op parallelism of the
+// compute task (Algorithm 3, line 4).
+func (g *DAG) MaxConcurrency() (int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	maxW := 0
+	for _, l := range levels {
+		if len(l) > maxW {
+			maxW = len(l)
+		}
+	}
+	return maxW, nil
+}
+
+// CriticalPath returns the length of the weight-sum-maximal path and the node
+// IDs on one such path, in execution order. With unit weights this is the
+// longest chain; with operator times it lower-bounds any schedule's makespan.
+func (g *DAG) CriticalPath() (float64, []int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	dist := make([]float64, len(g.names))
+	from := make([]int, len(g.names))
+	for i := range from {
+		from[i] = -1
+	}
+	best, bestEnd := 0.0, -1
+	for _, id := range order {
+		d := g.weights[id]
+		f := -1
+		for _, p := range g.pred[id] {
+			if dist[p]+g.weights[id] > d {
+				d = dist[p] + g.weights[id]
+				f = p
+			}
+		}
+		dist[id], from[id] = d, f
+		if d > best || bestEnd == -1 {
+			best, bestEnd = d, id
+		}
+	}
+	var path []int
+	for id := bestEnd; id != -1; id = from[id] {
+		path = append(path, id)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}
+
+// ListScheduleMakespan simulates list scheduling of the DAG on `slots`
+// identical workers, where each node occupies one worker for its weight
+// duration. Ready nodes are dispatched lowest-ID-first. It returns the
+// makespan. This is how parallelism control estimates the compute-task time
+// under a given inter-op parallelism.
+func (g *DAG) ListScheduleMakespan(slots int) (float64, error) {
+	if slots <= 0 {
+		return 0, fmt.Errorf("graph: ListScheduleMakespan needs slots > 0, got %d", slots)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	_ = order // validity check only
+	indeg := make([]int, len(g.names))
+	for id := range g.names {
+		indeg[id] = len(g.pred[id])
+	}
+	var ready []int
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Ints(ready)
+	type running struct {
+		id   int
+		done float64
+	}
+	var active []running
+	now, finished := 0.0, 0
+	for finished < len(g.names) {
+		// Fill free slots from the ready queue.
+		for len(active) < slots && len(ready) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			active = append(active, running{id, now + g.weights[id]})
+		}
+		if len(active) == 0 {
+			return 0, fmt.Errorf("graph: scheduler stalled with %d/%d nodes finished", finished, len(g.names))
+		}
+		// Advance to the earliest completion.
+		minIdx := 0
+		for i, r := range active {
+			if r.done < active[minIdx].done {
+				minIdx = i
+			}
+		}
+		done := active[minIdx]
+		active = append(active[:minIdx], active[minIdx+1:]...)
+		now = done.done
+		finished++
+		for _, s := range g.succ[done.id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				pos := sort.SearchInts(ready, s)
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = s
+			}
+		}
+	}
+	return now, nil
+}
+
+// TotalWeight returns the sum of all node weights (the serial execution
+// time of an operator graph).
+func (g *DAG) TotalWeight() float64 {
+	var sum float64
+	for _, w := range g.weights {
+		sum += w
+	}
+	return sum
+}

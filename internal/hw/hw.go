@@ -1,0 +1,269 @@
+// Package hw describes the hardware platforms used by the LM-Offload
+// performance models and the discrete-event simulator.
+//
+// A Platform bundles one or more GPUs, a host CPU complex, and the
+// interconnect between them. The two built-in platforms mirror Table 4 of the
+// paper: a single NVIDIA A100 attached to a dual-socket Xeon Gold 6330 host
+// over PCIe 4.0 x16, and a four-V100 IBM POWER9 node connected with
+// NVLink 2.0.
+//
+// All capacities are in bytes, bandwidths in bytes/second, compute rates in
+// FLOP/s, and frequencies in Hz, so model code never needs unit conversions.
+package hw
+
+import "fmt"
+
+// Bytes helpers for readable platform definitions.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// GPU describes a single accelerator.
+type GPU struct {
+	Name string
+	// MemBytes is the device (HBM) memory capacity.
+	MemBytes int64
+	// MemBandwidth is the HBM bandwidth in bytes/s.
+	MemBandwidth float64
+	// Flops is the sustained matrix-multiplication throughput in FLOP/s
+	// (effective, not the marketing peak).
+	Flops float64
+	// Freq is the SM clock in Hz, used by the element-wise phases of the
+	// quantization model (Eq. 21).
+	Freq float64
+	// QuantElemRate is the sustained element throughput (elements/s) of the
+	// group-wise (de)quantization kernels. This is far below the GEMM FLOP
+	// rate: FlexGen's quantization path is a chain of unfused element-wise
+	// kernels (pad, min/max, normalize, clamp, pack — Algorithm 2), each
+	// materializing an intermediate tensor through HBM with its own launch
+	// overhead. Calibrated so the Figure 3/4 overhead shares reproduce.
+	QuantElemRate float64
+}
+
+// CPU describes the host processor complex (all sockets together).
+type CPU struct {
+	Name string
+	// Sockets is the number of NUMA domains.
+	Sockets int
+	// Cores is the total physical core count across sockets.
+	Cores int
+	// Threads is the total hardware thread count (with SMT).
+	Threads int
+	// MemBytes is the host DRAM capacity.
+	MemBytes int64
+	// MemBandwidth is the aggregate DRAM bandwidth in bytes/s.
+	MemBandwidth float64
+	// Flops is the sustained dense-math throughput of the whole complex in
+	// FLOP/s.
+	Flops float64
+	// Freq is the core clock in Hz, used by the min/max scan phase of the
+	// quantization model (Eq. 13).
+	Freq float64
+	// QuantElemRate is the sustained element throughput (elements/s) of the
+	// CPU-side quantization kernels (see GPU.QuantElemRate).
+	QuantElemRate float64
+}
+
+// Link describes the CPU<->GPU interconnect.
+type Link struct {
+	Name string
+	// BandwidthPerDir is the effective bandwidth of one direction in
+	// bytes/s. The paper quotes total bidirectional figures (64 GB/s for
+	// PCIe 4.0 x16); each direction sustains roughly half.
+	BandwidthPerDir float64
+	// LatencySec is the fixed per-transfer latency.
+	LatencySec float64
+	// Duplex reports whether the two directions are independent channels.
+	Duplex bool
+}
+
+// Platform is a complete evaluation machine.
+type Platform struct {
+	Name string
+	GPUs []GPU
+	CPU  CPU
+	Link Link
+	// DiskBandwidth is the read bandwidth for the initial weight load from
+	// storage into host memory (the T_init term of Eq. 1).
+	DiskBandwidth float64
+}
+
+// NumGPUs returns the accelerator count.
+func (p *Platform) NumGPUs() int { return len(p.GPUs) }
+
+// GPU0 returns the first accelerator. Every built-in platform has at least
+// one GPU, so this never fails for them.
+func (p *Platform) GPU0() GPU { return p.GPUs[0] }
+
+// TotalGPUMem returns the summed device memory in bytes.
+func (p *Platform) TotalGPUMem() int64 {
+	var total int64
+	for _, g := range p.GPUs {
+		total += g.MemBytes
+	}
+	return total
+}
+
+// Validate reports configuration errors such as zero bandwidths, which would
+// otherwise surface as division-by-zero infinities deep inside the models.
+func (p *Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("hw: platform has no name")
+	}
+	if len(p.GPUs) == 0 {
+		return fmt.Errorf("hw: platform %s has no GPUs", p.Name)
+	}
+	for i, g := range p.GPUs {
+		switch {
+		case g.MemBytes <= 0:
+			return fmt.Errorf("hw: %s GPU %d has non-positive memory", p.Name, i)
+		case g.MemBandwidth <= 0:
+			return fmt.Errorf("hw: %s GPU %d has non-positive HBM bandwidth", p.Name, i)
+		case g.Flops <= 0:
+			return fmt.Errorf("hw: %s GPU %d has non-positive FLOP rate", p.Name, i)
+		case g.Freq <= 0:
+			return fmt.Errorf("hw: %s GPU %d has non-positive frequency", p.Name, i)
+		case g.QuantElemRate <= 0:
+			return fmt.Errorf("hw: %s GPU %d has non-positive quantization rate", p.Name, i)
+		}
+	}
+	c := p.CPU
+	switch {
+	case c.Cores <= 0 || c.Threads <= 0:
+		return fmt.Errorf("hw: %s CPU has no cores", p.Name)
+	case c.Threads < c.Cores:
+		return fmt.Errorf("hw: %s CPU has fewer threads (%d) than cores (%d)", p.Name, c.Threads, c.Cores)
+	case c.MemBytes <= 0:
+		return fmt.Errorf("hw: %s CPU has non-positive memory", p.Name)
+	case c.MemBandwidth <= 0 || c.Flops <= 0 || c.Freq <= 0 || c.QuantElemRate <= 0:
+		return fmt.Errorf("hw: %s CPU has non-positive rate parameters", p.Name)
+	}
+	if p.Link.BandwidthPerDir <= 0 {
+		return fmt.Errorf("hw: %s link has non-positive bandwidth", p.Name)
+	}
+	if p.DiskBandwidth <= 0 {
+		return fmt.Errorf("hw: %s disk has non-positive bandwidth", p.Name)
+	}
+	return nil
+}
+
+// SingleGPUA100 reproduces the paper's single-GPU platform (Table 4):
+// one 40 GB A100 and two Intel Xeon Gold 6330 sockets (56 cores, 112
+// hardware threads, 240 GB DRAM) connected by PCIe 4.0 x16.
+func SingleGPUA100() *Platform {
+	return &Platform{
+		Name: "single-gpu-a100",
+		GPUs: []GPU{{
+			Name:          "NVIDIA A100 40GB",
+			MemBytes:      40 * GiB,
+			MemBandwidth:  1.555e12, // 1555 GB/s HBM2e
+			Flops:         1.4e14,   // sustained FP16 GEMM ~140 TFLOP/s
+			Freq:          1.41e9,
+			QuantElemRate: 2.7e10,
+		}},
+		CPU: CPU{
+			Name:          "2x Intel Xeon Gold 6330",
+			Sockets:       2,
+			Cores:         56,
+			Threads:       112,
+			MemBytes:      240 * GiB,
+			MemBandwidth:  3.5e11, // ~350 GB/s across 16 DDR4-2933 channels
+			Flops:         2.0e12, // sustained AVX-512 dense math
+			Freq:          2.0e9,
+			QuantElemRate: 5.0e9,
+		},
+		Link: Link{
+			Name:            "PCIe 4.0 x16",
+			BandwidthPerDir: 2.5e10, // 25 GB/s effective per direction
+			LatencySec:      10e-6,
+			Duplex:          true,
+		},
+		DiskBandwidth: 2.0e9, // NVMe read, 2 GB/s
+	}
+}
+
+// SingleGPUH100 models a contemporary successor platform: one 80 GB H100
+// with PCIe 5.0 x16 and a newer host. It is not part of the paper's
+// evaluation; the library ships it so downstream users can ask how the
+// policies shift when the GPU doubles its memory and the link doubles its
+// bandwidth.
+func SingleGPUH100() *Platform {
+	return &Platform{
+		Name: "single-gpu-h100",
+		GPUs: []GPU{{
+			Name:          "NVIDIA H100 80GB",
+			MemBytes:      80 * GiB,
+			MemBandwidth:  3.35e12, // 3350 GB/s HBM3
+			Flops:         4.0e14,  // sustained FP16 GEMM ~400 TFLOP/s
+			Freq:          1.8e9,
+			QuantElemRate: 5.4e10,
+		}},
+		CPU: CPU{
+			Name:          "2x Intel Xeon Platinum 8480+",
+			Sockets:       2,
+			Cores:         112,
+			Threads:       224,
+			MemBytes:      512 * GiB,
+			MemBandwidth:  6.0e11,
+			Flops:         6.0e12,
+			Freq:          2.0e9,
+			QuantElemRate: 1.0e10,
+		},
+		Link: Link{
+			Name:            "PCIe 5.0 x16",
+			BandwidthPerDir: 5.0e10,
+			LatencySec:      8e-6,
+			Duplex:          true,
+		},
+		DiskBandwidth: 6.0e9,
+	}
+}
+
+// MultiGPUV100 reproduces the paper's multi-GPU platform (Table 4): four
+// 16 GB V100s on a dual-socket IBM POWER9 host with NVLink 2.0.
+func MultiGPUV100() *Platform {
+	gpu := GPU{
+		Name:          "NVIDIA V100 16GB",
+		MemBytes:      16 * GiB,
+		MemBandwidth:  9.0e11, // 900 GB/s HBM2
+		Flops:         6.0e13, // sustained FP16 GEMM ~60 TFLOP/s
+		Freq:          1.38e9,
+		QuantElemRate: 1.5e10,
+	}
+	return &Platform{
+		Name: "multi-gpu-v100",
+		GPUs: []GPU{gpu, gpu, gpu, gpu},
+		CPU: CPU{
+			Name:          "2x IBM POWER9",
+			Sockets:       2,
+			Cores:         44,
+			Threads:       176, // SMT4
+			MemBytes:      280 * GiB,
+			MemBandwidth:  3.0e11,
+			Flops:         1.2e12,
+			Freq:          3.0e9,
+			QuantElemRate: 3.0e9,
+		},
+		Link: Link{
+			Name:            "NVLink 2.0",
+			BandwidthPerDir: 1.5e11, // 150 GB/s per direction (300 total)
+			LatencySec:      2e-6,
+			Duplex:          true,
+		},
+		DiskBandwidth: 2.0e9,
+	}
+}
+
+// WithGPUCount returns a copy of p restricted to the first n GPUs, for
+// scaling studies. It panics if n is out of range.
+func (p *Platform) WithGPUCount(n int) *Platform {
+	if n <= 0 || n > len(p.GPUs) {
+		panic(fmt.Sprintf("hw: WithGPUCount(%d) out of range for %s with %d GPUs", n, p.Name, len(p.GPUs)))
+	}
+	cp := *p
+	cp.GPUs = append([]GPU(nil), p.GPUs[:n]...)
+	cp.Name = fmt.Sprintf("%s[x%d]", p.Name, n)
+	return &cp
+}

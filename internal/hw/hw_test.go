@@ -1,0 +1,115 @@
+package hw
+
+import "testing"
+
+func TestBuiltinPlatformsValidate(t *testing.T) {
+	for _, p := range []*Platform{SingleGPUA100(), MultiGPUV100()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s failed validation: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSingleGPUA100MatchesTable4(t *testing.T) {
+	p := SingleGPUA100()
+	if got, want := p.NumGPUs(), 1; got != want {
+		t.Fatalf("NumGPUs = %d, want %d", got, want)
+	}
+	if got, want := p.GPU0().MemBytes, 40*GiB; got != want {
+		t.Errorf("GPU memory = %d, want %d", got, want)
+	}
+	if got, want := p.CPU.Cores, 56; got != want {
+		t.Errorf("CPU cores = %d, want %d", got, want)
+	}
+	if got, want := p.CPU.Threads, 112; got != want {
+		t.Errorf("CPU threads = %d, want %d", got, want)
+	}
+	if got, want := p.CPU.MemBytes, 240*GiB; got != want {
+		t.Errorf("CPU memory = %d, want %d", got, want)
+	}
+	// Paper: PCIe 4.0 x16 with 64 GB/s total bidirectional. Effective
+	// per-direction bandwidth should be between a third and a half of that.
+	if bw := p.Link.BandwidthPerDir; bw < 2.0e10 || bw > 3.2e10 {
+		t.Errorf("PCIe per-direction bandwidth %g out of plausible range", bw)
+	}
+}
+
+func TestMultiGPUV100MatchesTable4(t *testing.T) {
+	p := MultiGPUV100()
+	if got, want := p.NumGPUs(), 4; got != want {
+		t.Fatalf("NumGPUs = %d, want %d", got, want)
+	}
+	if got, want := p.TotalGPUMem(), 4*16*GiB; got != want {
+		t.Errorf("total GPU memory = %d, want %d", got, want)
+	}
+	if got, want := p.CPU.Cores, 44; got != want {
+		t.Errorf("CPU cores = %d, want %d", got, want)
+	}
+}
+
+func TestWithGPUCount(t *testing.T) {
+	p := MultiGPUV100()
+	for n := 1; n <= 4; n++ {
+		sub := p.WithGPUCount(n)
+		if sub.NumGPUs() != n {
+			t.Errorf("WithGPUCount(%d).NumGPUs() = %d", n, sub.NumGPUs())
+		}
+		if err := sub.Validate(); err != nil {
+			t.Errorf("WithGPUCount(%d) invalid: %v", n, err)
+		}
+	}
+	// The original must not be mutated.
+	if p.NumGPUs() != 4 {
+		t.Errorf("WithGPUCount mutated receiver: %d GPUs", p.NumGPUs())
+	}
+}
+
+func TestWithGPUCountPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithGPUCount(5) did not panic")
+		}
+	}()
+	MultiGPUV100().WithGPUCount(5)
+}
+
+func TestValidateCatchesBrokenConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+	}{
+		{"no name", func(p *Platform) { p.Name = "" }},
+		{"no gpus", func(p *Platform) { p.GPUs = nil }},
+		{"zero gpu mem", func(p *Platform) { p.GPUs[0].MemBytes = 0 }},
+		{"zero gpu bw", func(p *Platform) { p.GPUs[0].MemBandwidth = 0 }},
+		{"zero gpu flops", func(p *Platform) { p.GPUs[0].Flops = 0 }},
+		{"zero gpu freq", func(p *Platform) { p.GPUs[0].Freq = 0 }},
+		{"zero cores", func(p *Platform) { p.CPU.Cores = 0 }},
+		{"threads < cores", func(p *Platform) { p.CPU.Threads = p.CPU.Cores - 1 }},
+		{"zero cpu mem", func(p *Platform) { p.CPU.MemBytes = 0 }},
+		{"zero cpu bw", func(p *Platform) { p.CPU.MemBandwidth = 0 }},
+		{"zero link bw", func(p *Platform) { p.Link.BandwidthPerDir = 0 }},
+		{"zero disk bw", func(p *Platform) { p.DiskBandwidth = 0 }},
+	}
+	for _, tc := range cases {
+		p := SingleGPUA100()
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken platform", tc.name)
+		}
+	}
+}
+
+func TestSingleGPUH100(t *testing.T) {
+	p := SingleGPUH100()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a100 := SingleGPUA100()
+	if p.GPU0().MemBytes != 2*a100.GPU0().MemBytes {
+		t.Errorf("H100 memory = %d, want double the A100", p.GPU0().MemBytes)
+	}
+	if p.Link.BandwidthPerDir <= a100.Link.BandwidthPerDir {
+		t.Error("PCIe 5 should outrun PCIe 4")
+	}
+}

@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonPlatform is the on-disk schema. Capacities are in GiB and bandwidths
+// in GB/s for human writability; rates convert to SI on load.
+type jsonPlatform struct {
+	Name string `json:"name"`
+	GPUs []struct {
+		Name          string  `json:"name"`
+		MemGiB        float64 `json:"memGiB"`
+		MemBWGBs      float64 `json:"memBandwidthGBs"`
+		TFlops        float64 `json:"tflops"`
+		FreqGHz       float64 `json:"freqGHz"`
+		QuantElemRate float64 `json:"quantElemRate"`
+	} `json:"gpus"`
+	CPU struct {
+		Name          string  `json:"name"`
+		Sockets       int     `json:"sockets"`
+		Cores         int     `json:"cores"`
+		Threads       int     `json:"threads"`
+		MemGiB        float64 `json:"memGiB"`
+		MemBWGBs      float64 `json:"memBandwidthGBs"`
+		TFlops        float64 `json:"tflops"`
+		FreqGHz       float64 `json:"freqGHz"`
+		QuantElemRate float64 `json:"quantElemRate"`
+	} `json:"cpu"`
+	Link struct {
+		Name      string  `json:"name"`
+		PerDirGBs float64 `json:"perDirectionGBs"`
+		LatencyUS float64 `json:"latencyUS"`
+		Duplex    bool    `json:"duplex"`
+	} `json:"link"`
+	DiskGBs float64 `json:"diskGBs"`
+}
+
+// LoadPlatform reads a platform description from JSON and validates it.
+// Defaults: GPU quantElemRate 2e10, CPU quantElemRate 5e9, disk 2 GB/s.
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var raw jsonPlatform
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("hw: decoding platform: %w", err)
+	}
+	p := &Platform{Name: raw.Name}
+	for _, g := range raw.GPUs {
+		qr := g.QuantElemRate
+		if qr == 0 {
+			qr = 2e10
+		}
+		p.GPUs = append(p.GPUs, GPU{
+			Name:          g.Name,
+			MemBytes:      int64(g.MemGiB * float64(GiB)),
+			MemBandwidth:  g.MemBWGBs * 1e9,
+			Flops:         g.TFlops * 1e12,
+			Freq:          g.FreqGHz * 1e9,
+			QuantElemRate: qr,
+		})
+	}
+	cq := raw.CPU.QuantElemRate
+	if cq == 0 {
+		cq = 5e9
+	}
+	p.CPU = CPU{
+		Name:          raw.CPU.Name,
+		Sockets:       raw.CPU.Sockets,
+		Cores:         raw.CPU.Cores,
+		Threads:       raw.CPU.Threads,
+		MemBytes:      int64(raw.CPU.MemGiB * float64(GiB)),
+		MemBandwidth:  raw.CPU.MemBWGBs * 1e9,
+		Flops:         raw.CPU.TFlops * 1e12,
+		Freq:          raw.CPU.FreqGHz * 1e9,
+		QuantElemRate: cq,
+	}
+	p.Link = Link{
+		Name:            raw.Link.Name,
+		BandwidthPerDir: raw.Link.PerDirGBs * 1e9,
+		LatencySec:      raw.Link.LatencyUS * 1e-6,
+		Duplex:          raw.Link.Duplex,
+	}
+	p.DiskBandwidth = raw.DiskGBs * 1e9
+	if p.DiskBandwidth == 0 {
+		p.DiskBandwidth = 2e9
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodPlatformJSON = `{
+  "name": "custom-l40",
+  "gpus": [{"name": "L40", "memGiB": 48, "memBandwidthGBs": 864, "tflops": 90, "freqGHz": 2.0}],
+  "cpu": {"name": "epyc", "sockets": 1, "cores": 32, "threads": 64,
+          "memGiB": 256, "memBandwidthGBs": 200, "tflops": 1.5, "freqGHz": 2.5},
+  "link": {"name": "pcie5", "perDirectionGBs": 50, "latencyUS": 5, "duplex": true},
+  "diskGBs": 5
+}`
+
+func TestLoadPlatform(t *testing.T) {
+	p, err := LoadPlatform(strings.NewReader(goodPlatformJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "custom-l40" || p.NumGPUs() != 1 {
+		t.Fatalf("loaded %s with %d GPUs", p.Name, p.NumGPUs())
+	}
+	if p.GPU0().MemBytes != 48*GiB {
+		t.Errorf("GPU memory = %d", p.GPU0().MemBytes)
+	}
+	if p.Link.BandwidthPerDir != 50e9 {
+		t.Errorf("link bandwidth = %g", p.Link.BandwidthPerDir)
+	}
+	if p.CPU.QuantElemRate != 5e9 {
+		t.Errorf("CPU quant rate default = %g", p.CPU.QuantElemRate)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("loaded platform invalid: %v", err)
+	}
+}
+
+func TestLoadPlatformErrors(t *testing.T) {
+	if _, err := LoadPlatform(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := LoadPlatform(strings.NewReader(`{"name": "x", "bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Missing GPUs fails validation.
+	if _, err := LoadPlatform(strings.NewReader(`{"name": "x"}`)); err == nil {
+		t.Error("platform without GPUs accepted")
+	}
+}

@@ -1,0 +1,269 @@
+// Package lp provides a small dense simplex solver for linear programs in
+// the inequality form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0
+//
+// which is the shape of FlexGen's offloading policy search: the variables are
+// the fractions of weights, KV cache, and activations placed on each device,
+// the constraints are the GPU and CPU memory capacities, and the objective is
+// (negated) estimated latency.
+//
+// The solver uses the standard tableau method with Bland's rule, which
+// guarantees termination at the cost of speed — irrelevant at the handful of
+// variables the policy search needs. Problems with negative b entries are
+// handled with a two-phase method.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program in inequality standard form.
+type Problem struct {
+	// C is the objective vector (length n).
+	C []float64
+	// A is the constraint matrix (m rows of length n).
+	A [][]float64
+	// B is the right-hand side (length m).
+	B []float64
+}
+
+// Result is the solver output.
+type Result struct {
+	// X is the optimal point (length n).
+	X []float64
+	// Objective is c·x at the optimum.
+	Objective float64
+}
+
+// Common solver failures.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+const eps = 1e-9
+
+// Solve maximizes the problem. It returns ErrInfeasible or ErrUnbounded for
+// the corresponding degenerate cases, and a validation error for malformed
+// inputs.
+func Solve(p Problem) (Result, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if n == 0 {
+		return Result{}, fmt.Errorf("lp: empty objective")
+	}
+	if len(p.B) != m {
+		return Result{}, fmt.Errorf("lp: %d constraint rows but %d bounds", m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Result{}, fmt.Errorf("lp: constraint row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+
+	t := newTableau(p)
+	if t.needsPhase1 {
+		if err := t.phase1(); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := t.phase2(); err != nil {
+		return Result{}, err
+	}
+	return t.result(), nil
+}
+
+// tableau holds the dense simplex tableau. Columns: n structural variables,
+// m slacks, (optionally) artificials, then the RHS.
+type tableau struct {
+	n, m        int
+	nArt        int
+	rows        [][]float64 // m constraint rows
+	obj         []float64   // phase-2 objective row (maximization, stored negated like textbook z-row)
+	artObj      []float64   // phase-1 objective row
+	basis       []int       // basic variable per row
+	needsPhase1 bool
+	cols        int
+}
+
+func newTableau(p Problem) *tableau {
+	n, m := len(p.C), len(p.A)
+	t := &tableau{n: n, m: m}
+	for _, bi := range p.B {
+		if bi < -eps {
+			t.nArt++
+		}
+	}
+	t.needsPhase1 = t.nArt > 0
+	t.cols = n + m + t.nArt + 1
+	rhs := t.cols - 1
+
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, t.cols)
+		sign := 1.0
+		if p.B[i] < -eps {
+			// Multiply the row by -1 so the RHS is non-negative; the slack
+			// coefficient becomes -1, requiring an artificial variable.
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = sign // slack
+		row[rhs] = sign * p.B[i]
+		if sign < 0 {
+			row[n+m+art] = 1
+			t.basis[i] = n + m + art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+
+	t.obj = make([]float64, t.cols)
+	for j := 0; j < n; j++ {
+		t.obj[j] = -p.C[j] // z - c·x = 0 row
+	}
+
+	if t.needsPhase1 {
+		t.artObj = make([]float64, t.cols)
+		for j := n + m; j < n+m+t.nArt; j++ {
+			t.artObj[j] = 1
+		}
+		// Price out the artificial basics.
+		for i, b := range t.basis {
+			if b >= n+m {
+				for j := range t.artObj {
+					t.artObj[j] -= t.rows[i][j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+// pivot performs a pivot on (row, col) updating constraint rows and both
+// objective rows.
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	apply := func(r []float64) {
+		f := r[col]
+		if f == 0 {
+			return
+		}
+		for j := range r {
+			r[j] -= f * pr[j]
+		}
+	}
+	for i, r := range t.rows {
+		if i != row {
+			apply(r)
+		}
+	}
+	apply(t.obj)
+	if t.artObj != nil {
+		apply(t.artObj)
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex iterations on the given objective row until optimal.
+// maxCol bounds the entering-variable search (to exclude artificials in
+// phase 2). Bland's rule: pick the lowest-index negative reduced cost and the
+// lowest-index row among ratio ties.
+func (t *tableau) iterate(obj []float64, maxCol int) error {
+	rhs := t.cols - 1
+	for iter := 0; ; iter++ {
+		if iter > 10000*(t.cols+t.m) {
+			return fmt.Errorf("lp: iteration limit exceeded")
+		}
+		col := -1
+		for j := 0; j < maxCol; j++ {
+			if obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			return nil // optimal
+		}
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][col]
+			if a > eps {
+				ratio := t.rows[i][rhs] / a
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (row == -1 || t.basis[i] < t.basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *tableau) phase1() error {
+	if err := t.iterate(t.artObj, t.cols-1); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase 1 is bounded below by 0; unbounded here means a bug, but
+			// surface it as infeasibility rather than panicking.
+			return ErrInfeasible
+		}
+		return err
+	}
+	rhs := t.cols - 1
+	if t.artObj[rhs] < -eps {
+		return ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis if possible.
+	for i, b := range t.basis {
+		if b < t.n+t.m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.n+t.m; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted && math.Abs(t.rows[i][rhs]) > eps {
+			return ErrInfeasible
+		}
+	}
+	return nil
+}
+
+func (t *tableau) phase2() error {
+	return t.iterate(t.obj, t.n+t.m)
+}
+
+func (t *tableau) result() Result {
+	rhs := t.cols - 1
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rows[i][rhs]
+		}
+	}
+	// The z-row was initialized as z - c·x = 0, so after pivoting its RHS
+	// holds the objective value.
+	return Result{X: x, Objective: t.obj[rhs]}
+}

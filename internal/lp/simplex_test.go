@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimple2D(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => x=4, y=0, obj=12.
+	res, err := Solve(Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Objective, 12, 1e-6) {
+		t.Errorf("objective = %g, want 12", res.Objective)
+	}
+	if !approx(res.X[0], 4, 1e-6) || !approx(res.X[1], 0, 1e-6) {
+		t.Errorf("x = %v, want [4 0]", res.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 => x=y=4/3, obj=8/3.
+	res, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{2, 1}, {1, 2}},
+		B: []float64{4, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Objective, 8.0/3, 1e-6) {
+		t.Errorf("objective = %g, want 8/3", res.Objective)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}},
+		B: []float64{1},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and -x <= -3 (i.e. x >= 3) cannot both hold.
+	_, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// x >= 2 (as -x <= -2), x <= 5, max -x => x=2, obj=-2.
+	res, err := Solve(Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-2, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[0], 2, 1e-6) {
+		t.Errorf("x = %v, want [2]", res.X)
+	}
+	if !approx(res.Objective, -2, 1e-6) {
+		t.Errorf("objective = %g, want -2", res.Objective)
+	}
+}
+
+func TestEqualityViaPairedInequalities(t *testing.T) {
+	// x + y = 1 encoded as <= and >=; max 2x + y => x=1, y=0, obj=2.
+	res, err := Solve(Problem{
+		C: []float64{2, 1},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{1, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Objective, 2, 1e-6) {
+		t.Errorf("objective = %g, want 2", res.Objective)
+	}
+	if !approx(res.X[0]+res.X[1], 1, 1e-6) {
+		t.Errorf("x+y = %g, want 1", res.X[0]+res.X[1])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Redundant constraints meeting at a degenerate vertex; Bland's rule
+	// must still terminate. max x+y, x<=1, y<=1, x+y<=2 (redundant).
+	res, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Objective, 2, 1e-6) {
+		t.Errorf("objective = %g, want 2", res.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("ragged constraint row accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+}
+
+// Property: for random feasible bounded problems, the solution is feasible
+// and at least as good as a large random sample of feasible points.
+func TestPropertySolutionDominatesRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 5
+		}
+		for i := range p.A {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 0.1 + rng.Float64() // strictly positive => bounded
+			}
+			p.A[i] = row
+			p.B[i] = 1 + rng.Float64()*10 // positive => x=0 feasible
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		for i := range p.A {
+			var dot float64
+			for j := range p.C {
+				if res.X[j] < -1e-7 {
+					return false
+				}
+				dot += p.A[i][j] * res.X[j]
+			}
+			if dot > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		// Optimality vs random sampling.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 5
+			}
+			feasible := true
+			var obj float64
+			for i := range p.A {
+				var dot float64
+				for j := range x {
+					dot += p.A[i][j] * x[j]
+				}
+				if dot > p.B[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj > res.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: objective value equals C·X.
+func TestPropertyObjectiveConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		p := Problem{C: make([]float64, n), A: [][]float64{make([]float64, n)}, B: []float64{5}}
+		for j := range p.C {
+			p.C[j] = rng.Float64()*4 - 1
+			p.A[0][j] = 0.5 + rng.Float64()
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		var dot float64
+		for j := range p.C {
+			dot += p.C[j] * res.X[j]
+		}
+		return approx(dot, res.Objective, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint format: a minimal self-describing binary layout so tiny models
+// can be persisted and reloaded bit-exactly across runs and machines
+// (little-endian, versioned).
+//
+//	magic "LMOF" | version u32 | config (7 x i64) | per tensor: rank u32,
+//	dims i64..., float32 data...
+const (
+	checkpointMagic   = "LMOF"
+	checkpointVersion = 1
+)
+
+// Save serializes the model's configuration and weights.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	cfgInts := []int64{
+		int64(m.Cfg.Layers), int64(m.Cfg.Hidden), int64(m.Cfg.FFN),
+		int64(m.Cfg.Heads), int64(m.Cfg.Vocab), int64(m.Cfg.BytesPerElem),
+		int64(len(m.Cfg.Name)),
+	}
+	if err := binary.Write(w, binary.LittleEndian, cfgInts); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, m.Cfg.Name); err != nil {
+		return err
+	}
+	for _, t := range m.allTensors() {
+		if err := writeTensor(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save, reconstructing the model.
+func Load(r io.Reader) (*Model, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("model: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("model: bad checkpoint magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("model: unsupported checkpoint version %d", version)
+	}
+	cfgInts := make([]int64, 7)
+	if err := binary.Read(r, binary.LittleEndian, cfgInts); err != nil {
+		return nil, err
+	}
+	nameLen := cfgInts[6]
+	if nameLen < 0 || nameLen > 4096 {
+		return nil, fmt.Errorf("model: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Name:   string(name),
+		Layers: int(cfgInts[0]), Hidden: int(cfgInts[1]), FFN: int(cfgInts[2]),
+		Heads: int(cfgInts[3]), Vocab: int(cfgInts[4]), BytesPerElem: int(cfgInts[5]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Layers = append(m.Layers, &LayerWeights{})
+	}
+	for _, slot := range m.allTensorSlots() {
+		t, err := readTensor(r)
+		if err != nil {
+			return nil, err
+		}
+		*slot = t
+	}
+	return m, nil
+}
+
+// allTensors returns every weight tensor in checkpoint order.
+func (m *Model) allTensors() []*tensor.Tensor {
+	out := []*tensor.Tensor{m.Embedding, m.FinalGain}
+	for _, lw := range m.Layers {
+		out = append(out, lw.WQ, lw.WK, lw.WV, lw.WO, lw.W1, lw.W2, lw.LN1Gain, lw.LN2Gain)
+	}
+	return out
+}
+
+// allTensorSlots returns the assignable destinations in the same order.
+func (m *Model) allTensorSlots() []**tensor.Tensor {
+	out := []**tensor.Tensor{&m.Embedding, &m.FinalGain}
+	for _, lw := range m.Layers {
+		out = append(out, &lw.WQ, &lw.WK, &lw.WV, &lw.WO, &lw.W1, &lw.W2, &lw.LN1Gain, &lw.LN2Gain)
+	}
+	return out
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	shape := t.Shape()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
+		return err
+	}
+	dims := make([]int64, len(shape))
+	for i, d := range shape {
+		dims[i] = int64(d)
+	}
+	if err := binary.Write(w, binary.LittleEndian, dims); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(t.Data()))
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readTensor(r io.Reader) (*tensor.Tensor, error) {
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > 8 {
+		return nil, fmt.Errorf("model: implausible tensor rank %d", rank)
+	}
+	dims := make([]int64, rank)
+	if err := binary.Read(r, binary.LittleEndian, dims); err != nil {
+		return nil, err
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i, d := range dims {
+		if d <= 0 || d > 1<<24 {
+			return nil, fmt.Errorf("model: implausible dimension %d", d)
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return tensor.FromSlice(data, shape...), nil
+}

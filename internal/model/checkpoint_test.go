@@ -1,0 +1,79 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m, err := NewModel(rand.New(rand.NewSource(77)), Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != m.Cfg {
+		t.Fatalf("config changed: %+v vs %+v", loaded.Cfg, m.Cfg)
+	}
+	// Bit-exact weights.
+	a, b := m.allTensors(), loaded.allTensors()
+	if len(a) != len(b) {
+		t.Fatalf("tensor counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("tensor %d differs after round trip", i)
+		}
+	}
+	// Same generations.
+	prompts := [][]int{{1, 2, 3}, {4, 5, 6}}
+	g1, err := m.Generate(nil, 1, prompts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := loaded.Generate(nil, 1, prompts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1 {
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatal("loaded model generates differently")
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	m, _ := NewModel(rand.New(rand.NewSource(1)), Tiny())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Load(strings.NewReader("NOPE" + string(raw[4:]))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	truncated := bytes.NewReader(raw[:len(raw)/2])
+	if _, err := Load(truncated); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Version bump rejected.
+	bumped := append([]byte{}, raw...)
+	bumped[4] = 99
+	if _, err := Load(bytes.NewReader(bumped)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadConfig reads a model configuration from JSON, e.g.
+//
+//	{"name": "MyModel-7B", "layers": 32, "hidden": 4096, "ffn": 11008,
+//	 "heads": 32, "vocab": 32000, "bytesPerElem": 2}
+//
+// Missing bytesPerElem defaults to 2 (FP16). The result is validated.
+func LoadConfig(r io.Reader) (Config, error) {
+	var raw struct {
+		Name         string `json:"name"`
+		Layers       int    `json:"layers"`
+		Hidden       int    `json:"hidden"`
+		FFN          int    `json:"ffn"`
+		Heads        int    `json:"heads"`
+		Vocab        int    `json:"vocab"`
+		BytesPerElem int    `json:"bytesPerElem"`
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return Config{}, fmt.Errorf("model: decoding config: %w", err)
+	}
+	c := Config{
+		Name:         raw.Name,
+		Layers:       raw.Layers,
+		Hidden:       raw.Hidden,
+		FFN:          raw.FFN,
+		Heads:        raw.Heads,
+		Vocab:        raw.Vocab,
+		BytesPerElem: raw.BytesPerElem,
+	}
+	if c.BytesPerElem == 0 {
+		c.BytesPerElem = 2
+	}
+	if c.Name == "" {
+		return Config{}, fmt.Errorf("model: config has no name")
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// SaveConfig writes the configuration as JSON.
+func SaveConfig(w io.Writer, c Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]interface{}{
+		"name":         c.Name,
+		"layers":       c.Layers,
+		"hidden":       c.Hidden,
+		"ffn":          c.FFN,
+		"heads":        c.Heads,
+		"vocab":        c.Vocab,
+		"bytesPerElem": c.BytesPerElem,
+	})
+}

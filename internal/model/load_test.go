@@ -1,0 +1,50 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadConfig(t *testing.T) {
+	in := `{"name": "MyModel-7B", "layers": 32, "hidden": 4096, "ffn": 11008,
+	        "heads": 32, "vocab": 32000}`
+	c, err := LoadConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "MyModel-7B" || c.Layers != 32 || c.BytesPerElem != 2 {
+		t.Fatalf("loaded %+v", c)
+	}
+	if c.HeadDim() != 128 {
+		t.Errorf("HeadDim = %d", c.HeadDim())
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name": "x", "unknown": 1}`,
+		`{"layers": 2, "hidden": 8, "ffn": 8, "heads": 2, "vocab": 4}`,              // no name
+		`{"name": "x", "layers": 2, "hidden": 9, "ffn": 8, "heads": 2, "vocab": 4}`, // 9 % 2 != 0
+	}
+	for _, in := range cases {
+		if _, err := LoadConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted invalid config %q", in)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveConfig(&buf, OPT30B); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != OPT30B {
+		t.Errorf("round trip changed config: %+v vs %+v", c, OPT30B)
+	}
+}

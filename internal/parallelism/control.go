@@ -1,0 +1,259 @@
+package parallelism
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TransferTask describes one of the five load/store tasks of Algorithm 1
+// that Algorithm 3 assigns leftover threads to.
+type TransferTask struct {
+	Name string
+	// Bytes is the per-step transfer volume.
+	Bytes float64
+}
+
+// Setting is a complete thread-level parallelism configuration.
+type Setting struct {
+	// IntraOp is the thread width of each compute-task operator.
+	IntraOp int
+	// InterOpCompute is the compute task's operator concurrency (the graph's
+	// maximum concurrency level).
+	InterOpCompute int
+	// InterOp is the total inter-op parallelism: compute plus the five
+	// load/store tasks.
+	InterOp int
+	// TransferThreads maps each load/store task to its thread count,
+	// proportional to transfer volume.
+	TransferThreads map[string]int
+	// ComputeTime is the profiled compute-task makespan under this setting.
+	ComputeTime float64
+	// StepTime is the estimated per-layer step time (Eq. 2 over all tasks).
+	StepTime float64
+}
+
+// Controller runs Algorithm 3.
+type Controller struct {
+	Machine *MachineModel
+	Profile *Profile
+	// LinkBandwidth is the interconnect's per-direction bandwidth the
+	// load/store tasks share (bytes/s).
+	LinkBandwidth float64
+	// BundleThreshold merges compute operators shorter than this many
+	// seconds before scheduling (§4.2: bundling small operators avoids
+	// cache thrashing); zero disables bundling.
+	BundleThreshold float64
+}
+
+// NewController wires a controller for the machine.
+func NewController(m *MachineModel, linkBandwidth float64) (*Controller, error) {
+	if linkBandwidth <= 0 {
+		return nil, fmt.Errorf("parallelism: link bandwidth must be positive, got %g", linkBandwidth)
+	}
+	return &Controller{
+		Machine:         m,
+		Profile:         NewProfile(m),
+		LinkBandwidth:   linkBandwidth,
+		BundleThreshold: 2e-3,
+	}, nil
+}
+
+// reservedTransferThreads is the minimum thread count Algorithm 3 keeps for
+// the five load/store tasks (Algorithm 3 lines 3 and 7).
+const reservedTransferThreads = 5
+
+// Optimize is Algorithm 3: enumerate intra-op widths, derive the compute
+// task's inter-op parallelism from the dependency graph's maximum
+// concurrency, give the remaining threads to the load/store tasks in
+// proportion to their volumes, and keep the setting with the best estimated
+// step time.
+func (c *Controller) Optimize(og *OpGraph, transfers []TransferTask) (Setting, error) {
+	if len(transfers) == 0 {
+		return Setting{}, fmt.Errorf("parallelism: no transfer tasks given")
+	}
+	maxThreads := c.Machine.Threads
+	work := og
+	if c.BundleThreshold > 0 {
+		work = og.Bundle(c.Profile, 8, c.BundleThreshold)
+	}
+	interCompute := work.MaxConcurrency()
+
+	best := Setting{}
+	found := false
+	for intra := 1; intra <= maxThreads-reservedTransferThreads; intra++ {
+		free := maxThreads - interCompute*intra
+		if free < reservedTransferThreads {
+			continue // Algorithm 3 line 7
+		}
+		compute, err := c.Profile.ComputeTaskTime(work, interCompute, intra)
+		if err != nil {
+			return Setting{}, err
+		}
+		threads := assignTransferThreads(transfers, free)
+		step := compute
+		for _, tr := range transfers {
+			t := c.transferTime(tr, threads[tr.Name])
+			if t > step {
+				step = t
+			}
+		}
+		if !found || step < best.StepTime {
+			best = Setting{
+				IntraOp:         intra,
+				InterOpCompute:  interCompute,
+				InterOp:         interCompute + reservedTransferThreads,
+				TransferThreads: threads,
+				ComputeTime:     compute,
+				StepTime:        step,
+			}
+			found = true
+		}
+	}
+	if !found {
+		return Setting{}, fmt.Errorf("parallelism: no feasible setting with %d threads and inter-op %d", maxThreads, interCompute)
+	}
+	return best, nil
+}
+
+// DefaultSetting is PyTorch's default on the evaluation machine: intra-op =
+// physical cores (56), inter-op = hardware threads (112) — the §4.1 baseline.
+func (c *Controller) DefaultSetting(og *OpGraph, transfers []TransferTask) (Setting, error) {
+	intra := c.Machine.Cores
+	inter := c.Machine.Threads
+	compute, err := c.Profile.ComputeTaskTime(og, inter, intra)
+	if err != nil {
+		return Setting{}, err
+	}
+	// Default threading gives every task the full machine; model transfer
+	// threads as one each (the data-copy threads PyTorch spawns).
+	threads := map[string]int{}
+	step := compute
+	for _, tr := range transfers {
+		threads[tr.Name] = 1
+		if t := c.transferTime(tr, 1); t > step {
+			step = t
+		}
+	}
+	return Setting{
+		IntraOp:         intra,
+		InterOpCompute:  inter,
+		InterOp:         inter,
+		TransferThreads: threads,
+		ComputeTime:     compute,
+		StepTime:        step,
+	}, nil
+}
+
+// transferTime models a load/store task's duration: the link bandwidth is
+// only saturated with enough feeder threads (pinned-buffer staging copies).
+func (c *Controller) transferTime(tr TransferTask, threads int) float64 {
+	if tr.Bytes == 0 {
+		return 0
+	}
+	eff := linkEfficiency(threads)
+	return tr.Bytes / (c.LinkBandwidth * eff)
+}
+
+// linkEfficiency is the achieved link fraction with the given staging
+// threads: one thread drives ~55%, saturating around three.
+func linkEfficiency(threads int) float64 {
+	switch {
+	case threads <= 0:
+		return 0.10
+	case threads == 1:
+		return 0.55
+	case threads == 2:
+		return 0.80
+	default:
+		return 0.95
+	}
+}
+
+// assignTransferThreads distributes free threads over the tasks in
+// proportion to their volumes (Algorithm 3: "the intra-op parallelism for
+// each load/store task is in proportion to the data transfer volume"),
+// guaranteeing at least one thread each. Leftover threads from rounding go
+// to the largest transfers first, deterministically.
+func assignTransferThreads(transfers []TransferTask, free int) map[string]int {
+	out := make(map[string]int, len(transfers))
+	var total float64
+	for _, tr := range transfers {
+		out[tr.Name] = 1
+		total += tr.Bytes
+	}
+	extra := free - len(transfers)
+	if extra <= 0 || total == 0 {
+		return out
+	}
+	// Proportional floor shares, then largest-volume-first for remainders.
+	idx := make([]int, len(transfers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := transfers[idx[a]], transfers[idx[b]]
+		if ta.Bytes != tb.Bytes {
+			return ta.Bytes > tb.Bytes
+		}
+		return ta.Name < tb.Name
+	})
+	given := 0
+	for _, i := range idx {
+		share := int(float64(extra) * transfers[i].Bytes / total)
+		out[transfers[i].Name] += share
+		given += share
+	}
+	for _, i := range idx {
+		if given >= extra {
+			break
+		}
+		out[transfers[i].Name]++
+		given++
+	}
+	return out
+}
+
+// Improvement quantifies a tuned setting against the default, in fractional
+// reduction of compute-task and step time — the Figure 8 metrics.
+type Improvement struct {
+	ComputeReduction float64
+	StepReduction    float64
+}
+
+// Compare returns the improvement of tuned over def.
+func Compare(def, tuned Setting) Improvement {
+	imp := Improvement{}
+	if def.ComputeTime > 0 {
+		imp.ComputeReduction = 1 - tuned.ComputeTime/def.ComputeTime
+	}
+	if def.StepTime > 0 {
+		imp.StepReduction = 1 - tuned.StepTime/def.StepTime
+	}
+	return imp
+}
+
+// CPUEfficiency translates a setting into the perfmodel's CPUCompute factor:
+// the ratio of the machine's ideal roofline time for the graph's work to the
+// setting's profiled compute time. Feeding this into an ExecProfile closes
+// the loop between §4's control and §3's model.
+func (c *Controller) CPUEfficiency(og *OpGraph, s Setting) float64 {
+	var flops, bytes float64
+	for _, op := range og.Ops {
+		flops += op.Flops
+		bytes += op.Bytes
+	}
+	idealCompute := flops / (float64(c.Machine.Cores) * c.Machine.CoreFlops)
+	idealMemory := bytes / (c.Machine.SocketBW * float64(c.Machine.Sockets))
+	ideal := idealCompute
+	if idealMemory > ideal {
+		ideal = idealMemory
+	}
+	if s.ComputeTime <= 0 {
+		return 1
+	}
+	eff := ideal / s.ComputeTime
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}

@@ -1,0 +1,145 @@
+// Package parallelism implements LM-Offload's thread-level parallelism
+// control (§4): the operator dependency graph of the offloaded attention
+// computation (Fig. 6), an offline profiling model for operator times under
+// varying intra-op widths, and Algorithm 3 — the enumeration that picks
+// intra-op and inter-op parallelism for the compute task and distributes the
+// remaining threads over the five load/store tasks in proportion to their
+// transfer volumes.
+package parallelism
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// MachineModel captures the CPU behaviour that shapes Figure 5: per-core
+// compute rate, per-socket memory bandwidth that saturates after a few
+// streaming threads, a shared last-level cache whose overflow penalizes
+// co-running operators, and a NUMA penalty once work spills across sockets.
+type MachineModel struct {
+	Cores   int
+	Threads int
+	Sockets int
+	// CoreFlops is one core's sustained dense-math rate (FLOP/s).
+	CoreFlops float64
+	// SocketBW is one socket's DRAM bandwidth (bytes/s).
+	SocketBW float64
+	// BWSaturation is the number of streaming threads that saturate one
+	// operator's achievable bandwidth (§4.1: "performance ... becomes
+	// stable when the number of threads is larger than 8").
+	BWSaturation int
+	// OpBWCap is the memory bandwidth one operator's address stream can
+	// extract regardless of thread count (strided batched-matmul streams
+	// reach only a fraction of STREAM bandwidth).
+	OpBWCap float64
+	// LLCBytes is the aggregate last-level cache size.
+	LLCBytes int64
+	// NUMAFactor is the slowdown of cross-socket traffic (> 1).
+	NUMAFactor float64
+	// OversubFactor is the slowdown per unit of active-thread
+	// oversubscription (active operators x intra-op width vs hardware
+	// threads).
+	OversubFactor float64
+	// SpinFactor is the slowdown per surplus inter-op scheduler thread
+	// beyond the graph's usable concurrency (idle pool threads still spin
+	// and steal cache) — what makes inter-op 112 lose to 12 in Fig. 5.
+	SpinFactor float64
+	// MissFraction is the fraction of cache-line touches that miss the LLC
+	// under uncontended streaming (hardware prefetchers hide the rest);
+	// calibrated against Table 5's absolute counts.
+	MissFraction float64
+}
+
+// NewMachineModel derives a model from a hardware CPU description.
+func NewMachineModel(cpu hw.CPU) (*MachineModel, error) {
+	if cpu.Cores <= 0 || cpu.Sockets <= 0 {
+		return nil, fmt.Errorf("parallelism: CPU must have positive cores and sockets, got %d/%d", cpu.Cores, cpu.Sockets)
+	}
+	socketBW := cpu.MemBandwidth / float64(cpu.Sockets)
+	return &MachineModel{
+		Cores:         cpu.Cores,
+		Threads:       cpu.Threads,
+		Sockets:       cpu.Sockets,
+		CoreFlops:     cpu.Flops / float64(cpu.Cores),
+		SocketBW:      socketBW,
+		BWSaturation:  8,
+		OpBWCap:       socketBW / 6,
+		LLCBytes:      int64(cpu.Sockets) * 42 * hw.MiB, // Xeon Gold 6330: 42 MB per socket
+		NUMAFactor:    1.35,
+		OversubFactor: 0.01,
+		SpinFactor:    0.005,
+		MissFraction:  0.018,
+	}, nil
+}
+
+// Xeon6330 returns the model of the paper's evaluation CPU complex.
+func Xeon6330() *MachineModel {
+	m, err := NewMachineModel(hw.SingleGPUA100().CPU)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CoresPerSocket returns the per-socket core count.
+func (m *MachineModel) CoresPerSocket() int { return m.Cores / m.Sockets }
+
+// OpTime models one operator's execution time with `width` intra-op threads
+// running alone: a roofline over compute (scales with threads) and memory
+// bandwidth, which ramps linearly to BWSaturation threads and then hits the
+// per-operator stream cap (§4.1's saturation at ~8 threads).
+func (m *MachineModel) OpTime(op Op, width int) float64 {
+	if width < 1 {
+		width = 1
+	}
+	compute := op.Flops / (float64(width) * m.CoreFlops)
+	bw := m.OpBWCap * float64(width) / float64(m.BWSaturation)
+	if bw > m.OpBWCap {
+		bw = m.OpBWCap
+	}
+	memory := op.Bytes / bw
+	if compute > memory {
+		return compute
+	}
+	return memory
+}
+
+// TotalBW is the machine's aggregate DRAM bandwidth.
+func (m *MachineModel) TotalBW() float64 { return m.SocketBW * float64(m.Sockets) }
+
+// ContentionFactor is the multiplicative slowdown when `active` operators
+// co-run (each `intraOp` threads wide) under an inter-op pool of `slots`
+// scheduler threads: surplus pool threads spin and pollute caches, and
+// active-thread oversubscription adds scheduling churn.
+func (m *MachineModel) ContentionFactor(slots, active, intraOp int) float64 {
+	f := 1.0
+	if slots > active {
+		f += m.SpinFactor * float64(slots-active)
+	}
+	if total := active * intraOp; total > m.Threads {
+		f += m.OversubFactor * (float64(total)/float64(m.Threads) - 1)
+	}
+	return f
+}
+
+// LLCMisses estimates last-level cache misses for one pass of the compute
+// task over its working set under a threading configuration — the Table 5
+// metric. Surplus inter-op pool threads and thread oversubscription amplify
+// the uncontended streaming miss count.
+func (m *MachineModel) LLCMisses(slots, active, intraOp int, workingSet int64) (loads, stores int64) {
+	lineBytes := int64(64)
+	base := float64(workingSet/lineBytes) * m.MissFraction
+	amp := 1.0
+	if slots > active {
+		amp += 0.005 * float64(slots-active)
+	}
+	if total := active * intraOp; total > m.Threads {
+		amp += 0.0005 * float64(total-m.Threads)
+	}
+	loads = int64(base * amp)
+	// The unfused attention path materializes intermediates, so store misses
+	// exceed load misses (Table 5: 19B stores vs 10B loads).
+	stores = int64(base * amp * 1.9)
+	return loads, stores
+}

@@ -1,0 +1,67 @@
+package parallelism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+// MeasureBmmProfile replaces the analytical operator times with *measured*
+// ones: it runs a real batched Q·Kᵀ-shaped matmul on the Go worker pool at
+// each candidate width and records the wall-clock times into the profile —
+// the offline-profiling step §4.2 describes, executed for real.
+//
+// rows×inner is the per-operator matmul shape (scaled down from the
+// production shape; only the relative scaling across widths matters to
+// Algorithm 3). The measurements are inherently machine-dependent, so
+// callers use this to tune on the machine they run on, not in tests of
+// modeled behaviour.
+func MeasureBmmProfile(p *Profile, pool *threadpool.Pool, opNames []string, rows, inner int, widths []int, reps int) error {
+	if pool == nil {
+		return fmt.Errorf("parallelism: measurement needs a worker pool")
+	}
+	if rows <= 0 || inner <= 0 || reps <= 0 {
+		return fmt.Errorf("parallelism: invalid measurement shape %dx%d x%d", rows, inner, reps)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.RandN(rng, 1, rows, inner)
+	b := tensor.RandN(rng, 1, rows, inner)
+	for _, w := range widths {
+		if w < 1 {
+			return fmt.Errorf("parallelism: width %d < 1", w)
+		}
+		// Warm up once, then time the repetitions.
+		tensor.MatMulT(pool, w, a, b)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			tensor.MatMulT(pool, w, a, b)
+		}
+		elapsed := time.Since(start).Seconds() / float64(reps)
+		if elapsed <= 0 {
+			// Sub-resolution measurement; clamp so Record accepts it.
+			elapsed = 1e-9
+		}
+		for _, name := range opNames {
+			if err := p.Record(name, w, elapsed); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureGraphProfile measures every distinct operator name in the graph
+// with a matmul shaped by its byte volume, filling the profile with real
+// observations for Algorithm 3 to consume.
+func MeasureGraphProfile(p *Profile, pool *threadpool.Pool, og *OpGraph, widths []int, reps int) error {
+	names := make([]string, 0, len(og.Ops))
+	for _, op := range og.Ops {
+		names = append(names, op.Name)
+	}
+	// A modest fixed shape: measurement cost stays bounded; Algorithm 3
+	// only needs the relative width scaling.
+	return MeasureBmmProfile(p, pool, names, 96, 96, widths, reps)
+}

@@ -1,0 +1,73 @@
+package parallelism
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The paper runs offline profiling once and reuses the results "repeatedly
+// during the online LLM inference" (§4.2). SaveJSON/LoadJSON persist the
+// measured overrides so a deployment profiles on first boot and loads the
+// table afterwards.
+
+// profileDoc is the on-disk schema: op name -> width -> seconds.
+type profileDoc struct {
+	Overrides map[string]map[string]float64 `json:"overrides"`
+}
+
+// SaveJSON writes the profile's measured overrides (analytical fallbacks are
+// recomputed from the machine model and are not persisted).
+func (p *Profile) SaveJSON(w io.Writer) error {
+	doc := profileDoc{Overrides: map[string]map[string]float64{}}
+	for op, widths := range p.overrides {
+		m := map[string]float64{}
+		for width, secs := range widths {
+			m[fmt.Sprintf("%d", width)] = secs
+		}
+		doc.Overrides[op] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadJSON merges persisted overrides into the profile, validating every
+// entry through Record.
+func (p *Profile) LoadJSON(r io.Reader) error {
+	var doc profileDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("parallelism: decoding profile: %w", err)
+	}
+	// Deterministic order for reproducible error reporting.
+	ops := make([]string, 0, len(doc.Overrides))
+	for op := range doc.Overrides {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		for widthStr, secs := range doc.Overrides[op] {
+			var width int
+			if _, err := fmt.Sscanf(widthStr, "%d", &width); err != nil {
+				return fmt.Errorf("parallelism: bad width %q for op %q", widthStr, op)
+			}
+			if err := p.Record(op, width, secs); err != nil {
+				return fmt.Errorf("parallelism: op %q: %w", op, err)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasuredOps returns the operator names with recorded overrides, sorted.
+func (p *Profile) MeasuredOps() []string {
+	ops := make([]string, 0, len(p.overrides))
+	for op := range p.overrides {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}

@@ -1,0 +1,55 @@
+package parallelism
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	p := NewProfile(Xeon6330())
+	if err := p.Record("qk_bmm", 4, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Record("qk_bmm", 8, 0.011); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Record("softmax", 8, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewProfile(Xeon6330())
+	if err := q.LoadJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Name: "qk_bmm", Flops: 1, Bytes: 1}
+	if got := q.OpTime(op, 8); got != 0.011 {
+		t.Errorf("loaded OpTime = %g, want 0.011", got)
+	}
+	if got := q.OpTime(op, 6); got <= 0.011 || got >= 0.02 {
+		t.Errorf("interpolation after load = %g", got)
+	}
+	ops := q.MeasuredOps()
+	if len(ops) != 2 || ops[0] != "qk_bmm" || ops[1] != "softmax" {
+		t.Errorf("MeasuredOps = %v", ops)
+	}
+}
+
+func TestProfileLoadErrors(t *testing.T) {
+	p := NewProfile(Xeon6330())
+	if err := p.LoadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if err := p.LoadJSON(strings.NewReader(`{"overrides": {"x": {"zero": 1}}}`)); err == nil {
+		t.Error("non-numeric width accepted")
+	}
+	if err := p.LoadJSON(strings.NewReader(`{"overrides": {"x": {"4": -1}}}`)); err == nil {
+		t.Error("negative time accepted")
+	}
+	if err := p.LoadJSON(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

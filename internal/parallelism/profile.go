@@ -1,0 +1,110 @@
+package parallelism
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is the offline profiling table of §4.2: operator execution times
+// under each candidate intra-op width. The paper profiles once on the target
+// machine and reuses the table during online inference; here the table is
+// filled from the machine model (or from real measurements via Measure).
+type Profile struct {
+	machine *MachineModel
+	// overrides maps op name -> width -> measured seconds, taking precedence
+	// over the analytical model.
+	overrides map[string]map[int]float64
+}
+
+// NewProfile creates a profile backed by the machine model.
+func NewProfile(m *MachineModel) *Profile {
+	return &Profile{machine: m, overrides: map[string]map[int]float64{}}
+}
+
+// Record stores a measured execution time for (op, width), overriding the
+// analytical estimate — the hook real offline profiling uses.
+func (p *Profile) Record(opName string, width int, seconds float64) error {
+	if width < 1 {
+		return fmt.Errorf("parallelism: profile width must be >= 1, got %d", width)
+	}
+	if seconds <= 0 {
+		return fmt.Errorf("parallelism: profile time must be positive, got %g", seconds)
+	}
+	if p.overrides[opName] == nil {
+		p.overrides[opName] = map[int]float64{}
+	}
+	p.overrides[opName][width] = seconds
+	return nil
+}
+
+// OpTime returns the profiled time of op at the given intra-op width:
+// a recorded measurement if present (with interpolation between recorded
+// widths), otherwise the machine model's roofline estimate.
+func (p *Profile) OpTime(op Op, width int) float64 {
+	if width < 1 {
+		width = 1
+	}
+	if m := p.overrides[op.Name]; len(m) > 0 {
+		if t, ok := m[width]; ok {
+			return t
+		}
+		return interpolate(m, width)
+	}
+	return p.machine.OpTime(op, width)
+}
+
+// interpolate linearly interpolates (or clamps) a sparse width->time table.
+func interpolate(m map[int]float64, width int) float64 {
+	widths := make([]int, 0, len(m))
+	for w := range m {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	if width <= widths[0] {
+		return m[widths[0]]
+	}
+	if width >= widths[len(widths)-1] {
+		return m[widths[len(widths)-1]]
+	}
+	for i := 1; i < len(widths); i++ {
+		if width <= widths[i] {
+			lo, hi := widths[i-1], widths[i]
+			f := float64(width-lo) / float64(hi-lo)
+			return m[lo]*(1-f) + m[hi]*f
+		}
+	}
+	return m[widths[len(widths)-1]]
+}
+
+// ComputeTaskTime estimates the compute task's makespan when the operator
+// graph runs with `interOp` concurrent operators, each `intraOp` threads
+// wide, including the machine's contention factor. This is Algorithm 3's
+// inner evaluation.
+func (p *Profile) ComputeTaskTime(og *OpGraph, interOp, intraOp int) (float64, error) {
+	if interOp < 1 || intraOp < 1 {
+		return 0, fmt.Errorf("parallelism: parallelism degrees must be >= 1, got inter=%d intra=%d", interOp, intraOp)
+	}
+	og.ApplyProfile(p, intraOp)
+	makespan, err := og.DAG.ListScheduleMakespan(interOp)
+	if err != nil {
+		return 0, err
+	}
+	// Aggregate-bandwidth floor: no schedule can stream the graph's bytes
+	// faster than the machine's DRAM system allows.
+	var bytes float64
+	for _, op := range og.Ops {
+		bytes += op.Bytes
+	}
+	if floor := bytes / p.machine.TotalBW(); makespan < floor {
+		makespan = floor
+	}
+	// Contention depends on the *active* concurrency (the scheduler can
+	// never co-run more operators than the graph exposes) plus the surplus
+	// pool threads that spin (§4.1's decline past the optimum).
+	active := interOp
+	if mc := og.MaxConcurrency(); active > mc {
+		active = mc
+	}
+	f := p.machine.ContentionFactor(interOp, active, intraOp)
+	return makespan * f, nil
+}

@@ -1,0 +1,67 @@
+package parallelism
+
+import "fmt"
+
+// SweepPoint is one measurement of the §4.1 characterization study.
+type SweepPoint struct {
+	// Parallelism is the swept knob's value (threads or co-running ops).
+	Parallelism int
+	// StepTime is the per-layer step time under the setting (seconds).
+	StepTime float64
+	// Throughput is a relative tokens/s proxy (1/StepTime, normalized by the
+	// caller if desired).
+	Throughput float64
+}
+
+// SweepIntraOp reproduces the left half of Figure 5: vary the intra-op
+// width with inter-op parallelism at the PyTorch default (all hardware
+// threads). Expected shape: throughput rises steeply and saturates once the
+// memory-bandwidth-bound operators stop scaling (~8 threads).
+func (c *Controller) SweepIntraOp(og *OpGraph, transfers []TransferTask, widths []int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(widths))
+	for _, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("parallelism: intra-op width %d < 1", w)
+		}
+		compute, err := c.Profile.ComputeTaskTime(og, c.Machine.Threads, w)
+		if err != nil {
+			return nil, err
+		}
+		step := c.stepTime(compute, transfers, 1)
+		out = append(out, SweepPoint{Parallelism: w, StepTime: step, Throughput: 1 / step})
+	}
+	return out, nil
+}
+
+// SweepInterOp reproduces the right half of Figure 5: vary the inter-op
+// parallelism with intra-op width at the default (all physical cores).
+// Expected shape: throughput peaks near the operator graph's maximum
+// concurrency (12 on the evaluation machine) and declines beyond it as
+// cross-socket traffic and co-running cache conflicts grow (§4.1).
+func (c *Controller) SweepInterOp(og *OpGraph, transfers []TransferTask, inters []int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(inters))
+	for _, k := range inters {
+		if k < 1 {
+			return nil, fmt.Errorf("parallelism: inter-op parallelism %d < 1", k)
+		}
+		compute, err := c.Profile.ComputeTaskTime(og, k, c.Machine.Cores)
+		if err != nil {
+			return nil, err
+		}
+		step := c.stepTime(compute, transfers, 1)
+		out = append(out, SweepPoint{Parallelism: k, StepTime: step, Throughput: 1 / step})
+	}
+	return out, nil
+}
+
+// stepTime composes the compute task with the transfer tasks at the given
+// per-task thread count.
+func (c *Controller) stepTime(compute float64, transfers []TransferTask, threadsEach int) float64 {
+	step := compute
+	for _, tr := range transfers {
+		if t := c.transferTime(tr, threadsEach); t > step {
+			step = t
+		}
+	}
+	return step
+}

@@ -1,0 +1,41 @@
+package perfmodel
+
+// Component link-time accessors: the raw per-layer, per-token transfer
+// durations without quantization kernel surcharges (those are separate GPU
+// tasks). The discrete-event simulator composes these itself instead of
+// using the β-composition.
+
+// WeightUpTime is the CPU->GPU time for one layer's streamed weight
+// fraction.
+func (e *Estimator) WeightUpTime() float64 {
+	return e.layerWeightBytes() * e.Strat.WC() * e.Strat.weightQuantRatio() / e.linkBW()
+}
+
+// KVUpTime is the CPU->GPU time for one layer's old KV cache (zero with
+// attention offloading).
+func (e *Estimator) KVUpTime() float64 {
+	if e.Strat.AttnOnCPU {
+		return 0
+	}
+	return e.oldKVBytesAvg() * (1 - e.Strat.CacheGPUPct) * e.Strat.kvQuantRatio() / e.linkBW()
+}
+
+// KVDownTime is the GPU->CPU time for one layer's new KV rows.
+func (e *Estimator) KVDownTime() float64 {
+	if e.Strat.AttnOnCPU {
+		return 0
+	}
+	return e.newKVBytes() * (1 - e.Strat.CacheGPUPct) * e.Strat.kvQuantRatio() / e.linkBW()
+}
+
+// ActUpTime is the CPU->GPU activation time for one layer.
+func (e *Estimator) ActUpTime() float64 {
+	act := e.activationBytes()
+	if e.Strat.AttnOnCPU {
+		return act / e.linkBW()
+	}
+	return act * (1 - e.Strat.ActGPUPct) / e.linkBW()
+}
+
+// ActDownTime is the GPU->CPU activation time for one layer.
+func (e *Estimator) ActDownTime() float64 { return e.ActUpTime() }

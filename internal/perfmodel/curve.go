@@ -1,0 +1,58 @@
+package perfmodel
+
+// Per-token latency curve. Eq. 18 models the old KV cache with its average
+// size; these helpers expose the actual per-token trajectory — the KV cache
+// grows linearly with generated tokens (Fig. 1), so the step time climbs
+// across the generation unless attention is offloaded.
+
+// PartsAt computes the per-layer resource decomposition for the decode step
+// that generates token t (0-based): the old cache holds the prompt plus t
+// tokens.
+func (e *Estimator) PartsAt(t int) StepParts {
+	p := e.Parts()
+	if e.Strat.AttnOnCPU {
+		// Attention on CPU: the link does not see the KV cache, but the CPU
+		// attention work still grows with the sequence.
+		seq := e.Work.PromptLen + t
+		attnFlops := e.Mod.AttnFlopsDecode(e.Work, seq)
+		p.CPUCompute = attnFlops / (e.Plat.CPU.Flops * e.Exec.CPUCompute)
+		return p
+	}
+	bw := e.linkBW()
+	cpuFrac := 1 - e.Strat.CacheGPUPct
+	avgUp := e.oldKVBytesAvg() * cpuFrac * e.Strat.kvQuantRatio() / bw
+	nowUp := e.oldKVBytesAt(t) * cpuFrac * e.Strat.kvQuantRatio() / bw
+	p.LinkUp += nowUp - avgUp
+
+	// The dequantization of the old cache scales the same way.
+	if e.Strat.QuantKV {
+		scale := e.oldKVBytesAt(t) / e.oldKVBytesAvg()
+		avgDq := e.DequanOldCache().Total()
+		p.GPUQuant += avgDq*scale - avgDq
+	}
+	seq := e.Work.PromptLen + t
+	attnFlops := e.Mod.AttnFlopsDecode(e.Work, seq)
+	avgFlops := e.Mod.AttnFlopsDecode(e.Work, e.Work.PromptLen+e.Work.GenLen/2)
+	g := e.gpu()
+	p.GPUCompute += (attnFlops - avgFlops) / g.Flops
+	return p
+}
+
+// TGenAt composes the per-layer step time for the token-t decode step.
+func (e *Estimator) TGenAt(t int) float64 {
+	p := e.PartsAt(t)
+	gpu := p.GPUCompute + p.GPUQuant
+	m := max4(p.LinkUp, p.LinkDown, p.CPUCompute, gpu)
+	sum := p.LinkUp + p.LinkDown + p.CPUCompute + gpu
+	return m + e.Exec.OverlapBeta*(sum-m) + e.stepOverhead()
+}
+
+// LatencyCurve returns the per-layer step time for every decode token —
+// the sawtooth-free growth curve the averaged model summarizes.
+func (e *Estimator) LatencyCurve() []float64 {
+	out := make([]float64, e.Work.GenLen)
+	for t := range out {
+		out[t] = e.TGenAt(t)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package perfmodel
+
+// Per-token I/O-traffic accounting, reproducing Table 1 of the paper.
+
+// IOTraffic is the interconnect volume for one generated token across all
+// layers, in bytes, split by tensor kind and direction.
+type IOTraffic struct {
+	// CPU -> GPU (upload).
+	WeightsUp    float64
+	KVCacheUp    float64
+	ActivationUp float64
+	// GPU -> CPU (offload).
+	WeightsDown    float64
+	KVCacheDown    float64
+	ActivationDown float64
+}
+
+// TotalUp returns the upload volume per token.
+func (t IOTraffic) TotalUp() float64 { return t.WeightsUp + t.KVCacheUp + t.ActivationUp }
+
+// TotalDown returns the offload volume per token.
+func (t IOTraffic) TotalDown() float64 {
+	return t.WeightsDown + t.KVCacheDown + t.ActivationDown
+}
+
+// Total returns the full bidirectional volume per token.
+func (t IOTraffic) Total() float64 { return t.TotalUp() + t.TotalDown() }
+
+// Traffic computes the per-token I/O volumes for the estimator's strategy.
+// Quantization shrinks the moved volumes by bits/16; attention offloading
+// zeroes the KV-cache rows and forces the activation to cross both ways
+// (Table 1's structure).
+func (e *Estimator) Traffic() IOTraffic {
+	l := float64(e.Mod.Layers)
+	var tr IOTraffic
+	tr.WeightsUp = e.layerWeightBytes() * e.Strat.WC() * e.Strat.weightQuantRatio() * l
+	act := e.activationBytes() * l
+	if e.Strat.AttnOnCPU {
+		tr.ActivationUp = act
+		tr.ActivationDown = act
+		return tr
+	}
+	cpuFrac := 1 - e.Strat.CacheGPUPct
+	tr.KVCacheUp = e.oldKVBytesAvg() * cpuFrac * e.Strat.kvQuantRatio() * l
+	tr.KVCacheDown = e.newKVBytes() * cpuFrac * e.Strat.kvQuantRatio() * l
+	actFrac := 1 - e.Strat.ActGPUPct
+	tr.ActivationUp = act * actFrac
+	tr.ActivationDown = act * actFrac
+	return tr
+}

@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	plat := hw.MultiGPUV100()
+	if _, err := Simulate(plat, model.OPT13B, LMOffloadConfig(0)); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	if _, err := Simulate(plat, model.OPT13B, LMOffloadConfig(5)); err == nil {
+		t.Error("five GPUs accepted on a four-GPU platform")
+	}
+	bad := LMOffloadConfig(2)
+	bad.InFlight = 0
+	if _, err := Simulate(plat, model.OPT13B, bad); err == nil {
+		t.Error("zero in-flight accepted")
+	}
+}
+
+func TestFigure9LMOffloadBeatsFlexGen(t *testing.T) {
+	plat := hw.MultiGPUV100()
+	for _, mod := range []model.Config{model.OPT13B, model.LLaMA13B} {
+		for gpus := 1; gpus <= 4; gpus++ {
+			lm, err := Simulate(plat, mod, LMOffloadConfig(gpus))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", mod.Name, gpus, err)
+			}
+			fg, err := Simulate(plat, mod, FlexGenConfig(gpus))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", mod.Name, gpus, err)
+			}
+			if lm.Throughput <= fg.Throughput {
+				t.Errorf("%s %d GPUs: LM-Offload (%.1f) does not beat FlexGen (%.1f)",
+					mod.Name, gpus, lm.Throughput, fg.Throughput)
+			}
+		}
+	}
+}
+
+func TestFigure9GapGrowsWithGPUs(t *testing.T) {
+	// §5.5: the absolute throughput gap between LM-Offload and FlexGen
+	// grows with the GPU count (the paper reports up to 13.9x growth from
+	// 1 to 4 GPUs).
+	plat := hw.MultiGPUV100()
+	lm, err := WeakScaling(plat, model.OPT13B, LMOffloadConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := WeakScaling(plat, model.OPT13B, FlexGenConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap1 := lm[0].Throughput - fg[0].Throughput
+	gap4 := lm[3].Throughput - fg[3].Throughput
+	if gap1 <= 0 || gap4 <= 0 {
+		t.Fatalf("non-positive gaps: %g, %g", gap1, gap4)
+	}
+	growth := gap4 / gap1
+	if growth < 2 {
+		t.Errorf("gap growth 1->4 GPUs = %.1fx, want >= 2x (paper: up to 13.9x)", growth)
+	}
+}
+
+func TestWeakScalingLMOffloadScales(t *testing.T) {
+	// Weak scaling with doubled batches: LM-Offload's throughput should
+	// increase with GPU count.
+	plat := hw.MultiGPUV100()
+	res, err := WeakScaling(plat, model.LLaMA13B, LMOffloadConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Throughput <= res[i-1].Throughput {
+			t.Errorf("LM-Offload throughput fell from %.1f (%d GPUs) to %.1f (%d GPUs)",
+				res[i-1].Throughput, res[i-1].GPUs, res[i].Throughput, res[i].GPUs)
+		}
+	}
+	// Scaling 1 -> 4 GPUs with 4x the batch should yield a clear speedup.
+	if s := res[3].Throughput / res[0].Throughput; s < 1.5 {
+		t.Errorf("weak-scaling speedup 1->4 GPUs = %.2fx, want >= 1.5x", s)
+	}
+}
+
+func TestBubbleFractionGrowsWithStagesForFlexGen(t *testing.T) {
+	plat := hw.MultiGPUV100()
+	fg1, err := Simulate(plat, model.OPT13B, FlexGenConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg4, err := Simulate(plat, model.OPT13B, FlexGenConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg4.BubbleFraction <= fg1.BubbleFraction {
+		t.Errorf("FlexGen bubble did not grow with stages: %.2f -> %.2f", fg1.BubbleFraction, fg4.BubbleFraction)
+	}
+	lm4, err := Simulate(plat, model.OPT13B, LMOffloadConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm4.BubbleFraction >= fg4.BubbleFraction {
+		t.Errorf("LM-Offload's deeper pipeline should bubble less: %.2f >= %.2f", lm4.BubbleFraction, fg4.BubbleFraction)
+	}
+}
+
+func TestWeakScalingValidation(t *testing.T) {
+	plat := hw.MultiGPUV100()
+	if _, err := WeakScaling(plat, model.OPT13B, LMOffloadConfig, 0); err == nil {
+		t.Error("zero maxGPUs accepted")
+	}
+	if _, err := WeakScaling(plat, model.OPT13B, LMOffloadConfig, 9); err == nil {
+		t.Error("maxGPUs beyond platform accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// Explanation walks through the §3.2 decision procedures for a chosen
+// strategy, showing the comparisons the performance model made — the
+// paper's "how to use the models" rendered for a human.
+type Explanation struct {
+	Strategy perfmodel.Strategy
+	// WeightQuant compares load_weight with and without quantization
+	// (decision procedure 1).
+	WeightQuantBeneficial bool
+	WeightLoadPlain       float64
+	WeightLoadQuant       float64
+	// KVQuant compares load_cache+store_cache with and without quantization
+	// (decision procedure 2).
+	KVQuantBeneficial bool
+	KVMovePlain       float64
+	KVMoveQuant       float64
+	// Attention placement compares the two arms' end-to-end throughput
+	// (decision procedure 3).
+	CPUAttnThroughput float64
+	GPUAttnThroughput float64
+	// Tasks is the chosen strategy's six-task decomposition.
+	Tasks perfmodel.TaskTimes
+	// Bottleneck names the slowest task.
+	Bottleneck string
+}
+
+// Explain analyzes a planned result.
+func Explain(res Result) (*Explanation, error) {
+	if res.Estimator == nil {
+		return nil, fmt.Errorf("policy: result has no estimator")
+	}
+	e := res.Estimator
+	out := &Explanation{Strategy: res.Strategy}
+
+	bits := res.Strategy.WeightBits
+	if bits == 0 {
+		bits = 4
+	}
+	out.WeightQuantBeneficial = e.WeightQuantizationBeneficial(bits)
+	plainW := res.Strategy
+	plainW.QuantWeights = false
+	plainW.CompressGPUWeights = false
+	quantW := res.Strategy
+	quantW.QuantWeights = true
+	quantW.WeightBits = bits
+	if quantW.GroupSize <= 0 {
+		quantW.GroupSize = 64
+	}
+	out.WeightLoadPlain = e.With(plainW).DecodeTasks().LoadWeight
+	out.WeightLoadQuant = e.With(quantW).DecodeTasks().LoadWeight
+
+	kvBits := res.Strategy.KVBits
+	if kvBits == 0 {
+		kvBits = 4
+	}
+	out.KVQuantBeneficial = e.KVQuantizationBeneficial(kvBits)
+	plainKV := res.Strategy
+	plainKV.QuantKV = false
+	quantKV := res.Strategy
+	if !quantKV.AttnOnCPU {
+		quantKV.QuantKV = true
+		quantKV.KVBits = kvBits
+		if quantKV.GroupSize <= 0 {
+			quantKV.GroupSize = 64
+		}
+	}
+	pt := e.With(plainKV).DecodeTasks()
+	qt := e.With(quantKV).DecodeTasks()
+	out.KVMovePlain = pt.LoadCache + pt.StoreCache
+	out.KVMoveQuant = qt.LoadCache + qt.StoreCache
+
+	// Attention placement arms: best-effort mirror of the chosen strategy.
+	cpuArm := res.Strategy
+	cpuArm.AttnOnCPU = true
+	cpuArm.CacheGPUPct = 0
+	cpuArm.QuantKV = false
+	gpuArm := res.Strategy
+	gpuArm.AttnOnCPU = false
+	out.CPUAttnThroughput = e.With(cpuArm).Throughput()
+	out.GPUAttnThroughput = e.With(gpuArm).Throughput()
+
+	out.Tasks = e.DecodeTasks()
+	out.Bottleneck = bottleneck(out.Tasks)
+	return out, nil
+}
+
+func bottleneck(t perfmodel.TaskTimes) string {
+	names := []string{"load_weight", "load_cache", "load_activation", "store_cache", "store_activation", "compute"}
+	vals := []float64{t.LoadWeight, t.LoadCache, t.LoadActivation, t.StoreCache, t.StoreActivation, t.Compute}
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return names[best]
+}
+
+// Format renders the walkthrough.
+func (ex *Explanation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chosen strategy: %v\n\n", ex.Strategy)
+	fmt.Fprintf(&b, "decision 1 — weight quantization: load_weight %.1f ms plain vs %.1f ms quantized -> beneficial=%v\n",
+		ex.WeightLoadPlain*1e3, ex.WeightLoadQuant*1e3, ex.WeightQuantBeneficial)
+	fmt.Fprintf(&b, "decision 2 — KV quantization: load+store cache %.1f ms plain vs %.1f ms quantized -> beneficial=%v\n",
+		ex.KVMovePlain*1e3, ex.KVMoveQuant*1e3, ex.KVQuantBeneficial)
+	fmt.Fprintf(&b, "decision 3 — attention placement: CPU arm %.1f tok/s vs GPU arm %.1f tok/s\n\n",
+		ex.CPUAttnThroughput, ex.GPUAttnThroughput)
+	t := ex.Tasks
+	fmt.Fprintf(&b, "six-task times (ms/layer/token): load_weight %.1f, load_cache %.1f, load_act %.2f, store_cache %.1f, store_act %.2f, compute %.1f\n",
+		t.LoadWeight*1e3, t.LoadCache*1e3, t.LoadActivation*1e3, t.StoreCache*1e3, t.StoreActivation*1e3, t.Compute*1e3)
+	fmt.Fprintf(&b, "bottleneck task: %s\n", ex.Bottleneck)
+	return b.String()
+}

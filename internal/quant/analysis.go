@@ -1,0 +1,60 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ErrorStats quantifies a quantization configuration's reconstruction error
+// on a concrete tensor — the accuracy side of the throughput/accuracy trade
+// the policy search navigates.
+type ErrorStats struct {
+	// MaxAbs is the largest absolute reconstruction error.
+	MaxAbs float64
+	// RMSE is the root-mean-square error.
+	RMSE float64
+	// SNRdB is the signal-to-noise ratio in decibels
+	// (10·log10(signal power / error power)); +Inf for exact recovery.
+	SNRdB float64
+	// CompressionRatio is stored bytes (including group metadata) over the
+	// 4-byte float32 original.
+	CompressionRatio float64
+}
+
+// Analyze quantizes t under cfg, reconstructs it, and reports the error.
+func Analyze(t *tensor.Tensor, cfg Config) (ErrorStats, error) {
+	q, err := Quantize(t, cfg)
+	if err != nil {
+		return ErrorStats{}, err
+	}
+	back := Dequantize(q)
+	var maxAbs, errPow, sigPow float64
+	src, rec := t.Data(), back.Data()
+	for i := range src {
+		d := float64(src[i]) - float64(rec[i])
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+		errPow += d * d
+		sigPow += float64(src[i]) * float64(src[i])
+	}
+	n := float64(len(src))
+	st := ErrorStats{
+		MaxAbs:           maxAbs,
+		RMSE:             math.Sqrt(errPow / n),
+		CompressionRatio: float64(q.TotalBytes()) / float64(t.Bytes()),
+	}
+	if errPow == 0 {
+		st.SNRdB = math.Inf(1)
+	} else {
+		st.SNRdB = 10 * math.Log10(sigPow/errPow)
+	}
+	return st, nil
+}
+
+// String renders the stats.
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("max|err|=%.4g rmse=%.4g snr=%.1fdB ratio=%.3f", s.MaxAbs, s.RMSE, s.SNRdB, s.CompressionRatio)
+}

@@ -1,0 +1,73 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAnalyzeMoreBitsMoreSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandN(rng, 1, 64, 64)
+	var prev float64 = math.Inf(-1)
+	for _, bits := range []int{2, 4, 8} {
+		st, err := Analyze(x, Config{Bits: bits, GroupSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SNRdB <= prev {
+			t.Errorf("SNR did not improve with bits: %d bits -> %.1f dB (prev %.1f)", bits, st.SNRdB, prev)
+		}
+		prev = st.SNRdB
+		if st.RMSE > st.MaxAbs {
+			t.Errorf("RMSE %g exceeds max error %g", st.RMSE, st.MaxAbs)
+		}
+		if st.CompressionRatio <= 0 || st.CompressionRatio >= 1 {
+			t.Errorf("%d bits: compression ratio %g outside (0, 1)", bits, st.CompressionRatio)
+		}
+	}
+}
+
+func TestAnalyzeSmallerGroupsMoreAccurate(t *testing.T) {
+	// Finer groups track local ranges better: SNR improves, compression
+	// ratio worsens (more metadata) — the trade the ablation sweeps.
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandN(rng, 1, 128, 64)
+	fine, err := Analyze(x, Config{Bits: 4, GroupSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Analyze(x, Config{Bits: 4, GroupSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.SNRdB <= coarse.SNRdB {
+		t.Errorf("finer groups should be more accurate: %.1f dB <= %.1f dB", fine.SNRdB, coarse.SNRdB)
+	}
+	if fine.CompressionRatio <= coarse.CompressionRatio {
+		t.Errorf("finer groups should cost more bytes: %.3f <= %.3f", fine.CompressionRatio, coarse.CompressionRatio)
+	}
+}
+
+func TestAnalyzeExactSignal(t *testing.T) {
+	x := tensor.Full(2.5, 64)
+	st, err := Analyze(x, Config{Bits: 4, GroupSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(st.SNRdB, 1) || st.MaxAbs != 0 {
+		t.Errorf("constant tensor should reconstruct exactly: %v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAnalyzeInvalidConfig(t *testing.T) {
+	x := tensor.Full(1, 8)
+	if _, err := Analyze(x, Config{Bits: 0, GroupSize: 8}); err == nil {
+		t.Error("Analyze accepted invalid config")
+	}
+}

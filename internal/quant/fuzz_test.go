@@ -1,0 +1,60 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzRoundTrip feeds arbitrary byte-derived floats and configurations
+// through the quantizer, checking the invariants that must hold for any
+// input: no panic, correct shape, and bounded per-group error.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4), uint8(16))
+	f.Add([]byte{0}, uint8(1), uint8(1))
+	f.Add([]byte{255, 0, 255, 0}, uint8(8), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw, groupRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		bits := 1 + int(bitsRaw%8)
+		group := 1 + int(groupRaw%65)
+		data := make([]float32, len(raw))
+		for i, b := range raw {
+			data[i] = (float32(b) - 128) / 16
+		}
+		x := tensor.FromSlice(data, len(data))
+		cfg := Config{Bits: bits, GroupSize: group}
+		q, err := Quantize(x, cfg)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		y := Dequantize(q)
+		if y.Numel() != x.Numel() {
+			t.Fatalf("shape changed: %d -> %d", x.Numel(), y.Numel())
+		}
+		// Error bound: half a step of the containing group's range.
+		levels := float64(int(1)<<bits - 1)
+		for i := range data {
+			g := i / group
+			lo, hi := g*group, (g+1)*group
+			if hi > len(data) {
+				hi = len(data)
+			}
+			mn, mx := data[lo], data[lo]
+			for _, v := range data[lo:hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			bound := float64(mx-mn)/levels/2 + 1e-4
+			if d := math.Abs(float64(y.Data()[i] - data[i])); d > bound {
+				t.Fatalf("elem %d error %g exceeds bound %g (bits=%d group=%d)", i, d, bound, bits, group)
+			}
+		}
+	})
+}

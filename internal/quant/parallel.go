@@ -1,0 +1,117 @@
+package quant
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+// QuantizeParallel is Quantize with the per-group work spread over a worker
+// pool: groups are independent (each has its own min/max and packed span
+// when the group size keeps code spans byte-aligned), so the kernel
+// parallelizes embarrassingly. Falls back to the serial kernel when the
+// packed group span is not byte-aligned (groupSize*bits % 8 != 0), where
+// adjacent groups would race on shared bytes.
+func QuantizeParallel(pool *threadpool.Pool, width int, t *tensor.Tensor, cfg Config) (*Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil || width <= 1 || (cfg.GroupSize*cfg.Bits)%8 != 0 {
+		return Quantize(t, cfg)
+	}
+	src := t.Data()
+	n := len(src)
+	padded := paddedLen(n, cfg.GroupSize)
+
+	work := src
+	if padded != n {
+		work = make([]float32, padded)
+		copy(work, src)
+		fill := src[n-1]
+		for i := n; i < padded; i++ {
+			work[i] = fill
+		}
+	}
+
+	groups := padded / cfg.GroupSize
+	q := &Tensor{
+		cfg:    cfg,
+		shape:  append([]int(nil), t.Shape()...),
+		numel:  n,
+		padded: padded,
+		packed: make([]byte, (padded*cfg.Bits+7)/8),
+		mins:   make([]float32, groups),
+		scales: make([]float32, groups),
+	}
+	levels := float32(int(1)<<cfg.Bits - 1)
+
+	pool.ParallelRange(groups, width, func(lo, hi int) {
+		codes := make([]uint8, cfg.GroupSize)
+		for g := lo; g < hi; g++ {
+			grp := work[g*cfg.GroupSize : (g+1)*cfg.GroupSize]
+			mn, mx := grp[0], grp[0]
+			for _, v := range grp[1:] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			q.mins[g] = mn
+			scale := mx - mn
+			q.scales[g] = scale
+			if scale == 0 {
+				for i := range codes {
+					codes[i] = 0
+				}
+			} else {
+				inv := levels / scale
+				for i, v := range grp {
+					c := float32(math.Round(float64((v - mn) * inv)))
+					if c < 0 {
+						c = 0
+					} else if c > levels {
+						c = levels
+					}
+					codes[i] = uint8(c)
+				}
+			}
+			packBits(q.packed, g*cfg.GroupSize, codes, cfg.Bits)
+		}
+	})
+	return q, nil
+}
+
+// DequantizeParallel reverses QuantizeParallel over the pool. Groups write
+// disjoint output spans, so any group size is safe.
+func DequantizeParallel(pool *threadpool.Pool, width int, q *Tensor) *tensor.Tensor {
+	if pool == nil || width <= 1 {
+		return Dequantize(q)
+	}
+	out := make([]float32, q.padded)
+	levels := float32(int(1)<<q.cfg.Bits - 1)
+	pool.ParallelRange(len(q.mins), width, func(lo, hi int) {
+		codes := make([]uint8, q.cfg.GroupSize)
+		for g := lo; g < hi; g++ {
+			unpackBits(q.packed, g*q.cfg.GroupSize, codes, q.cfg.Bits)
+			mn, scale := q.mins[g], q.scales[g]
+			dst := out[g*q.cfg.GroupSize : (g+1)*q.cfg.GroupSize]
+			if scale == 0 {
+				for i := range dst {
+					dst[i] = mn
+				}
+				continue
+			}
+			for i, c := range codes {
+				dst[i] = float32(c)/levels*scale + mn
+			}
+		}
+	})
+	return tensor.FromSlice(out[:q.numel], q.shape...)
+}
+
+// AlignedForParallel reports whether cfg's packed group span is
+// byte-aligned, the condition for safe concurrent packing.
+func (c Config) AlignedForParallel() bool { return (c.GroupSize*c.Bits)%8 == 0 }

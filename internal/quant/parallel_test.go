@@ -1,0 +1,124 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := threadpool.MustNew(4)
+	x := tensor.RandN(rng, 2, 100, 70) // 7000 elems, pads to group multiple
+	for _, cfg := range []Config{{Bits: 4, GroupSize: 64}, {Bits: 8, GroupSize: 32}, {Bits: 2, GroupSize: 16}} {
+		serial, err := Quantize(x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := QuantizeParallel(pool, 4, x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial.packed) != len(par.packed) {
+			t.Fatalf("%+v: packed sizes differ", cfg)
+		}
+		for i := range serial.packed {
+			if serial.packed[i] != par.packed[i] {
+				t.Fatalf("%+v: packed byte %d differs", cfg, i)
+			}
+		}
+		a := Dequantize(serial)
+		b := DequantizeParallel(pool, 4, par)
+		if d := a.MaxAbsDiff(b); d != 0 {
+			t.Fatalf("%+v: parallel dequantize differs by %g", cfg, d)
+		}
+	}
+}
+
+func TestParallelFallsBackOnMisalignedGroups(t *testing.T) {
+	// 3-bit codes with group 10: 30 bits per group, not byte-aligned —
+	// must fall back to the serial kernel and still be correct.
+	cfg := Config{Bits: 3, GroupSize: 10}
+	if cfg.AlignedForParallel() {
+		t.Fatal("test premise wrong: config should be misaligned")
+	}
+	pool := threadpool.MustNew(4)
+	x := tensor.RandN(rand.New(rand.NewSource(4)), 1, 5, 13)
+	par, err := QuantizeParallel(pool, 4, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Quantize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.packed {
+		if serial.packed[i] != par.packed[i] {
+			t.Fatalf("fallback path differs at byte %d", i)
+		}
+	}
+}
+
+func TestAlignedForParallel(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{Bits: 4, GroupSize: 64}, true},
+		{Config{Bits: 8, GroupSize: 1}, true},
+		{Config{Bits: 4, GroupSize: 2}, true},
+		{Config{Bits: 4, GroupSize: 1}, false},
+		{Config{Bits: 3, GroupSize: 10}, false},
+		{Config{Bits: 5, GroupSize: 8}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.AlignedForParallel(); got != tc.want {
+			t.Errorf("AlignedForParallel(%+v) = %v, want %v", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestParallelInvalidConfig(t *testing.T) {
+	pool := threadpool.MustNew(2)
+	x := tensor.Full(1, 8)
+	if _, err := QuantizeParallel(pool, 2, x, Config{Bits: 0, GroupSize: 8}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Property: for random tensors and aligned configs, the parallel and serial
+// kernels agree bit-exactly at every width.
+func TestPropertyParallelEquivalence(t *testing.T) {
+	pool := threadpool.MustNew(4)
+	f := func(seed int64, widthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + int(widthRaw%6)
+		n := 1 + rng.Intn(800)
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * 4)
+		}
+		x := tensor.FromSlice(data, n)
+		cfg := Config{Bits: 4, GroupSize: 32}
+		a, err := Quantize(x, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := QuantizeParallel(pool, width, x, cfg)
+		if err != nil {
+			return false
+		}
+		for i := range a.packed {
+			if a.packed[i] != b.packed[i] {
+				return false
+			}
+		}
+		return Dequantize(a).MaxAbsDiff(DequantizeParallel(pool, width, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package quant implements FlexGen's group-wise quantization exactly as
+// described by Algorithm 2 of the paper: pad the tensor so groups divide the
+// quantization dimension evenly, find per-group min/max, min-max normalize
+// into b bits (Eq. 10), and pack the codes into bytes. Dequantization
+// reverses the last three phases (Eq. 11).
+//
+// The implementation does real bit packing so compressed sizes match what the
+// I/O models charge for, and it reports per-phase element counts so the
+// performance model's phase decomposition (min/max scan, normalization,
+// post-processing copy) can be validated against the executable code.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Config selects the quantization parameters.
+type Config struct {
+	// Bits is the code width; must be in [1, 8].
+	Bits int
+	// GroupSize is the number of elements sharing one min/max pair; must be
+	// positive. FlexGen's default is 64.
+	GroupSize int
+}
+
+// DefaultConfig is FlexGen's default: 4-bit codes with 64-element groups.
+func DefaultConfig() Config { return Config{Bits: 4, GroupSize: 64} }
+
+// Validate reports invalid parameter combinations.
+func (c Config) Validate() error {
+	if c.Bits < 1 || c.Bits > 8 {
+		return fmt.Errorf("quant: bits must be in [1, 8], got %d", c.Bits)
+	}
+	if c.GroupSize <= 0 {
+		return fmt.Errorf("quant: group size must be positive, got %d", c.GroupSize)
+	}
+	return nil
+}
+
+// CompressionRatio returns the ideal size ratio versus 16-bit storage,
+// ignoring the per-group min/max overhead (matching how the paper counts
+// I/O reduction).
+func (c Config) CompressionRatio() float64 { return float64(c.Bits) / 16 }
+
+// Tensor is a quantized tensor: packed codes plus per-group dequantization
+// parameters and enough geometry to reverse the padding.
+type Tensor struct {
+	cfg    Config
+	shape  []int // original (unpadded) shape
+	numel  int   // original element count
+	padded int   // element count after padding to a multiple of GroupSize
+	packed []byte
+	mins   []float32
+	scales []float32 // (max - min) per group
+}
+
+// Config returns the parameters this tensor was quantized with.
+func (q *Tensor) Config() Config { return q.cfg }
+
+// Shape returns the original tensor shape.
+func (q *Tensor) Shape() []int { return q.shape }
+
+// PackedBytes returns the size of the packed code array — the payload the
+// interconnect must move.
+func (q *Tensor) PackedBytes() int64 { return int64(len(q.packed)) }
+
+// TotalBytes returns packed codes plus per-group metadata (two float32 each),
+// the full transfer size.
+func (q *Tensor) TotalBytes() int64 {
+	return int64(len(q.packed)) + int64(len(q.mins))*4 + int64(len(q.scales))*4
+}
+
+// Groups returns the number of quantization groups.
+func (q *Tensor) Groups() int { return len(q.mins) }
+
+// PhaseCounts reports the work per phase for a tensor of n elements under
+// cfg, mirroring the performance model's accounting: the pad phase touches
+// the padding tail only, min/max and normalize touch every padded element,
+// and pack writes ceil(padded*bits/8) bytes.
+type PhaseCounts struct {
+	PadElems       int
+	MinMaxElems    int
+	NormalizeElems int
+	PackBytes      int
+}
+
+// Phases returns the per-phase work for quantizing n elements.
+func (c Config) Phases(n int) PhaseCounts {
+	padded := paddedLen(n, c.GroupSize)
+	return PhaseCounts{
+		PadElems:       padded - n,
+		MinMaxElems:    padded,
+		NormalizeElems: padded,
+		PackBytes:      (padded*c.Bits + 7) / 8,
+	}
+}
+
+func paddedLen(n, group int) int {
+	if rem := n % group; rem != 0 {
+		return n + group - rem
+	}
+	return n
+}
+
+// Quantize compresses t under cfg. The tensor is treated as a flat row-major
+// array grouped along the last (contiguous) dimension, matching FlexGen's
+// quantize_dim default.
+func Quantize(t *tensor.Tensor, cfg Config) (*Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := t.Data()
+	n := len(src)
+	padded := paddedLen(n, cfg.GroupSize)
+
+	// Phase 1: pad. The tail replicates the last value so it cannot widen
+	// the final group's range.
+	work := src
+	if padded != n {
+		work = make([]float32, padded)
+		copy(work, src)
+		fill := src[n-1]
+		for i := n; i < padded; i++ {
+			work[i] = fill
+		}
+	}
+
+	groups := padded / cfg.GroupSize
+	q := &Tensor{
+		cfg:    cfg,
+		shape:  append([]int(nil), t.Shape()...),
+		numel:  n,
+		padded: padded,
+		packed: make([]byte, (padded*cfg.Bits+7)/8),
+		mins:   make([]float32, groups),
+		scales: make([]float32, groups),
+	}
+
+	levels := float32(int(1)<<cfg.Bits - 1) // 2^b - 1
+	codes := make([]uint8, cfg.GroupSize)
+	for g := 0; g < groups; g++ {
+		grp := work[g*cfg.GroupSize : (g+1)*cfg.GroupSize]
+
+		// Phase 2: find min and max within the group.
+		mn, mx := grp[0], grp[0]
+		for _, v := range grp[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		q.mins[g] = mn
+		scale := mx - mn
+		q.scales[g] = scale
+
+		// Phase 3: min-max normalization (Eq. 10) and clamping.
+		if scale == 0 {
+			for i := range codes {
+				codes[i] = 0
+			}
+		} else {
+			inv := levels / scale
+			for i, v := range grp {
+				c := float32(math.Round(float64((v - mn) * inv)))
+				if c < 0 {
+					c = 0
+				} else if c > levels {
+					c = levels
+				}
+				codes[i] = uint8(c)
+			}
+		}
+
+		// Phase 4: pack codes into the bit stream.
+		packBits(q.packed, g*cfg.GroupSize, codes, cfg.Bits)
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs a float32 tensor from q (Eq. 11). The padding tail
+// is dropped so the result has the original shape.
+func Dequantize(q *Tensor) *tensor.Tensor {
+	out := make([]float32, q.padded)
+	levels := float32(int(1)<<q.cfg.Bits - 1)
+	codes := make([]uint8, q.cfg.GroupSize)
+	for g := 0; g < len(q.mins); g++ {
+		unpackBits(q.packed, g*q.cfg.GroupSize, codes, q.cfg.Bits)
+		mn, scale := q.mins[g], q.scales[g]
+		dst := out[g*q.cfg.GroupSize : (g+1)*q.cfg.GroupSize]
+		if scale == 0 {
+			for i := range dst {
+				dst[i] = mn
+			}
+			continue
+		}
+		for i, c := range codes {
+			dst[i] = float32(c)/levels*scale + mn
+		}
+	}
+	return tensor.FromSlice(out[:q.numel], q.shape...)
+}
+
+// packBits writes codes (each < 2^bits) starting at element index start of
+// the packed stream.
+func packBits(dst []byte, start int, codes []uint8, bits int) {
+	for i, c := range codes {
+		bitPos := (start + i) * bits
+		byteIdx := bitPos >> 3
+		shift := bitPos & 7
+		dst[byteIdx] |= c << shift
+		if shift+bits > 8 {
+			dst[byteIdx+1] |= c >> (8 - shift)
+		}
+	}
+}
+
+// unpackBits reads len(codes) codes starting at element index start.
+func unpackBits(src []byte, start int, codes []uint8, bits int) {
+	mask := uint16(1)<<bits - 1
+	for i := range codes {
+		bitPos := (start + i) * bits
+		byteIdx := bitPos >> 3
+		shift := bitPos & 7
+		v := uint16(src[byteIdx]) >> shift
+		if shift+bits > 8 && byteIdx+1 < len(src) {
+			v |= uint16(src[byteIdx+1]) << (8 - shift)
+		}
+		codes[i] = uint8(v & mask)
+	}
+}
+
+// MaxError returns the worst-case absolute reconstruction error bound for a
+// group with the given value range under cfg: half a quantization step.
+func (c Config) MaxError(valueRange float64) float64 {
+	levels := float64(int(1)<<c.Bits - 1)
+	return valueRange / levels / 2
+}

@@ -1,0 +1,243 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{{1, 1}, {4, 64}, {8, 128}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{{0, 64}, {9, 64}, {4, 0}, {4, -3}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestQuantizeRejectsInvalidConfig(t *testing.T) {
+	x := tensor.Full(1, 4)
+	if _, err := Quantize(x, Config{Bits: 0, GroupSize: 4}); err == nil {
+		t.Error("Quantize accepted invalid config")
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandUniform(rng, -3, 3, 16, 32)
+	for _, bits := range []int{2, 4, 8} {
+		cfg := Config{Bits: bits, GroupSize: 64}
+		q, err := Quantize(x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := Dequantize(q)
+		// Each group's range is at most 6; error bound is range/(2^b-1)/2
+		// plus float rounding slack.
+		bound := cfg.MaxError(6) * 1.01
+		if d := x.MaxAbsDiff(y); d > bound {
+			t.Errorf("bits=%d round-trip error %g exceeds bound %g", bits, d, bound)
+		}
+	}
+}
+
+func TestExactAtGroupExtremes(t *testing.T) {
+	// Min and max of every group are representable exactly.
+	x := tensor.FromSlice([]float32{-5, 0, 1, 10}, 4)
+	q, err := Quantize(x, Config{Bits: 4, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := Dequantize(q)
+	if y.Data()[0] != -5 {
+		t.Errorf("group min reconstructed as %g, want -5", y.Data()[0])
+	}
+	if y.Data()[3] != 10 {
+		t.Errorf("group max reconstructed as %g, want 10", y.Data()[3])
+	}
+}
+
+func TestConstantGroupIsLossless(t *testing.T) {
+	x := tensor.Full(3.25, 7, 9)
+	q, err := Quantize(x, Config{Bits: 4, GroupSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := Dequantize(q)
+	if d := x.MaxAbsDiff(y); d != 0 {
+		t.Errorf("constant tensor round-trip error %g, want 0", d)
+	}
+}
+
+func TestPaddingPreservesShape(t *testing.T) {
+	// 10 elements with group size 8 forces a 6-element pad.
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2, 5)
+	q, err := Quantize(x, Config{Bits: 8, GroupSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := Dequantize(q)
+	if y.Rank() != 2 || y.Dim(0) != 2 || y.Dim(1) != 5 {
+		t.Fatalf("dequantized shape %v, want [2 5]", y.Shape())
+	}
+	if d := x.MaxAbsDiff(y); d > float64(9)/255/2*1.01 {
+		t.Errorf("padded round-trip error %g too large", d)
+	}
+}
+
+func TestPackedSizeMatchesBits(t *testing.T) {
+	x := tensor.Full(1, 128)
+	for _, bits := range []int{1, 3, 4, 5, 8} {
+		q, err := Quantize(x, Config{Bits: bits, GroupSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64((128*bits + 7) / 8)
+		if q.PackedBytes() != want {
+			t.Errorf("bits=%d PackedBytes = %d, want %d", bits, q.PackedBytes(), want)
+		}
+		if q.Groups() != 4 {
+			t.Errorf("bits=%d Groups = %d, want 4", bits, q.Groups())
+		}
+		if q.TotalBytes() != want+4*4*2 {
+			t.Errorf("bits=%d TotalBytes = %d, want %d", bits, q.TotalBytes(), want+32)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if r := (Config{Bits: 4, GroupSize: 64}).CompressionRatio(); r != 0.25 {
+		t.Errorf("4-bit ratio vs fp16 = %g, want 0.25", r)
+	}
+	if r := (Config{Bits: 8, GroupSize: 64}).CompressionRatio(); r != 0.5 {
+		t.Errorf("8-bit ratio vs fp16 = %g, want 0.5", r)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	c := Config{Bits: 4, GroupSize: 64}
+	p := c.Phases(100)
+	if p.PadElems != 28 {
+		t.Errorf("PadElems = %d, want 28", p.PadElems)
+	}
+	if p.MinMaxElems != 128 || p.NormalizeElems != 128 {
+		t.Errorf("scan phases = %d/%d, want 128/128", p.MinMaxElems, p.NormalizeElems)
+	}
+	if p.PackBytes != 64 {
+		t.Errorf("PackBytes = %d, want 64", p.PackBytes)
+	}
+}
+
+func TestBitPackingRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for bits := 1; bits <= 8; bits++ {
+		n := 67 // deliberately not a multiple of 8
+		codes := make([]uint8, n)
+		maxCode := uint8(1<<bits - 1)
+		for i := range codes {
+			codes[i] = uint8(rng.Intn(int(maxCode) + 1))
+		}
+		packed := make([]byte, (n*bits+7)/8)
+		packBits(packed, 0, codes, bits)
+		got := make([]uint8, n)
+		unpackBits(packed, 0, got, bits)
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("bits=%d code %d: got %d, want %d", bits, i, got[i], codes[i])
+			}
+		}
+	}
+}
+
+func TestDefaultConfigIsFlexGen(t *testing.T) {
+	c := DefaultConfig()
+	if c.Bits != 4 || c.GroupSize != 64 {
+		t.Errorf("DefaultConfig = %+v, want 4 bits / 64 group", c)
+	}
+}
+
+// Property: round-trip error never exceeds half a quantization step of the
+// group's actual range.
+func TestPropertyRoundTripBound(t *testing.T) {
+	f := func(seed int64, bitsRaw, groupRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 1 + int(bitsRaw%8)
+		group := 1 + int(groupRaw%100)
+		n := 1 + rng.Intn(500)
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * 10)
+		}
+		x := tensor.FromSlice(data, n)
+		cfg := Config{Bits: bits, GroupSize: group}
+		q, err := Quantize(x, cfg)
+		if err != nil {
+			return false
+		}
+		y := Dequantize(q)
+		// Check per-element error against the containing group's range.
+		levels := float64(int(1)<<bits - 1)
+		for i := range data {
+			g := i / group
+			lo, hi := i/group*group, (g+1)*group
+			if hi > n {
+				hi = n
+			}
+			mn, mx := data[lo], data[lo]
+			for _, v := range data[lo:hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			bound := float64(mx-mn)/levels/2 + 1e-4*math.Max(1, math.Abs(float64(mx)))
+			if math.Abs(float64(y.Data()[i]-data[i])) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantization is idempotent — re-quantizing a dequantized tensor
+// with the same config reproduces it exactly (all values land on lattice
+// points).
+func TestPropertyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		cfg := Config{Bits: 4, GroupSize: 32}
+		q1, err := Quantize(tensor.FromSlice(data, n), cfg)
+		if err != nil {
+			return false
+		}
+		y1 := Dequantize(q1)
+		q2, err := Quantize(y1, cfg)
+		if err != nil {
+			return false
+		}
+		y2 := Dequantize(q2)
+		return y1.MaxAbsDiff(y2) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package runtime is the functional offloading engine: it runs a *real*
+// transformer (internal/model) through FlexGen's zig-zag schedule with the
+// six asynchronous tasks of Algorithm 1, a capacity-enforced GPU memory
+// arena, quantized CPU-side tensor storage, and full I/O byte accounting.
+//
+// The engine is the executable ground truth for the analytical layer: its
+// transfers match the perfmodel's traffic equations, its quantization calls
+// are the real bit-packing kernels from internal/quant, and its outputs are
+// checked against the unoffloaded reference model.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Arena tracks allocations against a fixed capacity, standing in for a
+// device memory pool. It is safe for concurrent use by the asynchronous
+// tasks.
+type Arena struct {
+	name     string
+	capacity int64
+
+	mu   sync.Mutex
+	used int64
+	peak int64
+}
+
+// NewArena creates a pool with the given byte capacity.
+func NewArena(name string, capacity int64) (*Arena, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("runtime: arena %q capacity must be positive, got %d", name, capacity)
+	}
+	return &Arena{name: name, capacity: capacity}, nil
+}
+
+// Alloc reserves n bytes, failing when the pool would overflow — the
+// functional equivalent of CUDA OOM.
+func (a *Arena) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("runtime: negative allocation %d on arena %q", n, a.name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > a.capacity {
+		return fmt.Errorf("runtime: arena %q out of memory: %d used + %d requested > %d capacity",
+			a.name, a.used, n, a.capacity)
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return nil
+}
+
+// Free releases n bytes. Releasing more than allocated is a programming
+// error and panics.
+func (a *Arena) Free(n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n < 0 || n > a.used {
+		panic(fmt.Sprintf("runtime: arena %q freeing %d with only %d allocated", a.name, n, a.used))
+	}
+	a.used -= n
+}
+
+// Used returns the current allocation.
+func (a *Arena) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak returns the high-water mark.
+func (a *Arena) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Capacity returns the configured limit.
+func (a *Arena) Capacity() int64 { return a.capacity }

@@ -1,0 +1,625 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+// Policy selects the engine's offloading behaviour — the executable subset
+// of perfmodel.Strategy.
+type Policy struct {
+	// AttnOnCPU keeps the KV cache host-resident and computes attention
+	// there: no KV traffic, no KV quantization (§3.1 Observation 1).
+	AttnOnCPU bool
+	// QuantWeights streams layer weights in quantized form, dequantizing on
+	// load (Eqs. 3–4).
+	QuantWeights bool
+	WeightCfg    quant.Config
+	// QuantKV stores offloaded KV chunks in quantized form (Eqs. 5–7).
+	QuantKV bool
+	KVCfg   quant.Config
+	// HostF16 stores unquantized host-side tensors (streamed weights, KV
+	// chunks) as IEEE half-precision words — the paper's FP16 deployment
+	// precision, halving transfer bytes at the cost of FP16 rounding.
+	HostF16 bool
+	// GPUBatch splits the block into GPU batches of this many sequences,
+	// processed one at a time per layer — Algorithm 1's k loop. Zero means
+	// the whole block is one batch.
+	GPUBatch int
+	// ResidentLayers pins the weights of the first N layers in the GPU
+	// arena permanently — the functional counterpart of the wg fraction
+	// (layer-granular, as real systems place whole matrices).
+	ResidentLayers int
+	// CompressResident stores the pinned layers in their quantized form
+	// (requires QuantWeights), trading a dequantization per use for arena
+	// capacity — the functional counterpart of CompressGPUWeights, which is
+	// how LM-Offload fits wg=75% of OPT-30B into 40 GB (§5.2).
+	CompressResident bool
+	// IntraOp is the worker width for tensor operators.
+	IntraOp int
+	// InterOp co-runs this many independent attention chunks (sequence
+	// slices) concurrently within a GPU batch — the engine-level
+	// counterpart of §4's inter-op parallelism. Zero or one runs serially.
+	InterOp int
+	// ActOnCPU keeps hidden activations host-resident between layers
+	// (hg = 0): every layer pays the load_activation/store_activation pair
+	// of Algorithm 1, with FP16 storage when HostF16 is on.
+	ActOnCPU bool
+	// Prefetch enables asynchronous task execution: the next layer's
+	// weights load while the current layer computes, and KV stores complete
+	// in the background (Algorithm 1's overlap).
+	Prefetch bool
+}
+
+// Validate reports inconsistent policies.
+func (p Policy) Validate() error {
+	if p.AttnOnCPU && p.QuantKV {
+		return fmt.Errorf("runtime: KV quantization is pointless with attention on CPU (the cache never moves)")
+	}
+	if p.QuantWeights {
+		if err := p.WeightCfg.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.QuantKV {
+		if err := p.KVCfg.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.IntraOp < 1 {
+		return fmt.Errorf("runtime: intra-op width must be >= 1, got %d", p.IntraOp)
+	}
+	if p.GPUBatch < 0 {
+		return fmt.Errorf("runtime: GPU batch must be >= 0, got %d", p.GPUBatch)
+	}
+	if p.InterOp < 0 {
+		return fmt.Errorf("runtime: inter-op parallelism must be >= 0, got %d", p.InterOp)
+	}
+	if p.ResidentLayers < 0 {
+		return fmt.Errorf("runtime: resident layers must be >= 0, got %d", p.ResidentLayers)
+	}
+	if p.CompressResident && !p.QuantWeights {
+		return fmt.Errorf("runtime: CompressResident requires QuantWeights")
+	}
+	return nil
+}
+
+// Engine executes generation for one model under an offloading policy.
+type Engine struct {
+	mod      *model.Model
+	weights  *WeightStore
+	gpu      *Arena
+	pool     *threadpool.Pool
+	policy   Policy
+	stats    *Stats
+	resident []*model.LayerWeights // pinned layers (wg's functional analogue)
+}
+
+// NewEngine builds an engine. gpuArenaBytes bounds the simulated device
+// memory; pool supplies the compute workers (nil for serial execution).
+func NewEngine(m *model.Model, policy Policy, gpuArenaBytes int64, pool *threadpool.Pool) (*Engine, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	arena, err := NewArena("gpu", gpuArenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	if policy.ResidentLayers > m.Cfg.Layers {
+		return nil, fmt.Errorf("runtime: %d resident layers exceed the model's %d", policy.ResidentLayers, m.Cfg.Layers)
+	}
+	// NewWeightStore performs the Eq. 3 one-time weight quantization.
+	ws, err := NewWeightStore(m.Layers, policy.QuantWeights, policy.WeightCfg, policy.HostF16)
+	if err != nil {
+		return nil, err
+	}
+	ws.UsePool(pool, policy.IntraOp)
+	e := &Engine{mod: m, weights: ws, gpu: arena, pool: pool, policy: policy, stats: newStats()}
+	// Pin the resident layers: the one-time upload claims arena space for
+	// the rest of the run. Compressed residency charges only the packed
+	// size but leaves the per-use dequantization to loadLayer.
+	e.resident = make([]*model.LayerWeights, policy.ResidentLayers)
+	for j := 0; j < policy.ResidentLayers; j++ {
+		footprint := ws.ResidentBytes(j)
+		if policy.CompressResident {
+			footprint = ws.TransferBytes(j)
+		}
+		if err := arena.Alloc(footprint); err != nil {
+			return nil, fmt.Errorf("runtime: pinning layer %d: %w", j, err)
+		}
+		e.stats.addBytes(&e.stats.WeightUpBytes, ws.TransferBytes(j))
+		if !policy.CompressResident {
+			e.resident[j] = ws.Load(j)
+		}
+	}
+	return e, nil
+}
+
+// Stats returns the accumulated accounting.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Generate runs prefill plus genLen greedy decode steps over the prompt
+// batch, returning the generated token IDs per sequence.
+func (e *Engine) Generate(prompts [][]int, genLen int) ([][]int, error) {
+	return e.GenerateStream(prompts, genLen, nil)
+}
+
+// GenerateStream is Generate with a per-step callback: after each decode
+// step, onStep receives the step index (0-based) and the freshly generated
+// token per sequence. Returning false stops generation early; the tokens
+// produced so far are returned. A nil callback streams nothing.
+func (e *Engine) GenerateStream(prompts [][]int, genLen int, onStep func(step int, tokens []int) bool) ([][]int, error) {
+	if len(prompts) == 0 {
+		return nil, fmt.Errorf("runtime: empty prompt batch")
+	}
+	if genLen <= 0 {
+		return nil, fmt.Errorf("runtime: generation length must be positive, got %d", genLen)
+	}
+	start := time.Now()
+	cfg := e.mod.Cfg
+	batch := len(prompts)
+
+	// Host-side KV: the persistent cache when attention stays on CPU, or
+	// the chunked (possibly quantized) store when attention runs on GPU.
+	var hostCache *model.KVCache
+	var kvStore *KVStore
+	if e.policy.AttnOnCPU {
+		hostCache = model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
+	} else {
+		var err error
+		kvStore, err = NewKVStore(cfg.Layers, batch, e.policy.QuantKV, e.policy.KVCfg, e.policy.HostF16)
+		if err != nil {
+			return nil, err
+		}
+		kvStore.UsePool(e.pool, e.policy.IntraOp)
+	}
+
+	// --- Prefill (FlexGen steps 1.1-1.3): layer-major with streamed
+	// weights, offloading each layer's freshly computed KV before moving on.
+	t0 := time.Now()
+	hidden, err := e.prefill(hostCache, kvStore, prompts)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.addTask("prefill", time.Since(t0))
+
+	out := make([][]int, batch)
+	current := tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))
+	for i := range out {
+		out[i] = append(out[i], current[i])
+	}
+	e.stats.mu.Lock()
+	e.stats.TokensGenerated += int64(batch)
+	e.stats.mu.Unlock()
+	if onStep != nil && !onStep(0, current) {
+		e.stats.WallTime = time.Since(start)
+		return out, nil
+	}
+
+	pos := len(prompts[0])
+	for step := 1; step < genLen; step++ {
+		next, err := e.decodeStep(hostCache, kvStore, current, pos)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+		pos++
+		for i := range out {
+			out[i] = append(out[i], current[i])
+		}
+		e.stats.mu.Lock()
+		e.stats.TokensGenerated += int64(batch)
+		e.stats.mu.Unlock()
+		if onStep != nil && !onStep(step, current) {
+			break
+		}
+	}
+	e.stats.WallTime = time.Since(start)
+	return out, nil
+}
+
+// prefill runs the prompt through every layer with the same streamed-weight
+// machinery the decode loop uses: load layer j's weights (1.1), compute
+// attention and MLP on the "GPU" (1.2), and offload the layer's KV cache to
+// host storage (1.3). It returns the last-position hidden state per
+// sequence.
+func (e *Engine) prefill(hostCache *model.KVCache, kvStore *KVStore, prompts [][]int) (*tensor.Tensor, error) {
+	cfg := e.mod.Cfg
+	batch := len(prompts)
+	s := len(prompts[0])
+	x := make([]*tensor.Tensor, batch)
+	for i, p := range prompts {
+		if len(p) != s {
+			return nil, fmt.Errorf("runtime: ragged prompt lengths %d and %d", s, len(p))
+		}
+		x[i] = e.mod.Embed(p, 0)
+	}
+	e.stats.addBytes(&e.stats.ActUpBytes, int64(batch*s*cfg.Hidden)*4)
+
+	// Prefill computes into a live cache; with GPU attention the layer's KV
+	// is offloaded (and the live copy dropped) as soon as the layer is done.
+	live := hostCache
+	if live == nil {
+		live = model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
+	}
+
+	loads := make(chan loadedLayer, 1)
+	if e.policy.Prefetch {
+		go func() { loads <- e.loadLayer(0) }()
+	}
+	for j := 0; j < cfg.Layers; j++ {
+		var ll loadedLayer
+		if e.policy.Prefetch {
+			ll = <-loads
+			if j+1 < cfg.Layers {
+				next := j + 1
+				go func() { loads <- e.loadLayer(next) }()
+			}
+		} else {
+			ll = e.loadLayer(j)
+		}
+		if ll.err != nil {
+			return nil, fmt.Errorf("runtime: prefill layer %d: %w", j, ll.err)
+		}
+
+		t0 := time.Now()
+		model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, live, j, 0, x)
+		for i := range x {
+			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
+		}
+		e.stats.addTask("compute", time.Since(t0))
+		e.gpu.Free(ll.resident)
+
+		if kvStore != nil {
+			// Step 1.3: offload this layer's KV, quantized when enabled
+			// (Eq. 5), and release the live copy.
+			t1 := time.Now()
+			for seq := 0; seq < batch; seq++ {
+				n, err := kvStore.Append(j, seq, live.Keys(j, seq), live.Values(j, seq))
+				if err != nil {
+					return nil, err
+				}
+				e.stats.addBytes(&e.stats.KVDownBytes, n)
+				if e.policy.QuantKV {
+					e.stats.addOps(2, 0)
+				}
+				live.SetKV(j, seq, nil, nil)
+			}
+			e.stats.addTask("store_cache", time.Since(t1))
+		}
+	}
+
+	hidden := tensor.New(batch, cfg.Hidden)
+	for i, xs := range x {
+		copy(hidden.Row(i), xs.Row(s-1))
+	}
+	return hidden, nil
+}
+
+// loadedLayer is a weight buffer staged into the GPU arena.
+type loadedLayer struct {
+	weights  *model.LayerWeights
+	resident int64
+	err      error
+}
+
+// loadLayer performs the load_weight task: charge the transfer, allocate the
+// resident (dequantized) buffer, and materialize the tensors.
+func (e *Engine) loadLayer(j int) loadedLayer {
+	// Pinned layers never move: no transfer. Compressed residents still pay
+	// a dequantization per use (into transient arena space); uncompressed
+	// residents are served directly.
+	if j < len(e.resident) {
+		if !e.policy.CompressResident {
+			return loadedLayer{weights: e.resident[j]}
+		}
+		t0 := time.Now()
+		defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
+		scratch := e.weights.ResidentBytes(j)
+		if err := e.gpu.Alloc(scratch); err != nil {
+			return loadedLayer{err: err}
+		}
+		lw := e.weights.Load(j)
+		e.stats.addOps(0, 6)
+		return loadedLayer{weights: lw, resident: scratch}
+	}
+	t0 := time.Now()
+	defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
+	resident := e.weights.ResidentBytes(j)
+	if err := e.gpu.Alloc(resident); err != nil {
+		return loadedLayer{err: err}
+	}
+	e.stats.addBytes(&e.stats.WeightUpBytes, e.weights.TransferBytes(j))
+	lw := e.weights.Load(j)
+	if e.weights.Quantized() {
+		e.stats.addOps(0, 6) // six matrices dequantized
+	}
+	return loadedLayer{weights: lw, resident: resident}
+}
+
+// decodeStep advances every sequence by one token through all layers,
+// with the six tasks of Algorithm 1 overlapped when Prefetch is on.
+func (e *Engine) decodeStep(hostCache *model.KVCache, kvStore *KVStore, tokens []int, pos int) ([]int, error) {
+	cfg := e.mod.Cfg
+	batch := len(tokens)
+
+	// Embed the current tokens (the load_activation task's payload).
+	x := make([]*tensor.Tensor, batch)
+	actBytes := int64(batch) * int64(cfg.Hidden) * 4
+	e.stats.addBytes(&e.stats.ActUpBytes, actBytes)
+	for i, tok := range tokens {
+		x[i] = e.mod.Embed([]int{tok}, pos)
+	}
+
+	// Weight prefetch pipeline (asynchronous load_weight of layer j+1).
+	loads := make(chan loadedLayer, 1)
+	if e.policy.Prefetch {
+		go func() { loads <- e.loadLayer(0) }()
+	}
+
+	for j := 0; j < cfg.Layers; j++ {
+		var ll loadedLayer
+		if e.policy.Prefetch {
+			ll = <-loads
+			if j+1 < cfg.Layers {
+				next := j + 1
+				go func() { loads <- e.loadLayer(next) }()
+			}
+		} else {
+			ll = e.loadLayer(j)
+		}
+		if ll.err != nil {
+			return nil, fmt.Errorf("runtime: layer %d: %w", j, ll.err)
+		}
+
+		e.loadActivations(x)
+		if err := e.computeLayer(hostCache, kvStore, j, ll.weights, x); err != nil {
+			e.gpu.Free(ll.resident)
+			return nil, err
+		}
+		e.storeActivations(x)
+		e.gpu.Free(ll.resident)
+		// synchronize() — Algorithm 1 line 18 — is implicit: computeLayer
+		// waits for its background stores before returning.
+	}
+
+	t0 := time.Now()
+	logits := e.mod.Logits(e.pool, e.policy.IntraOp, rowsOf(x, cfg.Hidden))
+	next := tensor.ArgmaxRows(logits)
+	e.stats.addTask("compute", time.Since(t0))
+	e.stats.addBytes(&e.stats.ActDownBytes, actBytes)
+	return next, nil
+}
+
+// fetchedKV is one GPU batch's reconstructed KV slice, staged into the
+// arena by the load_cache task.
+type fetchedKV struct {
+	cache   *model.KVCache
+	fetched int64
+	err     error
+}
+
+// loadCacheBatch performs the load_cache task for the sequences
+// [seqBase, seqBase+batch): fetch (and dequantize) every chunk, charge the
+// arena, and return the staged cache slice.
+func (e *Engine) loadCacheBatch(kvStore *KVStore, j, seqBase, batch int) fetchedKV {
+	t0 := time.Now()
+	defer func() { e.stats.addTask("load_cache", time.Since(t0)) }()
+	cfg := e.mod.Cfg
+	out := fetchedKV{cache: model.NewKVCache(cfg.Layers, seqBase+batch, cfg.Hidden)}
+	for s := 0; s < batch; s++ {
+		k, v, bytes := kvStore.Fetch(j, seqBase+s)
+		e.stats.addBytes(&e.stats.KVUpBytes, bytes)
+		if e.policy.QuantKV {
+			e.stats.addOps(0, 2*len64(kvStore.chunks[j][seqBase+s]))
+		}
+		if k != nil {
+			kb := k.Bytes() + v.Bytes()
+			if err := e.gpu.Alloc(kb); err != nil {
+				out.err = err
+				return out
+			}
+			out.fetched += kb
+			out.cache.SetKV(j, seqBase+s, k, v)
+		}
+	}
+	return out
+}
+
+// computeLayer runs one layer's attention and MLP using the staged weights
+// lw, iterating the block's GPU batches one at a time (Algorithm 1's k
+// loop). Under Prefetch, batch k+1's load_cache runs while batch k computes
+// (Algorithm 1 lines 11-13).
+func (e *Engine) computeLayer(hostCache *model.KVCache, kvStore *KVStore, j int, lw *model.LayerWeights, x []*tensor.Tensor) error {
+	blockSize := len(x)
+	gpuBatch := e.policy.GPUBatch
+	if gpuBatch <= 0 || gpuBatch > blockSize {
+		gpuBatch = blockSize
+	}
+
+	// Batch boundaries.
+	type span struct{ lo, hi int }
+	var spans []span
+	for base := 0; base < blockSize; base += gpuBatch {
+		hi := base + gpuBatch
+		if hi > blockSize {
+			hi = blockSize
+		}
+		spans = append(spans, span{base, hi})
+	}
+
+	async := e.policy.Prefetch && kvStore != nil
+	var next chan fetchedKV
+	if async {
+		next = make(chan fetchedKV, 1)
+		sp := spans[0]
+		go func() { next <- e.loadCacheBatch(kvStore, j, sp.lo, sp.hi-sp.lo) }()
+	}
+	for i, sp := range spans {
+		var kv fetchedKV
+		switch {
+		case async:
+			kv = <-next
+			if i+1 < len(spans) {
+				nsp := spans[i+1]
+				go func() { next <- e.loadCacheBatch(kvStore, j, nsp.lo, nsp.hi-nsp.lo) }()
+			}
+		case kvStore != nil:
+			kv = e.loadCacheBatch(kvStore, j, sp.lo, sp.hi-sp.lo)
+		}
+		if kv.err != nil {
+			return kv.err
+		}
+		if err := e.computeBatch(hostCache, kvStore, j, sp.lo, lw, x[sp.lo:sp.hi], kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeBatch runs one (layer, GPU batch) iteration: compute and
+// store_cache for the sequences [seqBase, seqBase+len(x)), using the staged
+// KV slice kv when attention runs on the GPU.
+func (e *Engine) computeBatch(hostCache *model.KVCache, kvStore *KVStore, j, seqBase int, lw *model.LayerWeights, x []*tensor.Tensor, kv fetchedKV) error {
+	cfg := e.mod.Cfg
+	batch := len(x)
+
+	cache := hostCache
+	fetched := kv.fetched
+	if kvStore != nil {
+		cache = kv.cache
+	}
+
+	t0 := time.Now()
+	outAttn, err := e.runAttention(cfg, lw, cache, j, seqBase, x)
+	if err != nil {
+		return err
+	}
+	for i := range x {
+		model.MLP(e.pool, e.policy.IntraOp, cfg, lw, x[i])
+	}
+	e.stats.addTask("compute", time.Since(t0))
+
+	if kvStore != nil {
+		// store_cache: persist the new rows (quantized when enabled). Stores
+		// complete before the layer's synchronize() (Algorithm 1 line 18).
+		t1 := time.Now()
+		for s := 0; s < batch; s++ {
+			n, err := kvStore.Append(j, seqBase+s, outAttn.NewK[s], outAttn.NewV[s])
+			if err != nil {
+				return err
+			}
+			e.stats.addBytes(&e.stats.KVDownBytes, n)
+			if e.policy.QuantKV {
+				e.stats.addOps(2, 0)
+			}
+		}
+		e.stats.addTask("store_cache", time.Since(t1))
+		e.gpu.Free(fetched)
+	}
+	return nil
+}
+
+// loadActivations performs the load_activation task when activations live
+// on the host: the hidden states cross to the "GPU" (through FP16 rounding
+// when HostF16 is on) before the layer computes.
+func (e *Engine) loadActivations(x []*tensor.Tensor) {
+	if !e.policy.ActOnCPU {
+		return
+	}
+	t0 := time.Now()
+	var bytes int64
+	for _, xs := range x {
+		if e.policy.HostF16 {
+			h := tensor.ToF16(xs)
+			bytes += h.Bytes()
+			copy(xs.Data(), h.ToFloat32().Data())
+		} else {
+			bytes += xs.Bytes()
+		}
+	}
+	e.stats.addBytes(&e.stats.ActUpBytes, bytes)
+	e.stats.addTask("load_activation", time.Since(t0))
+}
+
+// storeActivations performs the store_activation task: the layer's output
+// hidden states return to host memory.
+func (e *Engine) storeActivations(x []*tensor.Tensor) {
+	if !e.policy.ActOnCPU {
+		return
+	}
+	t0 := time.Now()
+	var bytes int64
+	for _, xs := range x {
+		if e.policy.HostF16 {
+			bytes += int64(xs.Numel()) * 2
+		} else {
+			bytes += xs.Bytes()
+		}
+	}
+	e.stats.addBytes(&e.stats.ActDownBytes, bytes)
+	e.stats.addTask("store_activation", time.Since(t0))
+}
+
+// runAttention executes one layer's attention over the batch, co-running
+// independent sequence chunks when inter-op parallelism is enabled.
+// Sequences own disjoint cache slots and hidden tensors, so chunked
+// execution is bit-identical to serial execution regardless of scheduling
+// order.
+func (e *Engine) runAttention(cfg model.Config, lw *model.LayerWeights, cache *model.KVCache, j, seqBase int, x []*tensor.Tensor) (model.AttentionOutput, error) {
+	interOp := e.policy.InterOp
+	if interOp <= 1 || e.pool == nil || len(x) < 2 {
+		return model.AttentionAt(e.pool, e.policy.IntraOp, cfg, lw, cache, j, seqBase, x), nil
+	}
+	if interOp > len(x) {
+		interOp = len(x)
+	}
+	out := model.AttentionOutput{
+		Hidden: tensor.New(len(x), cfg.Hidden),
+		NewK:   make([]*tensor.Tensor, len(x)),
+		NewV:   make([]*tensor.Tensor, len(x)),
+	}
+	sched, err := threadpool.NewInterOp(e.pool, interOp)
+	if err != nil {
+		return out, err
+	}
+	chunk := (len(x) + interOp - 1) / interOp
+	for lo := 0; lo < len(x); lo += chunk {
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		lo, hi := lo, hi
+		sched.Submit(threadpool.Op{
+			Name:  fmt.Sprintf("attn[%d:%d]", lo, hi),
+			Width: e.policy.IntraOp,
+			Run: func(pool *threadpool.Pool, width int) {
+				part := model.AttentionAt(pool, width, cfg, lw, cache, j, seqBase+lo, x[lo:hi])
+				copy(out.NewK[lo:hi], part.NewK)
+				copy(out.NewV[lo:hi], part.NewV)
+				for i := 0; i < hi-lo; i++ {
+					copy(out.Hidden.Row(lo+i), part.Hidden.Row(i))
+				}
+			},
+		})
+	}
+	sched.Wait()
+	return out, nil
+}
+
+// rowsOf stacks per-sequence [1, hidden] tensors into one [batch, hidden]
+// tensor for the logits projection.
+func rowsOf(x []*tensor.Tensor, hidden int) *tensor.Tensor {
+	out := tensor.New(len(x), hidden)
+	for i, xi := range x {
+		copy(out.Row(i), xi.Row(0))
+	}
+	return out
+}
+
+func len64[T any](s []T) int64 { return int64(len(s)) }

@@ -1,0 +1,513 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/threadpool"
+)
+
+// TestGPUBatchLoopMatchesWholeBlock: Algorithm 1's k loop over GPU batches
+// must produce exactly the same tokens as processing the whole block at
+// once (the math is per-sequence).
+func TestGPUBatchLoopMatchesWholeBlock(t *testing.T) {
+	ref, err := NewEngine(tinyModel(t, 42), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate(testPrompts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gb := range []int{1, 2, 3, 5} {
+		eng, err := NewEngine(tinyModel(t, 42), Policy{IntraOp: 1, GPUBatch: gb}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Generate(testPrompts(), 5)
+		if err != nil {
+			t.Fatalf("GPUBatch=%d: %v", gb, err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("GPUBatch=%d diverges: %v vs %v", gb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGPUBatchReducesArenaPeak: smaller GPU batches hold less fetched KV at
+// once, so the arena high-water mark drops — the reason zig-zag blocks can
+// exceed what fits on the GPU.
+func TestGPUBatchReducesArenaPeak(t *testing.T) {
+	run := func(gb int) int64 {
+		eng, err := NewEngine(tinyModel(t, 8), Policy{IntraOp: 1, GPUBatch: gb}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(testPrompts(), 6); err != nil {
+			t.Fatal(err)
+		}
+		return eng.gpu.Peak()
+	}
+	whole := run(0)
+	single := run(1)
+	if single >= whole {
+		t.Errorf("per-sequence batching should lower the peak: %d >= %d", single, whole)
+	}
+}
+
+// TestResidentLayersSkipTransfers: pinning the first layers removes their
+// per-step weight traffic, exactly like raising wg.
+func TestResidentLayersSkipTransfers(t *testing.T) {
+	layers := tinyModel(t, 5).Cfg.Layers
+	run := func(resident int) (*Stats, int64) {
+		m := tinyModel(t, 5)
+		eng, err := NewEngine(m, Policy{IntraOp: 1, ResidentLayers: resident}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats(), eng.gpu.Used()
+	}
+	none, usedNone := run(0)
+	half, usedHalf := run(layers / 2)
+	all, usedAll := run(layers)
+
+	if half.WeightUpBytes >= none.WeightUpBytes {
+		t.Errorf("pinning half the layers did not reduce weight traffic: %d >= %d", half.WeightUpBytes, none.WeightUpBytes)
+	}
+	// All layers pinned: only the one-time upload remains.
+	perLayer := tinyModel(t, 5).Layers[0].Bytes()
+	if all.WeightUpBytes != int64(layers)*perLayer {
+		t.Errorf("all-resident weight traffic = %d, want one-time %d", all.WeightUpBytes, int64(layers)*perLayer)
+	}
+	// Pinned layers keep arena space after the run; streamed layers do not.
+	if usedNone != 0 {
+		t.Errorf("no-resident run leaked %d arena bytes", usedNone)
+	}
+	if usedHalf != int64(layers/2)*perLayer || usedAll != int64(layers)*perLayer {
+		t.Errorf("resident footprints %d/%d, want %d/%d", usedHalf, usedAll, int64(layers/2)*perLayer, int64(layers)*perLayer)
+	}
+}
+
+// TestResidentLayersSameOutput: residency is a pure placement choice; the
+// generated tokens must not change.
+func TestResidentLayersSameOutput(t *testing.T) {
+	ref, _ := NewEngine(tinyModel(t, 21), Policy{IntraOp: 1}, bigArena, nil)
+	want, err := ref.Generate(testPrompts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tinyModel(t, 21), Policy{IntraOp: 1, ResidentLayers: 2}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Generate(testPrompts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("residency changed outputs: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestResidentLayersValidation(t *testing.T) {
+	if _, err := NewEngine(tinyModel(t, 1), Policy{IntraOp: 1, ResidentLayers: 99}, bigArena, nil); err == nil {
+		t.Error("resident layers beyond the model accepted")
+	}
+	if err := (Policy{IntraOp: 1, ResidentLayers: -1}).Validate(); err == nil {
+		t.Error("negative resident layers accepted")
+	}
+	if err := (Policy{IntraOp: 1, GPUBatch: -1}).Validate(); err == nil {
+		t.Error("negative GPU batch accepted")
+	}
+	// Pinning must fail cleanly when the arena cannot hold the layers.
+	if _, err := NewEngine(tinyModel(t, 1), Policy{IntraOp: 1, ResidentLayers: 4}, 1024, nil); err == nil {
+		t.Error("pinning into a 1 KiB arena succeeded")
+	}
+}
+
+// TestHostF16HalvesTransfers: half-precision host storage halves the weight
+// and KV transfer volumes relative to float32.
+func TestHostF16HalvesTransfers(t *testing.T) {
+	run := func(f16 bool) *Stats {
+		eng, err := NewEngine(tinyModel(t, 31), Policy{IntraOp: 1, HostF16: f16}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats()
+	}
+	f32 := run(false)
+	f16 := run(true)
+	if 2*f16.WeightUpBytes != f32.WeightUpBytes {
+		t.Errorf("FP16 weight traffic %d, want exactly half of %d", f16.WeightUpBytes, f32.WeightUpBytes)
+	}
+	if 2*f16.KVUpBytes != f32.KVUpBytes {
+		t.Errorf("FP16 KV traffic %d, want exactly half of %d", f16.KVUpBytes, f32.KVUpBytes)
+	}
+}
+
+// TestHostF16DeterministicAndClose: FP16 rounding may shift borderline
+// argmax decisions but generation stays deterministic and in-vocabulary.
+func TestHostF16DeterministicAndClose(t *testing.T) {
+	run := func() [][]int {
+		eng, err := NewEngine(tinyModel(t, 17), Policy{IntraOp: 1, HostF16: true}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.Generate(testPrompts(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("FP16 generation not deterministic")
+			}
+		}
+	}
+}
+
+// TestQuantOverridesHostF16: when quantization is on, the packed format
+// wins and HostF16 changes nothing.
+func TestQuantOverridesHostF16(t *testing.T) {
+	pol := Policy{QuantKV: true, KVCfg: quant.Config{Bits: 4, GroupSize: 32}, IntraOp: 1}
+	polF16 := pol
+	polF16.HostF16 = true
+	run := func(p Policy) int64 {
+		eng, err := NewEngine(tinyModel(t, 19), p, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().KVUpBytes
+	}
+	if a, b := run(pol), run(polF16); a != b {
+		t.Errorf("HostF16 changed quantized KV traffic: %d vs %d", a, b)
+	}
+}
+
+// TestGenerateStreamCallbacks: the callback sees every step in order and can
+// stop generation early.
+func TestGenerateStreamCallbacks(t *testing.T) {
+	eng, err := NewEngine(tinyModel(t, 3), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []int
+	out, err := eng.GenerateStream(testPrompts(), 6, func(step int, tokens []int) bool {
+		steps = append(steps, step)
+		if len(tokens) != len(testPrompts()) {
+			t.Fatalf("callback got %d tokens", len(tokens))
+		}
+		return step < 2 // stop after the third step (0, 1, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("callback fired %d times, want 3: %v", len(steps), steps)
+	}
+	for i, s := range steps {
+		if s != i {
+			t.Fatalf("steps out of order: %v", steps)
+		}
+	}
+	for _, seq := range out {
+		if len(seq) != 3 {
+			t.Fatalf("early stop produced %d tokens, want 3", len(seq))
+		}
+	}
+}
+
+// TestGenerateStreamMatchesGenerate: streaming with an always-true callback
+// is identical to plain Generate.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	a, err := NewEngine(tinyModel(t, 4), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Generate(testPrompts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewEngine(tinyModel(t, 4), Policy{IntraOp: 1}, bigArena, nil)
+	got, err := b.GenerateStream(testPrompts(), 5, func(int, []int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("stream diverges: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+// TestPropertyEngineEquivalence: for random tiny model geometries, prompts,
+// and lossless policies, the offloaded engine is token-for-token identical
+// to the reference model.
+func TestPropertyEngineEquivalence(t *testing.T) {
+	f := func(seed int64, flags uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := model.Config{
+			Name:         "prop",
+			Layers:       1 + rng.Intn(4),
+			Heads:        1 + rng.Intn(4),
+			Vocab:        16 + rng.Intn(100),
+			FFN:          8 * (1 + rng.Intn(8)),
+			BytesPerElem: 2,
+		}
+		cfg.Hidden = cfg.Heads * (4 + rng.Intn(12)) // divisible by heads
+		batch := 1 + rng.Intn(3)
+		promptLen := 1 + rng.Intn(5)
+		genLen := 1 + rng.Intn(5)
+		prompts := make([][]int, batch)
+		for i := range prompts {
+			row := make([]int, promptLen)
+			for j := range row {
+				row[j] = rng.Intn(cfg.Vocab)
+			}
+			prompts[i] = row
+		}
+		pol := Policy{
+			AttnOnCPU:      flags&1 != 0,
+			Prefetch:       flags&2 != 0,
+			GPUBatch:       int(flags>>2) % (batch + 1),
+			ResidentLayers: int(flags>>4) % (cfg.Layers + 1),
+			IntraOp:        1,
+		}
+		mkModel := func() *model.Model {
+			m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		want, err := mkModel().Generate(nil, 1, prompts, genLen)
+		if err != nil {
+			return false
+		}
+		eng, err := NewEngine(mkModel(), pol, 1<<30, nil)
+		if err != nil {
+			return false
+		}
+		got, err := eng.Generate(prompts, genLen)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrefillStreamsWeights: with generation length 1 (no decode steps),
+// all weight traffic comes from the layer-major prefill — exactly one pass
+// over the model.
+func TestPrefillStreamsWeights(t *testing.T) {
+	m := tinyModel(t, 2)
+	eng, err := NewEngine(m, Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Generate(testPrompts(), 1); err != nil {
+		t.Fatal(err)
+	}
+	perLayer := m.Layers[0].Bytes()
+	want := int64(m.Cfg.Layers) * perLayer
+	if eng.Stats().WeightUpBytes != want {
+		t.Errorf("prefill weight traffic = %d, want one pass = %d", eng.Stats().WeightUpBytes, want)
+	}
+	// KV was offloaded layer by layer during prefill.
+	if eng.Stats().KVDownBytes == 0 {
+		t.Error("prefill offloaded no KV")
+	}
+	if eng.gpu.Used() != 0 {
+		t.Errorf("prefill leaked %d arena bytes", eng.gpu.Used())
+	}
+}
+
+// TestInterOpAttentionMatchesSerial: co-running attention chunks is a pure
+// scheduling choice — outputs must be bit-identical to the serial path.
+func TestInterOpAttentionMatchesSerial(t *testing.T) {
+	pool := threadpool.MustNew(4)
+	ref, err := NewEngine(tinyModel(t, 6), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate(testPrompts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inter := range []int{2, 3, 8} {
+		eng, err := NewEngine(tinyModel(t, 6), Policy{IntraOp: 1, InterOp: inter, Prefetch: true}, bigArena, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Generate(testPrompts(), 5)
+		if err != nil {
+			t.Fatalf("InterOp=%d: %v", inter, err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("InterOp=%d diverges: %v vs %v", inter, got, want)
+				}
+			}
+		}
+	}
+	if err := (Policy{IntraOp: 1, InterOp: -1}).Validate(); err == nil {
+		t.Error("negative inter-op accepted")
+	}
+}
+
+// TestActOnCPUAccountsPerLayer: host-resident activations pay the
+// load/store pair every layer of every decode step.
+func TestActOnCPUAccountsPerLayer(t *testing.T) {
+	m := tinyModel(t, 12)
+	run := func(actCPU bool) *Stats {
+		eng, err := NewEngine(m, Policy{IntraOp: 1, ActOnCPU: actCPU}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(testPrompts(), 3); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats()
+	}
+	m2 := tinyModel(t, 12)
+	_ = m2
+	off := run(false)
+	m = tinyModel(t, 12)
+	on := run(true)
+	if on.ActUpBytes <= off.ActUpBytes {
+		t.Errorf("ActOnCPU did not add activation traffic: %d <= %d", on.ActUpBytes, off.ActUpBytes)
+	}
+	if on.TaskTime["load_activation"] <= 0 || on.TaskTime["store_activation"] <= 0 {
+		t.Errorf("activation tasks not timed: %v", on.TaskTime)
+	}
+	// Output unchanged (placement only; float32 host storage is lossless).
+	engA, _ := NewEngine(tinyModel(t, 13), Policy{IntraOp: 1}, bigArena, nil)
+	a, err := engA.Generate(testPrompts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, _ := NewEngine(tinyModel(t, 13), Policy{IntraOp: 1, ActOnCPU: true}, bigArena, nil)
+	b, err := engB.Generate(testPrompts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("activation placement changed outputs: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestBatchKVPrefetchMatchesSerial: overlapping batch k+1's load_cache with
+// batch k's compute (Algorithm 1 lines 11-13) is a scheduling choice only.
+func TestBatchKVPrefetchMatchesSerial(t *testing.T) {
+	mk := func(prefetch bool) [][]int {
+		eng, err := NewEngine(tinyModel(t, 27), Policy{IntraOp: 1, GPUBatch: 1, Prefetch: prefetch,
+			QuantKV: true, KVCfg: quant.Config{Bits: 8, GroupSize: 32}}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.Generate(testPrompts(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.gpu.Used() != 0 {
+			t.Fatalf("prefetch=%v leaked %d arena bytes", prefetch, eng.gpu.Used())
+		}
+		return out
+	}
+	plain, pre := mk(false), mk(true)
+	for i := range plain {
+		for j := range plain[i] {
+			if plain[i][j] != pre[i][j] {
+				t.Fatalf("prefetch changed outputs: %v vs %v", pre, plain)
+			}
+		}
+	}
+}
+
+// TestCompressResidentTradesCapacityForDequant: packed residency pins far
+// fewer arena bytes but pays per-use dequantization; outputs are identical
+// to the streamed-quantized path.
+func TestCompressResidentTradesCapacityForDequant(t *testing.T) {
+	cfg4 := quant.Config{Bits: 4, GroupSize: 32}
+	layers := tinyModel(t, 23).Cfg.Layers
+	plainPol := Policy{QuantWeights: true, WeightCfg: cfg4, IntraOp: 1, ResidentLayers: layers}
+	packedPol := plainPol
+	packedPol.CompressResident = true
+
+	plain, err := NewEngine(tinyModel(t, 23), plainPol, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewEngine(tinyModel(t, 23), packedPol, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned footprint: packed residency holds roughly bits/32 of the
+	// dequantized float32 copies.
+	if packed.gpu.Used() >= plain.gpu.Used()/4 {
+		t.Errorf("packed residency %d not clearly below float32 residency %d", packed.gpu.Used(), plain.gpu.Used())
+	}
+	a, err := plain.Generate(testPrompts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := packed.Generate(testPrompts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("compressed residency changed outputs: %v vs %v", b, a)
+			}
+		}
+	}
+	// The compressed path exercised the dequantizer every step.
+	if packed.Stats().DequantizeOps <= plain.Stats().DequantizeOps {
+		t.Errorf("packed residency dequant ops %d not above pinned-float32 %d",
+			packed.Stats().DequantizeOps, plain.Stats().DequantizeOps)
+	}
+	if err := (Policy{IntraOp: 1, CompressResident: true}).Validate(); err == nil {
+		t.Error("CompressResident without QuantWeights accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats accumulates the engine's I/O and task accounting — the functional
+// counterpart of the perfmodel's traffic and task-time predictions.
+type Stats struct {
+	mu sync.Mutex
+
+	// Interconnect bytes by direction and tensor kind.
+	WeightUpBytes int64
+	KVUpBytes     int64
+	KVDownBytes   int64
+	ActUpBytes    int64
+	ActDownBytes  int64
+
+	// Quantization operation counts.
+	QuantizeOps   int64
+	DequantizeOps int64
+
+	// Wall-clock time per task kind (summed across the run).
+	TaskTime map[string]time.Duration
+
+	// TokensGenerated counts decoded tokens across all sequences.
+	TokensGenerated int64
+	// WallTime is the end-to-end generation time.
+	WallTime time.Duration
+}
+
+func newStats() *Stats {
+	return &Stats{TaskTime: map[string]time.Duration{}}
+}
+
+func (s *Stats) addBytes(field *int64, n int64) {
+	s.mu.Lock()
+	*field += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) addTask(name string, d time.Duration) {
+	s.mu.Lock()
+	s.TaskTime[name] += d
+	s.mu.Unlock()
+}
+
+func (s *Stats) addOps(quant, dequant int64) {
+	s.mu.Lock()
+	s.QuantizeOps += quant
+	s.DequantizeOps += dequant
+	s.mu.Unlock()
+}
+
+// TotalUpBytes returns all CPU->GPU traffic.
+func (s *Stats) TotalUpBytes() int64 { return s.WeightUpBytes + s.KVUpBytes + s.ActUpBytes }
+
+// TotalDownBytes returns all GPU->CPU traffic.
+func (s *Stats) TotalDownBytes() int64 { return s.KVDownBytes + s.ActDownBytes }
+
+// Throughput returns generated tokens per wall-clock second.
+func (s *Stats) Throughput() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.TokensGenerated) / s.WallTime.Seconds()
+}
+
+// String summarizes the run.
+func (s *Stats) String() string {
+	return fmt.Sprintf("tokens=%d wall=%v up=%.1fMB (w %.1f, kv %.1f) down=%.1fMB quant=%d dequant=%d",
+		s.TokensGenerated, s.WallTime.Round(time.Millisecond),
+		float64(s.TotalUpBytes())/1e6, float64(s.WeightUpBytes)/1e6, float64(s.KVUpBytes)/1e6,
+		float64(s.TotalDownBytes())/1e6, s.QuantizeOps, s.DequantizeOps)
+}

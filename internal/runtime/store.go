@@ -1,0 +1,262 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+)
+
+// WeightStore holds every layer's weights in host memory, optionally in
+// quantized form, and materializes GPU-resident copies on demand. It is the
+// functional analogue of the wc/wg weight split: layers listed as resident
+// stay in the GPU arena permanently; the rest stream per use.
+type WeightStore struct {
+	layers    []*model.LayerWeights // always kept for layer norms and fallback
+	packed    [][]*quant.Tensor     // per layer, per matrix; nil when not quantized
+	half      [][]*tensor.F16Slice  // per layer, per matrix; nil unless f16 storage
+	cfg       quant.Config
+	quantized bool
+	f16       bool
+
+	pool  *threadpool.Pool // optional: parallel (de)quantization kernels
+	width int
+}
+
+// UsePool routes the store's (de)quantization through a worker pool at the
+// given width.
+func (ws *WeightStore) UsePool(pool *threadpool.Pool, width int) {
+	ws.pool, ws.width = pool, width
+}
+
+// NewWeightStore ingests the model's layers. With quantize, the matrices are
+// group-quantized with cfg (the Eq. 3 one-time cost); with hostF16 (and no
+// quantization) they are stored as IEEE half-precision words, matching the
+// paper's FP16 deployment precision and its 2-byte transfer accounting.
+func NewWeightStore(layers []*model.LayerWeights, quantize bool, cfg quant.Config, hostF16 bool) (*WeightStore, error) {
+	ws := &WeightStore{layers: layers, cfg: cfg, quantized: quantize, f16: hostF16 && !quantize}
+	if ws.f16 {
+		ws.half = make([][]*tensor.F16Slice, len(layers))
+		for i, lw := range layers {
+			for _, t := range lw.Tensors() {
+				ws.half[i] = append(ws.half[i], tensor.ToF16(t))
+			}
+		}
+		return ws, nil
+	}
+	if !quantize {
+		return ws, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws.packed = make([][]*quant.Tensor, len(layers))
+	for i, lw := range layers {
+		for _, t := range lw.Tensors() {
+			q, err := quant.Quantize(t, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: quantizing layer %d: %w", i, err)
+			}
+			ws.packed[i] = append(ws.packed[i], q)
+		}
+	}
+	return ws, nil
+}
+
+// Quantized reports whether the store holds packed weights.
+func (ws *WeightStore) Quantized() bool { return ws.quantized }
+
+// TransferBytes returns the bytes that cross the interconnect when layer i
+// is loaded: packed size when quantized, raw float32 size otherwise.
+func (ws *WeightStore) TransferBytes(i int) int64 {
+	if ws.quantized {
+		var n int64
+		for _, q := range ws.packed[i] {
+			n += q.TotalBytes()
+		}
+		return n
+	}
+	if ws.f16 {
+		var n int64
+		for _, h := range ws.half[i] {
+			n += h.Bytes()
+		}
+		return n
+	}
+	return ws.layers[i].Bytes()
+}
+
+// ResidentBytes returns the GPU-arena footprint of a loaded layer: the
+// dequantized working copy.
+func (ws *WeightStore) ResidentBytes(i int) int64 { return ws.layers[i].Bytes() }
+
+// Load materializes layer i for GPU use, performing the real dequantization
+// when the store is packed. The returned LayerWeights alias the originals in
+// the unquantized case and are fresh tensors otherwise.
+func (ws *WeightStore) Load(i int) *model.LayerWeights {
+	if !ws.quantized && !ws.f16 {
+		return ws.layers[i]
+	}
+	src := ws.layers[i]
+	out := &model.LayerWeights{
+		LN1Gain: src.LN1Gain,
+		LN2Gain: src.LN2Gain,
+	}
+	dst := []**tensor.Tensor{&out.WQ, &out.WK, &out.WV, &out.WO, &out.W1, &out.W2}
+	if ws.f16 {
+		for j, h := range ws.half[i] {
+			*dst[j] = h.ToFloat32()
+		}
+		return out
+	}
+	for j, q := range ws.packed[i] {
+		*dst[j] = quant.DequantizeParallel(ws.pool, ws.width, q)
+	}
+	return out
+}
+
+// NumLayers returns the layer count.
+func (ws *WeightStore) NumLayers() int { return len(ws.layers) }
+
+// kvChunk is one appended KV segment for a (layer, sequence) slot, stored
+// quantized, half-precision, or raw float32.
+type kvChunk struct {
+	k, v   *tensor.Tensor
+	hk, hv *tensor.F16Slice
+	qk, qv *quant.Tensor
+}
+
+func (c kvChunk) transferBytes() int64 {
+	switch {
+	case c.qk != nil:
+		return c.qk.TotalBytes() + c.qv.TotalBytes()
+	case c.hk != nil:
+		return c.hk.Bytes() + c.hv.Bytes()
+	default:
+		return c.k.Bytes() + c.v.Bytes()
+	}
+}
+
+// KVStore is the host-side KV cache: per (layer, sequence) chunk lists,
+// quantized when the policy says so (Eqs. 6–7's real counterpart).
+type KVStore struct {
+	layers, batch int
+	quantized     bool
+	f16           bool
+	cfg           quant.Config
+	chunks        [][][]kvChunk // [layer][seq][]chunk
+
+	pool  *threadpool.Pool
+	width int
+}
+
+// UsePool routes the store's (de)quantization through a worker pool at the
+// given width.
+func (st *KVStore) UsePool(pool *threadpool.Pool, width int) {
+	st.pool, st.width = pool, width
+}
+
+// NewKVStore creates an empty store. hostF16 stores unquantized chunks as
+// half-precision words.
+func NewKVStore(layers, batch int, quantize bool, cfg quant.Config, hostF16 bool) (*KVStore, error) {
+	if layers <= 0 || batch <= 0 {
+		return nil, fmt.Errorf("runtime: KV store geometry %d/%d must be positive", layers, batch)
+	}
+	if quantize {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	st := &KVStore{layers: layers, batch: batch, quantized: quantize, f16: hostF16 && !quantize, cfg: cfg}
+	st.chunks = make([][][]kvChunk, layers)
+	for l := range st.chunks {
+		st.chunks[l] = make([][]kvChunk, batch)
+	}
+	return st, nil
+}
+
+// Quantized reports whether new chunks are compressed.
+func (st *KVStore) Quantized() bool { return st.quantized }
+
+// Append stores the new K/V rows for (layer, seq), quantizing them when
+// enabled (the store_cache task). It returns the bytes that crossed the
+// interconnect.
+func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
+	var c kvChunk
+	switch {
+	case st.quantized:
+		qk, err := quant.QuantizeParallel(st.pool, st.width, k, st.cfg)
+		if err != nil {
+			return 0, err
+		}
+		qv, err := quant.QuantizeParallel(st.pool, st.width, v, st.cfg)
+		if err != nil {
+			return 0, err
+		}
+		c = kvChunk{qk: qk, qv: qv}
+	case st.f16:
+		c = kvChunk{hk: tensor.ToF16(k), hv: tensor.ToF16(v)}
+	default:
+		c = kvChunk{k: k.Clone(), v: v.Clone()}
+	}
+	st.chunks[layer][seq] = append(st.chunks[layer][seq], c)
+	return c.transferBytes(), nil
+}
+
+// Fetch reconstructs the full K and V matrices for (layer, seq), performing
+// the real dequantization of every chunk (the load_cache task). It returns
+// the tensors and the transfer byte count.
+func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64) {
+	var ks, vs *tensor.Tensor
+	for _, c := range st.chunks[layer][seq] {
+		bytes += c.transferBytes()
+		ck, cv := c.k, c.v
+		switch {
+		case c.qk != nil:
+			ck = quant.DequantizeParallel(st.pool, st.width, c.qk)
+			cv = quant.DequantizeParallel(st.pool, st.width, c.qv)
+		case c.hk != nil:
+			ck = c.hk.ToFloat32()
+			cv = c.hv.ToFloat32()
+		}
+		if ks == nil {
+			ks, vs = ck.Clone(), cv.Clone()
+			continue
+		}
+		ks = tensor.ConcatRows(ks, ck)
+		vs = tensor.ConcatRows(vs, cv)
+	}
+	return ks, vs, bytes
+}
+
+// SeqLen returns the cached token count for (layer, seq).
+func (st *KVStore) SeqLen(layer, seq int) int {
+	n := 0
+	for _, c := range st.chunks[layer][seq] {
+		switch {
+		case c.qk != nil:
+			n += c.qk.Shape()[0]
+		case c.hk != nil:
+			n += c.hk.Shape()[0]
+		default:
+			n += c.k.Dim(0)
+		}
+	}
+	return n
+}
+
+// HostBytes returns the store's host-memory footprint (compressed sizes for
+// quantized chunks).
+func (st *KVStore) HostBytes() int64 {
+	var total int64
+	for l := range st.chunks {
+		for s := range st.chunks[l] {
+			for _, c := range st.chunks[l][s] {
+				total += c.transferBytes()
+			}
+		}
+	}
+	return total
+}

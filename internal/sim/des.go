@@ -1,0 +1,200 @@
+// Package sim is a discrete-event simulator for offloaded LLM inference: a
+// resource-constrained task-graph kernel (FIFO bandwidth and compute
+// servers, dependency-triggered dispatch) plus a builder that expands
+// Algorithm 1's zig-zag decode schedule into a task graph whose durations
+// come from the analytical component models. Where the perfmodel composes
+// one layer's resource times with a calibrated β, the simulator derives the
+// overlap from first principles: tasks queue on their resources and start
+// when their dependencies complete.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TaskID identifies a task within one Sim.
+type TaskID int
+
+// TaskSpec describes one unit of work.
+type TaskSpec struct {
+	Name string
+	// Resource names the server this task occupies for Duration seconds.
+	Resource string
+	// Duration is the service time in seconds (zero is allowed for
+	// synchronization pseudo-tasks).
+	Duration float64
+	// Deps must complete before this task may start.
+	Deps []TaskID
+}
+
+// Sim accumulates a task graph and executes it.
+type Sim struct {
+	resources map[string]bool
+	tasks     []TaskSpec
+}
+
+// New returns an empty simulator.
+func New() *Sim {
+	return &Sim{resources: map[string]bool{}}
+}
+
+// AddResource registers a FIFO server. Registering twice is harmless.
+func (s *Sim) AddResource(name string) {
+	s.resources[name] = true
+}
+
+// AddTask appends a task and returns its ID. Dependencies must reference
+// already-added tasks (enforced at Run).
+func (s *Sim) AddTask(spec TaskSpec) TaskID {
+	s.tasks = append(s.tasks, spec)
+	return TaskID(len(s.tasks) - 1)
+}
+
+// Result is the executed schedule.
+type Result struct {
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// Start and End give each task's executed interval.
+	Start, End []float64
+	// Busy is the total service time per resource.
+	Busy map[string]float64
+}
+
+// Utilization returns a resource's busy fraction of the makespan.
+func (r *Result) Utilization(resource string) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.Busy[resource] / r.Makespan
+}
+
+// completion is a scheduled task end event.
+type completion struct {
+	time float64
+	id   TaskID
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the task graph: each resource serves ready tasks one at a
+// time in issue order; a task is ready when all dependencies have completed.
+// It returns an error for malformed graphs (unknown resources, bad or
+// circular dependencies, negative durations).
+func (s *Sim) Run() (*Result, error) {
+	n := len(s.tasks)
+	res := &Result{
+		Start: make([]float64, n),
+		End:   make([]float64, n),
+		Busy:  map[string]float64{},
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	remaining := make([]int, n)
+	dependents := make([][]TaskID, n)
+	for i, t := range s.tasks {
+		if !s.resources[t.Resource] {
+			return nil, fmt.Errorf("sim: task %d (%s) uses unregistered resource %q", i, t.Name, t.Resource)
+		}
+		if t.Duration < 0 {
+			return nil, fmt.Errorf("sim: task %d (%s) has negative duration", i, t.Name)
+		}
+		for _, d := range t.Deps {
+			if int(d) < 0 || int(d) >= n {
+				return nil, fmt.Errorf("sim: task %d (%s) depends on unknown task %d", i, t.Name, d)
+			}
+			if int(d) >= i {
+				return nil, fmt.Errorf("sim: task %d (%s) depends on later task %d (graphs must be issued in order)", i, t.Name, d)
+			}
+			remaining[i]++
+			dependents[d] = append(dependents[d], TaskID(i))
+		}
+	}
+
+	// Per-resource FIFO queues of ready tasks (issue order preserved).
+	queues := map[string][]TaskID{}
+	busyUntil := map[string]float64{}
+	running := map[string]bool{}
+
+	var events completionHeap
+	now := 0.0
+	finished := 0
+
+	enqueue := func(id TaskID) {
+		r := s.tasks[id].Resource
+		queues[r] = append(queues[r], id)
+	}
+	dispatch := func(r string) {
+		if running[r] || len(queues[r]) == 0 {
+			return
+		}
+		id := queues[r][0]
+		queues[r] = queues[r][1:]
+		start := now
+		if busyUntil[r] > start {
+			start = busyUntil[r]
+		}
+		t := s.tasks[id]
+		end := start + t.Duration
+		res.Start[id] = start
+		res.End[id] = end
+		res.Busy[r] += t.Duration
+		busyUntil[r] = end
+		running[r] = true
+		heap.Push(&events, completion{time: end, id: id})
+	}
+
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			enqueue(TaskID(i))
+		}
+	}
+	for r := range s.resources {
+		dispatch(r)
+	}
+
+	for finished < n {
+		if events.Len() == 0 {
+			return nil, fmt.Errorf("sim: deadlock with %d/%d tasks finished (dependency cycle?)", finished, n)
+		}
+		ev := heap.Pop(&events).(completion)
+		now = ev.time
+		finished++
+		r := s.tasks[ev.id].Resource
+		running[r] = false
+		if now > res.Makespan {
+			res.Makespan = now
+		}
+		for _, dep := range dependents[ev.id] {
+			remaining[dep]--
+			if remaining[dep] == 0 {
+				enqueue(dep)
+			}
+		}
+		// Re-dispatch every resource: the completed task may have unblocked
+		// work anywhere.
+		for name := range s.resources {
+			dispatch(name)
+		}
+	}
+	return res, nil
+}

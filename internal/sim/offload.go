@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// Resources used by the offload schedule.
+const (
+	ResGPU  = "gpu"
+	ResCPU  = "cpu"
+	ResH2D  = "h2d"
+	ResD2H  = "d2h"
+	ResSync = "sync"
+)
+
+// OffloadResult summarizes a simulated decode run.
+type OffloadResult struct {
+	// StepTime is the steady-state per-token time across all layers.
+	StepTime float64
+	// Throughput is tokens/s for the whole workload, combining the
+	// simulated decode with the analytical prefill estimate.
+	Throughput float64
+	// Utilization per resource over the simulated window.
+	Utilization map[string]float64
+	// SimulatedSteps is how many decode steps were expanded.
+	SimulatedSteps int
+	// Tasks is the number of tasks simulated.
+	Tasks int
+	// TaskBusy is the per-layer, per-token service time by task kind
+	// (load_weight, load_cache, compute, ... — the Figure 8 axes), derived
+	// from the executed schedule.
+	TaskBusy map[string]float64
+}
+
+// Bottleneck returns the busiest resource of the simulated window.
+func (r *OffloadResult) Bottleneck() string {
+	best, bestU := "", -1.0
+	for _, name := range []string{ResGPU, ResCPU, ResH2D, ResD2H} {
+		if u := r.Utilization[name]; u > bestU {
+			best, bestU = name, u
+		}
+	}
+	return best
+}
+
+// SimulateDecode expands Algorithm 1's decode loop for a window of tokens
+// into a task graph and executes it on the DES. Task durations come from the
+// estimator's component models (transfer bytes over link bandwidth, compute
+// over device rates, real quantization-phase costs); the *composition* —
+// who waits for whom, where the per-layer synchronize() bites, what the
+// prefetcher hides — emerges from the simulation instead of the perfmodel's
+// calibrated β.
+//
+// steps bounds the simulated token window (the schedule is periodic, so a
+// handful of steps reaches steady state).
+func SimulateDecode(e *perfmodel.Estimator, steps int) (*OffloadResult, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("sim: steps must be >= 1, got %d", steps)
+	}
+	if n := e.Work.GenLen - 1; steps > n && n > 0 {
+		steps = n
+	}
+	layers := e.Mod.Layers
+	batches := e.Work.NumBatches
+	parts := e.Parts()
+	kb := float64(batches)
+
+	// Per-task durations. Parts() is per layer per token for the whole
+	// block; the k-loop tasks get 1/NumBatches each.
+	weightUp := e.WeightUpTime()                // per layer per token (whole layer)
+	kvUpPerBatch := e.KVUpTime() / kb           // per (layer, batch)
+	kvDownPerBatch := e.KVDownTime() / kb       //
+	actUpPerBatch := e.ActUpTime() / kb         //
+	actDownPerBatch := e.ActDownTime() / kb     //
+	gpuComputePerBatch := parts.GPUCompute / kb //
+	cpuComputePerBatch := parts.CPUCompute / kb //
+	dequanWgt := e.DequanWgtPerToken()          // per layer per token, GPU
+	dequanKVPerBatch := e.DequanOldCache().Total() / kb
+	quanKVPerBatch := e.QuanNewCache().Total() / kb
+	stepOverheadPerBatch := e.Exec.StepOverhead
+
+	s := New()
+	for _, r := range []string{ResGPU, ResCPU, ResH2D, ResD2H, ResSync} {
+		s.AddResource(r)
+	}
+
+	var prevBarrier TaskID = -1
+	deps := func(ids ...TaskID) []TaskID {
+		out := make([]TaskID, 0, len(ids)+1)
+		for _, id := range ids {
+			if id >= 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < steps; i++ {
+		for j := 0; j < layers; j++ {
+			// load_weight for the layer: prefetched — depends only on link
+			// availability, not on the previous layer's barrier.
+			lw := s.AddTask(TaskSpec{
+				Name: fmt.Sprintf("load_weight[%d,%d]", i, j), Resource: ResH2D, Duration: weightUp,
+			})
+			// Weight dequantization runs on the GPU once the transfer lands.
+			dq := TaskID(-1)
+			if dequanWgt > 0 {
+				dq = s.AddTask(TaskSpec{
+					Name: fmt.Sprintf("dequan_weight[%d,%d]", i, j), Resource: ResGPU, Duration: dequanWgt,
+					Deps: deps(lw),
+				})
+			}
+			var layerTasks []TaskID
+			for k := 0; k < batches; k++ {
+				lc := TaskID(-1)
+				if kvUpPerBatch > 0 {
+					lc = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("load_cache[%d,%d,%d]", i, j, k), Resource: ResH2D, Duration: kvUpPerBatch,
+					})
+				}
+				la := TaskID(-1)
+				if actUpPerBatch > 0 {
+					la = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("load_act[%d,%d,%d]", i, j, k), Resource: ResH2D, Duration: actUpPerBatch,
+					})
+				}
+				dqkv := TaskID(-1)
+				if dequanKVPerBatch > 0 {
+					dqkv = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("dequan_cache[%d,%d,%d]", i, j, k), Resource: ResGPU, Duration: dequanKVPerBatch,
+						Deps: deps(lc),
+					})
+				}
+				// Compute: attention on CPU overlaps the GPU-side MLP of the
+				// same batch only through the pipeline across batches.
+				computeDeps := deps(lw, dq, lc, la, dqkv, prevBarrier)
+				var comp TaskID
+				if cpuComputePerBatch > 0 {
+					attn := s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("cpu_attn[%d,%d,%d]", i, j, k), Resource: ResCPU, Duration: cpuComputePerBatch,
+						Deps: computeDeps,
+					})
+					comp = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("gpu_mlp[%d,%d,%d]", i, j, k), Resource: ResGPU, Duration: gpuComputePerBatch + stepOverheadPerBatch,
+						Deps: deps(attn),
+					})
+				} else {
+					comp = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("compute[%d,%d,%d]", i, j, k), Resource: ResGPU, Duration: gpuComputePerBatch + stepOverheadPerBatch,
+						Deps: computeDeps,
+					})
+				}
+				qkv := TaskID(-1)
+				if quanKVPerBatch > 0 {
+					qkv = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("quan_cache[%d,%d,%d]", i, j, k), Resource: ResGPU, Duration: quanKVPerBatch,
+						Deps: deps(comp),
+					})
+				}
+				sc := TaskID(-1)
+				if kvDownPerBatch > 0 {
+					src := comp
+					if qkv >= 0 {
+						src = qkv
+					}
+					sc = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("store_cache[%d,%d,%d]", i, j, k), Resource: ResD2H, Duration: kvDownPerBatch,
+						Deps: deps(src),
+					})
+				}
+				sa := TaskID(-1)
+				if actDownPerBatch > 0 {
+					sa = s.AddTask(TaskSpec{
+						Name: fmt.Sprintf("store_act[%d,%d,%d]", i, j, k), Resource: ResD2H, Duration: actDownPerBatch,
+						Deps: deps(comp),
+					})
+				}
+				for _, id := range []TaskID{comp, qkv, sc, sa} {
+					if id >= 0 {
+						layerTasks = append(layerTasks, id)
+					}
+				}
+			}
+			// synchronize() — Algorithm 1 line 18.
+			prevBarrier = s.AddTask(TaskSpec{
+				Name: fmt.Sprintf("sync[%d,%d]", i, j), Resource: ResSync, Duration: 0,
+				Deps: layerTasks,
+			})
+		}
+	}
+
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	stepTime := res.Makespan / float64(steps) / float64(layers)
+	out := &OffloadResult{
+		StepTime:       stepTime,
+		SimulatedSteps: steps,
+		Tasks:          len(s.tasks),
+		Utilization:    map[string]float64{},
+		TaskBusy:       map[string]float64{},
+	}
+	norm := float64(steps) * float64(layers)
+	for i, t := range s.tasks {
+		kind := t.Name
+		if cut := strings.IndexByte(kind, '['); cut >= 0 {
+			kind = kind[:cut]
+		}
+		out.TaskBusy[kind] += (res.End[i] - res.Start[i]) / norm
+	}
+	delete(out.TaskBusy, "sync")
+	for _, r := range []string{ResGPU, ResCPU, ResH2D, ResD2H} {
+		out.Utilization[r] = res.Utilization(r)
+	}
+	// Whole-workload throughput: simulated steady-state decode plus the
+	// analytical prefill.
+	l := float64(e.Mod.Layers)
+	n := float64(e.Work.GenLen)
+	total := e.TPrefill()*l + stepTime*l*(n-1)
+	out.Throughput = float64(e.Work.TotalTokens()) / total
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPipelineSingleStageSerial(t *testing.T) {
+	// One stage, one micro-batch: tokens serialize exactly.
+	res, err := SimulatePipeline(PipelineSpec{Stages: 1, MicroBatches: 1, Tokens: 10, StageTime: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 20 {
+		t.Errorf("makespan = %g, want 20", res.Makespan)
+	}
+	if math.Abs(res.Efficiency-1) > 1e-9 {
+		t.Errorf("efficiency = %g, want 1", res.Efficiency)
+	}
+}
+
+func TestPipelineBubbleWithOneMicroBatch(t *testing.T) {
+	// S stages with a single stream: each stage idles S-1 of every S slots.
+	res, err := SimulatePipeline(PipelineSpec{Stages: 4, MicroBatches: 1, Tokens: 8, StageTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per token the single stream takes 4 stage slots.
+	if math.Abs(res.PerToken-4) > 1e-9 {
+		t.Errorf("per-token = %g, want 4", res.PerToken)
+	}
+	if res.Efficiency > 0.3 {
+		t.Errorf("efficiency %g too high for a drained pipeline", res.Efficiency)
+	}
+}
+
+func TestPipelineFillsWithMicroBatches(t *testing.T) {
+	// Enough micro-batches hide the pipeline depth: steady-state per-token
+	// time approaches M x stage time (each stage processes M batches per
+	// token) with high efficiency.
+	shallow, err := SimulatePipeline(PipelineSpec{Stages: 4, MicroBatches: 1, Tokens: 16, StageTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := SimulatePipeline(PipelineSpec{Stages: 4, MicroBatches: 8, Tokens: 16, StageTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput per stream: shallow moves 1 token per 4 time units; deep
+	// moves 8 tokens per ~8 time units at steady state.
+	shallowPerStream := shallow.PerToken
+	deepPerStream := deep.PerToken / 8
+	if deepPerStream >= shallowPerStream {
+		t.Errorf("micro-batching did not improve per-stream time: %g >= %g", deepPerStream, shallowPerStream)
+	}
+	if deep.Efficiency < 0.8 {
+		t.Errorf("deep pipeline efficiency = %g, want >= 0.8", deep.Efficiency)
+	}
+	if deep.StageUtilization < 0.8 {
+		t.Errorf("bottleneck stage utilization = %g, want >= 0.8", deep.StageUtilization)
+	}
+}
+
+func TestPipelineEfficiencyMatchesClosedForm(t *testing.T) {
+	// The wavefront's steady state: a micro-batch's next token waits for
+	// its previous token to clear all S stages, so each stage fits M tasks
+	// into every S-slot cycle — efficiency min(1, M/S). (The analytic
+	// pipeline package's M/(M+S-1) models a per-token flush, a *worse*
+	// regime than this dependency structure permits; the simulator
+	// quantifies how much the flush costs.)
+	for _, tc := range []struct{ s, m int }{{3, 2}, {4, 1}, {4, 3}, {2, 5}} {
+		spec := PipelineSpec{Stages: tc.s, MicroBatches: tc.m, Tokens: 64, StageTime: 1}
+		res, err := SimulatePipeline(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := math.Min(1, float64(tc.m)/float64(tc.s))
+		if r := res.Efficiency / closed; r < 0.9 || r > 1.1 {
+			t.Errorf("S=%d M=%d: simulated efficiency %g vs closed form %g (ratio %.2f)",
+				tc.s, tc.m, res.Efficiency, closed, r)
+		}
+	}
+}
+
+func TestPipelineHopsSlowTheWave(t *testing.T) {
+	free, err := SimulatePipeline(PipelineSpec{Stages: 4, MicroBatches: 2, Tokens: 8, StageTime: 1, HopTime: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := SimulatePipeline(PipelineSpec{Stages: 4, MicroBatches: 2, Tokens: 8, StageTime: 1, HopTime: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Makespan <= free.Makespan {
+		t.Errorf("hops did not slow the pipeline: %g <= %g", costly.Makespan, free.Makespan)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	bad := []PipelineSpec{
+		{Stages: 0, MicroBatches: 1, Tokens: 1, StageTime: 1},
+		{Stages: 1, MicroBatches: 0, Tokens: 1, StageTime: 1},
+		{Stages: 1, MicroBatches: 1, Tokens: 0, StageTime: 1},
+		{Stages: 1, MicroBatches: 1, Tokens: 1, StageTime: -1},
+	}
+	for _, spec := range bad {
+		if _, err := SimulatePipeline(spec); err == nil {
+			t.Errorf("accepted invalid spec %+v", spec)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChromeTraceEvent is one complete ("X") event in the Chrome trace format
+// (chrome://tracing, Perfetto).
+type ChromeTraceEvent struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"ph"`
+	TimeUS   float64 `json:"ts"`
+	DurUS    float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+	Category string  `json:"cat"`
+}
+
+// ChromeTrace renders the executed schedule as a Chrome trace JSON document:
+// one "thread" per resource, one complete event per task. Load the output in
+// chrome://tracing or Perfetto to inspect task overlap.
+func (s *Sim) ChromeTrace(res *Result) ([]byte, error) {
+	if res == nil || len(res.Start) != len(s.tasks) {
+		return nil, fmt.Errorf("sim: trace needs the Result of this Sim's Run")
+	}
+	// Stable resource -> tid mapping in first-use order.
+	tids := map[string]int{}
+	var events []ChromeTraceEvent
+	for i, t := range s.tasks {
+		if t.Duration == 0 {
+			continue // synchronization pseudo-tasks clutter the view
+		}
+		tid, ok := tids[t.Resource]
+		if !ok {
+			tid = len(tids)
+			tids[t.Resource] = tid
+		}
+		events = append(events, ChromeTraceEvent{
+			Name:     t.Name,
+			Phase:    "X",
+			TimeUS:   res.Start[i] * 1e6,
+			DurUS:    (res.End[i] - res.Start[i]) * 1e6,
+			PID:      1,
+			TID:      tid,
+			Category: t.Resource,
+		})
+	}
+	doc := struct {
+		TraceEvents []ChromeTraceEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	return json.MarshalIndent(doc, "", " ")
+}

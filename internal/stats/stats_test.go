@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta\t%d", 22)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[3], "22") {
+		t.Errorf("unexpected rendering:\n%s", out)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tab.Rows())
+	}
+	// Columns align: every line has the same prefix width for column two.
+	idx0 := strings.Index(lines[0], "value")
+	idx3 := strings.Index(lines[3], "22")
+	if idx0 != idx3 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx0, idx3, out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("only")
+	if got := tab.String(); !strings.Contains(got, "only") {
+		t.Errorf("short row lost: %s", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if m := Mean(xs); m != 7.0/3 {
+		t.Errorf("Mean = %g", m)
+	}
+	if g := GeoMean(xs); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 2", g)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means not zero")
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Errorf("Max/Min wrong: %g %g", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty extremes not zero")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s, err := Speedups([]float64{2, 9}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max != 3 || s.Mean != 2.5 || s.N != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Geo-math.Sqrt(6)) > 1e-12 {
+		t.Errorf("Geo = %g", s.Geo)
+	}
+	if !strings.Contains(s.String(), "up to 3.00x") {
+		t.Errorf("String = %q", s.String())
+	}
+	if _, err := Speedups([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Speedups([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := Speedups(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestByteFormatting(t *testing.T) {
+	if got := GB(16.32e9); got != "16.32 GB" {
+		t.Errorf("GB = %q", got)
+	}
+	if got := GiB(40 << 30); got != "40 GB" {
+		t.Errorf("GiB = %q", got)
+	}
+}

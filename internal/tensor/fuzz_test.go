@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip checks the half-precision conversion invariants on
+// arbitrary float32 bit patterns: finite inputs inside the representable
+// range convert within half a ULP; Inf/NaN classes are preserved; every
+// conversion output survives a second round trip bit-exactly.
+func FuzzF16RoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(math.Float32bits(1.0))
+	f.Add(math.Float32bits(-65504))
+	f.Add(math.Float32bits(6e-8))
+	f.Add(uint32(0x7f800001)) // NaN
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		h := F16FromFloat32(x)
+		back := h.Float32()
+		switch {
+		case math.IsNaN(float64(x)):
+			if !math.IsNaN(float64(back)) {
+				t.Fatalf("NaN lost: %#08x -> %#04x -> %g", bits, h, back)
+			}
+		case math.IsInf(float64(x), 0) || x > 65504 || x < -65504:
+			if !math.IsInf(float64(back), 0) && math.Abs(float64(back)) < 65504 {
+				t.Fatalf("overflow mishandled: %g -> %g", x, back)
+			}
+		default:
+			rel := math.Abs(float64(back) - float64(x))
+			bound := math.Max(math.Abs(float64(x))*math.Pow(2, -11), 3.0e-8)
+			if rel > bound {
+				t.Fatalf("error %g exceeds bound %g for %g", rel, bound, x)
+			}
+		}
+		// Idempotence: the half lattice is a fixed point.
+		again := F16FromFloat32(back)
+		if !math.IsNaN(float64(back)) && again != h {
+			t.Fatalf("not idempotent: %#04x -> %g -> %#04x", h, back, again)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package tensor
+
+import "math/rand"
+
+// RandN fills a new tensor of the given shape with pseudo-normal values of
+// the given standard deviation, drawn from rng. Deterministic for a fixed
+// seed, which keeps every test and experiment reproducible.
+func RandN(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with values uniform in [lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*span)
+	}
+	return t
+}
+
+// Full returns a new tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a new tensor of ones, handy for layer-norm gains.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Tensor {
+	t := New(n, n)
+	for i := 0; i < n; i++ {
+		t.data[i*n+i] = 1
+	}
+	return t
+}

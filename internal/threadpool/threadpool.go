@@ -1,0 +1,235 @@
+// Package threadpool provides the execution substrate that LM-Offload's
+// parallelism control drives: a fixed-size worker pool with data-parallel
+// ParallelFor (intra-op parallelism) and an inter-op scheduler that bounds how
+// many operations co-run and how many workers each one receives.
+//
+// The pool mirrors the PyTorch model described in §4 of the paper:
+// torch.set_num_threads controls intra-op width, and
+// torch.set_num_interop_threads controls how many operators execute
+// concurrently. Here both are explicit per call so the tuner can explore the
+// space without global state.
+package threadpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded set of reusable workers. The zero value is not usable;
+// construct with New.
+type Pool struct {
+	size int
+	sem  chan struct{}
+}
+
+// New creates a pool with the given number of workers. Size must be positive.
+func New(size int) (*Pool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("threadpool: pool size must be positive, got %d", size)
+	}
+	return &Pool{size: size, sem: make(chan struct{}, size)}, nil
+}
+
+// MustNew is New for static configurations that cannot fail.
+func MustNew(size int) *Pool {
+	p, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// acquire blocks until a worker slot is free.
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+
+// release frees a worker slot.
+func (p *Pool) release() { <-p.sem }
+
+// ParallelFor executes fn(i) for i in [0, n) using at most `width` workers
+// from the pool, partitioning the index space into contiguous chunks (one per
+// worker) to preserve cache locality — the same reason the paper bundles
+// small operators. width is clamped to [1, pool size] and to n.
+func (p *Pool) ParallelFor(n, width int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > p.size {
+		width = p.size
+	}
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + width - 1) / width
+	for w := 0; w < width; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.acquire()
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer p.release()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRange executes fn(lo, hi) over contiguous sub-ranges of [0, n),
+// letting the callee iterate its own chunk (cheaper than per-index closures
+// for tight numeric kernels).
+func (p *Pool) ParallelRange(n, width int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > p.size {
+		width = p.size
+	}
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + width - 1) / width
+	for w := 0; w < width; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.acquire()
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer p.release()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Op is a unit of work submitted to the inter-op scheduler. Width is the
+// intra-op parallelism the operation should run with; Run receives the pool
+// and that width.
+type Op struct {
+	Name  string
+	Width int
+	Run   func(p *Pool, width int)
+}
+
+// InterOpScheduler bounds how many Ops execute concurrently, independent of
+// how many workers each Op consumes, mirroring inter-op parallelism.
+type InterOpScheduler struct {
+	pool  *Pool
+	slots chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewInterOp creates a scheduler over pool that co-runs at most maxConcurrent
+// operations.
+func NewInterOp(pool *Pool, maxConcurrent int) (*InterOpScheduler, error) {
+	if maxConcurrent <= 0 {
+		return nil, fmt.Errorf("threadpool: inter-op concurrency must be positive, got %d", maxConcurrent)
+	}
+	return &InterOpScheduler{pool: pool, slots: make(chan struct{}, maxConcurrent)}, nil
+}
+
+// Submit enqueues op for asynchronous execution, blocking only while all
+// inter-op slots are busy.
+func (s *InterOpScheduler) Submit(op Op) {
+	s.slots <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.slots }()
+		op.Run(s.pool, op.Width)
+	}()
+}
+
+// Wait blocks until every submitted operation has finished.
+func (s *InterOpScheduler) Wait() { s.wg.Wait() }
+
+// RunGraph executes ops respecting a dependency relation: deps[i] lists the
+// indices that must finish before ops[i] starts. The scheduler's inter-op
+// bound still applies. It returns an error on out-of-range dependencies or
+// cycles (detected as a stall).
+func (s *InterOpScheduler) RunGraph(ops []Op, deps [][]int) error {
+	n := len(ops)
+	remaining := make([]int, n)
+	dependents := make([][]int, n)
+	for i, ds := range deps {
+		if i >= n {
+			return fmt.Errorf("threadpool: deps has %d entries for %d ops", len(deps), n)
+		}
+		for _, d := range ds {
+			if d < 0 || d >= n {
+				return fmt.Errorf("threadpool: op %d depends on out-of-range op %d", i, d)
+			}
+			remaining[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	done := make(chan int, n)
+	launched := 0
+	launch := func(i int) {
+		launched++
+		op := ops[i]
+		s.slots <- struct{}{}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.slots }()
+			op.Run(s.pool, op.Width)
+			done <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			launch(i)
+		}
+	}
+	finished := 0
+	for finished < n {
+		if launched == finished {
+			return fmt.Errorf("threadpool: dependency cycle, %d/%d ops finished", finished, n)
+		}
+		i := <-done
+		finished++
+		for _, dep := range dependents[i] {
+			remaining[dep]--
+			if remaining[dep] == 0 {
+				launch(dep)
+			}
+		}
+	}
+	return nil
+}

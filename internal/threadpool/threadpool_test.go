@@ -1,0 +1,188 @@
+package threadpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) succeeded", n)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestParallelForCoversAllIndicesOnce(t *testing.T) {
+	p := MustNew(4)
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, width := range []int{1, 2, 4, 9} {
+			counts := make([]int32, n)
+			p.ParallelFor(n, width, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d width=%d: index %d visited %d times", n, width, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRangeCoversAllIndicesOnce(t *testing.T) {
+	p := MustNew(3)
+	n := 257
+	counts := make([]int32, n)
+	p.ParallelRange(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForWidthNeverExceedsPool(t *testing.T) {
+	p := MustNew(2)
+	var inFlight, peak int32
+	var mu sync.Mutex
+	p.ParallelFor(64, 64, func(i int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > 2 {
+		t.Errorf("observed %d concurrent workers with pool size 2", peak)
+	}
+}
+
+func TestInterOpBoundsConcurrency(t *testing.T) {
+	p := MustNew(8)
+	s, err := NewInterOp(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, peak int32
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	for i := 0; i < 6; i++ {
+		s.Submit(Op{Name: "op", Width: 1, Run: func(_ *Pool, _ int) {
+			cur := atomic.AddInt32(&inFlight, 1)
+			mu.Lock()
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			<-gate
+			atomic.AddInt32(&inFlight, -1)
+		}})
+		if i == 1 {
+			// First two submitted; the third Submit below must block until a
+			// slot frees, so release the gate in the background.
+			go func() {
+				for j := 0; j < 6; j++ {
+					gate <- struct{}{}
+				}
+			}()
+		}
+	}
+	s.Wait()
+	if peak > 2 {
+		t.Errorf("inter-op peak concurrency %d, want <= 2", peak)
+	}
+}
+
+func TestNewInterOpRejectsNonPositive(t *testing.T) {
+	p := MustNew(1)
+	if _, err := NewInterOp(p, 0); err == nil {
+		t.Error("NewInterOp(p, 0) succeeded")
+	}
+}
+
+func TestRunGraphRespectsDependencies(t *testing.T) {
+	p := MustNew(4)
+	s, err := NewInterOp(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	mk := func(id int) Op {
+		return Op{Name: "op", Width: 1, Run: func(_ *Pool, _ int) {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}}
+	}
+	// Diamond: 0 -> {1, 2} -> 3.
+	ops := []Op{mk(0), mk(1), mk(2), mk(3)}
+	deps := [][]int{nil, {0}, {0}, {1, 2}}
+	if err := s.RunGraph(ops, deps); err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d ops, want 4", len(order))
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Errorf("execution order %v violates dependencies", order)
+	}
+}
+
+func TestRunGraphDetectsCycle(t *testing.T) {
+	p := MustNew(2)
+	s, _ := NewInterOp(p, 2)
+	noop := Op{Name: "n", Width: 1, Run: func(_ *Pool, _ int) {}}
+	ops := []Op{noop, noop}
+	deps := [][]int{{1}, {0}}
+	if err := s.RunGraph(ops, deps); err == nil {
+		t.Error("RunGraph accepted a cyclic dependency graph")
+	}
+}
+
+func TestRunGraphRejectsBadDeps(t *testing.T) {
+	p := MustNew(2)
+	s, _ := NewInterOp(p, 2)
+	noop := Op{Name: "n", Width: 1, Run: func(_ *Pool, _ int) {}}
+	if err := s.RunGraph([]Op{noop}, [][]int{{5}}); err == nil {
+		t.Error("RunGraph accepted out-of-range dependency")
+	}
+}
+
+func TestPropertyParallelForSum(t *testing.T) {
+	p := MustNew(6)
+	f := func(nRaw uint16, widthRaw uint8) bool {
+		n := int(nRaw % 2000)
+		width := 1 + int(widthRaw%10)
+		var sum int64
+		p.ParallelFor(n, width, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+		})
+		return sum == int64(n)*int64(n-1)/2 || n == 0 && sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

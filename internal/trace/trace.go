@@ -1,0 +1,154 @@
+// Package trace defines inference workloads: prompt and generation lengths,
+// batch geometry, and the zig-zag block structure FlexGen and LM-Offload
+// schedule over. It also generates synthetic token streams for the functional
+// runtime.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Workload is one offline-inference job: every prompt in the batch shares the
+// same prompt length and generation length, matching the paper's evaluation
+// methodology (prompt length standardized at 64, generation length varied).
+type Workload struct {
+	// PromptLen is s, the input sequence length.
+	PromptLen int
+	// GenLen is n, the number of tokens generated per prompt.
+	GenLen int
+	// GPUBatch is the per-iteration batch size resident on the GPU.
+	GPUBatch int
+	// NumBatches is the number of GPU batches traversing the layers together
+	// in one zig-zag block.
+	NumBatches int
+}
+
+// BlockSize returns bls, the zig-zag block size = GPUBatch × NumBatches.
+func (w Workload) BlockSize() int { return w.GPUBatch * w.NumBatches }
+
+// TotalTokens returns the number of tokens the workload generates, the
+// numerator of the throughput metric (tokens/s).
+func (w Workload) TotalTokens() int { return w.BlockSize() * w.GenLen }
+
+// Validate reports malformed workloads.
+func (w Workload) Validate() error {
+	switch {
+	case w.PromptLen <= 0:
+		return fmt.Errorf("trace: prompt length must be positive, got %d", w.PromptLen)
+	case w.GenLen <= 0:
+		return fmt.Errorf("trace: generation length must be positive, got %d", w.GenLen)
+	case w.GPUBatch <= 0:
+		return fmt.Errorf("trace: GPU batch must be positive, got %d", w.GPUBatch)
+	case w.NumBatches <= 0:
+		return fmt.Errorf("trace: batch count must be positive, got %d", w.NumBatches)
+	}
+	return nil
+}
+
+// String formats the workload in the paper's notation.
+func (w Workload) String() string {
+	return fmt.Sprintf("s=%d n=%d bsz=%d bls=%d", w.PromptLen, w.GenLen, w.GPUBatch, w.BlockSize())
+}
+
+// PaperDefault is the motivation-study workload of §3.1: prompt 64,
+// generation 128, GPU batch 64, block size 640.
+func PaperDefault() Workload {
+	return Workload{PromptLen: 64, GenLen: 128, GPUBatch: 64, NumBatches: 10}
+}
+
+// ParallelismStudy is the §4.1 workload: prompt 64, generation 8.
+func ParallelismStudy() Workload {
+	return Workload{PromptLen: 64, GenLen: 8, GPUBatch: 64, NumBatches: 10}
+}
+
+// MultiGPU is the §5.5 workload: prompt 256, generation 64.
+func MultiGPU(gpus int) Workload {
+	// Weak scaling: batch doubles with GPU count, starting from 32.
+	return Workload{PromptLen: 256, GenLen: 64, GPUBatch: 32 * gpus, NumBatches: 4}
+}
+
+// GenLengthSweep returns the Table 3 generation-length axis.
+func GenLengthSweep() []int { return []int{8, 16, 32, 64, 128} }
+
+// Prompts produces deterministic synthetic token ID prompts for the
+// functional runtime: batch rows of PromptLen tokens in [0, vocab).
+func (w Workload) Prompts(rng *rand.Rand, vocab int) [][]int {
+	if vocab <= 0 {
+		panic(fmt.Sprintf("trace: vocab must be positive, got %d", vocab))
+	}
+	out := make([][]int, w.BlockSize())
+	for i := range out {
+		row := make([]int, w.PromptLen)
+		for j := range row {
+			row[j] = rng.Intn(vocab)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Bucket groups prompts of nearby lengths so each bucket pads to its own
+// maximum instead of the global one — the standard mitigation for FlexGen's
+// fixed-shape batches when real prompt lengths vary.
+type Bucket struct {
+	// MaxLen is the padded length every prompt in the bucket assumes.
+	MaxLen int
+	// Count is the number of prompts assigned.
+	Count int
+	// PaddingTokens is the total padding the bucket introduces.
+	PaddingTokens int
+}
+
+// Bucketize partitions prompt lengths into at most maxBuckets buckets using
+// equal-population splits over the sorted lengths, and reports the padding
+// each bucket pays. A single bucket reproduces global padding-to-max.
+func Bucketize(lengths []int, maxBuckets int) ([]Bucket, error) {
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("trace: no prompt lengths")
+	}
+	if maxBuckets < 1 {
+		return nil, fmt.Errorf("trace: need at least one bucket, got %d", maxBuckets)
+	}
+	for _, l := range lengths {
+		if l <= 0 {
+			return nil, fmt.Errorf("trace: non-positive prompt length %d", l)
+		}
+	}
+	sorted := append([]int(nil), lengths...)
+	sort.Ints(sorted)
+	if maxBuckets > len(sorted) {
+		maxBuckets = len(sorted)
+	}
+	var out []Bucket
+	per := (len(sorted) + maxBuckets - 1) / maxBuckets
+	for lo := 0; lo < len(sorted); lo += per {
+		hi := lo + per
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		b := Bucket{MaxLen: sorted[hi-1], Count: hi - lo}
+		for _, l := range sorted[lo:hi] {
+			b.PaddingTokens += b.MaxLen - l
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// PaddingWaste sums the padding across buckets as a fraction of the useful
+// tokens — the cost the bucket count trades against scheduling simplicity.
+func PaddingWaste(buckets []Bucket, lengths []int) float64 {
+	var useful, pad int
+	for _, l := range lengths {
+		useful += l
+	}
+	for _, b := range buckets {
+		pad += b.PaddingTokens
+	}
+	if useful == 0 {
+		return 0
+	}
+	return float64(pad) / float64(useful)
+}

@@ -1,0 +1,179 @@
+package lmoffload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPlanOnPaperSetup(t *testing.T) {
+	work, err := NewWorkload(64, 128, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(SingleGPUA100(), OPT30B, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("non-positive planned throughput")
+	}
+	if desc := Describe(res); !strings.Contains(desc, "tok/s") {
+		t.Errorf("Describe = %q", desc)
+	}
+}
+
+func TestNewWorkloadValidates(t *testing.T) {
+	if _, err := NewWorkload(0, 1, 1, 1); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestEstimateAndSimulateAgree(t *testing.T) {
+	work, _ := NewWorkload(64, 32, 64, 10)
+	s := Strategy{WeightsGPUPct: 0.55, QuantKV: true, KVBits: 4, GroupSize: 64}
+	tput, err := EstimateThroughput(SingleGPUA100(), OPT30B, work, s, LMOffloadProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := Simulate(SingleGPUA100(), OPT30B, work, s, LMOffloadProfile(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := simRes.Throughput / tput; ratio < 0.3 || ratio > 3 {
+		t.Errorf("sim/model ratio = %.2f", ratio)
+	}
+}
+
+func TestTuneParallelism(t *testing.T) {
+	work, _ := NewWorkload(64, 8, 64, 10)
+	setting, err := TuneParallelism(SingleGPUA100(), OPT30B, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setting.InterOpCompute != 12 {
+		t.Errorf("inter-op = %d, want 12", setting.InterOpCompute)
+	}
+	if setting.IntraOp < 1 {
+		t.Errorf("intra-op = %d", setting.IntraOp)
+	}
+}
+
+func TestCompareSystems(t *testing.T) {
+	fg, zr, lm, err := CompareSystems(SingleGPUA100(), LLaMA30B, 64, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Throughput() <= fg.Throughput() {
+		t.Errorf("LM-Offload (%.1f) not ahead of FlexGen (%.1f)", lm.Throughput(), fg.Throughput())
+	}
+	if zr.Work.GPUBatch > 64 {
+		t.Errorf("ZeRO batch %d", zr.Work.GPUBatch)
+	}
+}
+
+func TestRunTinyInference(t *testing.T) {
+	cfg := TinyModel()
+	prompts := [][]int{{1, 2, 3}, {4, 5, 6}}
+	res, err := RunTinyInference(cfg, EnginePolicy{IntraOp: 1, Prefetch: true}, prompts, 4, 1<<30, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tokens) != 2 || len(res.Tokens[0]) != 4 {
+		t.Fatalf("tokens shape wrong: %v", res.Tokens)
+	}
+	if res.Stats.TokensGenerated != 8 {
+		t.Errorf("TokensGenerated = %d", res.Stats.TokensGenerated)
+	}
+	// Determinism across runs.
+	res2, err := RunTinyInference(cfg, EnginePolicy{IntraOp: 1, Prefetch: true}, prompts, 4, 1<<30, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Tokens {
+		for j := range res.Tokens[i] {
+			if res.Tokens[i][j] != res2.Tokens[i][j] {
+				t.Fatal("inference not deterministic across runs")
+			}
+		}
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	work, _ := NewWorkload(64, 64, 64, 10)
+	res, err := Plan(SingleGPUA100(), OPT30B, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Bottleneck == "" || ex.Format() == "" {
+		t.Error("empty explanation")
+	}
+}
+
+func TestLatencyCurveFacade(t *testing.T) {
+	work, _ := NewWorkload(64, 16, 64, 4)
+	curve, err := LatencyCurve(SingleGPUA100(), OPT30B, work, Strategy{WeightsGPUPct: 0.5}, FlexGenProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 16 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	if curve[15] <= curve[0] {
+		t.Error("curve does not grow with the KV cache")
+	}
+}
+
+func TestLoadersFacade(t *testing.T) {
+	plat, err := LoadPlatform(strings.NewReader(`{
+	  "name": "mini",
+	  "gpus": [{"name": "g", "memGiB": 24, "memBandwidthGBs": 500, "tflops": 50, "freqGHz": 1.5}],
+	  "cpu": {"name": "c", "sockets": 1, "cores": 16, "threads": 32,
+	          "memGiB": 128, "memBandwidthGBs": 100, "tflops": 1, "freqGHz": 3},
+	  "link": {"name": "pcie", "perDirectionGBs": 25, "latencyUS": 10, "duplex": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModelConfig(strings.NewReader(`{"name": "M", "layers": 8, "hidden": 512,
+	  "ffn": 2048, "heads": 8, "vocab": 1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A custom platform + model goes straight through the planner.
+	work, _ := NewWorkload(32, 16, 8, 2)
+	res, err := Plan(plat, mod, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("non-positive throughput on custom inputs")
+	}
+}
+
+func TestPlanWithAndAnalyzeFacade(t *testing.T) {
+	work, _ := NewWorkload(64, 16, 64, 4)
+	opts := DefaultPolicyOpts()
+	opts.Bits = []int{8}
+	res, err := PlanWith(SingleGPUA100(), OPT30B, work, ZeROProfile(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy.QuantKV && res.Strategy.KVBits != 8 {
+		t.Errorf("restricted bits ignored: %v", res.Strategy)
+	}
+	ref := tensor.RandN(rand.New(rand.NewSource(1)), 1, 32, 32)
+	st, err := AnalyzeQuantization(ref, QuantConfig{Bits: 4, GroupSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SNRdB <= 0 {
+		t.Errorf("SNR = %g", st.SNRdB)
+	}
+}
