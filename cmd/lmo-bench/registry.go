@@ -135,5 +135,18 @@ func registry() []experiment {
 			}
 			return r.Format(), nil
 		}},
+		{name: "availability", run: func() (string, error) {
+			r, err := experiments.Availability()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.Availability()
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
 	}
 }

@@ -4,18 +4,26 @@
 // arena. It verifies the offloaded output against the unoffloaded reference
 // model and prints the I/O accounting.
 //
+// Fault tolerance is exercised through -faults (deterministic fault
+// injection), -ckpt-every/-checkpoint/-resume (generation checkpointing),
+// and -step-timeout (per-step deadlines).
+//
 // Usage:
 //
 //	lmo-infer [-model tiny|small] [-batch 4] [-prompt 8] [-gen 16]
 //	          [-kvbits 0|2|4|8] [-wbits 0|2|4|8] [-cpu-attn] [-workers 4]
+//	          [-faults spec] [-ckpt-every N] [-checkpoint file] [-resume file]
+//	          [-step-timeout dur]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/quant"
 	"repro/internal/runtime"
@@ -33,6 +41,11 @@ func main() {
 	cpuAttn := flag.Bool("cpu-attn", false, "offload attention to the CPU (keeps KV host-resident)")
 	workers := flag.Int("workers", 4, "compute pool width")
 	seed := flag.Int64("seed", 42, "weights/prompts seed")
+	faultSpec := flag.String("faults", "", `fault injection rules, e.g. "weight-transfer:p=0.1,kv-corruption:p=0.05,worker-panic:p=0.02:n=3"`)
+	stepTimeout := flag.Duration("step-timeout", 0, "per-step deadline (0 = none)")
+	ckptEvery := flag.Int("ckpt-every", 0, "snapshot generation state every N decode steps (0 = off)")
+	ckptFile := flag.String("checkpoint", "", "write the final snapshot to this file (requires -ckpt-every)")
+	resumeFile := flag.String("resume", "", "resume generation from a checkpoint file instead of starting fresh")
 	flag.Parse()
 
 	var cfg model.Config
@@ -47,9 +60,10 @@ func main() {
 	}
 
 	pol := runtime.Policy{
-		AttnOnCPU: *cpuAttn,
-		IntraOp:   *workers,
-		Prefetch:  true,
+		AttnOnCPU:   *cpuAttn,
+		IntraOp:     *workers,
+		Prefetch:    true,
+		StepTimeout: *stepTimeout,
 	}
 	if *kvBits > 0 && !*cpuAttn {
 		pol.QuantKV = true
@@ -79,10 +93,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lmo-infer:", err)
 		os.Exit(1)
 	}
-	out, err := eng.Generate(prompts, *gen)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lmo-infer:", err)
-		os.Exit(1)
+
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		rules, err := faults.ParseRules(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(2)
+		}
+		if inj, err = faults.New(*seed, rules); err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(2)
+		}
+		eng.SetFaultInjector(inj)
+	}
+	if *ckptEvery > 0 {
+		if err := eng.EnableCheckpointing(*ckptEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx := context.Background()
+	var out [][]int
+	if *resumeFile != "" {
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
+		ck, err := runtime.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resuming from %s: step %d/%d, %d sequences\n", *resumeFile, ck.Step, ck.GenLen, len(ck.Prompts))
+		out, err = eng.Resume(ctx, ck, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
+	} else {
+		out, err = eng.Generate(ctx, prompts, *gen)
+		if err != nil {
+			// Persist the last good snapshot so the run can be resumed past
+			// the failure point — this is the scenario checkpoints exist for.
+			if *ckptFile != "" {
+				if ck := eng.LastCheckpoint(); ck != nil {
+					if werr := writeCheckpoint(ck, *ckptFile); werr != nil {
+						fmt.Fprintln(os.Stderr, "lmo-infer:", werr)
+					} else {
+						fmt.Fprintf(os.Stderr, "lmo-infer: partial checkpoint (step %d/%d) written to %s\n",
+							ck.Step, ck.GenLen, *ckptFile)
+					}
+				}
+			}
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("model %s: %d layers, hidden %d, %d heads, vocab %d\n",
@@ -97,9 +166,30 @@ func main() {
 		fmt.Printf("seq %d: %v\n", i, seq)
 	}
 	fmt.Printf("\nengine stats: %s\n", eng.Stats())
+	if inj != nil {
+		st := eng.Stats()
+		fmt.Printf("faults: %s\n", inj)
+		fmt.Printf("recovery: retries=%d cleared=%d degradations=%v checkpoints=%d\n",
+			st.TotalRetries(), st.FaultsCleared, st.Degradations, st.Checkpoints)
+	}
 
-	// Verify against the unoffloaded reference when nothing is quantized.
-	if !pol.QuantKV && !pol.QuantWeights {
+	if *ckptFile != "" {
+		ck := eng.LastCheckpoint()
+		if ck == nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer: no checkpoint captured (set -ckpt-every)")
+			os.Exit(1)
+		}
+		if err := writeCheckpoint(ck, *ckptFile); err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint (step %d/%d) written to %s\n", ck.Step, ck.GenLen, *ckptFile)
+	}
+
+	// Verify against the unoffloaded reference when nothing is quantized and
+	// the run started fresh. Fault recovery must be semantically transparent,
+	// so this holds even under injection.
+	if !pol.QuantKV && !pol.QuantWeights && *resumeFile == "" && len(out[0]) == *gen {
 		ref, err := model.NewModel(rand.New(rand.NewSource(*seed)), cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
@@ -120,4 +210,17 @@ func main() {
 		}
 		fmt.Println("verification: offloaded output matches the reference model exactly")
 	}
+}
+
+// writeCheckpoint serializes ck to path, creating or truncating the file.
+func writeCheckpoint(ck *runtime.Checkpoint, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := ck.Save(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

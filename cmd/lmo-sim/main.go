@@ -31,6 +31,7 @@ func main() {
 	profile := flag.String("profile", "flexgen", "execution profile: flexgen, zero, lmoffload")
 	steps := flag.Int("steps", 4, "decode steps to simulate")
 	curve := flag.Bool("curve", false, "print the per-token latency curve instead of the average")
+	faultSpec := flag.String("faults", "", `resource fault windows, e.g. "h2d@0.5+0.2,gpu@1.0+0.5x3" (outage, or xF slowdown)`)
 	flag.Parse()
 
 	mod, err := model.ByName(*modelName)
@@ -75,13 +76,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
 		os.Exit(1)
 	}
-	res, err := sim.SimulateDecode(est, *steps)
+	events, err := sim.ParseFaultEvents(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+		os.Exit(2)
+	}
+	res, err := sim.SimulateDecode(est, *steps, events...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("strategy: %v under %s profile, %s\n\n", strat, exec.Name, work)
+	if len(events) > 0 {
+		clean, err := sim.SimulateDecode(est, *steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+			os.Exit(1)
+		}
+		for _, ev := range events {
+			kind := "outage"
+			if ev.Factor >= 1 {
+				kind = fmt.Sprintf("%gx slowdown", ev.Factor)
+			}
+			fmt.Printf("fault: %s on %s during [%.3gs, %.3gs)\n", kind, ev.Resource, ev.Start, ev.End())
+		}
+		fmt.Printf("throughput retention under faults: %.1f%% (clean %.1f tok/s)\n\n",
+			100*res.Throughput/clean.Throughput, clean.Throughput)
+	}
 	fmt.Printf("simulated %d decode steps (%d tasks)\n", res.SimulatedSteps, res.Tasks)
 	fmt.Printf("steady-state step time: %.2f ms/layer (analytical model: %.2f ms)\n",
 		res.StepTime*1e3, est.TGen()*1e3)

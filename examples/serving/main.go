@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -42,7 +43,7 @@ func main() {
 	// it (or after 32 steps).
 	const eos = 0
 	fmt.Println("streaming generation (token per sequence per step):")
-	out, err := eng.GenerateStream(prompts, 32, func(step int, tokens []int) bool {
+	out, err := eng.GenerateStream(context.Background(), prompts, 32, func(step int, tokens []int) bool {
 		fmt.Printf("  step %2d: %v\n", step, tokens)
 		done := true
 		for _, tok := range tokens {

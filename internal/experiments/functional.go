@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -74,7 +75,7 @@ func FunctionalCheck() (*FunctionalResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: functional %q: %w", c.label, err)
 		}
-		got, err := eng.Generate(prompts, work.GenLen)
+		got, err := eng.Generate(context.Background(), prompts, work.GenLen)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: functional %q: %w", c.label, err)
 		}

@@ -1,0 +1,335 @@
+// Package faults is the deterministic fault-injection layer shared by the
+// functional engine and the discrete-event simulator. A single Injector holds
+// per-site rules (fire probability, fire cap, stall duration) and a
+// seed-derived random stream *per site*, so the fault sequence a component
+// observes is reproducible regardless of how probes from different sites
+// interleave — the property chaos tests need to replay a failure.
+//
+// The injection sites model the degraded conditions that dominate real
+// offloading deployments (LLMServingSim and APEX both stress that
+// serving-scale evaluation must cover them): weight-transfer stalls and
+// transient failures on the CPU–GPU link, in-flight KV chunk corruption
+// (caught by the stores' checksums), device memory-pressure spikes, and
+// worker panics inside the compute pool.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site names one injection point. The engine probes a site every time the
+// corresponding operation runs; the simulator maps sites onto resources.
+type Site string
+
+// The built-in injection sites.
+const (
+	// WeightTransfer covers the per-layer weight stream (load_weight):
+	// stalls and transient transfer failures.
+	WeightTransfer Site = "weight-transfer"
+	// KVTransfer covers KV chunk movement in both directions (load_cache /
+	// store_cache): stalls and transient transfer failures.
+	KVTransfer Site = "kv-transfer"
+	// KVCorruption flips bits in a KV chunk in flight; the store's checksum
+	// must detect it (the fetch is then retried from the intact host copy).
+	KVCorruption Site = "kv-corruption"
+	// MemPressure makes a device-arena allocation transiently fail, modeling
+	// fragmentation or a co-tenant's allocation spike.
+	MemPressure Site = "mem-pressure"
+	// WorkerPanic panics inside a threadpool worker, exercising the pool's
+	// recovery and the engine's step retry.
+	WorkerPanic Site = "worker-panic"
+)
+
+// Sites returns every built-in site in stable order.
+func Sites() []Site {
+	return []Site{WeightTransfer, KVTransfer, KVCorruption, MemPressure, WorkerPanic}
+}
+
+// Rule configures one site. The zero Rule never fires.
+type Rule struct {
+	// Prob is the per-probe fire probability in [0, 1].
+	Prob float64
+	// Max caps the number of fires (0 = unlimited).
+	Max int
+	// Stall is the delay injected per fire at stall-capable sites.
+	Stall time.Duration
+}
+
+// Validate reports malformed rules.
+func (r Rule) Validate() error {
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("faults: probability %g outside [0, 1]", r.Prob)
+	}
+	if r.Max < 0 {
+		return fmt.Errorf("faults: negative fire cap %d", r.Max)
+	}
+	if r.Stall < 0 {
+		return fmt.Errorf("faults: negative stall %v", r.Stall)
+	}
+	return nil
+}
+
+// Error is an injected fault surfaced as an error. Every injected fault is
+// transient by construction: the underlying data (host copies, weights) is
+// intact, so a retry may succeed.
+type Error struct {
+	Site Site
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s fault: %s", e.Site, e.Msg)
+}
+
+// Transient reports whether retrying the failed operation can succeed.
+// Injected faults model in-flight failures, so this is always true.
+func (e *Error) Transient() bool { return true }
+
+// IsTransient reports whether err is (or wraps) a transient injected fault.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient()
+}
+
+// Injector is a deterministic, seed-driven fault source. The nil *Injector
+// is valid and never fires, so call sites need no guards. All methods are
+// safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	rules map[Site]Rule
+	rngs  map[Site]*rand.Rand
+	fired map[Site]int
+}
+
+// New builds an injector. Rules for unknown sites are allowed (callers may
+// define their own probes); invalid rules return an error.
+func New(seed int64, rules map[Site]Rule) (*Injector, error) {
+	for site, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (site %s)", err, site)
+		}
+	}
+	cp := make(map[Site]Rule, len(rules))
+	for s, r := range rules {
+		cp[s] = r
+	}
+	return &Injector{
+		seed:  seed,
+		rules: cp,
+		rngs:  map[Site]*rand.Rand{},
+		fired: map[Site]int{},
+	}, nil
+}
+
+// MustNew is New for static rule sets that cannot fail.
+func MustNew(seed int64, rules map[Site]Rule) *Injector {
+	in, err := New(seed, rules)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// siteRNG returns the site's private stream, derived from the injector seed
+// and the site name so per-site sequences are interleaving-independent.
+func (in *Injector) siteRNG(site Site) *rand.Rand {
+	if r, ok := in.rngs[site]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	r := rand.New(rand.NewSource(in.seed ^ int64(h.Sum64())))
+	in.rngs[site] = r
+	return r
+}
+
+// fire rolls the site's die under its rule, honoring the fire cap.
+func (in *Injector) fire(site Site) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rule, ok := in.rules[site]
+	if !ok || rule.Prob <= 0 {
+		return false
+	}
+	if rule.Max > 0 && in.fired[site] >= rule.Max {
+		return false
+	}
+	if in.siteRNG(site).Float64() >= rule.Prob {
+		return false
+	}
+	in.fired[site]++
+	return true
+}
+
+// Enabled reports whether the site has a rule that can ever fire. Callers
+// use it to skip expensive probe scaffolding (e.g. spawning a pool task just
+// to probe WorkerPanic).
+func (in *Injector) Enabled(site Site) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.rules[site]
+	return ok && r.Prob > 0
+}
+
+// Fail returns an injected transient error when the site fires, nil
+// otherwise.
+func (in *Injector) Fail(site Site) error {
+	if !in.fire(site) {
+		return nil
+	}
+	return &Error{Site: site, Msg: "transient failure"}
+}
+
+// StallFor returns the stall to insert at the site (zero when it does not
+// fire or the rule has no stall configured).
+func (in *Injector) StallFor(site Site) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	stall := in.rules[site].Stall
+	in.mu.Unlock()
+	if stall <= 0 || !in.fire(site) {
+		return 0
+	}
+	return stall
+}
+
+// ShouldCorrupt reports whether the site's in-flight payload should be
+// corrupted this probe.
+func (in *Injector) ShouldCorrupt(site Site) bool { return in.fire(site) }
+
+// MaybePanic panics with an *Error when the site fires. Run it inside a
+// threadpool worker to exercise panic recovery end to end.
+func (in *Injector) MaybePanic(site Site) {
+	if in.fire(site) {
+		panic(&Error{Site: site, Msg: "worker panic"})
+	}
+}
+
+// Fired returns how many times the site has fired.
+func (in *Injector) Fired(site Site) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// Counts returns a copy of the per-site fire counts (only sites that fired
+// at least once appear).
+func (in *Injector) Counts() map[Site]int {
+	out := map[Site]int{}
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for s, n := range in.fired {
+		if n > 0 {
+			out[s] = n
+		}
+	}
+	return out
+}
+
+// String summarizes the configured rules and fire counts.
+func (in *Injector) String() string {
+	if in == nil {
+		return "faults: disabled"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]string, 0, len(in.rules))
+	for s := range in.rules {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults(seed=%d)", in.seed)
+	for _, s := range sites {
+		r := in.rules[Site(s)]
+		fmt.Fprintf(&b, " %s:p=%g", s, r.Prob)
+		if r.Max > 0 {
+			fmt.Fprintf(&b, ":n=%d", r.Max)
+		}
+		if r.Stall > 0 {
+			fmt.Fprintf(&b, ":stall=%v", r.Stall)
+		}
+		fmt.Fprintf(&b, "(fired %d)", in.fired[Site(s)])
+	}
+	return b.String()
+}
+
+// ParseRules parses a flag-friendly rule spec: comma-separated site clauses,
+// each "site:key=value[:key=value...]" with keys p (probability), n (fire
+// cap), and stall (Go duration). Example:
+//
+//	weight-transfer:p=0.2:stall=2ms,worker-panic:p=0.05:n=2
+func ParseRules(spec string) (map[Site]Rule, error) {
+	rules := map[Site]Rule{}
+	if strings.TrimSpace(spec) == "" {
+		return rules, nil
+	}
+	known := map[Site]bool{}
+	for _, s := range Sites() {
+		known[s] = true
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		site := Site(parts[0])
+		if !known[site] {
+			return nil, fmt.Errorf("faults: unknown site %q (have %v)", parts[0], Sites())
+		}
+		var rule Rule
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: malformed option %q in clause %q", kv, clause)
+			}
+			switch key {
+			case "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad probability %q: %w", val, err)
+				}
+				rule.Prob = p
+			case "n":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad fire cap %q: %w", val, err)
+				}
+				rule.Max = n
+			case "stall":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad stall %q: %w", val, err)
+				}
+				rule.Stall = d
+			default:
+				return nil, fmt.Errorf("faults: unknown option %q in clause %q", key, clause)
+			}
+		}
+		if err := rule.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (site %s)", err, site)
+		}
+		rules[site] = rule
+	}
+	return rules, nil
+}

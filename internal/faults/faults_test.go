@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeterminism: two injectors with the same seed and rules produce the
+// same fire sequence per site, independent of probe interleaving across
+// sites.
+func TestDeterminism(t *testing.T) {
+	rules := map[Site]Rule{
+		WeightTransfer: {Prob: 0.3},
+		KVTransfer:     {Prob: 0.5},
+	}
+	a := MustNew(7, rules)
+	b := MustNew(7, rules)
+
+	var seqA []bool
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.Fail(WeightTransfer) != nil)
+	}
+	// Interleave probes of another site on b; WeightTransfer's stream must
+	// be unaffected.
+	var seqB []bool
+	for i := 0; i < 200; i++ {
+		b.Fail(KVTransfer)
+		seqB = append(seqB, b.Fail(WeightTransfer) != nil)
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("fire sequence diverged at probe %d", i)
+		}
+	}
+	if a.Fired(WeightTransfer) == 0 {
+		t.Fatal("p=0.3 over 200 probes never fired")
+	}
+}
+
+// TestSeedChangesSequence: different seeds give different sequences.
+func TestSeedChangesSequence(t *testing.T) {
+	rules := map[Site]Rule{KVCorruption: {Prob: 0.5}}
+	a := MustNew(1, rules)
+	b := MustNew(2, rules)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.ShouldCorrupt(KVCorruption) != b.ShouldCorrupt(KVCorruption) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-probe sequences")
+	}
+}
+
+// TestFireCap: Max bounds the number of fires.
+func TestFireCap(t *testing.T) {
+	in := MustNew(3, map[Site]Rule{WorkerPanic: {Prob: 1, Max: 2}})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fires++
+				}
+			}()
+			in.MaybePanic(WorkerPanic)
+		}()
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, cap was 2", fires)
+	}
+	if in.Fired(WorkerPanic) != 2 {
+		t.Fatalf("Fired() = %d, want 2", in.Fired(WorkerPanic))
+	}
+}
+
+// TestNilInjectorSafe: the nil injector never fires and never panics.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Fail(WeightTransfer) != nil || in.StallFor(KVTransfer) != 0 ||
+		in.ShouldCorrupt(KVCorruption) || in.Enabled(MemPressure) || in.Fired(WorkerPanic) != 0 {
+		t.Fatal("nil injector fired")
+	}
+	in.MaybePanic(WorkerPanic) // must not panic
+	if len(in.Counts()) != 0 {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+// TestTransientClassification: injected errors are transient, others are not.
+func TestTransientClassification(t *testing.T) {
+	in := MustNew(5, map[Site]Rule{MemPressure: {Prob: 1}})
+	err := in.Fail(MemPressure)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("p=1 fault not transient: %v", err)
+	}
+	if !IsTransient(errorsWrap(err)) {
+		t.Fatal("wrapped injected fault not recognized")
+	}
+	if IsTransient(errors.New("disk on fire")) {
+		t.Fatal("ordinary error classified transient")
+	}
+}
+
+func errorsWrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapped) Unwrap() error { return w.inner }
+
+// TestStall: stall fires return the configured duration.
+func TestStall(t *testing.T) {
+	in := MustNew(9, map[Site]Rule{WeightTransfer: {Prob: 1, Stall: 3 * time.Millisecond}})
+	if d := in.StallFor(WeightTransfer); d != 3*time.Millisecond {
+		t.Fatalf("stall = %v, want 3ms", d)
+	}
+	// Sites without a stall never stall even at p=1.
+	in2 := MustNew(9, map[Site]Rule{WeightTransfer: {Prob: 1}})
+	if d := in2.StallFor(WeightTransfer); d != 0 {
+		t.Fatalf("stall-less rule stalled %v", d)
+	}
+}
+
+// TestParseRules covers the flag syntax and its error cases.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("weight-transfer:p=0.2:stall=2ms,worker-panic:p=0.05:n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rules[WeightTransfer]; r.Prob != 0.2 || r.Stall != 2*time.Millisecond {
+		t.Fatalf("weight-transfer rule = %+v", r)
+	}
+	if r := rules[WorkerPanic]; r.Prob != 0.05 || r.Max != 2 {
+		t.Fatalf("worker-panic rule = %+v", r)
+	}
+	if rules, err := ParseRules(""); err != nil || len(rules) != 0 {
+		t.Fatalf("empty spec: %v %v", rules, err)
+	}
+	for _, bad := range []string{
+		"bogus-site:p=0.5",
+		"kv-transfer:p=nope",
+		"kv-transfer:p",
+		"kv-transfer:q=1",
+		"kv-transfer:p=1.5",
+		"kv-transfer:stall=-1ms",
+		"kv-transfer:n=-1",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestValidateRule rejects out-of-range fields at construction.
+func TestValidateRule(t *testing.T) {
+	if _, err := New(1, map[Site]Rule{WeightTransfer: {Prob: -0.1}}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := New(1, map[Site]Rule{WeightTransfer: {Prob: 0.5, Max: -1}}); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+}

@@ -72,6 +72,45 @@ func (kc *KVCache) SeqLen(layer, seq int) int {
 	return kc.keys[layer][seq].Dim(0)
 }
 
+// SeqLens snapshots the cached token count of every (layer, seq) slot —
+// a rollback mark for fault recovery (see TruncateTo).
+func (kc *KVCache) SeqLens() [][]int {
+	out := make([][]int, kc.layers)
+	for l := range out {
+		out[l] = make([]int, kc.batch)
+		for s := 0; s < kc.batch; s++ {
+			out[l][s] = kc.SeqLen(l, s)
+		}
+	}
+	return out
+}
+
+// TruncateTo rewinds every slot to the token counts recorded by an earlier
+// SeqLens call, discarding rows appended since. The offloading runtime uses
+// this to undo a partially completed decode step before retrying it.
+func (kc *KVCache) TruncateTo(lens [][]int) {
+	for l := range lens {
+		for s, n := range lens[l] {
+			cur := kc.SeqLen(l, s)
+			if n >= cur {
+				continue
+			}
+			if n == 0 {
+				kc.keys[l][s], kc.values[l][s] = nil, nil
+				continue
+			}
+			kc.keys[l][s] = truncRows(kc.keys[l][s], n)
+			kc.values[l][s] = truncRows(kc.values[l][s], n)
+		}
+	}
+}
+
+// truncRows copies the first n rows of a [rows, hidden] tensor.
+func truncRows(t *tensor.Tensor, n int) *tensor.Tensor {
+	w := t.Dim(1)
+	return tensor.FromSlice(append([]float32(nil), t.Data()[:n*w]...), n, w)
+}
+
 // Batch returns the sequence count.
 func (kc *KVCache) Batch() int { return kc.batch }
 

@@ -81,6 +81,7 @@ func QuantizeParallel(pool *threadpool.Pool, width int, t *tensor.Tensor, cfg Co
 			packBits(q.packed, g*cfg.GroupSize, codes, cfg.Bits)
 		}
 	})
+	q.seal()
 	return q, nil
 }
 

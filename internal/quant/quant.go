@@ -11,7 +11,9 @@
 package quant
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/tensor"
@@ -55,6 +57,64 @@ type Tensor struct {
 	packed []byte
 	mins   []float32
 	scales []float32 // (max - min) per group
+	crc    uint32    // CRC-32 (IEEE) over packed codes and group metadata
+}
+
+// checksum hashes the packed codes and the per-group dequantization
+// parameters. CRC-32 detects every burst error up to 32 bits, so any
+// single-byte corruption of the payload is caught.
+func (q *Tensor) checksum() uint32 {
+	h := crc32.NewIEEE()
+	h.Write(q.packed)
+	var buf [4]byte
+	for i := range q.mins {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(q.mins[i]))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(q.scales[i]))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// seal records the tensor's checksum; called once at quantization time.
+func (q *Tensor) seal() { q.crc = q.checksum() }
+
+// Verify recomputes the checksum and reports corruption. A quantized tensor
+// must never be silently dequantized after its payload was damaged in
+// flight; callers check Verify after every transfer.
+func (q *Tensor) Verify() error {
+	if got := q.checksum(); got != q.crc {
+		return fmt.Errorf("quant: checksum mismatch (stored %08x, computed %08x): corrupted tensor", q.crc, got)
+	}
+	return nil
+}
+
+// Checksum returns the sealed CRC.
+func (q *Tensor) Checksum() uint32 { return q.crc }
+
+// Clone returns a deep copy sharing no storage with q.
+func (q *Tensor) Clone() *Tensor {
+	cp := &Tensor{
+		cfg:    q.cfg,
+		shape:  append([]int(nil), q.shape...),
+		numel:  q.numel,
+		padded: q.padded,
+		packed: append([]byte(nil), q.packed...),
+		mins:   append([]float32(nil), q.mins...),
+		scales: append([]float32(nil), q.scales...),
+		crc:    q.crc,
+	}
+	return cp
+}
+
+// Corrupt XORs the packed byte at index i (modulo the payload length)
+// without updating the checksum — fault-injection and test support for
+// modeling in-flight bit flips. A zero xor is a no-op.
+func (q *Tensor) Corrupt(i int, xor byte) {
+	if len(q.packed) == 0 {
+		return
+	}
+	q.packed[((i%len(q.packed))+len(q.packed))%len(q.packed)] ^= xor
 }
 
 // Config returns the parameters this tensor was quantized with.
@@ -179,6 +239,7 @@ func Quantize(t *tensor.Tensor, cfg Config) (*Tensor, error) {
 		// Phase 4: pack codes into the bit stream.
 		packBits(q.packed, g*cfg.GroupSize, codes, cfg.Bits)
 	}
+	q.seal()
 	return q, nil
 }
 

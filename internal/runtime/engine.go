@@ -1,9 +1,12 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -54,6 +57,10 @@ type Policy struct {
 	// weights load while the current layer computes, and KV stores complete
 	// in the background (Algorithm 1's overlap).
 	Prefetch bool
+	// StepTimeout bounds each generation step (prefill or one decode step).
+	// A step exceeding it is cancelled, rolled back, and retried — possibly
+	// under a degraded policy. Zero disables the deadline.
+	StepTimeout time.Duration
 }
 
 // Validate reports inconsistent policies.
@@ -86,8 +93,16 @@ func (p Policy) Validate() error {
 	if p.CompressResident && !p.QuantWeights {
 		return fmt.Errorf("runtime: CompressResident requires QuantWeights")
 	}
+	if p.StepTimeout < 0 {
+		return fmt.Errorf("runtime: step timeout must be >= 0, got %v", p.StepTimeout)
+	}
 	return nil
 }
+
+// maxStepAttempts bounds how many times one generation step (prefill or a
+// decode step) is attempted before the run fails. Attempts past the second
+// each take one rung of the degradation ladder first.
+const maxStepAttempts = 6
 
 // Engine executes generation for one model under an offloading policy.
 type Engine struct {
@@ -98,6 +113,12 @@ type Engine struct {
 	policy   Policy
 	stats    *Stats
 	resident []*model.LayerWeights // pinned layers (wg's functional analogue)
+
+	faults    *faults.Injector
+	retry     RetryConfig
+	ckptEvery int // snapshot every N decode steps (0 = off)
+	ckptMu    sync.Mutex
+	lastCkpt  *Checkpoint
 }
 
 // NewEngine builds an engine. gpuArenaBytes bounds the simulated device
@@ -119,7 +140,7 @@ func NewEngine(m *model.Model, policy Policy, gpuArenaBytes int64, pool *threadp
 		return nil, err
 	}
 	ws.UsePool(pool, policy.IntraOp)
-	e := &Engine{mod: m, weights: ws, gpu: arena, pool: pool, policy: policy, stats: newStats()}
+	e := &Engine{mod: m, weights: ws, gpu: arena, pool: pool, policy: policy, stats: newStats(), retry: DefaultRetryConfig()}
 	// Pin the resident layers: the one-time upload claims arena space for
 	// the rest of the run. Compressed residency charges only the packed
 	// size but leaves the per-use dequantization to loadLayer.
@@ -143,84 +164,302 @@ func NewEngine(m *model.Model, policy Policy, gpuArenaBytes int64, pool *threadp
 // Stats returns the accumulated accounting.
 func (e *Engine) Stats() *Stats { return e.stats }
 
+// Policy returns the engine's current policy. Degradation mutates it
+// mid-run, so this reflects the policy generation is actually running under.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// SetFaultInjector wires a fault injector into every probe site. A nil
+// injector (the default) disables injection.
+func (e *Engine) SetFaultInjector(inj *faults.Injector) { e.faults = inj }
+
+// SetRetryConfig replaces the transient-fault retry policy.
+func (e *Engine) SetRetryConfig(rc RetryConfig) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	e.retry = rc
+	return nil
+}
+
+// EnableCheckpointing snapshots the generation state after prefill and then
+// every `every` decode steps; LastCheckpoint returns the most recent
+// snapshot. Zero disables checkpointing.
+func (e *Engine) EnableCheckpointing(every int) error {
+	if every < 0 {
+		return fmt.Errorf("runtime: checkpoint interval must be >= 0, got %d", every)
+	}
+	e.ckptEvery = every
+	return nil
+}
+
+// LastCheckpoint returns the most recent generation snapshot, or nil.
+func (e *Engine) LastCheckpoint() *Checkpoint {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return e.lastCkpt
+}
+
+// genRun is the mutable state of one generation (or resumed generation).
+type genRun struct {
+	prompts [][]int
+	out     [][]int
+	current []int // last generated token per sequence
+	pos     int   // next token position
+	step    int   // next decode step index, in [1, genLen)
+	genLen  int
+	onStep  func(step int, tokens []int) bool
+
+	// Exactly one of these is non-nil: the host-resident cache when
+	// attention runs on CPU, the chunked store when it runs on GPU.
+	hostCache *model.KVCache
+	kvStore   *KVStore
+
+	start time.Time
+}
+
+// runMark is a rollback point: enough state to undo a partially completed
+// step's KV appends.
+type runMark struct {
+	kv   [][]int
+	host [][]int
+}
+
+func (r *genRun) mark() runMark {
+	var m runMark
+	if r.kvStore != nil {
+		m.kv = r.kvStore.Mark()
+	}
+	if r.hostCache != nil {
+		m.host = r.hostCache.SeqLens()
+	}
+	return m
+}
+
+func (r *genRun) rollback(m runMark) {
+	if r.kvStore != nil && m.kv != nil {
+		r.kvStore.Rollback(m.kv)
+	}
+	if r.hostCache != nil && m.host != nil {
+		r.hostCache.TruncateTo(m.host)
+	}
+}
+
+// resetStores installs fresh (empty) KV storage for the run under the
+// current policy.
+func (e *Engine) resetStores(run *genRun) error {
+	cfg := e.mod.Cfg
+	batch := len(run.prompts)
+	if e.policy.AttnOnCPU {
+		run.hostCache = model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
+		run.kvStore = nil
+		return nil
+	}
+	st, err := NewKVStore(cfg.Layers, batch, e.policy.QuantKV, e.policy.KVCfg, e.policy.HostF16)
+	if err != nil {
+		return err
+	}
+	st.UsePool(e.pool, e.policy.IntraOp)
+	st.UseFaults(e.faults)
+	run.hostCache, run.kvStore = nil, st
+	return nil
+}
+
 // Generate runs prefill plus genLen greedy decode steps over the prompt
-// batch, returning the generated token IDs per sequence.
-func (e *Engine) Generate(prompts [][]int, genLen int) ([][]int, error) {
-	return e.GenerateStream(prompts, genLen, nil)
+// batch, returning the generated token IDs per sequence. Cancelling ctx
+// stops generation at the next step boundary; the error is ctx.Err() and
+// the tokens generated so far are returned.
+func (e *Engine) Generate(ctx context.Context, prompts [][]int, genLen int) ([][]int, error) {
+	return e.GenerateStream(ctx, prompts, genLen, nil)
 }
 
 // GenerateStream is Generate with a per-step callback: after each decode
 // step, onStep receives the step index (0-based) and the freshly generated
 // token per sequence. Returning false stops generation early; the tokens
 // produced so far are returned. A nil callback streams nothing.
-func (e *Engine) GenerateStream(prompts [][]int, genLen int, onStep func(step int, tokens []int) bool) ([][]int, error) {
+func (e *Engine) GenerateStream(ctx context.Context, prompts [][]int, genLen int, onStep func(step int, tokens []int) bool) ([][]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(prompts) == 0 {
 		return nil, fmt.Errorf("runtime: empty prompt batch")
 	}
 	if genLen <= 0 {
 		return nil, fmt.Errorf("runtime: generation length must be positive, got %d", genLen)
 	}
-	start := time.Now()
-	cfg := e.mod.Cfg
+	run := &genRun{prompts: prompts, genLen: genLen, onStep: onStep, start: time.Now()}
 	batch := len(prompts)
 
-	// Host-side KV: the persistent cache when attention stays on CPU, or
-	// the chunked (possibly quantized) store when attention runs on GPU.
-	var hostCache *model.KVCache
-	var kvStore *KVStore
-	if e.policy.AttnOnCPU {
-		hostCache = model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
-	} else {
-		var err error
-		kvStore, err = NewKVStore(cfg.Layers, batch, e.policy.QuantKV, e.policy.KVCfg, e.policy.HostF16)
-		if err != nil {
+	// --- Prefill (FlexGen steps 1.1-1.3), retried from scratch on transient
+	// failure: each attempt rebuilds the KV stores, so a partial prefill
+	// never leaks into the next try.
+	var hidden *tensor.Tensor
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		kvStore.UsePool(e.pool, e.policy.IntraOp)
+		if err := e.resetStores(run); err != nil {
+			return nil, err
+		}
+		stepCtx, cancel := e.stepContext(ctx)
+		t0 := time.Now()
+		h, err := e.prefill(stepCtx, run)
+		cancel()
+		e.stats.addTask("prefill", time.Since(t0))
+		if err == nil {
+			hidden = h
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if attempt >= maxStepAttempts {
+			return nil, fmt.Errorf("runtime: prefill failed after %d attempts: %w", attempt, err)
+		}
+		e.stats.addRetry("prefill")
+		if attempt >= 2 {
+			e.degradeOnce(ctx, run)
+		}
 	}
 
-	// --- Prefill (FlexGen steps 1.1-1.3): layer-major with streamed
-	// weights, offloading each layer's freshly computed KV before moving on.
-	t0 := time.Now()
-	hidden, err := e.prefill(hostCache, kvStore, prompts)
-	if err != nil {
-		return nil, err
-	}
-	e.stats.addTask("prefill", time.Since(t0))
-
-	out := make([][]int, batch)
-	current := tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))
-	for i := range out {
-		out[i] = append(out[i], current[i])
+	run.out = make([][]int, batch)
+	run.current = tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))
+	for i := range run.out {
+		run.out[i] = append(run.out[i], run.current[i])
 	}
 	e.stats.mu.Lock()
 	e.stats.TokensGenerated += int64(batch)
 	e.stats.mu.Unlock()
-	if onStep != nil && !onStep(0, current) {
-		e.stats.WallTime = time.Since(start)
-		return out, nil
+	run.pos = len(prompts[0])
+	run.step = 1
+	if e.ckptEvery > 0 {
+		e.snapshot(ctx, run)
 	}
+	if onStep != nil && !onStep(0, run.current) {
+		e.stats.WallTime = time.Since(run.start)
+		return run.out, nil
+	}
+	return e.decodeLoop(ctx, run)
+}
 
-	pos := len(prompts[0])
-	for step := 1; step < genLen; step++ {
-		next, err := e.decodeStep(hostCache, kvStore, current, pos)
-		if err != nil {
-			return nil, err
+// decodeLoop advances the run to completion, one decode step at a time.
+// Each step is atomic: a failed attempt rolls the KV state back before the
+// retry, and retries past the second first take one rung of the degradation
+// ladder. Cancellation is honoured at step boundaries.
+func (e *Engine) decodeLoop(ctx context.Context, run *genRun) ([][]int, error) {
+	stepAttempts := 0
+	for run.step < run.genLen {
+		if err := ctx.Err(); err != nil {
+			e.stats.WallTime = time.Since(run.start)
+			return run.out, err
 		}
-		current = next
-		pos++
-		for i := range out {
-			out[i] = append(out[i], current[i])
+		m := run.mark()
+		stepCtx, cancel := e.stepContext(ctx)
+		next, err := e.decodeStep(stepCtx, run)
+		cancel()
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				e.stats.WallTime = time.Since(run.start)
+				return run.out, cerr
+			}
+			run.rollback(m)
+			stepAttempts++
+			if stepAttempts >= maxStepAttempts {
+				e.stats.WallTime = time.Since(run.start)
+				return nil, fmt.Errorf("runtime: decode step %d failed after %d attempts: %w", run.step, stepAttempts, err)
+			}
+			e.stats.addRetry("decode_step")
+			if stepAttempts >= 2 {
+				e.degradeOnce(ctx, run)
+			}
+			continue
+		}
+		stepAttempts = 0
+		run.current = next
+		run.pos++
+		for i := range run.out {
+			run.out[i] = append(run.out[i], next[i])
 		}
 		e.stats.mu.Lock()
-		e.stats.TokensGenerated += int64(batch)
+		e.stats.TokensGenerated += int64(len(next))
 		e.stats.mu.Unlock()
-		if onStep != nil && !onStep(step, current) {
+		step := run.step
+		run.step++
+		if e.ckptEvery > 0 && run.step%e.ckptEvery == 0 {
+			e.snapshot(ctx, run)
+		}
+		if run.onStep != nil && !run.onStep(step, next) {
 			break
 		}
 	}
-	e.stats.WallTime = time.Since(start)
-	return out, nil
+	e.stats.WallTime = time.Since(run.start)
+	return run.out, nil
+}
+
+// stepContext derives the per-step deadline context.
+func (e *Engine) stepContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.policy.StepTimeout > 0 {
+		return context.WithTimeout(ctx, e.policy.StepTimeout)
+	}
+	return ctx, func() {}
+}
+
+// degradeOnce takes the next rung of the degradation ladder, trading
+// throughput for survivability after repeated step failures: first drop the
+// overlap (prefetch pipelines are the most fault-exposed machinery), then
+// shrink the GPU batch (halving the peak arena footprint under memory
+// pressure), and finally migrate the KV cache to the host and keep attention
+// there — after which no KV bytes cross the faulty interconnect at all.
+func (e *Engine) degradeOnce(ctx context.Context, run *genRun) {
+	switch {
+	case e.policy.Prefetch:
+		e.policy.Prefetch = false
+		e.stats.addDegradation("prefetch-off")
+	case run.kvStore != nil && len(run.prompts) > 1 && e.policy.GPUBatch != 1:
+		nb := e.policy.GPUBatch
+		if nb <= 0 || nb > len(run.prompts) {
+			nb = len(run.prompts)
+		}
+		nb /= 2
+		if nb < 1 {
+			nb = 1
+		}
+		e.policy.GPUBatch = nb
+		e.stats.addDegradation(fmt.Sprintf("gpu-batch=%d", nb))
+	case run.kvStore != nil:
+		if err := e.migrateToHost(ctx, run); err != nil {
+			e.stats.addDegradation("attn-on-cpu(migration failed)")
+			return
+		}
+		e.policy.AttnOnCPU = true
+		e.policy.QuantKV = false
+		e.stats.addDegradation("attn-on-cpu")
+	}
+}
+
+// migrateToHost converts the chunked KV store into a host-resident cache so
+// subsequent steps compute attention on the CPU (the AttnOnCPU fallback).
+func (e *Engine) migrateToHost(ctx context.Context, run *genRun) error {
+	cfg := e.mod.Cfg
+	batch := len(run.prompts)
+	hc := model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
+	for l := 0; l < cfg.Layers; l++ {
+		for s := 0; s < batch; s++ {
+			var k, v *tensor.Tensor
+			err := e.withRetry(ctx, "kv_migrate", func() error {
+				var ferr error
+				k, v, _, ferr = run.kvStore.Fetch(l, s)
+				return ferr
+			})
+			if err != nil {
+				return err
+			}
+			if k != nil {
+				hc.SetKV(l, s, k, v)
+			}
+		}
+	}
+	run.hostCache, run.kvStore = hc, nil
+	return nil
 }
 
 // prefill runs the prompt through every layer with the same streamed-weight
@@ -228,8 +467,10 @@ func (e *Engine) GenerateStream(prompts [][]int, genLen int, onStep func(step in
 // attention and MLP on the "GPU" (1.2), and offload the layer's KV cache to
 // host storage (1.3). It returns the last-position hidden state per
 // sequence.
-func (e *Engine) prefill(hostCache *model.KVCache, kvStore *KVStore, prompts [][]int) (*tensor.Tensor, error) {
+func (e *Engine) prefill(ctx context.Context, run *genRun) (hidden *tensor.Tensor, err error) {
+	defer recoverAsError(&err)
 	cfg := e.mod.Cfg
+	prompts := run.prompts
 	batch := len(prompts)
 	s := len(prompts[0])
 	x := make([]*tensor.Tensor, batch)
@@ -243,25 +484,28 @@ func (e *Engine) prefill(hostCache *model.KVCache, kvStore *KVStore, prompts [][
 
 	// Prefill computes into a live cache; with GPU attention the layer's KV
 	// is offloaded (and the live copy dropped) as soon as the layer is done.
-	live := hostCache
+	live := run.hostCache
 	if live == nil {
 		live = model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
 	}
 
-	loads := make(chan loadedLayer, 1)
+	pipe := e.newLoadPipeline(ctx)
+	defer pipe.drain()
 	if e.policy.Prefetch {
-		go func() { loads <- e.loadLayer(0) }()
+		pipe.start(0)
 	}
 	for j := 0; j < cfg.Layers; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var ll loadedLayer
 		if e.policy.Prefetch {
-			ll = <-loads
+			ll = pipe.take()
 			if j+1 < cfg.Layers {
-				next := j + 1
-				go func() { loads <- e.loadLayer(next) }()
+				pipe.start(j + 1)
 			}
 		} else {
-			ll = e.loadLayer(j)
+			ll = e.loadLayer(ctx, j)
 		}
 		if ll.err != nil {
 			return nil, fmt.Errorf("runtime: prefill layer %d: %w", j, ll.err)
@@ -275,18 +519,13 @@ func (e *Engine) prefill(hostCache *model.KVCache, kvStore *KVStore, prompts [][
 		e.stats.addTask("compute", time.Since(t0))
 		e.gpu.Free(ll.resident)
 
-		if kvStore != nil {
+		if run.kvStore != nil {
 			// Step 1.3: offload this layer's KV, quantized when enabled
 			// (Eq. 5), and release the live copy.
 			t1 := time.Now()
 			for seq := 0; seq < batch; seq++ {
-				n, err := kvStore.Append(j, seq, live.Keys(j, seq), live.Values(j, seq))
-				if err != nil {
+				if err := e.storeChunk(ctx, run.kvStore, j, seq, live.Keys(j, seq), live.Values(j, seq)); err != nil {
 					return nil, err
-				}
-				e.stats.addBytes(&e.stats.KVDownBytes, n)
-				if e.policy.QuantKV {
-					e.stats.addOps(2, 0)
 				}
 				live.SetKV(j, seq, nil, nil)
 			}
@@ -294,11 +533,29 @@ func (e *Engine) prefill(hostCache *model.KVCache, kvStore *KVStore, prompts [][
 		}
 	}
 
-	hidden := tensor.New(batch, cfg.Hidden)
+	hidden = tensor.New(batch, cfg.Hidden)
 	for i, xs := range x {
 		copy(hidden.Row(i), xs.Row(s-1))
 	}
 	return hidden, nil
+}
+
+// storeChunk performs one store_cache transfer with fault probes and retry.
+func (e *Engine) storeChunk(ctx context.Context, kvStore *KVStore, layer, seq int, k, v *tensor.Tensor) error {
+	return e.withRetry(ctx, "store_cache", func() error {
+		if err := e.stallOrFail(ctx, faults.KVTransfer); err != nil {
+			return err
+		}
+		n, err := kvStore.Append(layer, seq, k, v)
+		if err != nil {
+			return err
+		}
+		e.stats.addBytes(&e.stats.KVDownBytes, n)
+		if e.policy.QuantKV {
+			e.stats.addOps(2, 0)
+		}
+		return nil
+	})
 }
 
 // loadedLayer is a weight buffer staged into the GPU arena.
@@ -308,9 +565,65 @@ type loadedLayer struct {
 	err      error
 }
 
-// loadLayer performs the load_weight task: charge the transfer, allocate the
-// resident (dequantized) buffer, and materialize the tensors.
-func (e *Engine) loadLayer(j int) loadedLayer {
+// loadPipeline overlaps the next layer's load_weight with the current
+// layer's compute. At most one load is outstanding; drain must run before
+// the owner returns so an abandoned in-flight load cannot leak its arena
+// reservation (or its goroutine).
+type loadPipeline struct {
+	e       *Engine
+	ctx     context.Context
+	ch      chan loadedLayer
+	pending bool
+}
+
+func (e *Engine) newLoadPipeline(ctx context.Context) *loadPipeline {
+	return &loadPipeline{e: e, ctx: ctx, ch: make(chan loadedLayer, 1)}
+}
+
+func (p *loadPipeline) start(j int) {
+	p.pending = true
+	go func() { p.ch <- p.e.loadLayer(p.ctx, j) }()
+}
+
+func (p *loadPipeline) take() loadedLayer {
+	ll := <-p.ch
+	p.pending = false
+	return ll
+}
+
+func (p *loadPipeline) drain() {
+	if p.pending {
+		ll := <-p.ch
+		p.e.gpu.Free(ll.resident)
+		p.pending = false
+	}
+}
+
+// loadLayer performs the load_weight task with transient-fault retry:
+// charge the transfer, allocate the resident (dequantized) buffer, and
+// materialize the tensors.
+func (e *Engine) loadLayer(ctx context.Context, j int) loadedLayer {
+	var out loadedLayer
+	err := e.withRetry(ctx, "load_weight", func() error {
+		out = e.loadLayerOnce(ctx, j)
+		return out.err
+	})
+	if err != nil {
+		return loadedLayer{err: err}
+	}
+	return out
+}
+
+// loadLayerOnce is one load_weight attempt, with the weight-transfer and
+// memory-pressure fault probes. A panic during dequantization (e.g. an
+// injected worker panic) is recovered into the returned error.
+func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.gpu.Free(out.resident)
+			out = loadedLayer{err: panicAsError(r)}
+		}
+	}()
 	// Pinned layers never move: no transfer. Compressed residents still pay
 	// a dequantization per use (into transient arena space); uncompressed
 	// residents are served directly.
@@ -321,7 +634,7 @@ func (e *Engine) loadLayer(j int) loadedLayer {
 		t0 := time.Now()
 		defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
 		scratch := e.weights.ResidentBytes(j)
-		if err := e.gpu.Alloc(scratch); err != nil {
+		if err := e.allocGPU(scratch); err != nil {
 			return loadedLayer{err: err}
 		}
 		lw := e.weights.Load(j)
@@ -330,8 +643,11 @@ func (e *Engine) loadLayer(j int) loadedLayer {
 	}
 	t0 := time.Now()
 	defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
+	if err := e.stallOrFail(ctx, faults.WeightTransfer); err != nil {
+		return loadedLayer{err: err}
+	}
 	resident := e.weights.ResidentBytes(j)
-	if err := e.gpu.Alloc(resident); err != nil {
+	if err := e.allocGPU(resident); err != nil {
 		return loadedLayer{err: err}
 	}
 	e.stats.addBytes(&e.stats.WeightUpBytes, e.weights.TransferBytes(j))
@@ -342,10 +658,24 @@ func (e *Engine) loadLayer(j int) loadedLayer {
 	return loadedLayer{weights: lw, resident: resident}
 }
 
-// decodeStep advances every sequence by one token through all layers,
-// with the six tasks of Algorithm 1 overlapped when Prefetch is on.
-func (e *Engine) decodeStep(hostCache *model.KVCache, kvStore *KVStore, tokens []int, pos int) ([]int, error) {
+// allocGPU claims arena space, first probing the memory-pressure fault site
+// (a transient allocation failure under co-tenant pressure).
+func (e *Engine) allocGPU(n int64) error {
+	if err := e.faults.Fail(faults.MemPressure); err != nil {
+		return err
+	}
+	return e.gpu.Alloc(n)
+}
+
+// decodeStep advances every sequence by one token through all layers, with
+// the six tasks of Algorithm 1 overlapped when Prefetch is on. Any panic
+// escaping the compute path (including recovered worker panics rethrown by
+// the pool) is converted into the returned error so the caller can roll the
+// step back and retry.
+func (e *Engine) decodeStep(ctx context.Context, run *genRun) (next []int, err error) {
+	defer recoverAsError(&err)
 	cfg := e.mod.Cfg
+	tokens := run.current
 	batch := len(tokens)
 
 	// Embed the current tokens (the load_activation task's payload).
@@ -353,32 +683,35 @@ func (e *Engine) decodeStep(hostCache *model.KVCache, kvStore *KVStore, tokens [
 	actBytes := int64(batch) * int64(cfg.Hidden) * 4
 	e.stats.addBytes(&e.stats.ActUpBytes, actBytes)
 	for i, tok := range tokens {
-		x[i] = e.mod.Embed([]int{tok}, pos)
+		x[i] = e.mod.Embed([]int{tok}, run.pos)
 	}
 
 	// Weight prefetch pipeline (asynchronous load_weight of layer j+1).
-	loads := make(chan loadedLayer, 1)
+	pipe := e.newLoadPipeline(ctx)
+	defer pipe.drain()
 	if e.policy.Prefetch {
-		go func() { loads <- e.loadLayer(0) }()
+		pipe.start(0)
 	}
 
 	for j := 0; j < cfg.Layers; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var ll loadedLayer
 		if e.policy.Prefetch {
-			ll = <-loads
+			ll = pipe.take()
 			if j+1 < cfg.Layers {
-				next := j + 1
-				go func() { loads <- e.loadLayer(next) }()
+				pipe.start(j + 1)
 			}
 		} else {
-			ll = e.loadLayer(j)
+			ll = e.loadLayer(ctx, j)
 		}
 		if ll.err != nil {
 			return nil, fmt.Errorf("runtime: layer %d: %w", j, ll.err)
 		}
 
 		e.loadActivations(x)
-		if err := e.computeLayer(hostCache, kvStore, j, ll.weights, x); err != nil {
+		if err := e.computeLayer(ctx, run, j, ll.weights, x); err != nil {
 			e.gpu.Free(ll.resident)
 			return nil, err
 		}
@@ -390,7 +723,7 @@ func (e *Engine) decodeStep(hostCache *model.KVCache, kvStore *KVStore, tokens [
 
 	t0 := time.Now()
 	logits := e.mod.Logits(e.pool, e.policy.IntraOp, rowsOf(x, cfg.Hidden))
-	next := tensor.ArgmaxRows(logits)
+	next = tensor.ArgmaxRows(logits)
 	e.stats.addTask("compute", time.Since(t0))
 	e.stats.addBytes(&e.stats.ActDownBytes, actBytes)
 	return next, nil
@@ -404,23 +737,80 @@ type fetchedKV struct {
 	err     error
 }
 
+// kvPipeline overlaps the next GPU batch's load_cache with the current
+// batch's compute, with the same drain discipline as loadPipeline.
+type kvPipeline struct {
+	e       *Engine
+	ch      chan fetchedKV
+	pending bool
+}
+
+func (p *kvPipeline) take() fetchedKV {
+	kv := <-p.ch
+	p.pending = false
+	return kv
+}
+
+func (p *kvPipeline) drain() {
+	if p.pending {
+		kv := <-p.ch
+		p.e.gpu.Free(kv.fetched)
+		p.pending = false
+	}
+}
+
 // loadCacheBatch performs the load_cache task for the sequences
-// [seqBase, seqBase+batch): fetch (and dequantize) every chunk, charge the
-// arena, and return the staged cache slice.
-func (e *Engine) loadCacheBatch(kvStore *KVStore, j, seqBase, batch int) fetchedKV {
+// [seqBase, seqBase+batch) with transient-fault retry: fetch (and
+// dequantize) every chunk, verify checksums, charge the arena, and return
+// the staged cache slice.
+func (e *Engine) loadCacheBatch(ctx context.Context, kvStore *KVStore, j, seqBase, batch int) fetchedKV {
+	var out fetchedKV
+	rerr := e.withRetry(ctx, "load_cache", func() error {
+		out = e.loadCacheOnce(ctx, kvStore, j, seqBase, batch)
+		if out.err != nil {
+			e.gpu.Free(out.fetched)
+			ferr := out.err
+			out = fetchedKV{}
+			return ferr
+		}
+		return nil
+	})
+	if rerr != nil {
+		return fetchedKV{err: rerr}
+	}
+	return out
+}
+
+// loadCacheOnce is one load_cache attempt, probing the KV-transfer fault
+// site and verifying chunk checksums via the store.
+func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase, batch int) (out fetchedKV) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.gpu.Free(out.fetched)
+			out = fetchedKV{err: panicAsError(r)}
+		}
+	}()
 	t0 := time.Now()
 	defer func() { e.stats.addTask("load_cache", time.Since(t0)) }()
 	cfg := e.mod.Cfg
-	out := fetchedKV{cache: model.NewKVCache(cfg.Layers, seqBase+batch, cfg.Hidden)}
+	out = fetchedKV{cache: model.NewKVCache(cfg.Layers, seqBase+batch, cfg.Hidden)}
+	if err := e.stallOrFail(ctx, faults.KVTransfer); err != nil {
+		out.err = err
+		return out
+	}
 	for s := 0; s < batch; s++ {
-		k, v, bytes := kvStore.Fetch(j, seqBase+s)
+		k, v, bytes, err := kvStore.Fetch(j, seqBase+s)
 		e.stats.addBytes(&e.stats.KVUpBytes, bytes)
+		if err != nil {
+			out.err = err
+			return out
+		}
 		if e.policy.QuantKV {
 			e.stats.addOps(0, 2*len64(kvStore.chunks[j][seqBase+s]))
 		}
 		if k != nil {
 			kb := k.Bytes() + v.Bytes()
-			if err := e.gpu.Alloc(kb); err != nil {
+			if err := e.allocGPU(kb); err != nil {
 				out.err = err
 				return out
 			}
@@ -435,7 +825,8 @@ func (e *Engine) loadCacheBatch(kvStore *KVStore, j, seqBase, batch int) fetched
 // lw, iterating the block's GPU batches one at a time (Algorithm 1's k
 // loop). Under Prefetch, batch k+1's load_cache runs while batch k computes
 // (Algorithm 1 lines 11-13).
-func (e *Engine) computeLayer(hostCache *model.KVCache, kvStore *KVStore, j int, lw *model.LayerWeights, x []*tensor.Tensor) error {
+func (e *Engine) computeLayer(ctx context.Context, run *genRun, j int, lw *model.LayerWeights, x []*tensor.Tensor) error {
+	kvStore := run.kvStore
 	blockSize := len(x)
 	gpuBatch := e.policy.GPUBatch
 	if gpuBatch <= 0 || gpuBatch > blockSize {
@@ -454,28 +845,31 @@ func (e *Engine) computeLayer(hostCache *model.KVCache, kvStore *KVStore, j int,
 	}
 
 	async := e.policy.Prefetch && kvStore != nil
-	var next chan fetchedKV
+	var pipe *kvPipeline
 	if async {
-		next = make(chan fetchedKV, 1)
+		pipe = &kvPipeline{e: e, ch: make(chan fetchedKV, 1)}
+		defer pipe.drain()
 		sp := spans[0]
-		go func() { next <- e.loadCacheBatch(kvStore, j, sp.lo, sp.hi-sp.lo) }()
+		pipe.pending = true
+		go func() { pipe.ch <- e.loadCacheBatch(ctx, kvStore, j, sp.lo, sp.hi-sp.lo) }()
 	}
 	for i, sp := range spans {
 		var kv fetchedKV
 		switch {
 		case async:
-			kv = <-next
+			kv = pipe.take()
 			if i+1 < len(spans) {
 				nsp := spans[i+1]
-				go func() { next <- e.loadCacheBatch(kvStore, j, nsp.lo, nsp.hi-nsp.lo) }()
+				pipe.pending = true
+				go func() { pipe.ch <- e.loadCacheBatch(ctx, kvStore, j, nsp.lo, nsp.hi-nsp.lo) }()
 			}
 		case kvStore != nil:
-			kv = e.loadCacheBatch(kvStore, j, sp.lo, sp.hi-sp.lo)
+			kv = e.loadCacheBatch(ctx, kvStore, j, sp.lo, sp.hi-sp.lo)
 		}
 		if kv.err != nil {
 			return kv.err
 		}
-		if err := e.computeBatch(hostCache, kvStore, j, sp.lo, lw, x[sp.lo:sp.hi], kv); err != nil {
+		if err := e.computeBatch(ctx, run, j, sp.lo, lw, x[sp.lo:sp.hi], kv); err != nil {
 			return err
 		}
 	}
@@ -485,19 +879,25 @@ func (e *Engine) computeLayer(hostCache *model.KVCache, kvStore *KVStore, j int,
 // computeBatch runs one (layer, GPU batch) iteration: compute and
 // store_cache for the sequences [seqBase, seqBase+len(x)), using the staged
 // KV slice kv when attention runs on the GPU.
-func (e *Engine) computeBatch(hostCache *model.KVCache, kvStore *KVStore, j, seqBase int, lw *model.LayerWeights, x []*tensor.Tensor, kv fetchedKV) error {
+func (e *Engine) computeBatch(ctx context.Context, run *genRun, j, seqBase int, lw *model.LayerWeights, x []*tensor.Tensor, kv fetchedKV) error {
 	cfg := e.mod.Cfg
 	batch := len(x)
+	kvStore := run.kvStore
 
-	cache := hostCache
+	cache := run.hostCache
 	fetched := kv.fetched
 	if kvStore != nil {
 		cache = kv.cache
 	}
 
+	if err := e.probeWorkerPanic(); err != nil {
+		e.gpu.Free(fetched)
+		return err
+	}
 	t0 := time.Now()
 	outAttn, err := e.runAttention(cfg, lw, cache, j, seqBase, x)
 	if err != nil {
+		e.gpu.Free(fetched)
 		return err
 	}
 	for i := range x {
@@ -510,19 +910,56 @@ func (e *Engine) computeBatch(hostCache *model.KVCache, kvStore *KVStore, j, seq
 		// complete before the layer's synchronize() (Algorithm 1 line 18).
 		t1 := time.Now()
 		for s := 0; s < batch; s++ {
-			n, err := kvStore.Append(j, seqBase+s, outAttn.NewK[s], outAttn.NewV[s])
-			if err != nil {
+			if err := e.storeChunk(ctx, kvStore, j, seqBase+s, outAttn.NewK[s], outAttn.NewV[s]); err != nil {
+				e.gpu.Free(fetched)
 				return err
-			}
-			e.stats.addBytes(&e.stats.KVDownBytes, n)
-			if e.policy.QuantKV {
-				e.stats.addOps(2, 0)
 			}
 		}
 		e.stats.addTask("store_cache", time.Since(t1))
 		e.gpu.Free(fetched)
 	}
 	return nil
+}
+
+// probeWorkerPanic fires the worker-panic fault site inside a pool worker so
+// the whole recovery chain runs: the pool recovers the panic, rethrows it on
+// the submitting goroutine, and this probe converts it into an error the
+// step retry handles.
+func (e *Engine) probeWorkerPanic() (err error) {
+	if !e.faults.Enabled(faults.WorkerPanic) {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicAsError(r)
+		}
+	}()
+	if e.pool != nil && e.pool.Size() >= 2 {
+		e.pool.ParallelFor(2, 2, func(i int) {
+			if i == 0 {
+				e.faults.MaybePanic(faults.WorkerPanic)
+			}
+		})
+	} else {
+		e.faults.MaybePanic(faults.WorkerPanic)
+	}
+	return nil
+}
+
+// recoverAsError converts a panic into the caller's returned error. Worker
+// panics arrive as *threadpool.PanicError and keep their identity for
+// errors.As; anything else is wrapped.
+func recoverAsError(err *error) {
+	if r := recover(); r != nil {
+		*err = panicAsError(r)
+	}
+}
+
+func panicAsError(r any) error {
+	if pe, ok := r.(*threadpool.PanicError); ok {
+		return pe
+	}
+	return fmt.Errorf("runtime: recovered panic: %v", r)
 }
 
 // loadActivations performs the load_activation task when activations live
@@ -608,7 +1045,9 @@ func (e *Engine) runAttention(cfg model.Config, lw *model.LayerWeights, cache *m
 			},
 		})
 	}
-	sched.Wait()
+	if err := sched.Wait(); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func TestGPUBatchLoopMatchesWholeBlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Generate(testPrompts(), 5)
+	want, err := ref.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestGPUBatchLoopMatchesWholeBlock(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := eng.Generate(testPrompts(), 5)
+		got, err := eng.Generate(context.Background(), testPrompts(), 5)
 		if err != nil {
 			t.Fatalf("GPUBatch=%d: %v", gb, err)
 		}
@@ -50,7 +51,7 @@ func TestGPUBatchReducesArenaPeak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Generate(testPrompts(), 6); err != nil {
+		if _, err := eng.Generate(context.Background(), testPrompts(), 6); err != nil {
 			t.Fatal(err)
 		}
 		return eng.gpu.Peak()
@@ -72,7 +73,7 @@ func TestResidentLayersSkipTransfers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+		if _, err := eng.Generate(context.Background(), testPrompts(), 4); err != nil {
 			t.Fatal(err)
 		}
 		return eng.Stats(), eng.gpu.Used()
@@ -102,7 +103,7 @@ func TestResidentLayersSkipTransfers(t *testing.T) {
 // generated tokens must not change.
 func TestResidentLayersSameOutput(t *testing.T) {
 	ref, _ := NewEngine(tinyModel(t, 21), Policy{IntraOp: 1}, bigArena, nil)
-	want, err := ref.Generate(testPrompts(), 5)
+	want, err := ref.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestResidentLayersSameOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Generate(testPrompts(), 5)
+	got, err := eng.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestHostF16HalvesTransfers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+		if _, err := eng.Generate(context.Background(), testPrompts(), 4); err != nil {
 			t.Fatal(err)
 		}
 		return eng.Stats()
@@ -170,7 +171,7 @@ func TestHostF16DeterministicAndClose(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := eng.Generate(testPrompts(), 6)
+		out, err := eng.Generate(context.Background(), testPrompts(), 6)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestQuantOverridesHostF16(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Generate(testPrompts(), 4); err != nil {
+		if _, err := eng.Generate(context.Background(), testPrompts(), 4); err != nil {
 			t.Fatal(err)
 		}
 		return eng.Stats().KVUpBytes
@@ -215,7 +216,7 @@ func TestGenerateStreamCallbacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	var steps []int
-	out, err := eng.GenerateStream(testPrompts(), 6, func(step int, tokens []int) bool {
+	out, err := eng.GenerateStream(context.Background(), testPrompts(), 6, func(step int, tokens []int) bool {
 		steps = append(steps, step)
 		if len(tokens) != len(testPrompts()) {
 			t.Fatalf("callback got %d tokens", len(tokens))
@@ -247,12 +248,12 @@ func TestGenerateStreamMatchesGenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := a.Generate(testPrompts(), 5)
+	want, err := a.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b, _ := NewEngine(tinyModel(t, 4), Policy{IntraOp: 1}, bigArena, nil)
-	got, err := b.GenerateStream(testPrompts(), 5, func(int, []int) bool { return true })
+	got, err := b.GenerateStream(context.Background(), testPrompts(), 5, func(int, []int) bool { return true })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestPropertyEngineEquivalence(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got, err := eng.Generate(prompts, genLen)
+		got, err := eng.Generate(context.Background(), prompts, genLen)
 		if err != nil {
 			return false
 		}
@@ -340,7 +341,7 @@ func TestPrefillStreamsWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Generate(testPrompts(), 1); err != nil {
+	if _, err := eng.Generate(context.Background(), testPrompts(), 1); err != nil {
 		t.Fatal(err)
 	}
 	perLayer := m.Layers[0].Bytes()
@@ -365,7 +366,7 @@ func TestInterOpAttentionMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Generate(testPrompts(), 5)
+	want, err := ref.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestInterOpAttentionMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := eng.Generate(testPrompts(), 5)
+		got, err := eng.Generate(context.Background(), testPrompts(), 5)
 		if err != nil {
 			t.Fatalf("InterOp=%d: %v", inter, err)
 		}
@@ -400,7 +401,7 @@ func TestActOnCPUAccountsPerLayer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Generate(testPrompts(), 3); err != nil {
+		if _, err := eng.Generate(context.Background(), testPrompts(), 3); err != nil {
 			t.Fatal(err)
 		}
 		return eng.Stats()
@@ -418,12 +419,12 @@ func TestActOnCPUAccountsPerLayer(t *testing.T) {
 	}
 	// Output unchanged (placement only; float32 host storage is lossless).
 	engA, _ := NewEngine(tinyModel(t, 13), Policy{IntraOp: 1}, bigArena, nil)
-	a, err := engA.Generate(testPrompts(), 4)
+	a, err := engA.Generate(context.Background(), testPrompts(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	engB, _ := NewEngine(tinyModel(t, 13), Policy{IntraOp: 1, ActOnCPU: true}, bigArena, nil)
-	b, err := engB.Generate(testPrompts(), 4)
+	b, err := engB.Generate(context.Background(), testPrompts(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestBatchKVPrefetchMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := eng.Generate(testPrompts(), 5)
+		out, err := eng.Generate(context.Background(), testPrompts(), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -487,11 +488,11 @@ func TestCompressResidentTradesCapacityForDequant(t *testing.T) {
 	if packed.gpu.Used() >= plain.gpu.Used()/4 {
 		t.Errorf("packed residency %d not clearly below float32 residency %d", packed.gpu.Used(), plain.gpu.Used())
 	}
-	a, err := plain.Generate(testPrompts(), 4)
+	a, err := plain.Generate(context.Background(), testPrompts(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := packed.Generate(testPrompts(), 4)
+	b, err := packed.Generate(context.Background(), testPrompts(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// RetryConfig bounds the engine's retry loop for transient transfer faults.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per operation (>= 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each subsequent retry
+	// doubles it. Zero disables backoff sleeps (useful in tests).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled delay (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryConfig retries transient faults three times with a short
+// exponential backoff — enough to absorb injected transfer failures without
+// stretching a degraded run.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// Validate reports malformed configurations.
+func (rc RetryConfig) Validate() error {
+	if rc.MaxAttempts < 1 {
+		return fmt.Errorf("runtime: retry attempts must be >= 1, got %d", rc.MaxAttempts)
+	}
+	if rc.BaseBackoff < 0 || rc.MaxBackoff < 0 {
+		return fmt.Errorf("runtime: negative backoff (%v, %v)", rc.BaseBackoff, rc.MaxBackoff)
+	}
+	return nil
+}
+
+// withRetry runs op, retrying transient faults (faults.IsTransient) up to the
+// configured attempt budget with exponential backoff. Non-transient errors
+// and context cancellation return immediately. Successful retries are counted
+// as cleared faults; the final failure is wrapped with the operation name.
+func (e *Engine) withRetry(ctx context.Context, name string, op func() error) error {
+	rc := e.retry
+	if rc.MaxAttempts < 1 {
+		rc.MaxAttempts = 1
+	}
+	backoff := rc.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op()
+		if err == nil {
+			if attempt > 1 {
+				e.stats.addCleared(1)
+			}
+			return nil
+		}
+		if ctx.Err() != nil || !faults.IsTransient(err) || attempt >= rc.MaxAttempts {
+			break
+		}
+		e.stats.addRetry(name)
+		if backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if rc.MaxBackoff > 0 && backoff > rc.MaxBackoff {
+				backoff = rc.MaxBackoff
+			}
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return fmt.Errorf("runtime: %s failed: %w", name, err)
+}
+
+// stallOrFail models a transfer through the fault injector: an injected
+// stall delays the operation (respecting cancellation), then the site may
+// fail transiently.
+func (e *Engine) stallOrFail(ctx context.Context, site faults.Site) error {
+	if d := e.faults.StallFor(site); d > 0 {
+		e.stats.addTask("fault_stall", d)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	return e.faults.Fail(site)
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -98,7 +99,7 @@ func TestEngineMatchesReferenceNoQuant(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := eng.Generate(testPrompts(), 6)
+		got, err := eng.Generate(context.Background(), testPrompts(), 6)
 		if err != nil {
 			t.Fatalf("%+v: %v", pol, err)
 		}
@@ -120,7 +121,7 @@ func TestEngineParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Generate(testPrompts(), 5)
+	got, err := eng.Generate(context.Background(), testPrompts(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestKVQuantizationDeterministicAndInVocab(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := eng.Generate(testPrompts(), 6)
+		out, err := eng.Generate(context.Background(), testPrompts(), 6)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func TestWeightQuantizationAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Generate(testPrompts(), 3); err != nil {
+	if _, err := eng.Generate(context.Background(), testPrompts(), 3); err != nil {
 		t.Fatal(err)
 	}
 	st := eng.Stats()
@@ -204,7 +205,7 @@ func TestAttentionPlacementControlsKVTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := onCPU.Generate(testPrompts(), 4); err != nil {
+	if _, err := onCPU.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	if onCPU.Stats().KVUpBytes != 0 || onCPU.Stats().KVDownBytes != 0 {
@@ -215,7 +216,7 @@ func TestAttentionPlacementControlsKVTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := onGPU.Generate(testPrompts(), 4); err != nil {
+	if _, err := onGPU.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	if onGPU.Stats().KVUpBytes == 0 || onGPU.Stats().KVDownBytes == 0 {
@@ -231,11 +232,11 @@ func TestAttentionPlacementControlsKVTraffic(t *testing.T) {
 
 func TestKVQuantizationReducesKVTraffic(t *testing.T) {
 	plain, _ := NewEngine(tinyModel(t, 11), Policy{IntraOp: 1}, bigArena, nil)
-	if _, err := plain.Generate(testPrompts(), 4); err != nil {
+	if _, err := plain.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	packed, _ := NewEngine(tinyModel(t, 11), Policy{QuantKV: true, KVCfg: quant.Config{Bits: 4, GroupSize: 32}, IntraOp: 1}, bigArena, nil)
-	if _, err := packed.Generate(testPrompts(), 4); err != nil {
+	if _, err := packed.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	ratio := float64(packed.Stats().KVUpBytes) / float64(plain.Stats().KVUpBytes)
@@ -253,7 +254,7 @@ func TestEngineOOMOnTinyArena(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = eng.Generate(testPrompts(), 3)
+	_, err = eng.Generate(context.Background(), testPrompts(), 3)
 	if err == nil {
 		t.Fatal("generation succeeded with a 1 KiB GPU arena")
 	}
@@ -264,10 +265,10 @@ func TestEngineOOMOnTinyArena(t *testing.T) {
 
 func TestEngineInputValidation(t *testing.T) {
 	eng, _ := NewEngine(tinyModel(t, 1), Policy{IntraOp: 1}, bigArena, nil)
-	if _, err := eng.Generate(nil, 3); err == nil {
+	if _, err := eng.Generate(context.Background(), nil, 3); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := eng.Generate(testPrompts(), 0); err == nil {
+	if _, err := eng.Generate(context.Background(), testPrompts(), 0); err == nil {
 		t.Error("zero generation length accepted")
 	}
 	if _, err := NewEngine(tinyModel(t, 1), Policy{IntraOp: 0}, bigArena, nil); err == nil {
@@ -280,7 +281,7 @@ func TestEngineInputValidation(t *testing.T) {
 
 func TestStatsThroughputAndString(t *testing.T) {
 	eng, _ := NewEngine(tinyModel(t, 2), Policy{AttnOnCPU: true, IntraOp: 1}, bigArena, nil)
-	if _, err := eng.Generate(testPrompts(), 4); err != nil {
+	if _, err := eng.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	st := eng.Stats()
@@ -336,7 +337,10 @@ func TestKVStoreChunkRoundTrip(t *testing.T) {
 	if _, err := st.Append(0, 1, k2, v2); err != nil {
 		t.Fatal(err)
 	}
-	k, v, bytes := st.Fetch(0, 1)
+	k, v, bytes, err := st.Fetch(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if k.Dim(0) != 4 || v.Dim(0) != 4 {
 		t.Fatalf("fetched %d/%d rows, want 4/4", k.Dim(0), v.Dim(0))
 	}
@@ -366,7 +370,7 @@ func TestGPUArenaPeakReflectsWorkingSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Generate(testPrompts(), 4); err != nil {
+	if _, err := eng.Generate(context.Background(), testPrompts(), 4); err != nil {
 		t.Fatal(err)
 	}
 	peak := eng.gpu.Peak()

@@ -29,10 +29,20 @@ type Stats struct {
 	TokensGenerated int64
 	// WallTime is the end-to-end generation time.
 	WallTime time.Duration
+
+	// Fault-tolerance accounting.
+	//
+	// Retries counts retried operations by name (e.g. "load_weight",
+	// "decode_step"); Degradations records each rung of the degradation
+	// ladder taken, in order; Checkpoints counts snapshots captured.
+	Retries       map[string]int64
+	Degradations  []string
+	Checkpoints   int64
+	FaultsCleared int64 // transient faults absorbed by a successful retry
 }
 
 func newStats() *Stats {
-	return &Stats{TaskTime: map[string]time.Duration{}}
+	return &Stats{TaskTime: map[string]time.Duration{}, Retries: map[string]int64{}}
 }
 
 func (s *Stats) addBytes(field *int64, n int64) {
@@ -52,6 +62,41 @@ func (s *Stats) addOps(quant, dequant int64) {
 	s.QuantizeOps += quant
 	s.DequantizeOps += dequant
 	s.mu.Unlock()
+}
+
+func (s *Stats) addRetry(op string) {
+	s.mu.Lock()
+	s.Retries[op]++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addDegradation(desc string) {
+	s.mu.Lock()
+	s.Degradations = append(s.Degradations, desc)
+	s.mu.Unlock()
+}
+
+func (s *Stats) addCheckpoint() {
+	s.mu.Lock()
+	s.Checkpoints++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addCleared(n int64) {
+	s.mu.Lock()
+	s.FaultsCleared += n
+	s.mu.Unlock()
+}
+
+// TotalRetries sums the per-operation retry counts.
+func (s *Stats) TotalRetries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, c := range s.Retries {
+		n += c
+	}
+	return n
 }
 
 // TotalUpBytes returns all CPU->GPU traffic.

@@ -1,8 +1,12 @@
 package runtime
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"math"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -121,11 +125,28 @@ func (ws *WeightStore) Load(i int) *model.LayerWeights {
 func (ws *WeightStore) NumLayers() int { return len(ws.layers) }
 
 // kvChunk is one appended KV segment for a (layer, sequence) slot, stored
-// quantized, half-precision, or raw float32.
+// quantized, half-precision, or raw float32. Every chunk carries a checksum
+// sealed at append time: quantized chunks via the quant tensors' own CRCs,
+// raw and half-precision chunks via crc, the CRC-32 (IEEE) of the float32
+// payload the fetch path reconstructs.
 type kvChunk struct {
 	k, v   *tensor.Tensor
 	hk, hv *tensor.F16Slice
 	qk, qv *quant.Tensor
+	crc    uint32
+}
+
+// floatsCRC hashes float32 payloads by their IEEE-754 bit patterns.
+func floatsCRC(payloads ...[]float32) uint32 {
+	h := crc32.NewIEEE()
+	var buf [4]byte
+	for _, xs := range payloads {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum32()
 }
 
 func (c kvChunk) transferBytes() int64 {
@@ -150,6 +171,7 @@ type KVStore struct {
 
 	pool  *threadpool.Pool
 	width int
+	inj   *faults.Injector // optional: in-flight corruption injection
 }
 
 // UsePool routes the store's (de)quantization through a worker pool at the
@@ -157,6 +179,11 @@ type KVStore struct {
 func (st *KVStore) UsePool(pool *threadpool.Pool, width int) {
 	st.pool, st.width = pool, width
 }
+
+// UseFaults wires a fault injector into the fetch path: when the
+// KVCorruption site fires, the chunk's in-flight copy is corrupted before
+// verification (the host copy stays intact, so a retry succeeds).
+func (st *KVStore) UseFaults(inj *faults.Injector) { st.inj = inj }
 
 // NewKVStore creates an empty store. hostF16 stores unquantized chunks as
 // half-precision words.
@@ -197,38 +224,124 @@ func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
 		}
 		c = kvChunk{qk: qk, qv: qv}
 	case st.f16:
-		c = kvChunk{hk: tensor.ToF16(k), hv: tensor.ToF16(v)}
+		hk, hv := tensor.ToF16(k), tensor.ToF16(v)
+		// Seal over the reconstructed float32 payload — the form the fetch
+		// path verifies — so FP16 rounding cannot trip the checksum.
+		c = kvChunk{hk: hk, hv: hv, crc: floatsCRC(hk.ToFloat32().Data(), hv.ToFloat32().Data())}
 	default:
-		c = kvChunk{k: k.Clone(), v: v.Clone()}
+		ck, cv := k.Clone(), v.Clone()
+		c = kvChunk{k: ck, v: cv, crc: floatsCRC(ck.Data(), cv.Data())}
 	}
 	st.chunks[layer][seq] = append(st.chunks[layer][seq], c)
 	return c.transferBytes(), nil
 }
 
 // Fetch reconstructs the full K and V matrices for (layer, seq), performing
-// the real dequantization of every chunk (the load_cache task). It returns
-// the tensors and the transfer byte count.
-func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64) {
+// the real dequantization of every chunk (the load_cache task) and verifying
+// every chunk's checksum. It returns the tensors, the transfer byte count,
+// and a transient error when a chunk fails verification — the host copy is
+// intact, so the caller retries the fetch.
+func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64, err error) {
 	var ks, vs *tensor.Tensor
-	for _, c := range st.chunks[layer][seq] {
+	for ci, c := range st.chunks[layer][seq] {
 		bytes += c.transferBytes()
-		ck, cv := c.k, c.v
-		switch {
-		case c.qk != nil:
-			ck = quant.DequantizeParallel(st.pool, st.width, c.qk)
-			cv = quant.DequantizeParallel(st.pool, st.width, c.qv)
-		case c.hk != nil:
-			ck = c.hk.ToFloat32()
-			cv = c.hv.ToFloat32()
+		ck, cv, cerr := st.materialize(c)
+		if cerr != nil {
+			return nil, nil, bytes, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, cerr)
 		}
 		if ks == nil {
-			ks, vs = ck.Clone(), cv.Clone()
+			ks, vs = ck, cv
 			continue
 		}
 		ks = tensor.ConcatRows(ks, ck)
 		vs = tensor.ConcatRows(vs, cv)
 	}
-	return ks, vs, bytes
+	return ks, vs, bytes, nil
+}
+
+// materialize reconstructs one chunk's float32 tensors, modeling the
+// host-to-device transfer: the injector may corrupt the in-flight copy, and
+// the chunk's checksum is verified on arrival. The returned tensors never
+// alias the stored payload.
+func (st *KVStore) materialize(c kvChunk) (*tensor.Tensor, *tensor.Tensor, error) {
+	corrupt := st.inj.ShouldCorrupt(faults.KVCorruption)
+	switch {
+	case c.qk != nil:
+		qk, qv := c.qk, c.qv
+		if corrupt {
+			qk = qk.Clone()
+			qk.Corrupt(1, 0x10)
+		}
+		if err := qk.Verify(); err != nil {
+			return nil, nil, wrapCorruption(corrupt, err)
+		}
+		if err := qv.Verify(); err != nil {
+			return nil, nil, wrapCorruption(corrupt, err)
+		}
+		return quant.DequantizeParallel(st.pool, st.width, qk),
+			quant.DequantizeParallel(st.pool, st.width, qv), nil
+	case c.hk != nil:
+		ck, cv := c.hk.ToFloat32(), c.hv.ToFloat32()
+		if corrupt && ck.Numel() > 0 {
+			ck.Data()[0] += 1 // in-flight bit flip on the staged copy
+		}
+		if got := floatsCRC(ck.Data(), cv.Data()); got != c.crc {
+			return nil, nil, wrapCorruption(corrupt,
+				fmt.Errorf("runtime: KV checksum mismatch (stored %08x, computed %08x)", c.crc, got))
+		}
+		return ck, cv, nil
+	default:
+		ck, cv := c.k.Clone(), c.v.Clone()
+		if corrupt && ck.Numel() > 0 {
+			ck.Data()[0] += 1
+		}
+		if got := floatsCRC(ck.Data(), cv.Data()); got != c.crc {
+			return nil, nil, wrapCorruption(corrupt,
+				fmt.Errorf("runtime: KV checksum mismatch (stored %08x, computed %08x)", c.crc, got))
+		}
+		return ck, cv, nil
+	}
+}
+
+// wrapCorruption tags a checksum failure caused by injected corruption as a
+// transient faults.Error so the retry classifier treats it as retryable;
+// genuine (non-injected) mismatches pass through untagged.
+func wrapCorruption(injected bool, err error) error {
+	return fmt.Errorf("%w: %w", corruptionCause(injected), err)
+}
+
+func corruptionCause(injected bool) error {
+	if injected {
+		return &faults.Error{Site: faults.KVCorruption, Msg: "in-flight corruption"}
+	}
+	return errPermanentCorruption
+}
+
+var errPermanentCorruption = fmt.Errorf("runtime: host KV payload corrupted")
+
+// Mark snapshots the per-slot chunk counts — a rollback point taken before
+// a decode step so a failed step's partial appends can be undone.
+func (st *KVStore) Mark() [][]int {
+	out := make([][]int, st.layers)
+	for l := range out {
+		out[l] = make([]int, st.batch)
+		for s := range st.chunks[l] {
+			out[l][s] = len(st.chunks[l][s])
+		}
+	}
+	return out
+}
+
+// Rollback truncates every slot to the chunk counts recorded by Mark,
+// discarding chunks appended since.
+func (st *KVStore) Rollback(mark [][]int) {
+	for l := range mark {
+		for s, n := range mark[l] {
+			if n < len(st.chunks[l][s]) {
+				st.chunks[l][s] = st.chunks[l][s][:n]
+			}
+		}
+	}
 }
 
 // SeqLen returns the cached token count for (layer, seq).

@@ -11,6 +11,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // TaskID identifies a task within one Sim.
@@ -28,15 +31,47 @@ type TaskSpec struct {
 	Deps []TaskID
 }
 
+// FaultEvent degrades one resource for a time window: with Factor 0 the
+// resource suffers a total outage (no progress inside the window); with
+// Factor f >= 1 its service rate drops to 1/f (a task needing w seconds of
+// work consumes f*w seconds of window). Tasks already in service when the
+// window opens are slowed, not aborted — the window stretches their
+// completion, modeling bandwidth contention or a transient device loss.
+type FaultEvent struct {
+	Resource string
+	Start    float64
+	Duration float64
+	Factor   float64
+}
+
+// Validate reports malformed events.
+func (f FaultEvent) Validate() error {
+	if f.Resource == "" {
+		return fmt.Errorf("sim: fault event without a resource")
+	}
+	if f.Start < 0 || f.Duration <= 0 {
+		return fmt.Errorf("sim: fault window [%g, +%g) on %q must have start >= 0 and positive duration", f.Start, f.Duration, f.Resource)
+	}
+	if f.Factor != 0 && f.Factor < 1 {
+		return fmt.Errorf("sim: fault factor %g on %q must be 0 (outage) or >= 1 (slowdown)", f.Factor, f.Resource)
+	}
+	return nil
+}
+
+// End returns the window's closing time.
+func (f FaultEvent) End() float64 { return f.Start + f.Duration }
+
 // Sim accumulates a task graph and executes it.
 type Sim struct {
 	resources map[string]bool
 	tasks     []TaskSpec
+	faults    map[string][]FaultEvent
+	addErr    error // first malformed AddTask/AddFault, surfaced by Run
 }
 
 // New returns an empty simulator.
 func New() *Sim {
-	return &Sim{resources: map[string]bool{}}
+	return &Sim{resources: map[string]bool{}, faults: map[string][]FaultEvent{}}
 }
 
 // AddResource registers a FIFO server. Registering twice is harmless.
@@ -44,11 +79,104 @@ func (s *Sim) AddResource(name string) {
 	s.resources[name] = true
 }
 
-// AddTask appends a task and returns its ID. Dependencies must reference
-// already-added tasks (enforced at Run).
+// AddTask appends a task and returns its ID. The spec is validated eagerly —
+// the resource must already be registered, the duration non-negative, and
+// every dependency must reference an earlier task (graphs are issued in
+// order, so a forward or out-of-range dependency can never be satisfied and
+// would deadlock the run). The first violation is recorded with the task's
+// identity and returned by Err and Run.
 func (s *Sim) AddTask(spec TaskSpec) TaskID {
+	id := TaskID(len(s.tasks))
+	if s.addErr == nil {
+		switch {
+		case !s.resources[spec.Resource]:
+			s.addErr = fmt.Errorf("sim: task %d (%s) uses unregistered resource %q", id, spec.Name, spec.Resource)
+		case spec.Duration < 0:
+			s.addErr = fmt.Errorf("sim: task %d (%s) has negative duration %g", id, spec.Name, spec.Duration)
+		default:
+			for _, d := range spec.Deps {
+				if d < 0 || d >= id {
+					s.addErr = fmt.Errorf("sim: task %d (%s) depends on task %d, but only tasks 0..%d exist (dependencies must point backwards)",
+						id, spec.Name, d, id-1)
+					break
+				}
+			}
+		}
+	}
 	s.tasks = append(s.tasks, spec)
-	return TaskID(len(s.tasks) - 1)
+	return id
+}
+
+// AddFault schedules a resource degradation window. Windows on the same
+// resource must not overlap.
+func (s *Sim) AddFault(ev FaultEvent) error {
+	if err := ev.Validate(); err != nil {
+		if s.addErr == nil {
+			s.addErr = err
+		}
+		return err
+	}
+	if !s.resources[ev.Resource] {
+		err := fmt.Errorf("sim: fault event on unregistered resource %q", ev.Resource)
+		if s.addErr == nil {
+			s.addErr = err
+		}
+		return err
+	}
+	for _, prev := range s.faults[ev.Resource] {
+		if ev.Start < prev.End() && prev.Start < ev.End() {
+			err := fmt.Errorf("sim: fault windows [%g, %g) and [%g, %g) on %q overlap",
+				prev.Start, prev.End(), ev.Start, ev.End(), ev.Resource)
+			if s.addErr == nil {
+				s.addErr = err
+			}
+			return err
+		}
+	}
+	s.faults[ev.Resource] = append(s.faults[ev.Resource], ev)
+	sort.Slice(s.faults[ev.Resource], func(i, j int) bool {
+		return s.faults[ev.Resource][i].Start < s.faults[ev.Resource][j].Start
+	})
+	return nil
+}
+
+// Err returns the first graph-construction error, or nil.
+func (s *Sim) Err() error { return s.addErr }
+
+// finishTime integrates work on a resource from start across its fault
+// windows: full rate outside windows, rate 1/Factor inside a slowdown, no
+// progress inside an outage.
+func (s *Sim) finishTime(resource string, start, work float64) float64 {
+	t := start
+	remaining := work
+	for _, ev := range s.faults[resource] {
+		if remaining <= 0 {
+			break
+		}
+		if ev.End() <= t {
+			continue
+		}
+		if ev.Start > t {
+			seg := ev.Start - t
+			if remaining <= seg {
+				return t + remaining
+			}
+			remaining -= seg
+			t = ev.Start
+		}
+		if ev.Factor == 0 {
+			t = ev.End()
+			continue
+		}
+		span := ev.End() - t
+		capacity := span / ev.Factor
+		if remaining <= capacity {
+			return t + remaining*ev.Factor
+		}
+		remaining -= capacity
+		t = ev.End()
+	}
+	return t + remaining
 }
 
 // Result is the executed schedule.
@@ -94,11 +222,56 @@ func (h *completionHeap) Pop() interface{} {
 	return x
 }
 
+// ParseFaultEvents parses a flag-friendly event spec: comma-separated
+// clauses "resource@START+DURATION" (outage) or
+// "resource@START+DURATIONxFACTOR" (slowdown), times in seconds. Example:
+//
+//	h2d@0.5+0.2,gpu@1.0+0.5x3
+func ParseFaultEvents(spec string) ([]FaultEvent, error) {
+	var out []FaultEvent
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		resource, rest, ok := strings.Cut(clause, "@")
+		if !ok || resource == "" {
+			return nil, fmt.Errorf("sim: malformed fault clause %q (want resource@start+duration[xfactor])", clause)
+		}
+		startStr, rest, ok := strings.Cut(rest, "+")
+		if !ok {
+			return nil, fmt.Errorf("sim: malformed fault clause %q (missing +duration)", clause)
+		}
+		durStr, factorStr, hasFactor := strings.Cut(rest, "x")
+		ev := FaultEvent{Resource: resource}
+		var err error
+		if ev.Start, err = strconv.ParseFloat(startStr, 64); err != nil {
+			return nil, fmt.Errorf("sim: bad fault start %q: %w", startStr, err)
+		}
+		if ev.Duration, err = strconv.ParseFloat(durStr, 64); err != nil {
+			return nil, fmt.Errorf("sim: bad fault duration %q: %w", durStr, err)
+		}
+		if hasFactor {
+			if ev.Factor, err = strconv.ParseFloat(factorStr, 64); err != nil {
+				return nil, fmt.Errorf("sim: bad fault factor %q: %w", factorStr, err)
+			}
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
 // Run executes the task graph: each resource serves ready tasks one at a
 // time in issue order; a task is ready when all dependencies have completed.
 // It returns an error for malformed graphs (unknown resources, bad or
 // circular dependencies, negative durations).
 func (s *Sim) Run() (*Result, error) {
+	if s.addErr != nil {
+		return nil, s.addErr
+	}
 	n := len(s.tasks)
 	res := &Result{
 		Start: make([]float64, n),
@@ -154,10 +327,10 @@ func (s *Sim) Run() (*Result, error) {
 			start = busyUntil[r]
 		}
 		t := s.tasks[id]
-		end := start + t.Duration
+		end := s.finishTime(r, start, t.Duration)
 		res.Start[id] = start
 		res.End[id] = end
-		res.Busy[r] += t.Duration
+		res.Busy[r] += end - start
 		busyUntil[r] = end
 		running[r] = true
 		heap.Push(&events, completion{time: end, id: id})

@@ -56,7 +56,11 @@ func (r *OffloadResult) Bottleneck() string {
 //
 // steps bounds the simulated token window (the schedule is periodic, so a
 // handful of steps reaches steady state).
-func SimulateDecode(e *perfmodel.Estimator, steps int) (*OffloadResult, error) {
+//
+// Optional fault events degrade resources for time windows (outages or
+// bandwidth slowdowns); the resulting schedule shows how much of the clean
+// throughput a policy retains under the degraded conditions.
+func SimulateDecode(e *perfmodel.Estimator, steps int, events ...FaultEvent) (*OffloadResult, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("sim: steps must be >= 1, got %d", steps)
 	}
@@ -85,6 +89,11 @@ func SimulateDecode(e *perfmodel.Estimator, steps int) (*OffloadResult, error) {
 	s := New()
 	for _, r := range []string{ResGPU, ResCPU, ResH2D, ResD2H, ResSync} {
 		s.AddResource(r)
+	}
+	for _, ev := range events {
+		if err := s.AddFault(ev); err != nil {
+			return nil, err
+		}
 	}
 
 	var prevBarrier TaskID = -1

@@ -12,8 +12,73 @@ package threadpool
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a panic recovered from a pool worker. Without recovery a
+// panic in a worker goroutine kills the whole process; the pool instead
+// captures the first one and rethrows it on the *submitting* goroutine
+// (ParallelFor/ParallelRange) or returns it as an error (inter-op
+// scheduler), so the submitter can recover and degrade instead of crashing.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Op names the operation, when known.
+	Op string
+	// Stack is the worker's stack at the panic site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("threadpool: panic in op %q: %v", e.Op, e.Value)
+	}
+	return fmt.Sprintf("threadpool: worker panic: %v", e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. an injected
+// fault), so errors.Is/As see through the recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicCatcher records the first panic recovered across a set of workers.
+type panicCatcher struct {
+	mu sync.Mutex
+	pe *PanicError
+}
+
+// capture must be deferred inside the worker goroutine.
+func (c *panicCatcher) capture(op string) {
+	if r := recover(); r != nil {
+		c.mu.Lock()
+		if c.pe == nil {
+			c.pe = &PanicError{Value: r, Op: op, Stack: debug.Stack()}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// rethrow re-panics the captured panic, if any, on the caller's goroutine.
+func (c *panicCatcher) rethrow() {
+	if c.pe != nil {
+		panic(c.pe)
+	}
+}
+
+// err returns the captured panic as an error, or nil.
+func (c *panicCatcher) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pe == nil {
+		return nil
+	}
+	return c.pe
+}
 
 // Pool is a bounded set of reusable workers. The zero value is not usable;
 // construct with New.
@@ -52,6 +117,11 @@ func (p *Pool) release() { <-p.sem }
 // from the pool, partitioning the index space into contiguous chunks (one per
 // worker) to preserve cache locality — the same reason the paper bundles
 // small operators. width is clamped to [1, pool size] and to n.
+//
+// A panic in fn is recovered from the worker goroutine and rethrown as a
+// *PanicError on the calling goroutine after all workers finish, so the
+// submitter can recover it (an unrecovered goroutine panic would abort the
+// process).
 func (p *Pool) ParallelFor(n, width int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -72,6 +142,7 @@ func (p *Pool) ParallelFor(n, width int, fn func(i int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var catcher panicCatcher
 	chunk := (n + width - 1) / width
 	for w := 0; w < width; w++ {
 		lo := w * chunk
@@ -87,17 +158,20 @@ func (p *Pool) ParallelFor(n, width int, fn func(i int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer p.release()
+			defer catcher.capture("")
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	catcher.rethrow()
 }
 
 // ParallelRange executes fn(lo, hi) over contiguous sub-ranges of [0, n),
 // letting the callee iterate its own chunk (cheaper than per-index closures
-// for tight numeric kernels).
+// for tight numeric kernels). Worker panics are rethrown on the calling
+// goroutine as *PanicError, as in ParallelFor.
 func (p *Pool) ParallelRange(n, width int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -116,6 +190,7 @@ func (p *Pool) ParallelRange(n, width int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var catcher panicCatcher
 	chunk := (n + width - 1) / width
 	for w := 0; w < width; w++ {
 		lo := w * chunk
@@ -131,10 +206,12 @@ func (p *Pool) ParallelRange(n, width int, fn func(lo, hi int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer p.release()
+			defer catcher.capture("")
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	catcher.rethrow()
 }
 
 // Op is a unit of work submitted to the inter-op scheduler. Width is the
@@ -149,9 +226,10 @@ type Op struct {
 // InterOpScheduler bounds how many Ops execute concurrently, independent of
 // how many workers each Op consumes, mirroring inter-op parallelism.
 type InterOpScheduler struct {
-	pool  *Pool
-	slots chan struct{}
-	wg    sync.WaitGroup
+	pool    *Pool
+	slots   chan struct{}
+	wg      sync.WaitGroup
+	catcher panicCatcher
 }
 
 // NewInterOp creates a scheduler over pool that co-runs at most maxConcurrent
@@ -164,24 +242,31 @@ func NewInterOp(pool *Pool, maxConcurrent int) (*InterOpScheduler, error) {
 }
 
 // Submit enqueues op for asynchronous execution, blocking only while all
-// inter-op slots are busy.
+// inter-op slots are busy. A panic inside the op is recovered and surfaced
+// as an error from Wait instead of killing the process.
 func (s *InterOpScheduler) Submit(op Op) {
 	s.slots <- struct{}{}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer func() { <-s.slots }()
+		defer s.catcher.capture(op.Name)
 		op.Run(s.pool, op.Width)
 	}()
 }
 
-// Wait blocks until every submitted operation has finished.
-func (s *InterOpScheduler) Wait() { s.wg.Wait() }
+// Wait blocks until every submitted operation has finished and returns the
+// first recovered worker panic as a *PanicError (nil when every op
+// completed normally).
+func (s *InterOpScheduler) Wait() error {
+	s.wg.Wait()
+	return s.catcher.err()
+}
 
 // RunGraph executes ops respecting a dependency relation: deps[i] lists the
 // indices that must finish before ops[i] starts. The scheduler's inter-op
-// bound still applies. It returns an error on out-of-range dependencies or
-// cycles (detected as a stall).
+// bound still applies. It returns an error on out-of-range dependencies,
+// cycles (detected as a stall), or a recovered op panic.
 func (s *InterOpScheduler) RunGraph(ops []Op, deps [][]int) error {
 	n := len(ops)
 	remaining := make([]int, n)
@@ -206,10 +291,13 @@ func (s *InterOpScheduler) RunGraph(ops []Op, deps [][]int) error {
 		s.slots <- struct{}{}
 		s.wg.Add(1)
 		go func() {
+			// The completion send is deferred so a panicking op still
+			// reports in and the drain loop below cannot deadlock.
+			defer func() { done <- i }()
 			defer s.wg.Done()
 			defer func() { <-s.slots }()
+			defer s.catcher.capture(op.Name)
 			op.Run(s.pool, op.Width)
-			done <- i
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -231,5 +319,5 @@ func (s *InterOpScheduler) RunGraph(ops []Op, deps [][]int) error {
 			}
 		}
 	}
-	return nil
+	return s.catcher.err()
 }

@@ -1,6 +1,7 @@
 package threadpool
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -184,5 +185,116 @@ func TestPropertyParallelForSum(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestParallelForRecoversWorkerPanic: a panic in a worker must not kill the
+// process; it is rethrown on the submitting goroutine as *PanicError and is
+// recoverable there.
+func TestParallelForRecoversWorkerPanic(t *testing.T) {
+	p := MustNew(4)
+	var recovered *PanicError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("recovered %T, want *PanicError", r)
+				}
+				recovered = pe
+			}
+		}()
+		p.ParallelFor(8, 4, func(i int) {
+			if i == 3 {
+				panic("kaboom")
+			}
+		})
+	}()
+	if recovered == nil {
+		t.Fatal("worker panic not rethrown at the caller")
+	}
+	if recovered.Value != "kaboom" {
+		t.Errorf("panic value = %v, want kaboom", recovered.Value)
+	}
+	if len(recovered.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// The pool must remain usable: all slots were released.
+	sum := 0
+	var mu sync.Mutex
+	p.ParallelFor(8, 4, func(i int) { mu.Lock(); sum += i; mu.Unlock() })
+	if sum != 28 {
+		t.Errorf("pool broken after panic: sum = %d, want 28", sum)
+	}
+}
+
+// TestParallelRangeRecoversWorkerPanic: same contract for the range variant.
+func TestParallelRangeRecoversWorkerPanic(t *testing.T) {
+	p := MustNew(2)
+	caught := false
+	func() {
+		defer func() { caught = recover() != nil }()
+		p.ParallelRange(4, 2, func(lo, hi int) { panic(lo) })
+	}()
+	if !caught {
+		t.Fatal("range worker panic not rethrown")
+	}
+}
+
+// TestInterOpWaitReturnsPanicError: Submit recovers op panics and Wait
+// surfaces the first as an error; the error unwraps to the panicked error
+// value.
+func TestInterOpWaitReturnsPanicError(t *testing.T) {
+	p := MustNew(2)
+	s, err := NewInterOp(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	s.Submit(Op{Name: "ok", Width: 1, Run: func(*Pool, int) {}})
+	s.Submit(Op{Name: "bad", Width: 1, Run: func(*Pool, int) { panic(boom) }})
+	werr := s.Wait()
+	if werr == nil {
+		t.Fatal("Wait returned nil after op panic")
+	}
+	var pe *PanicError
+	if !errors.As(werr, &pe) || pe.Op != "bad" {
+		t.Fatalf("Wait error = %v, want *PanicError from op bad", werr)
+	}
+	if !errors.Is(werr, boom) {
+		t.Error("PanicError does not unwrap to the panicked error value")
+	}
+}
+
+// TestRunGraphSurvivesOpPanic: a panicking op still completes the graph (its
+// dependents run) and the panic comes back as the returned error, not a
+// deadlock or crash.
+func TestRunGraphSurvivesOpPanic(t *testing.T) {
+	p := MustNew(2)
+	s, err := NewInterOp(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]bool, 3)
+	var mu sync.Mutex
+	mark := func(i int) { mu.Lock(); ran[i] = true; mu.Unlock() }
+	ops := []Op{
+		{Name: "a", Width: 1, Run: func(*Pool, int) { mark(0); panic("a died") }},
+		{Name: "b", Width: 1, Run: func(*Pool, int) { mark(1) }},
+		{Name: "c", Width: 1, Run: func(*Pool, int) { mark(2) }},
+	}
+	deps := [][]int{nil, {0}, {1}}
+	gerr := s.RunGraph(ops, deps)
+	if gerr == nil {
+		t.Fatal("RunGraph returned nil after op panic")
+	}
+	var pe *PanicError
+	if !errors.As(gerr, &pe) || pe.Op != "a" {
+		t.Fatalf("RunGraph error = %v, want *PanicError from op a", gerr)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("op %d never ran after upstream panic", i)
+		}
 	}
 }

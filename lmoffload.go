@@ -18,11 +18,13 @@
 package lmoffload
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"repro/internal/baselines"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/parallelism"
@@ -64,7 +66,31 @@ type (
 	SimResult = sim.OffloadResult
 	// System is a fully configured framework under comparison.
 	System = baselines.System
+	// FaultInjector is the deterministic fault source shared by the engine
+	// and the simulator.
+	FaultInjector = faults.Injector
+	// FaultRule configures one injection site.
+	FaultRule = faults.Rule
+	// FaultSite names an injection point.
+	FaultSite = faults.Site
+	// RetryConfig bounds the engine's transient-fault retry loop.
+	RetryConfig = runtime.RetryConfig
+	// GenerationCheckpoint is a resumable snapshot of an in-flight
+	// generation.
+	GenerationCheckpoint = runtime.Checkpoint
+	// SimFaultEvent is a resource outage or slowdown window in the
+	// discrete-event simulator.
+	SimFaultEvent = sim.FaultEvent
 )
+
+// ParseFaultRules parses the flag syntax shared by the cmd tools, e.g.
+// "weight-transfer:p=0.2:stall=2ms,worker-panic:p=0.05:n=2".
+func ParseFaultRules(spec string) (map[FaultSite]FaultRule, error) { return faults.ParseRules(spec) }
+
+// NewFaultInjector builds a deterministic injector over the given rules.
+func NewFaultInjector(seed int64, rules map[FaultSite]FaultRule) (*FaultInjector, error) {
+	return faults.New(seed, rules)
+}
 
 // Built-in platforms (Table 4).
 var (
@@ -193,6 +219,23 @@ type InferenceResult struct {
 	Tokens [][]int
 	// Stats is the engine's I/O and task accounting.
 	Stats *EngineStats
+	// Checkpoint is the last generation snapshot, when checkpointing was
+	// enabled via InferenceOptions.
+	Checkpoint *GenerationCheckpoint
+	// FinalPolicy is the policy the run ended under — it differs from the
+	// requested policy when graceful degradation kicked in.
+	FinalPolicy EnginePolicy
+}
+
+// InferenceOptions extends RunTinyInference with the fault-tolerance knobs.
+type InferenceOptions struct {
+	// Faults injects deterministic faults at the engine's probe sites.
+	Faults *FaultInjector
+	// Retry overrides the transient-fault retry policy.
+	Retry *RetryConfig
+	// CheckpointEvery snapshots the generation every N decode steps (0 =
+	// off); the last snapshot is returned in InferenceResult.Checkpoint.
+	CheckpointEvery int
 }
 
 // RunTinyInference executes a real (tiny) model end to end through the
@@ -201,6 +244,14 @@ type InferenceResult struct {
 // capacity-enforced GPU arena. seed makes the weights and prompts
 // deterministic; workers sets the compute pool width.
 func RunTinyInference(cfg ModelConfig, pol EnginePolicy, prompts [][]int, genLen int, gpuArenaBytes int64, seed int64, workers int) (*InferenceResult, error) {
+	return RunTinyInferenceContext(context.Background(), cfg, pol, prompts, genLen, gpuArenaBytes, seed, workers, nil)
+}
+
+// RunTinyInferenceContext is RunTinyInference with cancellation and
+// fault-tolerance controls: ctx cancels generation at the next step
+// boundary, and opts (optional) wires in fault injection, retry tuning, and
+// checkpointing.
+func RunTinyInferenceContext(ctx context.Context, cfg ModelConfig, pol EnginePolicy, prompts [][]int, genLen int, gpuArenaBytes int64, seed int64, workers int, opts *InferenceOptions) (*InferenceResult, error) {
 	m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
 	if err != nil {
 		return nil, err
@@ -215,11 +266,27 @@ func RunTinyInference(cfg ModelConfig, pol EnginePolicy, prompts [][]int, genLen
 	if err != nil {
 		return nil, err
 	}
-	tokens, err := eng.Generate(prompts, genLen)
+	if opts != nil {
+		eng.SetFaultInjector(opts.Faults)
+		if opts.Retry != nil {
+			if err := eng.SetRetryConfig(*opts.Retry); err != nil {
+				return nil, err
+			}
+		}
+		if err := eng.EnableCheckpointing(opts.CheckpointEvery); err != nil {
+			return nil, err
+		}
+	}
+	tokens, err := eng.Generate(ctx, prompts, genLen)
 	if err != nil {
 		return nil, err
 	}
-	return &InferenceResult{Tokens: tokens, Stats: eng.Stats()}, nil
+	return &InferenceResult{
+		Tokens:      tokens,
+		Stats:       eng.Stats(),
+		Checkpoint:  eng.LastCheckpoint(),
+		FinalPolicy: eng.Policy(),
+	}, nil
 }
 
 // Explain walks through the §3.2 decision procedures behind a planned
