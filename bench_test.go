@@ -7,12 +7,16 @@ package lmoffload
 // metric so `go test -bench` output doubles as the reproduction record.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/quant"
+	"repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/threadpool"
 )
@@ -263,6 +267,113 @@ func BenchmarkModelValidation(b *testing.B) {
 		last = r.MAPEModel
 	}
 	b.ReportMetric(last*100, "beta-margin-%")
+}
+
+// BenchmarkServeThroughput compares the two serving disciplines on the same
+// ragged request mix (baselined in BENCH_serve.json): "static" admits a wave
+// of requests into the Session and drains it to the slowest member before
+// the next wave; "continuous" pushes the same requests through the
+// internal/serve scheduler, which refills slots at decode-step boundaries.
+// Custom metrics report tokens/s and, for continuous, the scheduler's
+// TTFT p50/p99.
+func BenchmarkServeThroughput(b *testing.B) {
+	const (
+		slots = 4
+		nReqs = 12
+	)
+	cfg := model.Tiny()
+	rng := rand.New(rand.NewSource(7))
+	prompts := make([][]int, nReqs)
+	budgets := make([]int, nReqs)
+	for i := range prompts {
+		prompts[i] = make([]int, 2+rng.Intn(5))
+		for j := range prompts[i] {
+			prompts[i][j] = rng.Intn(cfg.Vocab)
+		}
+		budgets[i] = 2 + rng.Intn(14)
+	}
+	var total int64
+	for _, g := range budgets {
+		total += int64(g)
+	}
+	newEngine := func(b *testing.B) *runtime.Engine {
+		m, err := model.NewModel(rand.New(rand.NewSource(7)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 2, Prefetch: true, GPUBatch: slots}, 1<<30, threadpool.MustNew(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+
+	b.Run("static", func(b *testing.B) {
+		ctx := context.Background()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sess, err := newEngine(b).NewSession(slots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for base := 0; base < nReqs; base += slots {
+				wave := budgets[base:min(base+slots, nReqs)]
+				left := make([]int, len(wave))
+				for s := range wave {
+					if _, err := sess.Admit(ctx, s, prompts[base+s]); err != nil {
+						b.Fatal(err)
+					}
+					left[s] = wave[s] - 1
+					if left[s] == 0 {
+						sess.Retire(s)
+					}
+				}
+				for sess.NumActive() > 0 {
+					toks, err := sess.Step(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, st := range toks {
+						if left[st.Slot]--; left[st.Slot] == 0 {
+							sess.Retire(st.Slot)
+						}
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/time.Since(start).Seconds(), "tok/s")
+	})
+
+	b.Run("continuous", func(b *testing.B) {
+		scfg := serve.DefaultConfig(cfg.Vocab)
+		scfg.Slots = slots
+		scfg.QueueDepth = nReqs
+		var ttft50, ttft99 time.Duration
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sched, err := serve.New(newEngine(b), scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streams := make([]*serve.Stream, nReqs)
+			for r := range prompts {
+				if streams[r], err = sched.Submit(context.Background(), serve.Request{Prompt: prompts[r], MaxNewTokens: budgets[r]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, st := range streams {
+				if _, err := st.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sum := sched.Metrics().Serve
+			ttft50, ttft99 = sum.TTFTP50, sum.TTFTP99
+			sched.Close()
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/time.Since(start).Seconds(), "tok/s")
+		b.ReportMetric(float64(ttft50)/float64(time.Millisecond), "ttft-p50-ms")
+		b.ReportMetric(float64(ttft99)/float64(time.Millisecond), "ttft-p99-ms")
+	})
 }
 
 // BenchmarkAutoTune measures the coupled policy/parallelism loop.

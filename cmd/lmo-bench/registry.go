@@ -135,6 +135,19 @@ func registry() []experiment {
 			}
 			return r.Format(), nil
 		}},
+		{name: "serving", run: func() (string, error) {
+			r, err := experiments.ServingThroughput(4, 32)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.ServingThroughput(4, 32)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
 		{name: "availability", run: func() (string, error) {
 			r, err := experiments.Availability()
 			if err != nil {

@@ -1,0 +1,131 @@
+// Command lmo-serve runs the continuous-batching HTTP server over the
+// functional offloading engine: requests POSTed to /generate join a bounded
+// admission queue, get admitted into free KV slots at decode-step
+// boundaries, and stream back either a JSON token list or SSE events.
+// /healthz reports liveness; /stats reports queue depth, batch occupancy,
+// TTFT/TPOT latency quantiles, and tokens/s.
+//
+// Usage:
+//
+//	lmo-serve [-addr :8080] [-model tiny|small] [-slots 4] [-queue 64]
+//	          [-max-new 64] [-eos -1] [-kvbits 0|2|4|8] [-cpu-attn]
+//	          [-workers 4] [-seed 42] [-faults spec] [-step-timeout dur]
+//
+// Example session:
+//
+//	lmo-serve &
+//	curl -s localhost:8080/generate -d '{"prompt":[1,2,3],"max_new_tokens":8}'
+//	curl -s -N localhost:8080/generate -d '{"prompt":[1,2,3],"stream":true}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/threadpool"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "tiny", "executable model: tiny or small")
+	slots := flag.Int("slots", 4, "concurrent decode slots (continuous-batch width)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth")
+	maxNew := flag.Int("max-new", 64, "per-request generation cap")
+	defaultNew := flag.Int("default-new", 16, "generation budget when a request omits max_new_tokens")
+	eos := flag.Int("eos", -1, "EOS token ID terminating a stream early (-1 = off)")
+	kvBits := flag.Int("kvbits", 0, "KV quantization bits (0 = off; quantized KV is lossy)")
+	cpuAttn := flag.Bool("cpu-attn", false, "keep the KV cache host-resident and attention on the CPU")
+	workers := flag.Int("workers", 4, "compute pool width")
+	seed := flag.Int64("seed", 42, "weights seed")
+	faultSpec := flag.String("faults", "", `fault injection rules, e.g. "weight-transfer:p=0.1,kv-corruption:p=0.05"`)
+	stepTimeout := flag.Duration("step-timeout", 0, "per-step deadline (0 = none)")
+	flag.Parse()
+
+	var cfg model.Config
+	switch *modelName {
+	case "tiny":
+		cfg = model.Tiny()
+	case "small":
+		cfg = model.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "lmo-serve: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	pol := runtime.Policy{
+		AttnOnCPU:   *cpuAttn,
+		IntraOp:     *workers,
+		Prefetch:    true,
+		StepTimeout: *stepTimeout,
+	}
+	if *kvBits > 0 && !*cpuAttn {
+		pol.QuantKV = true
+		pol.KVCfg = quant.Config{Bits: *kvBits, GroupSize: 32}
+	}
+
+	m, err := model.NewModel(rand.New(rand.NewSource(*seed)), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	pool := threadpool.MustNew(*workers)
+	eng, err := runtime.NewEngine(m, pol, 1<<31, pool)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultSpec != "" {
+		rules, err := faults.ParseRules(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		inj, err := faults.New(*seed, rules)
+		if err != nil {
+			fatal(err)
+		}
+		eng.SetFaultInjector(inj)
+	}
+
+	scfg := serve.DefaultConfig(cfg.Vocab)
+	scfg.Slots = *slots
+	scfg.QueueDepth = *queueDepth
+	scfg.MaxNewTokens = *maxNew
+	scfg.DefaultNewTokens = *defaultNew
+	scfg.EOS = *eos
+	sched, err := serve.New(eng, scfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched)}
+	go func() {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "lmo-serve: draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		sched.Close()
+	}()
+	fmt.Printf("lmo-serve: %s model, %d slots, queue %d, listening on %s\n",
+		cfg.Name, *slots, *queueDepth, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lmo-serve:", err)
+	os.Exit(1)
+}

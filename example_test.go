@@ -1,10 +1,15 @@
 package lmoffload_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
 	lmoffload "repro"
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/serve"
 )
 
 // ExamplePlan shows the quantization-aware policy search on the paper's
@@ -50,6 +55,65 @@ func ExampleTuneParallelism() {
 	}
 	fmt.Println(setting.InterOpCompute)
 	// Output: 12
+}
+
+// Example_continuousServing pushes two requests through the continuous-batching
+// scheduler and checks the streamed tokens against the offline engine —
+// batching composition never changes a sequence's tokens.
+func Example_continuousServing() {
+	newEngine := func() *runtime.Engine {
+		m, err := model.NewModel(rand.New(rand.NewSource(42)), model.Tiny())
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<30, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return eng
+	}
+
+	sched, err := serve.New(newEngine(), serve.DefaultConfig(model.Tiny().Vocab))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs := []serve.Request{
+		{Prompt: []int{1, 2, 3, 4}, MaxNewTokens: 6},
+		{Prompt: []int{9, 8, 7}, MaxNewTokens: 4},
+	}
+	// Submit both up front so they decode in the same batch.
+	var streams []*serve.Stream
+	for _, req := range reqs {
+		st, err := sched.Submit(context.Background(), req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams = append(streams, st)
+	}
+	var served [][]int
+	for _, st := range streams {
+		toks, err := st.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		served = append(served, toks)
+	}
+	sched.Close()
+
+	match := true
+	for i, req := range reqs {
+		want, err := newEngine().Generate(context.Background(), [][]int{req.Prompt}, req.MaxNewTokens)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := range want[0] {
+			if served[i][j] != want[0][j] {
+				match = false
+			}
+		}
+	}
+	fmt.Println(len(served[0]), len(served[1]), match)
+	// Output: 6 4 true
 }
 
 // ExampleRunTinyInference executes a real tiny model through the offloading

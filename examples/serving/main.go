@@ -1,6 +1,9 @@
-// Serving walkthrough: stream tokens from the offloading engine with a
-// per-step callback and an early-stop condition — the shape an online
-// serving loop takes on top of the offline engine.
+// Serving walkthrough: run the continuous-batching scheduler as a library.
+// Requests with ragged prompts and budgets are submitted concurrently; the
+// scheduler admits them into free KV slots at decode-step boundaries,
+// streams tokens back per request, and reports occupancy and latency
+// metrics when the mix drains — the same machinery `lmo-serve` exposes over
+// HTTP.
 package main
 
 import (
@@ -8,10 +11,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"repro/internal/model"
-	"repro/internal/quant"
 	"repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/threadpool"
 )
 
@@ -24,9 +29,6 @@ func main() {
 	}
 	pool := threadpool.MustNew(4)
 	eng, err := runtime.NewEngine(m, runtime.Policy{
-		QuantKV:  true,
-		KVCfg:    quant.Config{Bits: 4, GroupSize: 32},
-		HostF16:  false,
 		GPUBatch: 2,
 		IntraOp:  4,
 		Prefetch: true,
@@ -35,27 +37,49 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prompts := [][]int{
-		{10, 20, 30, 40, 50, 60, 70, 80},
-		{5, 15, 25, 35, 45, 55, 65, 75},
-	}
-	// Treat token 0 as end-of-sequence: stop as soon as every stream emits
-	// it (or after 32 steps).
-	const eos = 0
-	fmt.Println("streaming generation (token per sequence per step):")
-	out, err := eng.GenerateStream(context.Background(), prompts, 32, func(step int, tokens []int) bool {
-		fmt.Printf("  step %2d: %v\n", step, tokens)
-		done := true
-		for _, tok := range tokens {
-			if tok != eos {
-				done = false
-			}
-		}
-		return !done
-	})
+	scfg := serve.DefaultConfig(cfg.Vocab)
+	scfg.Slots = 2
+	scfg.EOS = 0 // treat token 0 as end-of-sequence
+	sched, err := serve.New(eng, scfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngenerated %d + %d tokens\n", len(out[0]), len(out[1]))
+
+	reqs := []serve.Request{
+		{Prompt: []int{10, 20, 30, 40, 50, 60, 70, 80}, MaxNewTokens: 12},
+		{Prompt: []int{5, 15, 25, 35, 45, 55, 65, 75}, MaxNewTokens: 8},
+		{Prompt: []int{101, 202, 303}, MaxNewTokens: 10},
+	}
+	fmt.Println("continuous-batching serve (streamed per request):")
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req serve.Request) {
+			defer wg.Done()
+			// Stagger arrivals so the third request joins mid-batch.
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+			st, err := sched.Submit(context.Background(), req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var tokens []int
+			for tok := range st.Tokens() {
+				tokens = append(tokens, tok)
+			}
+			if _, err := st.Wait(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  request %d (%d-token prompt): %d tokens %v\n",
+				i, len(req.Prompt), len(tokens), tokens)
+		}(i, req)
+	}
+	wg.Wait()
+
+	m2 := sched.Metrics()
+	fmt.Printf("\nadmitted=%d completed=%d batch-steps=%d avg-occupancy=%.2f\n",
+		m2.Serve.Admitted, m2.Serve.Completed, m2.Serve.BatchSteps, m2.Serve.AvgOccupancy)
+	fmt.Printf("ttft p50=%v p99=%v\n",
+		m2.Serve.TTFTP50.Round(time.Microsecond), m2.Serve.TTFTP99.Round(time.Microsecond))
+	sched.Close()
 	fmt.Println("engine stats:", eng.Stats())
 }

@@ -164,6 +164,12 @@ func NewEngine(m *model.Model, policy Policy, gpuArenaBytes int64, pool *threadp
 // Stats returns the accumulated accounting.
 func (e *Engine) Stats() *Stats { return e.stats }
 
+// ArenaUsed returns the GPU arena bytes currently allocated. Outside an
+// in-flight step it must be the pinned resident layers' footprint plus any
+// live session staging — zero extra, which the serving layer's leak checks
+// assert after drain.
+func (e *Engine) ArenaUsed() int64 { return e.gpu.Used() }
+
 // Policy returns the engine's current policy. Degradation mutates it
 // mid-run, so this reflects the policy generation is actually running under.
 func (e *Engine) Policy() Policy { return e.policy }
@@ -439,27 +445,38 @@ func (e *Engine) degradeOnce(ctx context.Context, run *genRun) {
 // migrateToHost converts the chunked KV store into a host-resident cache so
 // subsequent steps compute attention on the CPU (the AttnOnCPU fallback).
 func (e *Engine) migrateToHost(ctx context.Context, run *genRun) error {
+	hc, err := e.fetchAllToHost(ctx, run.kvStore, len(run.prompts))
+	if err != nil {
+		return err
+	}
+	run.hostCache, run.kvStore = hc, nil
+	return nil
+}
+
+// fetchAllToHost drains a chunked KV store into a host-resident cache,
+// fetching (and dequantizing) every slot with transient-fault retry — the
+// bulk move behind the attn-on-cpu degradation rung, shared by the offline
+// run and the serving session.
+func (e *Engine) fetchAllToHost(ctx context.Context, kvStore *KVStore, batch int) (*model.KVCache, error) {
 	cfg := e.mod.Cfg
-	batch := len(run.prompts)
 	hc := model.NewKVCache(cfg.Layers, batch, cfg.Hidden)
 	for l := 0; l < cfg.Layers; l++ {
 		for s := 0; s < batch; s++ {
 			var k, v *tensor.Tensor
 			err := e.withRetry(ctx, "kv_migrate", func() error {
 				var ferr error
-				k, v, _, ferr = run.kvStore.Fetch(l, s)
+				k, v, _, ferr = kvStore.Fetch(l, s)
 				return ferr
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if k != nil {
 				hc.SetKV(l, s, k, v)
 			}
 		}
 	}
-	run.hostCache, run.kvStore = hc, nil
-	return nil
+	return hc, nil
 }
 
 // prefill runs the prompt through every layer with the same streamed-weight

@@ -1,0 +1,453 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Session is the engine's continuous-batching surface: a fixed number of KV
+// slots that independent sequences join and leave at decode-step boundaries.
+// Admit prefills a prompt into a free slot, Step advances every active slot
+// by one token (each at its own position), and Retire recycles a slot's KV
+// storage for the next request. Because the model computes attention, MLP,
+// and logits strictly per sequence, a sequence's tokens are bit-identical to
+// what a solo Engine.Generate run would produce, regardless of which other
+// sequences share the batch — the property the serving layer's differential
+// tests pin down.
+//
+// A Session owns the engine's arena and stats while it is live: do not run
+// Generate on the same engine concurrently, and drive the session from one
+// goroutine (the serving scheduler's loop). Fault handling mirrors the
+// offline path: transient faults retry inside each operation, failed steps
+// roll back every slot's partial KV appends before retrying, and repeated
+// failures take the session degradation ladder (prefetch-off, then migrating
+// the whole KV store to host-resident CPU attention).
+type Session struct {
+	e     *Engine
+	slots int
+
+	// Exactly one of these is non-nil, as in genRun: kv when attention runs
+	// on the GPU, host after AttnOnCPU (by policy or by degradation).
+	kv   *KVStore
+	host *model.KVCache
+
+	active []bool
+	pos    []int // per-slot next token position (tokens cached so far)
+	last   []int // per-slot last generated token
+}
+
+// SlotToken is one decode-step result: the token generated for a slot.
+type SlotToken struct {
+	Slot  int
+	Token int
+}
+
+// NewSession creates a continuous-batching session with the given number of
+// sequence slots. The engine's fault injector must be wired (SetFaultInjector)
+// before the session is created for KV corruption probes to reach the store.
+func (e *Engine) NewSession(slots int) (*Session, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("runtime: session needs at least one slot, got %d", slots)
+	}
+	cfg := e.mod.Cfg
+	s := &Session{
+		e:      e,
+		slots:  slots,
+		active: make([]bool, slots),
+		pos:    make([]int, slots),
+		last:   make([]int, slots),
+	}
+	if e.policy.AttnOnCPU {
+		s.host = model.NewKVCache(cfg.Layers, slots, cfg.Hidden)
+		return s, nil
+	}
+	kv, err := NewKVStore(cfg.Layers, slots, e.policy.QuantKV, e.policy.KVCfg, e.policy.HostF16)
+	if err != nil {
+		return nil, err
+	}
+	kv.UsePool(e.pool, e.policy.IntraOp)
+	kv.UseFaults(e.faults)
+	s.kv = kv
+	return s, nil
+}
+
+// Slots returns the session's slot count.
+func (s *Session) Slots() int { return s.slots }
+
+// IsActive reports whether slot holds a live sequence.
+func (s *Session) IsActive(slot int) bool {
+	return slot >= 0 && slot < s.slots && s.active[slot]
+}
+
+// ActiveSlots returns the live slot indices in slot order.
+func (s *Session) ActiveSlots() []int {
+	var out []int
+	for i, a := range s.active {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumActive returns the live sequence count.
+func (s *Session) NumActive() int {
+	n := 0
+	for _, a := range s.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Pos returns the next token position of a slot (its cached token count).
+func (s *Session) Pos(slot int) int { return s.pos[slot] }
+
+// HostKVBytes returns the host-side KV footprint of the session's store.
+func (s *Session) HostKVBytes() int64 {
+	if s.kv != nil {
+		return s.kv.HostBytes()
+	}
+	return s.host.Bytes()
+}
+
+// sessionMark is a rollback point over the session's KV storage, taken
+// before a mutating operation so a failed attempt can be undone without
+// touching the slots the operation never reached.
+type sessionMark struct {
+	kv   [][]int
+	host [][]int
+}
+
+func (s *Session) mark() sessionMark {
+	var m sessionMark
+	if s.kv != nil {
+		m.kv = s.kv.Mark()
+	}
+	if s.host != nil {
+		m.host = s.host.SeqLens()
+	}
+	return m
+}
+
+func (s *Session) rollback(m sessionMark) {
+	// The store may have migrated to host between mark and rollback (a
+	// degradation rung): per-slot lengths carry over 1:1, so replay the
+	// chunk-count mark as a host truncation in that case.
+	if s.kv != nil && m.kv != nil {
+		s.kv.Rollback(m.kv)
+		return
+	}
+	if s.host != nil && m.host != nil {
+		s.host.TruncateTo(m.host)
+	}
+}
+
+// Admit prefills prompt into a free slot and returns the first generated
+// token. The slot becomes active; subsequent Step calls extend it. Transient
+// failures retry with full rollback of the partial prefill, taking the
+// degradation ladder past the second attempt, exactly like offline prefill.
+func (s *Session) Admit(ctx context.Context, slot int, prompt []int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if slot < 0 || slot >= s.slots {
+		return 0, fmt.Errorf("runtime: admit slot %d outside [0, %d)", slot, s.slots)
+	}
+	if s.active[slot] {
+		return 0, fmt.Errorf("runtime: admit into occupied slot %d", slot)
+	}
+	if len(prompt) == 0 {
+		return 0, fmt.Errorf("runtime: admit with empty prompt")
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		m := s.mark()
+		stepCtx, cancel := s.e.stepContext(ctx)
+		t0 := time.Now()
+		tok, err := s.admitOnce(stepCtx, slot, prompt)
+		cancel()
+		s.e.stats.addTask("prefill", time.Since(t0))
+		if err == nil {
+			s.active[slot] = true
+			s.pos[slot] = len(prompt)
+			s.last[slot] = tok
+			s.e.stats.mu.Lock()
+			s.e.stats.TokensGenerated++
+			s.e.stats.mu.Unlock()
+			return tok, nil
+		}
+		s.rollback(m)
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		if attempt >= maxStepAttempts {
+			return 0, fmt.Errorf("runtime: admit to slot %d failed after %d attempts: %w", slot, attempt, err)
+		}
+		s.e.stats.addRetry("admit")
+		if attempt >= 2 {
+			s.degradeOnce(ctx)
+		}
+	}
+}
+
+// admitOnce is one prefill attempt for a single sequence: stream every
+// layer's weights (with prefetch overlap when enabled), compute attention
+// and MLP over the whole prompt, and offload the slot's KV per layer.
+func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok int, err error) {
+	defer recoverAsError(&err)
+	e := s.e
+	cfg := e.mod.Cfg
+	x := e.mod.Embed(prompt, 0)
+	xs := []*tensor.Tensor{x}
+	e.stats.addBytes(&e.stats.ActUpBytes, int64(len(prompt)*cfg.Hidden)*4)
+
+	// With GPU attention, prefill computes into a one-sequence live cache
+	// whose layer slices are offloaded (and dropped) as each layer finishes;
+	// with CPU attention it writes straight into the slot's host cache.
+	var live *model.KVCache
+	if s.kv != nil {
+		live = model.NewKVCache(cfg.Layers, 1, cfg.Hidden)
+	}
+
+	pipe := e.newLoadPipeline(ctx)
+	defer pipe.drain()
+	if e.policy.Prefetch {
+		pipe.start(0)
+	}
+	for j := 0; j < cfg.Layers; j++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		var ll loadedLayer
+		if e.policy.Prefetch {
+			ll = pipe.take()
+			if j+1 < cfg.Layers {
+				pipe.start(j + 1)
+			}
+		} else {
+			ll = e.loadLayer(ctx, j)
+		}
+		if ll.err != nil {
+			return 0, fmt.Errorf("runtime: admit layer %d: %w", j, ll.err)
+		}
+
+		t0 := time.Now()
+		if s.kv != nil {
+			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, live, j, 0, xs)
+		} else {
+			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
+		}
+		model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x)
+		e.stats.addTask("compute", time.Since(t0))
+		e.gpu.Free(ll.resident)
+
+		if s.kv != nil {
+			t1 := time.Now()
+			if err := e.storeChunk(ctx, s.kv, j, slot, live.Keys(j, 0), live.Values(j, 0)); err != nil {
+				return 0, err
+			}
+			live.SetKV(j, 0, nil, nil)
+			e.stats.addTask("store_cache", time.Since(t1))
+		}
+	}
+
+	hidden := tensor.New(1, cfg.Hidden)
+	copy(hidden.Row(0), x.Row(len(prompt)-1))
+	return tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))[0], nil
+}
+
+// Step advances every active slot by one token and returns the new token per
+// slot (in slot order). It returns (nil, nil) when no slot is active. A
+// failed step rolls every slot back to the pre-step mark before retrying —
+// the same atomicity the offline decode loop guarantees — so a fault in one
+// sequence never corrupts its neighbours.
+func (s *Session) Step(ctx context.Context) ([]SlotToken, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	act := s.ActiveSlots()
+	if len(act) == 0 {
+		return nil, nil
+	}
+	stepAttempts := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := s.mark()
+		stepCtx, cancel := s.e.stepContext(ctx)
+		next, err := s.stepOnce(stepCtx, act)
+		cancel()
+		if err == nil {
+			out := make([]SlotToken, len(act))
+			for i, slot := range act {
+				s.pos[slot]++
+				s.last[slot] = next[i]
+				out[i] = SlotToken{Slot: slot, Token: next[i]}
+			}
+			s.e.stats.mu.Lock()
+			s.e.stats.TokensGenerated += int64(len(act))
+			s.e.stats.mu.Unlock()
+			return out, nil
+		}
+		s.rollback(m)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		stepAttempts++
+		if stepAttempts >= maxStepAttempts {
+			return nil, fmt.Errorf("runtime: session step failed after %d attempts: %w", stepAttempts, err)
+		}
+		s.e.stats.addRetry("decode_step")
+		if stepAttempts >= 2 {
+			s.degradeOnce(ctx)
+		}
+	}
+}
+
+// stepOnce is one decode-step attempt over the active slots. Each sequence
+// embeds its token at its own absolute position — the per-slot generalization
+// of the offline loop's single shared position — then every layer streams its
+// weights once and the slots compute one at a time against their own KV.
+func (s *Session) stepOnce(ctx context.Context, act []int) (next []int, err error) {
+	defer recoverAsError(&err)
+	e := s.e
+	cfg := e.mod.Cfg
+
+	x := make([]*tensor.Tensor, len(act))
+	for i, slot := range act {
+		x[i] = e.mod.Embed([]int{s.last[slot]}, s.pos[slot])
+	}
+	actBytes := int64(len(act)) * int64(cfg.Hidden) * 4
+	e.stats.addBytes(&e.stats.ActUpBytes, actBytes)
+
+	pipe := e.newLoadPipeline(ctx)
+	defer pipe.drain()
+	if e.policy.Prefetch {
+		pipe.start(0)
+	}
+	for j := 0; j < cfg.Layers; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var ll loadedLayer
+		if e.policy.Prefetch {
+			ll = pipe.take()
+			if j+1 < cfg.Layers {
+				pipe.start(j + 1)
+			}
+		} else {
+			ll = e.loadLayer(ctx, j)
+		}
+		if ll.err != nil {
+			return nil, fmt.Errorf("runtime: session layer %d: %w", j, ll.err)
+		}
+		if err := s.stepLayer(ctx, j, ll, act, x); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 := time.Now()
+	logits := e.mod.Logits(e.pool, e.policy.IntraOp, rowsOf(x, cfg.Hidden))
+	next = tensor.ArgmaxRows(logits)
+	e.stats.addTask("compute", time.Since(t0))
+	e.stats.addBytes(&e.stats.ActDownBytes, actBytes)
+	return next, nil
+}
+
+// stepLayer runs one layer over every active slot, releasing the staged
+// weights on every path.
+func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []int, x []*tensor.Tensor) error {
+	e := s.e
+	defer e.gpu.Free(ll.resident)
+	cfg := e.mod.Cfg
+	for i, slot := range act {
+		xs := x[i : i+1]
+		if s.kv == nil {
+			// Host-resident attention: compute in place against the slot's
+			// cache; the new rows are appended by AttentionAt itself.
+			if err := e.probeWorkerPanic(); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
+			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
+			e.stats.addTask("compute", time.Since(t0))
+			continue
+		}
+		// GPU attention: stage the slot's KV into the arena (load_cache),
+		// compute, persist the new rows (store_cache), release the staging.
+		kv := e.loadCacheBatch(ctx, s.kv, j, slot, 1)
+		if kv.err != nil {
+			return kv.err
+		}
+		if err := func() error {
+			defer e.gpu.Free(kv.fetched)
+			if err := e.probeWorkerPanic(); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			out := model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, kv.cache, j, slot, xs)
+			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
+			e.stats.addTask("compute", time.Since(t0))
+			t1 := time.Now()
+			if err := e.storeChunk(ctx, s.kv, j, slot, out.NewK[0], out.NewV[0]); err != nil {
+				return err
+			}
+			e.stats.addTask("store_cache", time.Since(t1))
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Retire frees a slot: its KV storage is dropped and the slot becomes
+// admissible again. Retiring an inactive slot is a no-op.
+func (s *Session) Retire(slot int) {
+	if slot < 0 || slot >= s.slots || !s.active[slot] {
+		return
+	}
+	s.active[slot] = false
+	s.pos[slot] = 0
+	s.last[slot] = 0
+	if s.kv != nil {
+		s.kv.ResetSlot(slot)
+		return
+	}
+	for l := 0; l < s.host.Layers(); l++ {
+		s.host.SetKV(l, slot, nil, nil)
+	}
+}
+
+// degradeOnce takes the session degradation ladder: first drop the prefetch
+// overlap, then migrate the whole store to host-resident CPU attention. The
+// offline ladder's GPU-batch rung does not apply — the session already
+// fetches KV one slot at a time, which is the rung's end state.
+func (s *Session) degradeOnce(ctx context.Context) {
+	e := s.e
+	switch {
+	case e.policy.Prefetch:
+		e.policy.Prefetch = false
+		e.stats.addDegradation("prefetch-off")
+	case s.kv != nil:
+		host, err := e.fetchAllToHost(ctx, s.kv, s.slots)
+		if err != nil {
+			e.stats.addDegradation("attn-on-cpu(migration failed)")
+			return
+		}
+		s.host, s.kv = host, nil
+		e.policy.AttnOnCPU = true
+		e.policy.QuantKV = false
+		e.stats.addDegradation("attn-on-cpu")
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -39,6 +40,142 @@ type Stats struct {
 	Degradations  []string
 	Checkpoints   int64
 	FaultsCleared int64 // transient faults absorbed by a successful retry
+
+	// Serving-layer accounting, recorded by internal/serve's scheduler.
+	serve serveAccum
+}
+
+// serveSampleCap bounds the latency sample rings; past it the oldest samples
+// are overwritten, so quantiles describe the recent window.
+const serveSampleCap = 4096
+
+// serveAccum is the scheduler-side counters behind ServeSummary, guarded by
+// the owning Stats' mutex.
+type serveAccum struct {
+	admitted, completed, canceled, rejected int64
+	batchSteps, occupancySum                int64
+	queuePeak                               int
+	ttft, tpot                              ring
+}
+
+// ring is a fixed-capacity overwrite buffer of duration samples.
+type ring struct {
+	buf   []time.Duration
+	count int64
+}
+
+func (r *ring) add(d time.Duration) {
+	if r.buf == nil {
+		r.buf = make([]time.Duration, 0, serveSampleCap)
+	}
+	if len(r.buf) < serveSampleCap {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.count%serveSampleCap] = d
+	}
+	r.count++
+}
+
+// ServeSummary is a point-in-time snapshot of the serving-layer metrics:
+// admission outcomes, batch occupancy, and TTFT/TPOT latency quantiles over
+// the recent sample window.
+type ServeSummary struct {
+	Admitted  int64
+	Completed int64
+	Canceled  int64
+	Rejected  int64
+
+	BatchSteps   int64
+	AvgOccupancy float64 // mean active slots per decode step
+	QueuePeak    int
+
+	TTFTMean, TTFTP50, TTFTP99 time.Duration // submit -> first token
+	TPOTMean                   time.Duration // mean inter-token gap
+}
+
+// RecordAdmission counts one admitted request and its time-to-first-token.
+func (s *Stats) RecordAdmission(ttft time.Duration) {
+	s.mu.Lock()
+	s.serve.admitted++
+	s.serve.ttft.add(ttft)
+	s.mu.Unlock()
+}
+
+// RecordCompletion counts one finished request; tpot is its mean inter-token
+// gap (zero when the request produced a single token).
+func (s *Stats) RecordCompletion(tpot time.Duration) {
+	s.mu.Lock()
+	s.serve.completed++
+	if tpot > 0 {
+		s.serve.tpot.add(tpot)
+	}
+	s.mu.Unlock()
+}
+
+// RecordCancellation counts a request that left before completing (context
+// cancellation or deadline expiry).
+func (s *Stats) RecordCancellation() {
+	s.mu.Lock()
+	s.serve.canceled++
+	s.mu.Unlock()
+}
+
+// RecordRejection counts a request refused at admission (full queue or
+// failed validation).
+func (s *Stats) RecordRejection() {
+	s.mu.Lock()
+	s.serve.rejected++
+	s.mu.Unlock()
+}
+
+// RecordBatchStep counts one continuous-batching decode step with the given
+// slot occupancy and observed queue depth.
+func (s *Stats) RecordBatchStep(occupancy, queueDepth int) {
+	s.mu.Lock()
+	s.serve.batchSteps++
+	s.serve.occupancySum += int64(occupancy)
+	if queueDepth > s.serve.queuePeak {
+		s.serve.queuePeak = queueDepth
+	}
+	s.mu.Unlock()
+}
+
+// ServeSummary snapshots the serving metrics.
+func (s *Stats) ServeSummary() ServeSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ServeSummary{
+		Admitted:   s.serve.admitted,
+		Completed:  s.serve.completed,
+		Canceled:   s.serve.canceled,
+		Rejected:   s.serve.rejected,
+		BatchSteps: s.serve.batchSteps,
+		QueuePeak:  s.serve.queuePeak,
+	}
+	if s.serve.batchSteps > 0 {
+		out.AvgOccupancy = float64(s.serve.occupancySum) / float64(s.serve.batchSteps)
+	}
+	out.TTFTMean, out.TTFTP50, out.TTFTP99 = quantiles(s.serve.ttft.buf)
+	out.TPOTMean, _, _ = quantiles(s.serve.tpot.buf)
+	return out
+}
+
+// quantiles returns the mean, p50, and p99 of a sample set (zeros when
+// empty). The input is not modified.
+func quantiles(samples []time.Duration) (mean, p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	mean = sum / time.Duration(len(sorted))
+	p50 = sorted[len(sorted)/2]
+	p99 = sorted[(len(sorted)*99)/100]
+	return mean, p50, p99
 }
 
 func newStats() *Stats {
@@ -86,6 +223,15 @@ func (s *Stats) addCleared(n int64) {
 	s.mu.Lock()
 	s.FaultsCleared += n
 	s.mu.Unlock()
+}
+
+// TokensGeneratedCount returns the decoded-token counter under the stats
+// lock — the race-safe read concurrent observers (the serving layer's
+// metrics endpoint) need while generation is in flight.
+func (s *Stats) TokensGeneratedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.TokensGenerated
 }
 
 // TotalRetries sums the per-operation retry counts.

@@ -344,6 +344,14 @@ func (st *KVStore) Rollback(mark [][]int) {
 	}
 }
 
+// ResetSlot drops every chunk of one sequence slot across all layers,
+// recycling the slot for a new sequence (the serving session's retire path).
+func (st *KVStore) ResetSlot(seq int) {
+	for l := range st.chunks {
+		st.chunks[l][seq] = nil
+	}
+}
+
 // SeqLen returns the cached token count for (layer, seq).
 func (st *KVStore) SeqLen(layer, seq int) int {
 	n := 0

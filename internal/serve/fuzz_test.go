@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzServeRequest throws arbitrary bytes at the HTTP admission decoder.
+// Invariants: no panic; on success the normalized request is one the
+// scheduler accepts (non-empty in-vocab prompt, budget within [1, max]);
+// on failure the request is zero-valued.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"prompt":[1,2,3],"max_new_tokens":5}`))
+	f.Add([]byte(`{"prompt":[],"max_new_tokens":0}`))
+	f.Add([]byte(`{"prompt":[1],"stream":true}`))
+	f.Add([]byte(`{"prompt":[-1]}`))
+	f.Add([]byte(`{"prompt":[999999999]}`))
+	f.Add([]byte(`{"prompt":[1],"max_new_tokens":-7}`))
+	f.Add([]byte(`{"prompt":[1]}{"prompt":[2]}`))
+	f.Add([]byte(`{"prompt":[1],"unknown":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"prompt":null}`))
+
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, _, err := DecodeGenerateRequest(body, cfg)
+		if err != nil {
+			if req.Prompt != nil || req.MaxNewTokens != 0 {
+				t.Fatalf("error path returned non-zero request %+v", req)
+			}
+			return
+		}
+		if len(req.Prompt) == 0 || len(req.Prompt) > cfg.MaxPromptLen {
+			t.Fatalf("accepted prompt length %d outside (0, %d]", len(req.Prompt), cfg.MaxPromptLen)
+		}
+		for _, tok := range req.Prompt {
+			if tok < 0 || tok >= cfg.Vocab {
+				t.Fatalf("accepted out-of-vocab token %d", tok)
+			}
+		}
+		if req.MaxNewTokens < 1 || req.MaxNewTokens > cfg.MaxNewTokens {
+			t.Fatalf("accepted budget %d outside [1, %d]", req.MaxNewTokens, cfg.MaxNewTokens)
+		}
+	})
+}
+
+// FuzzAdmissionQueue drives the bounded FIFO with a fuzzer-chosen op tape.
+// Invariants: length never exceeds capacity; push fails exactly when full;
+// pop returns entries in submission order and nil exactly when empty.
+func FuzzAdmissionQueue(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 0, 0, 1, 0, 1, 1, 1})
+	f.Add(uint8(1), []byte{0, 0, 1, 1})
+	f.Add(uint8(8), []byte{0, 1, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, capByte uint8, ops []byte) {
+		capacity := int(capByte%16) + 1
+		q := &admitQueue{capacity: capacity}
+		next, expect := 0, 0 // sequence numbers: next to push, next expected from pop
+		for _, op := range ops {
+			switch op % 2 {
+			case 0: // push, sequence number stamped into the budget field
+				ok := q.push(&pending{req: Request{MaxNewTokens: next}})
+				if inFlight := next - expect; ok != (inFlight < capacity) {
+					t.Fatalf("push ok=%v with in-flight=%d cap=%d", ok, inFlight, capacity)
+				}
+				if ok {
+					next++
+				}
+			case 1: // pop
+				p := q.pop()
+				if p == nil {
+					if next != expect {
+						t.Fatalf("pop returned nil with %d queued", next-expect)
+					}
+					continue
+				}
+				if p.req.MaxNewTokens != expect {
+					t.Fatalf("FIFO violated: popped %d, want %d", p.req.MaxNewTokens, expect)
+				}
+				expect++
+			}
+			if q.len() > capacity {
+				t.Fatalf("queue length %d exceeds capacity %d", q.len(), capacity)
+			}
+			if q.len() != next-expect {
+				t.Fatalf("len=%d disagrees with model=%d", q.len(), next-expect)
+			}
+		}
+	})
+}

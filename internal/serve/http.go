@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxRequestBody bounds /generate request bodies; a prompt at MaxPromptLen
+// encodes far below this.
+const maxRequestBody = 1 << 20
+
+// GenerateRequest is the /generate JSON wire format.
+type GenerateRequest struct {
+	Prompt       []int `json:"prompt"`
+	MaxNewTokens int   `json:"max_new_tokens,omitempty"`
+	// Stream selects SSE token streaming instead of a single JSON response.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// GenerateResponse is the non-streaming /generate reply.
+type GenerateResponse struct {
+	Tokens []int `json:"tokens"`
+}
+
+// DecodeGenerateRequest parses and validates a /generate body against the
+// serving limits, returning the normalized request and the streaming flag.
+// It is the fuzzed admission surface: any malformed, oversize, or
+// out-of-range input must return an error, never panic or produce a request
+// the scheduler would refuse.
+func DecodeGenerateRequest(body []byte, cfg Config) (Request, bool, error) {
+	if len(body) > maxRequestBody {
+		return Request{}, false, fmt.Errorf("serve: request body %d bytes exceeds %d", len(body), maxRequestBody)
+	}
+	var wire GenerateRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return Request{}, false, fmt.Errorf("serve: malformed request: %w", err)
+	}
+	// Trailing garbage after the JSON object is malformed too.
+	if dec.More() {
+		return Request{}, false, fmt.Errorf("serve: trailing data after request object")
+	}
+	req, err := cfg.normalize(Request{Prompt: wire.Prompt, MaxNewTokens: wire.MaxNewTokens})
+	if err != nil {
+		return Request{}, false, err
+	}
+	return req, wire.Stream, nil
+}
+
+// NewHandler exposes the scheduler over HTTP: POST /generate (JSON in,
+// JSON or SSE out), GET /healthz, and GET /stats.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, statsPayload(s.Metrics()))
+	})
+	mux.HandleFunc("/generate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, stream, err := DecodeGenerateRequest(body, s.cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := s.Submit(r.Context(), req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if stream {
+			streamSSE(w, st)
+			return
+		}
+		tokens, err := st.Wait()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, GenerateResponse{Tokens: tokens})
+	})
+	return mux
+}
+
+// streamSSE delivers a request's tokens as server-sent events: one
+// `data: {"step":N,"token":T}` event per token, then `event: done` carrying
+// the terminal status.
+func streamSSE(w http.ResponseWriter, st *Stream) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	step := 0
+	for tok := range st.Tokens() {
+		fmt.Fprintf(w, "data: {\"step\":%d,\"token\":%d}\n\n", step, tok)
+		step++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, err := st.Wait()
+	status := "ok"
+	if err != nil {
+		status = err.Error()
+	}
+	fmt.Fprintf(w, "event: done\ndata: %q\n\n", status)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// statsPayload flattens Metrics into the /stats JSON document.
+func statsPayload(m Metrics) map[string]any {
+	return map[string]any{
+		"uptime_sec":       m.Uptime.Seconds(),
+		"queue_depth":      m.QueueDepth,
+		"active_slots":     m.ActiveSlots,
+		"total_slots":      m.TotalSlots,
+		"tokens_generated": m.TokensGenerated,
+		"tokens_per_sec":   m.TokensPerSec,
+		"admitted":         m.Serve.Admitted,
+		"completed":        m.Serve.Completed,
+		"canceled":         m.Serve.Canceled,
+		"rejected":         m.Serve.Rejected,
+		"batch_steps":      m.Serve.BatchSteps,
+		"avg_occupancy":    m.Serve.AvgOccupancy,
+		"queue_peak":       m.Serve.QueuePeak,
+		"ttft_p50_ms":      ms(m.Serve.TTFTP50),
+		"ttft_p99_ms":      ms(m.Serve.TTFTP99),
+		"ttft_mean_ms":     ms(m.Serve.TTFTMean),
+		"tpot_mean_ms":     ms(m.Serve.TPOTMean),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+func testServer(t *testing.T, cfg Config) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	m, err := model.NewModel(rand.New(rand.NewSource(modelSeed)), model.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(sched))
+	t.Cleanup(func() {
+		srv.Close()
+		sched.Close()
+	})
+	return srv, sched
+}
+
+func TestHTTPGenerateJSON(t *testing.T) {
+	srv, _ := testServer(t, DefaultConfig(model.Tiny().Vocab))
+	resp, err := http.Post(srv.URL+"/generate", "application/json",
+		strings.NewReader(`{"prompt":[1,2,3],"max_new_tokens":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tokens) != 5 {
+		t.Fatalf("got %d tokens %v, want 5", len(out.Tokens), out.Tokens)
+	}
+	want := soloReference(t, []int{1, 2, 3}, 5, -1)
+	assertTokensEqual(t, "http json", out.Tokens, want)
+}
+
+func TestHTTPGenerateSSE(t *testing.T) {
+	srv, _ := testServer(t, DefaultConfig(model.Tiny().Vocab))
+	resp, err := http.Post(srv.URL+"/generate", "application/json",
+		strings.NewReader(`{"prompt":[1,2,3],"max_new_tokens":4,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var tokens []int
+	var done string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: done":
+			if !sc.Scan() {
+				t.Fatal("done event missing data line")
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &done); err != nil {
+				t.Fatal(err)
+			}
+		case strings.HasPrefix(line, "data: "):
+			var ev struct {
+				Step  int `json:"step"`
+				Token int `json:"token"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE event %q: %v", line, err)
+			}
+			if ev.Step != len(tokens) {
+				t.Fatalf("event step %d out of order, want %d", ev.Step, len(tokens))
+			}
+			tokens = append(tokens, ev.Token)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done != "ok" {
+		t.Fatalf("terminal status = %q, want ok", done)
+	}
+	want := soloReference(t, []int{1, 2, 3}, 4, -1)
+	assertTokensEqual(t, "http sse", tokens, want)
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _ := testServer(t, DefaultConfig(model.Tiny().Vocab))
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed json", `{"prompt":[1,2`},
+		{"unknown field", `{"prompt":[1],"temperature":0.7}`},
+		{"trailing data", `{"prompt":[1]}{"prompt":[2]}`},
+		{"empty prompt", `{"prompt":[]}`},
+		{"no prompt", `{}`},
+		{"negative budget", `{"prompt":[1],"max_new_tokens":-3}`},
+		{"oversize budget", `{"prompt":[1],"max_new_tokens":100000}`},
+		{"token out of vocab", `{"prompt":[99999]}`},
+		{"negative token", `{"prompt":[-1]}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/generate", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /generate status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	cfg.Slots = 1
+	cfg.QueueDepth = 1
+	srv, _ := testServer(t, cfg)
+
+	// Occupy the only slot: start a long SSE request and read its first
+	// token, which proves it is admitted and decoding.
+	occupant, err := http.Post(srv.URL+"/generate", "application/json",
+		strings.NewReader(`{"prompt":[1,2,3],"max_new_tokens":256,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer occupant.Body.Close() // closing cancels the occupant at cleanup
+	sc := bufio.NewScanner(occupant.Body)
+	for sc.Scan() && !strings.HasPrefix(sc.Text(), "data: ") {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the single queue entry; the blocking POST completes much later, so
+	// watch /stats until the scheduler reports it enqueued.
+	go func() {
+		resp, err := http.Post(srv.URL+"/generate", "application/json",
+			strings.NewReader(`{"prompt":[4,5],"max_new_tokens":256}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats struct {
+			QueueDepth int `json:"queue_depth"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.QueueDepth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Slot busy + queue full: the next request must bounce with 429.
+	resp, err := http.Post(srv.URL+"/generate", "application/json",
+		strings.NewReader(`{"prompt":[6],"max_new_tokens":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	srv, sched := testServer(t, DefaultConfig(model.Tiny().Vocab))
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	// Serve one request so the counters are non-zero.
+	post, err := http.Post(srv.URL+"/generate", "application/json",
+		strings.NewReader(`{"prompt":[1,2,3],"max_new_tokens":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"uptime_sec", "queue_depth", "active_slots", "total_slots",
+		"tokens_generated", "tokens_per_sec", "admitted", "completed",
+		"canceled", "rejected", "batch_steps", "avg_occupancy",
+		"queue_peak", "ttft_p50_ms", "ttft_p99_ms", "ttft_mean_ms",
+		"tpot_mean_ms",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q", key)
+		}
+	}
+	if stats["admitted"].(float64) < 1 || stats["completed"].(float64) < 1 {
+		t.Errorf("stats did not count the served request: %v", stats)
+	}
+	if m := sched.Metrics(); m.TotalSlots != DefaultConfig(model.Tiny().Vocab).Slots {
+		t.Errorf("TotalSlots = %d", m.TotalSlots)
+	}
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// pending is one request's lifecycle record, owned by the scheduler loop
+// once submitted.
+type pending struct {
+	req       Request
+	ctx       context.Context
+	stream    *Stream
+	submitted time.Time
+
+	slot     int
+	produced int
+	firstTok time.Time
+	lastTok  time.Time
+}
+
+// Scheduler drives a continuous-batching session: submissions land in a
+// bounded queue; a single loop goroutine admits them into free slots at
+// decode-step boundaries, steps the shared batch, fans tokens out to the
+// per-request streams, and retires finished or cancelled sequences so their
+// slots recycle immediately.
+type Scheduler struct {
+	eng   *runtime.Engine
+	sess  *runtime.Session
+	cfg   Config
+	start time.Time
+
+	mu     sync.Mutex
+	queue  admitQueue
+	closed bool
+	active int // slots occupied, mirrored under mu for Metrics
+
+	wake chan struct{} // 1-buffered submit/close signal for the idle loop
+	done chan struct{} // closed when the loop drains and exits
+
+	// Loop-owned state (no locking needed): slot -> in-flight request.
+	running map[int]*pending
+}
+
+// New builds a scheduler over the engine and starts its loop. The engine
+// must be dedicated to this scheduler (sessions own the engine's arena and
+// stats) and its fault injector, if any, wired beforehand.
+func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sess, err := eng.NewSession(cfg.Slots)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		eng:     eng,
+		sess:    sess,
+		cfg:     cfg,
+		start:   time.Now(),
+		queue:   admitQueue{capacity: cfg.QueueDepth},
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		running: make(map[int]*pending),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Submit validates and enqueues a request, returning its token stream. The
+// context governs the request's whole lifetime: cancellation or deadline
+// expiry removes it from the queue or retires its slot at the next step
+// boundary, with the stream finishing on ctx.Err().
+func (s *Scheduler) Submit(ctx context.Context, req Request) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := s.cfg.normalize(req)
+	if err != nil {
+		s.eng.Stats().RecordRejection()
+		return nil, err
+	}
+	p := &pending{req: req, ctx: ctx, stream: newStream(req.MaxNewTokens), submitted: time.Now()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.eng.Stats().RecordRejection()
+		return nil, ErrClosed
+	}
+	if !s.queue.push(p) {
+		s.mu.Unlock()
+		s.eng.Stats().RecordRejection()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.kick()
+	return p.stream, nil
+}
+
+// Close stops admission and waits for the queue and every in-flight request
+// to drain. Queued requests still run to completion; callers wanting faster
+// shutdown cancel their request contexts.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.kick()
+	<-s.done
+}
+
+// Metrics is a point-in-time view of the serving state, combining the
+// scheduler's queue/slot occupancy with the engine's extended stats.
+type Metrics struct {
+	QueueDepth  int
+	ActiveSlots int
+	TotalSlots  int
+	Uptime      time.Duration
+
+	// TokensGenerated and TokensPerSec cover every token the engine produced
+	// since the scheduler started (prefill first-tokens included).
+	TokensGenerated int64
+	TokensPerSec    float64
+
+	Serve runtime.ServeSummary
+}
+
+// Metrics snapshots the serving metrics.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	depth := s.queue.len()
+	active := s.active
+	s.mu.Unlock()
+	st := s.eng.Stats()
+	summary := st.ServeSummary()
+	uptime := time.Since(s.start)
+	tokens := st.TokensGeneratedCount()
+	m := Metrics{
+		QueueDepth:      depth,
+		ActiveSlots:     active,
+		TotalSlots:      s.cfg.Slots,
+		Uptime:          uptime,
+		TokensGenerated: tokens,
+		Serve:           summary,
+	}
+	if uptime > 0 {
+		m.TokensPerSec = float64(tokens) / uptime.Seconds()
+	}
+	return m
+}
+
+// noteActive mirrors the loop-owned occupancy into the mu-guarded counter
+// Metrics reads.
+func (s *Scheduler) noteActive(delta int) {
+	s.mu.Lock()
+	s.active += delta
+	s.mu.Unlock()
+}
+
+// kick nudges an idle loop; the 1-buffered channel makes signals sticky so a
+// submit racing the loop's idle check is never lost.
+func (s *Scheduler) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the scheduler's only mutator of the session. Each iteration works
+// one step boundary: retire cancelled slots, admit from the queue, then run
+// one decode step over the active batch and deliver its tokens.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	for {
+		s.retireCancelled()
+		s.admit()
+		if s.sess.NumActive() == 0 {
+			s.mu.Lock()
+			idle := s.queue.len() == 0
+			finished := idle && s.closed
+			s.mu.Unlock()
+			if finished {
+				return
+			}
+			if idle {
+				<-s.wake
+			}
+			continue
+		}
+		s.stepBatch()
+	}
+}
+
+// retireCancelled retires every active slot whose request context ended,
+// finishing its stream with the context error.
+func (s *Scheduler) retireCancelled() {
+	for slot, p := range s.running {
+		if err := p.ctx.Err(); err != nil {
+			s.sess.Retire(slot)
+			delete(s.running, slot)
+			s.noteActive(-1)
+			p.stream.finish(err)
+			s.eng.Stats().RecordCancellation()
+		}
+	}
+}
+
+// admit moves queued requests into free slots, prefilling each and emitting
+// its first token. Requests whose context already ended are dropped without
+// consuming a slot.
+func (s *Scheduler) admit() {
+	for s.sess.NumActive() < s.cfg.Slots {
+		s.mu.Lock()
+		p := s.queue.pop()
+		s.mu.Unlock()
+		if p == nil {
+			return
+		}
+		if err := p.ctx.Err(); err != nil {
+			p.stream.finish(err)
+			s.eng.Stats().RecordCancellation()
+			continue
+		}
+		slot := s.freeSlot()
+		tok, err := s.sess.Admit(p.ctx, slot, p.req.Prompt)
+		if err != nil {
+			p.stream.finish(err)
+			if p.ctx.Err() != nil {
+				s.eng.Stats().RecordCancellation()
+			} else {
+				s.eng.Stats().RecordRejection()
+			}
+			continue
+		}
+		now := time.Now()
+		p.slot, p.firstTok, p.lastTok = slot, now, now
+		s.running[slot] = p
+		s.noteActive(1)
+		s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
+		s.deliver(p, tok)
+	}
+}
+
+// freeSlot returns an inactive slot index; admit only calls it when one
+// exists (NumActive < Slots).
+func (s *Scheduler) freeSlot() int {
+	for slot := 0; slot < s.cfg.Slots; slot++ {
+		if !s.sess.IsActive(slot) && s.running[slot] == nil {
+			return slot
+		}
+	}
+	panic("serve: no free slot despite NumActive < Slots")
+}
+
+// stepBatch advances the whole active batch one token and fans the results
+// out. A step error after the session's own retries and degradations is
+// batch-fatal: every in-flight request fails with it.
+func (s *Scheduler) stepBatch() {
+	toks, err := s.sess.Step(context.Background())
+	if err != nil {
+		for slot, p := range s.running {
+			s.sess.Retire(slot)
+			delete(s.running, slot)
+			s.noteActive(-1)
+			p.stream.finish(err)
+			s.eng.Stats().RecordCancellation()
+		}
+		return
+	}
+	s.mu.Lock()
+	depth := s.queue.len()
+	s.mu.Unlock()
+	s.eng.Stats().RecordBatchStep(len(toks), depth)
+	for _, st := range toks {
+		if p := s.running[st.Slot]; p != nil {
+			p.lastTok = time.Now()
+			s.deliver(p, st.Token)
+		}
+	}
+}
+
+// deliver pushes one token to the request's stream and completes the request
+// when it hits EOS or its budget.
+func (s *Scheduler) deliver(p *pending, tok int) {
+	p.stream.push(tok)
+	p.produced++
+	if (s.cfg.EOS >= 0 && tok == s.cfg.EOS) || p.produced >= p.req.MaxNewTokens {
+		s.sess.Retire(p.slot)
+		delete(s.running, p.slot)
+		s.noteActive(-1)
+		var tpot time.Duration
+		if p.produced > 1 {
+			tpot = p.lastTok.Sub(p.firstTok) / time.Duration(p.produced-1)
+		}
+		p.stream.finish(nil)
+		s.eng.Stats().RecordCompletion(tpot)
+	}
+}

@@ -1,0 +1,193 @@
+// Package serve is the online serving layer on top of the offloading
+// engine: a bounded admission queue feeding a continuous-batching scheduler
+// that joins requests into free KV slots at decode-step boundaries, streams
+// tokens per request, and retires sequences on EOS, max-tokens, cancellation,
+// or deadline expiry. Because the engine computes strictly per sequence,
+// every request's tokens are bit-identical to a dedicated offline run — the
+// package's differential tests pin that invariant down, faults included.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Admission and lifecycle errors surfaced by Submit and the streams.
+var (
+	// ErrQueueFull rejects a request when the admission queue is at capacity
+	// — the backpressure signal load balancers retry against.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// Config bounds the scheduler: batch width, queue depth, and per-request
+// limits every submission is validated against.
+type Config struct {
+	// Slots is the maximum number of concurrently decoding sequences (the
+	// session's KV slot count).
+	Slots int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrQueueFull rather than buffering unboundedly.
+	QueueDepth int
+	// MaxPromptLen rejects oversize prompts at admission.
+	MaxPromptLen int
+	// MaxNewTokens caps a request's generation budget; DefaultNewTokens is
+	// applied when a request leaves it zero.
+	MaxNewTokens     int
+	DefaultNewTokens int
+	// EOS is the token ID that terminates a stream early (emitted, then the
+	// slot retires). Negative disables EOS detection.
+	EOS int
+	// Vocab rejects prompt tokens outside [0, Vocab) — the engine's Embed
+	// panics on them, so they must never reach a slot.
+	Vocab int
+}
+
+// DefaultConfig returns serving limits sized for the functional models.
+func DefaultConfig(vocab int) Config {
+	return Config{
+		Slots:            4,
+		QueueDepth:       64,
+		MaxPromptLen:     512,
+		MaxNewTokens:     256,
+		DefaultNewTokens: 32,
+		EOS:              -1,
+		Vocab:            vocab,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	if c.Slots <= 0 {
+		return fmt.Errorf("serve: slots must be positive, got %d", c.Slots)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("serve: queue depth must be positive, got %d", c.QueueDepth)
+	}
+	if c.MaxPromptLen <= 0 {
+		return fmt.Errorf("serve: max prompt length must be positive, got %d", c.MaxPromptLen)
+	}
+	if c.MaxNewTokens <= 0 {
+		return fmt.Errorf("serve: max new tokens must be positive, got %d", c.MaxNewTokens)
+	}
+	if c.DefaultNewTokens <= 0 || c.DefaultNewTokens > c.MaxNewTokens {
+		return fmt.Errorf("serve: default new tokens %d outside (0, %d]", c.DefaultNewTokens, c.MaxNewTokens)
+	}
+	if c.Vocab <= 0 {
+		return fmt.Errorf("serve: vocab must be positive, got %d", c.Vocab)
+	}
+	return nil
+}
+
+// Request is one generation job: a prompt and its token budget.
+type Request struct {
+	Prompt []int
+	// MaxNewTokens bounds the generated tokens (EOS may stop earlier).
+	// Zero takes the config default.
+	MaxNewTokens int
+}
+
+// normalize applies defaults and validates the request against the limits.
+// It returns the effective request.
+func (c Config) normalize(req Request) (Request, error) {
+	if req.MaxNewTokens == 0 {
+		req.MaxNewTokens = c.DefaultNewTokens
+	}
+	if req.MaxNewTokens < 0 || req.MaxNewTokens > c.MaxNewTokens {
+		return req, fmt.Errorf("serve: max_new_tokens %d outside [1, %d]", req.MaxNewTokens, c.MaxNewTokens)
+	}
+	if len(req.Prompt) == 0 {
+		return req, fmt.Errorf("serve: empty prompt")
+	}
+	if len(req.Prompt) > c.MaxPromptLen {
+		return req, fmt.Errorf("serve: prompt length %d exceeds limit %d", len(req.Prompt), c.MaxPromptLen)
+	}
+	for i, tok := range req.Prompt {
+		if tok < 0 || tok >= c.Vocab {
+			return req, fmt.Errorf("serve: prompt token %d at position %d outside vocab [0, %d)", tok, i, c.Vocab)
+		}
+	}
+	return req, nil
+}
+
+// Stream delivers one request's tokens as they are generated. Tokens() is
+// closed when the request finishes; Wait() blocks for completion and returns
+// the full output. The token channel is buffered to the request's budget, so
+// the scheduler never blocks on a slow consumer.
+type Stream struct {
+	ch   chan int
+	done chan struct{}
+
+	mu     sync.Mutex
+	tokens []int
+	err    error
+}
+
+func newStream(budget int) *Stream {
+	return &Stream{ch: make(chan int, budget), done: make(chan struct{})}
+}
+
+// Tokens returns the live token channel; it is closed on completion.
+func (st *Stream) Tokens() <-chan int { return st.ch }
+
+// Done is closed when the request finishes (successfully or not).
+func (st *Stream) Done() <-chan struct{} { return st.done }
+
+// Wait blocks until the request finishes and returns every generated token
+// plus the terminal error (nil on EOS/max-tokens completion).
+func (st *Stream) Wait() ([]int, error) {
+	<-st.done
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]int(nil), st.tokens...), st.err
+}
+
+// push records and delivers one token. The channel send cannot block: at
+// most MaxNewTokens tokens are ever pushed and the buffer holds all of them.
+func (st *Stream) push(tok int) {
+	st.mu.Lock()
+	st.tokens = append(st.tokens, tok)
+	st.mu.Unlock()
+	st.ch <- tok
+}
+
+// finish seals the stream. It is called exactly once, by the scheduler loop.
+func (st *Stream) finish(err error) {
+	st.mu.Lock()
+	st.err = err
+	st.mu.Unlock()
+	close(st.ch)
+	close(st.done)
+}
+
+// admitQueue is the bounded FIFO admission queue. Invariants (fuzzed in
+// FuzzAdmissionQueue): length never exceeds capacity, push fails exactly
+// when full, and pop returns requests in arrival order.
+type admitQueue struct {
+	capacity int
+	items    []*pending
+}
+
+// push enqueues p, reporting false when the queue is full.
+func (q *admitQueue) push(p *pending) bool {
+	if len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, p)
+	return true
+}
+
+// pop dequeues the oldest request, or nil when empty.
+func (q *admitQueue) pop() *pending {
+	if len(q.items) == 0 {
+		return nil
+	}
+	p := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return p
+}
+
+func (q *admitQueue) len() int { return len(q.items) }
