@@ -148,6 +148,19 @@ func registry() []experiment {
 			}
 			return r.CSV(), nil
 		}},
+		{name: "overload", run: func() (string, error) {
+			r, err := experiments.Overload(48)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.Overload(48)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
 		{name: "availability", run: func() (string, error) {
 			r, err := experiments.Availability()
 			if err != nil {

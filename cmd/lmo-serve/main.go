@@ -2,14 +2,22 @@
 // functional offloading engine: requests POSTed to /generate join a bounded
 // admission queue, get admitted into free KV slots at decode-step
 // boundaries, and stream back either a JSON token list or SSE events.
-// /healthz reports liveness; /stats reports queue depth, batch occupancy,
-// TTFT/TPOT latency quantiles, and tokens/s.
+// /healthz reports the circuit-breaker state (healthy/degraded/shedding,
+// 503 while shedding); /stats reports queue depth, batch occupancy,
+// TTFT/TPOT latency quantiles, tokens/s, and the overload-protection
+// counters (spills, evictions, structured 429s, pressure level).
+//
+// With admission control on (the default), the server estimates each
+// request's peak arena footprint before admitting it and sheds load with
+// structured 429/503 responses carrying Retry-After instead of OOMing.
 //
 // Usage:
 //
 //	lmo-serve [-addr :8080] [-model tiny|small] [-slots 4] [-queue 64]
 //	          [-max-new 64] [-eos -1] [-kvbits 0|2|4|8] [-cpu-attn]
 //	          [-workers 4] [-seed 42] [-faults spec] [-step-timeout dur]
+//	          [-arena-mb 2048] [-admission] [-hwm 0.85] [-lwm 0.65]
+//	          [-tpot-budget dur] [-host-kv-mb 0]
 //
 // Example session:
 //
@@ -51,6 +59,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "weights seed")
 	faultSpec := flag.String("faults", "", `fault injection rules, e.g. "weight-transfer:p=0.1,kv-corruption:p=0.05"`)
 	stepTimeout := flag.Duration("step-timeout", 0, "per-step deadline (0 = none)")
+	arenaMB := flag.Int64("arena-mb", 2048, "GPU arena capacity in MiB")
+	admission := flag.Bool("admission", true, "performance-model-guided admission control and KV-pressure ladder")
+	hwm := flag.Float64("hwm", 0.85, "high watermark as a fraction of the arena's KV headroom")
+	lwm := flag.Float64("lwm", 0.65, "low watermark (hysteresis floor) as a fraction of KV headroom")
+	tpotBudget := flag.Duration("tpot-budget", 0, "reject admissions predicted to push TPOT past this (0 = off)")
+	hostKVMB := flag.Int64("host-kv-mb", 0, "host-side KV byte budget in MiB (0 = unlimited)")
 	flag.Parse()
 
 	var cfg model.Config
@@ -80,7 +94,7 @@ func main() {
 		fatal(err)
 	}
 	pool := threadpool.MustNew(*workers)
-	eng, err := runtime.NewEngine(m, pol, 1<<31, pool)
+	eng, err := runtime.NewEngine(m, pol, *arenaMB<<20, pool)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,6 +116,11 @@ func main() {
 	scfg.MaxNewTokens = *maxNew
 	scfg.DefaultNewTokens = *defaultNew
 	scfg.EOS = *eos
+	scfg.AdmissionControl = *admission
+	scfg.ArenaHighWater = *hwm
+	scfg.ArenaLowWater = *lwm
+	scfg.TPOTBudget = *tpotBudget
+	scfg.HostKVBudget = *hostKVMB << 20
 	sched, err := serve.New(eng, scfg)
 	if err != nil {
 		fatal(err)

@@ -103,11 +103,12 @@ func IsTransient(err error) bool {
 // is valid and never fires, so call sites need no guards. All methods are
 // safe for concurrent use.
 type Injector struct {
-	mu    sync.Mutex
-	seed  int64
-	rules map[Site]Rule
-	rngs  map[Site]*rand.Rand
-	fired map[Site]int
+	mu       sync.Mutex
+	seed     int64
+	rules    map[Site]Rule
+	rngs     map[Site]*rand.Rand
+	fired    map[Site]int
+	inactive bool // window gating: when set, no site fires
 }
 
 // New builds an injector. Rules for unknown sites are allowed (callers may
@@ -159,6 +160,9 @@ func (in *Injector) fire(site Site) bool {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.inactive {
+		return false
+	}
 	rule, ok := in.rules[site]
 	if !ok || rule.Prob <= 0 {
 		return false
@@ -171,6 +175,30 @@ func (in *Injector) fire(site Site) bool {
 	}
 	in.fired[site]++
 	return true
+}
+
+// SetActive opens or closes the injector's fault window. While inactive, no
+// site fires (probes still run, keeping per-site streams deterministic: an
+// inactive probe does not consume randomness). Chaos harnesses use this to
+// schedule bounded fault windows inside a longer run.
+func (in *Injector) SetActive(active bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.inactive = !active
+	in.mu.Unlock()
+}
+
+// Active reports whether the fault window is open. The nil injector is
+// permanently inactive.
+func (in *Injector) Active() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.inactive
 }
 
 // Enabled reports whether the site has a rule that can ever fire. Callers

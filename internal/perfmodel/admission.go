@@ -1,0 +1,209 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// AdmissionModel estimates, before a request is admitted, the peak GPU-arena
+// footprint serving it will cause — the online counterpart of the paper's
+// memory-capacity constraints (Eqs. 17–19). The serving engine stages at most
+// one slot's KV working copy at a time (its per-layer decode is serial per
+// slot) and keeps at most WeightBuffers streamed layer buffers in flight, so
+// the peak decomposes into
+//
+//	peak = ResidentBase + WeightBuffers·LayerBytes + slack·maxSlotKV
+//
+// where maxSlotKV is the largest single slot's staged K+V bytes at its final
+// sequence length (2·(s+n)·h·bytesPerElem, the per-layer term of Eq. 17) and
+// slack absorbs transient double-buffering during rollback/retry.
+//
+// All arithmetic saturates instead of overflowing, so adversarial shapes
+// (fuzzed prompt lengths, giant hidden sizes) can never produce a negative
+// estimate or wrap around into a spuriously small one.
+type AdmissionModel struct {
+	// HiddenDim and BytesPerElem describe the model's KV row geometry. The
+	// staged working copy is always float32 in the functional engine, so
+	// BytesPerElem is 4 there; the analytical model keeps it a parameter.
+	HiddenDim    int
+	BytesPerElem int
+
+	// ResidentBase is the arena footprint that exists independent of any
+	// request: pinned resident layers (the wg split's GPU share).
+	ResidentBase int64
+	// LayerBytes is the largest streamed layer's staged weight buffer.
+	LayerBytes int64
+	// WeightBuffers is how many streamed layer buffers can be in flight at
+	// once (2 under prefetch: current + next).
+	WeightBuffers int
+	// Slack scales the KV term (≥ 1); it absorbs the transient second copy a
+	// retried fetch can hold while the first is being released.
+	Slack float64
+}
+
+// Validate reports malformed parameters.
+func (a AdmissionModel) Validate() error {
+	if a.HiddenDim <= 0 || a.BytesPerElem <= 0 {
+		return fmt.Errorf("perfmodel: admission model geometry %d/%d must be positive", a.HiddenDim, a.BytesPerElem)
+	}
+	if a.ResidentBase < 0 || a.LayerBytes < 0 || a.WeightBuffers < 0 {
+		return fmt.Errorf("perfmodel: admission model byte terms must be non-negative")
+	}
+	if a.Slack < 1 {
+		return fmt.Errorf("perfmodel: admission slack %g must be >= 1", a.Slack)
+	}
+	return nil
+}
+
+// SlotKVBytes returns the staged K+V working-copy size of one slot once it
+// has cached promptLen+newTokens tokens: 2·(s+n)·h·bytes, saturating.
+// Negative lengths are treated as zero.
+func (a AdmissionModel) SlotKVBytes(promptLen, newTokens int) int64 {
+	if promptLen < 0 {
+		promptLen = 0
+	}
+	if newTokens < 0 {
+		newTokens = 0
+	}
+	tokens := satAdd64(int64(promptLen), int64(newTokens))
+	per := satMul64(2, satMul64(int64(a.HiddenDim), int64(a.BytesPerElem)))
+	return satMul64(tokens, per)
+}
+
+// PeakBytes returns the predicted peak arena use when the largest staged
+// slot holds kvBytes, saturating on overflow.
+func (a AdmissionModel) PeakBytes(kvBytes int64) int64 {
+	if kvBytes < 0 {
+		kvBytes = 0
+	}
+	peak := satAdd64(a.ResidentBase, satMul64(int64(a.WeightBuffers), a.LayerBytes))
+	return satAdd64(peak, satScale(kvBytes, a.Slack))
+}
+
+// ScaledKV returns the slack-scaled KV pressure term of PeakBytes — the
+// quantity watermark comparisons use against the arena's KV headroom.
+func (a AdmissionModel) ScaledKV(kvBytes int64) int64 {
+	if kvBytes < 0 {
+		kvBytes = 0
+	}
+	return satScale(kvBytes, a.Slack)
+}
+
+// satAdd64 adds, clamping at MaxInt64.
+func satAdd64(x, y int64) int64 {
+	if x > math.MaxInt64-y {
+		return math.MaxInt64
+	}
+	return x + y
+}
+
+// satMul64 multiplies non-negative operands, clamping at MaxInt64.
+func satMul64(x, y int64) int64 {
+	if x == 0 || y == 0 {
+		return 0
+	}
+	if x > math.MaxInt64/y {
+		return math.MaxInt64
+	}
+	return x * y
+}
+
+// satScale multiplies a non-negative byte count by a factor ≥ 0, clamping.
+func satScale(x int64, f float64) int64 {
+	v := float64(x) * f
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// StepCostModel predicts per-step decode latency as a function of batch
+// occupancy by fitting observed steps to the Eq. 2 shape: with per-slot
+// serial attention, a step costs a fixed part (weight streaming, which is
+// shared across slots) plus a per-slot part (load_cache + compute +
+// store_cache per sequence), i.e. T_step(b) ≈ fixed + perSlot·b. The fit is
+// an exponentially-decayed least squares over (occupancy, duration) samples,
+// so the predictor tracks drift (degradation rungs change both
+// coefficients). It is not safe for concurrent use; the scheduler owns it
+// from its loop goroutine.
+type StepCostModel struct {
+	// decayed sufficient statistics for least squares on y = α + β·b
+	n, sb, sbb, sy, sby float64
+	samples             int64
+}
+
+// stepCostDecay is the per-observation decay: ~0.97 keeps roughly the last
+// 30 steps dominant, long enough to smooth fault noise and short enough to
+// track a degradation rung within a burst.
+const stepCostDecay = 0.97
+
+// stepCostMinSamples gates predictions until the fit has seen enough steps.
+const stepCostMinSamples = 8
+
+// Observe folds one decode step at the given occupancy into the fit.
+func (m *StepCostModel) Observe(occupancy int, d time.Duration) {
+	if occupancy <= 0 || d <= 0 {
+		return
+	}
+	b, y := float64(occupancy), d.Seconds()
+	m.n = m.n*stepCostDecay + 1
+	m.sb = m.sb*stepCostDecay + b
+	m.sbb = m.sbb*stepCostDecay + b*b
+	m.sy = m.sy*stepCostDecay + y
+	m.sby = m.sby*stepCostDecay + b*y
+	m.samples++
+}
+
+// Ready reports whether the model has enough samples to predict.
+func (m *StepCostModel) Ready() bool { return m.samples >= stepCostMinSamples }
+
+// Coefficients returns the fitted (fixed, perSlot) parts in seconds. Before
+// Ready, or when the observed occupancies are degenerate (all equal), the
+// per-slot part is folded into an occupancy-independent mean.
+func (m *StepCostModel) Coefficients() (fixed, perSlot float64) {
+	if m.n <= 0 {
+		return 0, 0
+	}
+	det := m.n*m.sbb - m.sb*m.sb
+	mean := m.sy / m.n
+	if det <= 1e-12*m.n*m.sbb {
+		return mean, 0
+	}
+	perSlot = (m.n*m.sby - m.sb*m.sy) / det
+	fixed = (m.sy - perSlot*m.sb) / m.n
+	if perSlot < 0 {
+		// Noise can tilt the fit negative; an occupancy-independent mean is
+		// the safe fallback (never predicts faster steps for bigger batches).
+		return mean, 0
+	}
+	if fixed < 0 {
+		fixed = 0
+	}
+	return fixed, perSlot
+}
+
+// PredictTPOT returns the predicted time-per-output-token at the given
+// occupancy (each step yields one token per active slot, so TPOT equals step
+// time). Zero before the model is Ready.
+func (m *StepCostModel) PredictTPOT(occupancy int) time.Duration {
+	if !m.Ready() || occupancy <= 0 {
+		return 0
+	}
+	fixed, perSlot := m.Coefficients()
+	return time.Duration((fixed + perSlot*float64(occupancy)) * float64(time.Second))
+}
+
+// PredictDrain estimates how long the server needs to finish remainingTokens
+// across the given occupancy — the Retry-After hint for rejected requests.
+// Zero when the model is not Ready or there is nothing to drain.
+func (m *StepCostModel) PredictDrain(remainingTokens int64, occupancy int) time.Duration {
+	if remainingTokens <= 0 || occupancy <= 0 || !m.Ready() {
+		return 0
+	}
+	steps := (remainingTokens + int64(occupancy) - 1) / int64(occupancy)
+	return time.Duration(steps) * m.PredictTPOT(occupancy)
+}

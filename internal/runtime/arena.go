@@ -10,9 +10,16 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrArenaUnderflow reports a Free that would release more bytes than are
+// allocated. Rollback paths can race a pipeline drain into double-freeing a
+// staged buffer; the arena reports that as an error so a serving process
+// keeps running with the discrepancy accounted, instead of crashing.
+var ErrArenaUnderflow = errors.New("runtime: arena free underflow")
 
 // Arena tracks allocations against a fixed capacity, standing in for a
 // device memory pool. It is safe for concurrent use by the asynchronous
@@ -21,9 +28,10 @@ type Arena struct {
 	name     string
 	capacity int64
 
-	mu   sync.Mutex
-	used int64
-	peak int64
+	mu     sync.Mutex
+	used   int64
+	peak   int64
+	strict bool
 }
 
 // NewArena creates a pool with the given byte capacity.
@@ -53,15 +61,30 @@ func (a *Arena) Alloc(n int64) error {
 	return nil
 }
 
-// Free releases n bytes. Releasing more than allocated is a programming
-// error and panics.
-func (a *Arena) Free(n int64) {
+// Free releases n bytes. Releasing more than allocated (or a negative
+// count) is a programming error: it returns a wrapped ErrArenaUnderflow and
+// leaves the accounting untouched, except in strict mode (tests) where it
+// panics so invariant violations fail loudly at the call site.
+func (a *Arena) Free(n int64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if n < 0 || n > a.used {
-		panic(fmt.Sprintf("runtime: arena %q freeing %d with only %d allocated", a.name, n, a.used))
+		if a.strict {
+			panic(fmt.Sprintf("runtime: arena %q freeing %d with only %d allocated", a.name, n, a.used))
+		}
+		return fmt.Errorf("%w: arena %q freeing %d with only %d allocated", ErrArenaUnderflow, a.name, n, a.used)
 	}
 	a.used -= n
+	return nil
+}
+
+// SetStrict toggles panic-on-underflow for Free. Production call sites run
+// non-strict and handle the returned error; tests enable strict mode to keep
+// the underflow panic as a guarded invariant.
+func (a *Arena) SetStrict(strict bool) {
+	a.mu.Lock()
+	a.strict = strict
+	a.mu.Unlock()
 }
 
 // Used returns the current allocation.

@@ -114,6 +114,13 @@ type Engine struct {
 	stats    *Stats
 	resident []*model.LayerWeights // pinned layers (wg's functional analogue)
 
+	// residentBase is the pinned layers' permanent arena footprint;
+	// maxStreamBytes is the largest transient per-layer staging buffer any
+	// load can claim. Together they parameterize the admission controller's
+	// peak-footprint estimate (internal/perfmodel's memory equations).
+	residentBase   int64
+	maxStreamBytes int64
+
 	faults    *faults.Injector
 	retry     RetryConfig
 	ckptEvery int // snapshot every N decode steps (0 = off)
@@ -153,12 +160,33 @@ func NewEngine(m *model.Model, policy Policy, gpuArenaBytes int64, pool *threadp
 		if err := arena.Alloc(footprint); err != nil {
 			return nil, fmt.Errorf("runtime: pinning layer %d: %w", j, err)
 		}
+		e.residentBase += footprint
 		e.stats.addBytes(&e.stats.WeightUpBytes, ws.TransferBytes(j))
 		if !policy.CompressResident {
 			e.resident[j] = ws.Load(j)
 		}
 	}
+	// The largest transient staging buffer a layer load can claim: streamed
+	// layers stage their dequantized resident copy; compressed-resident
+	// layers stage the same scratch per use; uncompressed residents never
+	// stage.
+	for j := 0; j < m.Cfg.Layers; j++ {
+		if j < policy.ResidentLayers && !policy.CompressResident {
+			continue
+		}
+		if b := ws.ResidentBytes(j); b > e.maxStreamBytes {
+			e.maxStreamBytes = b
+		}
+	}
 	return e, nil
+}
+
+// freeGPU releases arena bytes, downgrading an accounting underflow (a
+// rollback racing a pipeline drain) to a counted error instead of a crash.
+func (e *Engine) freeGPU(n int64) {
+	if err := e.gpu.Free(n); err != nil {
+		e.stats.addArenaFreeError()
+	}
 }
 
 // Stats returns the accumulated accounting.
@@ -169,6 +197,23 @@ func (e *Engine) Stats() *Stats { return e.stats }
 // live session staging — zero extra, which the serving layer's leak checks
 // assert after drain.
 func (e *Engine) ArenaUsed() int64 { return e.gpu.Used() }
+
+// ArenaCapacity returns the simulated device pool's byte capacity.
+func (e *Engine) ArenaCapacity() int64 { return e.gpu.Capacity() }
+
+// ArenaPeak returns the arena's high-water mark — the actual peak footprint
+// the admission controller's estimate is validated against.
+func (e *Engine) ArenaPeak() int64 { return e.gpu.Peak() }
+
+// ResidentBaseBytes returns the pinned layers' permanent arena footprint.
+func (e *Engine) ResidentBaseBytes() int64 { return e.residentBase }
+
+// MaxStreamLayerBytes returns the largest transient per-layer weight staging
+// buffer (dequantized resident size of the biggest streamed layer).
+func (e *Engine) MaxStreamLayerBytes() int64 { return e.maxStreamBytes }
+
+// ModelConfig returns the geometry of the model the engine executes.
+func (e *Engine) ModelConfig() model.Config { return e.mod.Cfg }
 
 // Policy returns the engine's current policy. Degradation mutates it
 // mid-run, so this reflects the policy generation is actually running under.
@@ -534,7 +579,7 @@ func (e *Engine) prefill(ctx context.Context, run *genRun) (hidden *tensor.Tenso
 			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
 		}
 		e.stats.addTask("compute", time.Since(t0))
-		e.gpu.Free(ll.resident)
+		e.freeGPU(ll.resident)
 
 		if run.kvStore != nil {
 			// Step 1.3: offload this layer's KV, quantized when enabled
@@ -611,7 +656,7 @@ func (p *loadPipeline) take() loadedLayer {
 func (p *loadPipeline) drain() {
 	if p.pending {
 		ll := <-p.ch
-		p.e.gpu.Free(ll.resident)
+		p.e.freeGPU(ll.resident)
 		p.pending = false
 	}
 }
@@ -637,7 +682,7 @@ func (e *Engine) loadLayer(ctx context.Context, j int) loadedLayer {
 func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.gpu.Free(out.resident)
+			e.freeGPU(out.resident)
 			out = loadedLayer{err: panicAsError(r)}
 		}
 	}()
@@ -729,11 +774,11 @@ func (e *Engine) decodeStep(ctx context.Context, run *genRun) (next []int, err e
 
 		e.loadActivations(x)
 		if err := e.computeLayer(ctx, run, j, ll.weights, x); err != nil {
-			e.gpu.Free(ll.resident)
+			e.freeGPU(ll.resident)
 			return nil, err
 		}
 		e.storeActivations(x)
-		e.gpu.Free(ll.resident)
+		e.freeGPU(ll.resident)
 		// synchronize() — Algorithm 1 line 18 — is implicit: computeLayer
 		// waits for its background stores before returning.
 	}
@@ -771,7 +816,7 @@ func (p *kvPipeline) take() fetchedKV {
 func (p *kvPipeline) drain() {
 	if p.pending {
 		kv := <-p.ch
-		p.e.gpu.Free(kv.fetched)
+		p.e.freeGPU(kv.fetched)
 		p.pending = false
 	}
 }
@@ -785,7 +830,7 @@ func (e *Engine) loadCacheBatch(ctx context.Context, kvStore *KVStore, j, seqBas
 	rerr := e.withRetry(ctx, "load_cache", func() error {
 		out = e.loadCacheOnce(ctx, kvStore, j, seqBase, batch)
 		if out.err != nil {
-			e.gpu.Free(out.fetched)
+			e.freeGPU(out.fetched)
 			ferr := out.err
 			out = fetchedKV{}
 			return ferr
@@ -803,7 +848,7 @@ func (e *Engine) loadCacheBatch(ctx context.Context, kvStore *KVStore, j, seqBas
 func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase, batch int) (out fetchedKV) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.gpu.Free(out.fetched)
+			e.freeGPU(out.fetched)
 			out = fetchedKV{err: panicAsError(r)}
 		}
 	}()
@@ -823,7 +868,7 @@ func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase
 			return out
 		}
 		if e.policy.QuantKV {
-			e.stats.addOps(0, 2*len64(kvStore.chunks[j][seqBase+s]))
+			e.stats.addOps(0, 2*int64(kvStore.ChunkCount(j, seqBase+s)))
 		}
 		if k != nil {
 			kb := k.Bytes() + v.Bytes()
@@ -908,13 +953,13 @@ func (e *Engine) computeBatch(ctx context.Context, run *genRun, j, seqBase int, 
 	}
 
 	if err := e.probeWorkerPanic(); err != nil {
-		e.gpu.Free(fetched)
+		e.freeGPU(fetched)
 		return err
 	}
 	t0 := time.Now()
 	outAttn, err := e.runAttention(cfg, lw, cache, j, seqBase, x)
 	if err != nil {
-		e.gpu.Free(fetched)
+		e.freeGPU(fetched)
 		return err
 	}
 	for i := range x {
@@ -928,12 +973,12 @@ func (e *Engine) computeBatch(ctx context.Context, run *genRun, j, seqBase int, 
 		t1 := time.Now()
 		for s := 0; s < batch; s++ {
 			if err := e.storeChunk(ctx, kvStore, j, seqBase+s, outAttn.NewK[s], outAttn.NewV[s]); err != nil {
-				e.gpu.Free(fetched)
+				e.freeGPU(fetched)
 				return err
 			}
 		}
 		e.stats.addTask("store_cache", time.Since(t1))
-		e.gpu.Free(fetched)
+		e.freeGPU(fetched)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -53,11 +54,29 @@ func TestArenaAccounting(t *testing.T) {
 	}
 }
 
-func TestArenaFreePanicsOnUnderflow(t *testing.T) {
+func TestArenaFreeUnderflowError(t *testing.T) {
 	a, _ := NewArena("gpu", 10)
+	err := a.Free(1)
+	if !errors.Is(err, ErrArenaUnderflow) {
+		t.Fatalf("Free underflow error = %v, want ErrArenaUnderflow", err)
+	}
+	if a.Used() != 0 {
+		t.Errorf("Used = %d after rejected free, want 0", a.Used())
+	}
+	if err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(4); err != nil {
+		t.Errorf("balanced free failed: %v", err)
+	}
+}
+
+func TestArenaFreePanicsOnUnderflowStrict(t *testing.T) {
+	a, _ := NewArena("gpu", 10)
+	a.SetStrict(true)
 	defer func() {
 		if recover() == nil {
-			t.Error("Free underflow did not panic")
+			t.Error("strict-mode Free underflow did not panic")
 		}
 	}()
 	a.Free(1)

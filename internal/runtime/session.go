@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -26,18 +27,36 @@ import (
 // roll back every slot's partial KV appends before retrying, and repeated
 // failures take the session degradation ladder (prefetch-off, then migrating
 // the whole KV store to host-resident CPU attention).
+//
+// Under memory pressure, the serving scheduler can additionally move
+// individual slots down the KV-pressure ladder: SetQuantizeNewSlots makes
+// newly admitted slots store their KV quantized, and SpillSlot migrates one
+// slot's KV to the host cache so it stops staging into the GPU arena (its
+// attention runs on the CPU from then on). Both transitions preserve the
+// slot's token stream exactly against the matching solo Generate run: a
+// quantized slot produces the tokens a QuantKV engine would, and a spilled
+// slot keeps producing the tokens its storage mode dictates, because the
+// host copy round-trips through the same (de)quantization the staged path
+// performs.
 type Session struct {
 	e     *Engine
 	slots int
 
-	// Exactly one of these is non-nil, as in genRun: kv when attention runs
-	// on the GPU, host after AttnOnCPU (by policy or by degradation).
+	// kv is the GPU-staged store (nil once the degradation ladder migrates
+	// everything to host). host is the host-resident cache: it holds spilled
+	// slots while kv is live, and every slot after full migration.
 	kv   *KVStore
 	host *model.KVCache
 
 	active []bool
 	pos    []int // per-slot next token position (tokens cached so far)
 	last   []int // per-slot last generated token
+
+	spilled   []bool         // slot's KV is host-resident (CPU attention)
+	quantKV   []bool         // slot's KV is stored quantized
+	slotCfgs  []quant.Config // quant config per quantized slot (for sealing)
+	quantNew  bool           // ladder rung 1: quantize newly admitted slots
+	ladderCfg quant.Config
 }
 
 // SlotToken is one decode-step result: the token generated for a slot.
@@ -55,11 +74,14 @@ func (e *Engine) NewSession(slots int) (*Session, error) {
 	}
 	cfg := e.mod.Cfg
 	s := &Session{
-		e:      e,
-		slots:  slots,
-		active: make([]bool, slots),
-		pos:    make([]int, slots),
-		last:   make([]int, slots),
+		e:        e,
+		slots:    slots,
+		active:   make([]bool, slots),
+		pos:      make([]int, slots),
+		last:     make([]int, slots),
+		spilled:  make([]bool, slots),
+		quantKV:  make([]bool, slots),
+		slotCfgs: make([]quant.Config, slots),
 	}
 	if e.policy.AttnOnCPU {
 		s.host = model.NewKVCache(cfg.Layers, slots, cfg.Hidden)
@@ -108,12 +130,158 @@ func (s *Session) NumActive() int {
 // Pos returns the next token position of a slot (its cached token count).
 func (s *Session) Pos(slot int) int { return s.pos[slot] }
 
-// HostKVBytes returns the host-side KV footprint of the session's store.
-func (s *Session) HostKVBytes() int64 {
-	if s.kv != nil {
-		return s.kv.HostBytes()
+// slotOnHost reports whether the slot's KV lives in the host cache (either
+// individually spilled or because the whole session migrated).
+func (s *Session) slotOnHost(slot int) bool { return s.kv == nil || s.spilled[slot] }
+
+// SlotSpilled reports whether the slot's KV was spilled to the host cache by
+// the pressure ladder (false after a full degradation migration, which is a
+// session-wide mode rather than per-slot pressure state).
+func (s *Session) SlotSpilled(slot int) bool {
+	return slot >= 0 && slot < s.slots && s.spilled[slot]
+}
+
+// SlotQuantizedKV reports whether the slot stores its KV quantized (by
+// policy or by the pressure ladder's quantize-new-slots rung).
+func (s *Session) SlotQuantizedKV(slot int) bool {
+	return slot >= 0 && slot < s.slots && s.quantKV[slot]
+}
+
+// NumSpilled returns how many active slots are host-resident by spill.
+func (s *Session) NumSpilled() int {
+	n := 0
+	for i, sp := range s.spilled {
+		if sp && s.active[i] {
+			n++
+		}
 	}
-	return s.host.Bytes()
+	return n
+}
+
+// StagedKVBytes returns the GPU-arena bytes the slot stages per decode step
+// (the dequantized K+V working copy). Host-resident slots stage nothing.
+func (s *Session) StagedKVBytes(slot int) int64 {
+	if slot < 0 || slot >= s.slots || !s.active[slot] || s.slotOnHost(slot) {
+		return 0
+	}
+	return 2 * int64(s.pos[slot]) * int64(s.e.mod.Cfg.Hidden) * 4
+}
+
+// HostKVBytes returns the host-side KV footprint of the session's storage
+// (the staged store plus any spilled slots).
+func (s *Session) HostKVBytes() int64 {
+	var total int64
+	if s.kv != nil {
+		total += s.kv.HostBytes()
+	}
+	if s.host != nil {
+		total += s.host.Bytes()
+	}
+	return total
+}
+
+// SetQuantizeNewSlots toggles the pressure ladder's first rung: when on,
+// slots admitted from now on store their KV quantized with cfg. Existing
+// slots are unaffected (their storage mode is fixed at admission so their
+// token streams stay exact). The config's group size must divide the model's
+// hidden dimension so quantization groups align to rows — the property that
+// makes prefill-chunk and per-token-chunk quantization bit-identical.
+func (s *Session) SetQuantizeNewSlots(on bool, cfg quant.Config) error {
+	if !on {
+		s.quantNew = false
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if s.e.mod.Cfg.Hidden%cfg.GroupSize != 0 {
+		return fmt.Errorf("runtime: ladder KV group size %d must divide hidden %d",
+			cfg.GroupSize, s.e.mod.Cfg.Hidden)
+	}
+	s.quantNew, s.ladderCfg = true, cfg
+	return nil
+}
+
+// QuantizeNewSlots reports whether ladder rung 1 is engaged.
+func (s *Session) QuantizeNewSlots() bool { return s.quantNew }
+
+// ensureHost lazily creates the host-side cache used by spilled slots.
+func (s *Session) ensureHost() {
+	if s.host == nil {
+		cfg := s.e.mod.Cfg
+		s.host = model.NewKVCache(cfg.Layers, s.slots, cfg.Hidden)
+	}
+}
+
+// SpillSlot migrates one active slot's KV from the staged store to the host
+// cache (ladder rung 2). The slot's attention runs on the CPU afterwards and
+// it stops consuming GPU-arena staging space. The migration is exact: Fetch
+// reconstructs precisely the float32 values the staged path would have seen
+// (dequantized for quantized slots), and quantized slots keep sealing their
+// new rows through the same quantization round-trip. On failure the staged
+// copy is intact and the slot keeps running unspilled.
+func (s *Session) SpillSlot(ctx context.Context, slot int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if slot < 0 || slot >= s.slots || !s.active[slot] {
+		return fmt.Errorf("runtime: spill of inactive slot %d", slot)
+	}
+	if s.slotOnHost(slot) {
+		return nil
+	}
+	s.ensureHost()
+	t0 := time.Now()
+	cfg := s.e.mod.Cfg
+	for l := 0; l < cfg.Layers; l++ {
+		var k, v *tensor.Tensor
+		err := s.e.withRetry(ctx, "kv_spill", func() error {
+			var ferr error
+			k, v, _, ferr = s.kv.Fetch(l, slot)
+			return ferr
+		})
+		if err != nil {
+			for j := 0; j < l; j++ {
+				s.host.SetKV(j, slot, nil, nil)
+			}
+			return fmt.Errorf("runtime: spilling slot %d layer %d: %w", slot, l, err)
+		}
+		s.host.SetKV(l, slot, k, v)
+	}
+	s.kv.ResetSlot(slot)
+	s.spilled[slot] = true
+	s.e.stats.RecordSpill()
+	s.e.stats.addTask("kv_spill", time.Since(t0))
+	return nil
+}
+
+// sealHostRows round-trips the last rows of a host-resident quantized slot
+// through its quantization config, so the values later attention reads match
+// what a staged fetch would have dequantized. The current step's attention
+// has already consumed the raw rows — the same order of operations as the
+// staged path, where store_cache quantizes after compute.
+func (s *Session) sealHostRows(layer, slot, rows int) error {
+	cfg := s.e.mod.Cfg
+	qc := s.slotCfgs[slot]
+	for _, t := range []*tensor.Tensor{s.host.Keys(layer, slot), s.host.Values(layer, slot)} {
+		n := t.Dim(0)
+		if rows > n {
+			return fmt.Errorf("runtime: sealing %d rows of %d (layer %d, slot %d)", rows, n, layer, slot)
+		}
+		sub := tensor.New(rows, cfg.Hidden)
+		for r := 0; r < rows; r++ {
+			copy(sub.Row(r), t.Row(n-rows+r))
+		}
+		q, err := quant.QuantizeParallel(s.e.pool, s.e.policy.IntraOp, sub, qc)
+		if err != nil {
+			return err
+		}
+		dq := quant.DequantizeParallel(s.e.pool, s.e.policy.IntraOp, q)
+		for r := 0; r < rows; r++ {
+			copy(t.Row(n-rows+r), dq.Row(r))
+		}
+	}
+	return nil
 }
 
 // sessionMark is a rollback point over the session's KV storage, taken
@@ -135,13 +303,12 @@ func (s *Session) mark() sessionMark {
 	return m
 }
 
+// rollback undoes appends since the mark on both stores. When the store
+// migrated to host between mark and rollback (a degradation rung), per-slot
+// lengths carry over 1:1, so the host truncation covers the kv mark too.
 func (s *Session) rollback(m sessionMark) {
-	// The store may have migrated to host between mark and rollback (a
-	// degradation rung): per-slot lengths carry over 1:1, so replay the
-	// chunk-count mark as a host truncation in that case.
 	if s.kv != nil && m.kv != nil {
 		s.kv.Rollback(m.kv)
-		return
 	}
 	if s.host != nil && m.host != nil {
 		s.host.TruncateTo(m.host)
@@ -149,10 +316,20 @@ func (s *Session) rollback(m sessionMark) {
 }
 
 // Admit prefills prompt into a free slot and returns the first generated
-// token. The slot becomes active; subsequent Step calls extend it. Transient
-// failures retry with full rollback of the partial prefill, taking the
-// degradation ladder past the second attempt, exactly like offline prefill.
+// token, quantizing the slot's KV when the pressure ladder says so. The slot
+// becomes active; subsequent Step calls extend it. Transient failures retry
+// with full rollback of the partial prefill, taking the degradation ladder
+// past the second attempt, exactly like offline prefill.
 func (s *Session) Admit(ctx context.Context, slot int, prompt []int) (int, error) {
+	return s.AdmitKV(ctx, slot, prompt, s.quantNew)
+}
+
+// AdmitKV is Admit with the slot's KV storage mode pinned by the caller:
+// quantKV stores the slot's KV quantized with the ladder config regardless
+// of the ladder's current rung. The scheduler uses this to keep a request's
+// storage mode sticky across evict/resume, so its token stream stays exact
+// against one solo reference.
+func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV bool) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -165,8 +342,32 @@ func (s *Session) Admit(ctx context.Context, slot int, prompt []int) (int, error
 	if len(prompt) == 0 {
 		return 0, fmt.Errorf("runtime: admit with empty prompt")
 	}
+	s.spilled[slot] = false
+	switch {
+	case s.kv != nil && s.kv.Quantized():
+		s.quantKV[slot] = true
+		s.slotCfgs[slot] = s.e.policy.KVCfg
+	case quantKV && s.kv != nil:
+		if s.ladderCfg.Bits == 0 {
+			return 0, fmt.Errorf("runtime: quantized admit without a ladder config (call SetQuantizeNewSlots first)")
+		}
+		if err := s.kv.SetSlotQuant(slot, &s.ladderCfg); err != nil {
+			return 0, err
+		}
+		s.quantKV[slot] = true
+		s.slotCfgs[slot] = s.ladderCfg
+	default:
+		s.quantKV[slot] = false
+	}
+	clearSlot := func() {
+		if s.kv != nil {
+			s.kv.SetSlotQuant(slot, nil)
+		}
+		s.quantKV[slot] = false
+	}
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
+			clearSlot()
 			return 0, err
 		}
 		m := s.mark()
@@ -186,14 +387,21 @@ func (s *Session) Admit(ctx context.Context, slot int, prompt []int) (int, error
 		}
 		s.rollback(m)
 		if cerr := ctx.Err(); cerr != nil {
+			clearSlot()
 			return 0, cerr
 		}
 		if attempt >= maxStepAttempts {
+			clearSlot()
 			return 0, fmt.Errorf("runtime: admit to slot %d failed after %d attempts: %w", slot, attempt, err)
 		}
 		s.e.stats.addRetry("admit")
 		if attempt >= 2 {
 			s.degradeOnce(ctx)
+			if s.kv == nil {
+				// The store migrated to host mid-admit: per-slot quantization
+				// no longer applies.
+				s.quantKV[slot] = false
+			}
 		}
 	}
 }
@@ -247,7 +455,7 @@ func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok in
 		}
 		model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x)
 		e.stats.addTask("compute", time.Since(t0))
-		e.gpu.Free(ll.resident)
+		e.freeGPU(ll.resident)
 
 		if s.kv != nil {
 			t1 := time.Now()
@@ -367,13 +575,16 @@ func (s *Session) stepOnce(ctx context.Context, act []int) (next []int, err erro
 // weights on every path.
 func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []int, x []*tensor.Tensor) error {
 	e := s.e
-	defer e.gpu.Free(ll.resident)
+	defer e.freeGPU(ll.resident)
 	cfg := e.mod.Cfg
 	for i, slot := range act {
 		xs := x[i : i+1]
-		if s.kv == nil {
+		if s.slotOnHost(slot) {
 			// Host-resident attention: compute in place against the slot's
-			// cache; the new rows are appended by AttentionAt itself.
+			// cache; the new rows are appended by AttentionAt itself. The
+			// current row is consumed raw — matching the staged path, which
+			// quantizes only at store_cache time — then sealed for the steps
+			// that follow.
 			if err := e.probeWorkerPanic(); err != nil {
 				return err
 			}
@@ -381,6 +592,11 @@ func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []in
 			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
 			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
 			e.stats.addTask("compute", time.Since(t0))
+			if s.quantKV[slot] {
+				if err := s.sealHostRows(j, slot, 1); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		// GPU attention: stage the slot's KV into the arena (load_cache),
@@ -390,7 +606,7 @@ func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []in
 			return kv.err
 		}
 		if err := func() error {
-			defer e.gpu.Free(kv.fetched)
+			defer e.freeGPU(kv.fetched)
 			if err := e.probeWorkerPanic(); err != nil {
 				return err
 			}
@@ -420,12 +636,15 @@ func (s *Session) Retire(slot int) {
 	s.active[slot] = false
 	s.pos[slot] = 0
 	s.last[slot] = 0
+	s.spilled[slot] = false
+	s.quantKV[slot] = false
 	if s.kv != nil {
 		s.kv.ResetSlot(slot)
-		return
 	}
-	for l := 0; l < s.host.Layers(); l++ {
-		s.host.SetKV(l, slot, nil, nil)
+	if s.host != nil {
+		for l := 0; l < s.host.Layers(); l++ {
+			s.host.SetKV(l, slot, nil, nil)
+		}
 	}
 }
 
@@ -440,14 +659,52 @@ func (s *Session) degradeOnce(ctx context.Context) {
 		e.policy.Prefetch = false
 		e.stats.addDegradation("prefetch-off")
 	case s.kv != nil:
-		host, err := e.fetchAllToHost(ctx, s.kv, s.slots)
-		if err != nil {
+		s.ensureHost()
+		if err := s.migrateUnspilled(ctx); err != nil {
 			e.stats.addDegradation("attn-on-cpu(migration failed)")
 			return
 		}
-		s.host, s.kv = host, nil
+		s.kv = nil
 		e.policy.AttnOnCPU = true
 		e.policy.QuantKV = false
 		e.stats.addDegradation("attn-on-cpu")
 	}
+}
+
+// migrateUnspilled moves every slot the pressure ladder has not already
+// spilled from the staged store into the host cache. Spilled slots keep
+// their host rows — rebuilding them from the (now empty) staged store would
+// lose them. On failure the host rows written so far are cleared and the
+// staged store remains authoritative.
+func (s *Session) migrateUnspilled(ctx context.Context) error {
+	cfg := s.e.mod.Cfg
+	cleanup := func(upto int) {
+		for ss := 0; ss <= upto && ss < s.slots; ss++ {
+			if s.spilled[ss] {
+				continue
+			}
+			for j := 0; j < cfg.Layers; j++ {
+				s.host.SetKV(j, ss, nil, nil)
+			}
+		}
+	}
+	for slot := 0; slot < s.slots; slot++ {
+		if s.spilled[slot] {
+			continue
+		}
+		for l := 0; l < cfg.Layers; l++ {
+			var k, v *tensor.Tensor
+			err := s.e.withRetry(ctx, "kv_migrate", func() error {
+				var ferr error
+				k, v, _, ferr = s.kv.Fetch(l, slot)
+				return ferr
+			})
+			if err != nil {
+				cleanup(slot)
+				return err
+			}
+			s.host.SetKV(l, slot, k, v)
+		}
+	}
+	return nil
 }

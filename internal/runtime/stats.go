@@ -41,6 +41,10 @@ type Stats struct {
 	Checkpoints   int64
 	FaultsCleared int64 // transient faults absorbed by a successful retry
 
+	// arenaFreeErrors counts Arena.Free underflows absorbed by the engine's
+	// non-strict free path (rollback races that double-freed a staged buffer).
+	arenaFreeErrors int64
+
 	// Serving-layer accounting, recorded by internal/serve's scheduler.
 	serve serveAccum
 }
@@ -56,6 +60,12 @@ type serveAccum struct {
 	batchSteps, occupancySum                int64
 	queuePeak                               int
 	ttft, tpot                              ring
+
+	// Overload-protection counters (admission controller + pressure ladder).
+	rejected429  int64
+	spilled      int64
+	evicted      int64
+	breakerFlips int64
 }
 
 // ring is a fixed-capacity overwrite buffer of duration samples.
@@ -91,6 +101,14 @@ type ServeSummary struct {
 
 	TTFTMean, TTFTP50, TTFTP99 time.Duration // submit -> first token
 	TPOTMean                   time.Duration // mean inter-token gap
+
+	// Overload protection: admission rejections (HTTP 429), KV slots spilled
+	// to host, slots evicted for recompute-on-resume, and circuit-breaker
+	// state transitions.
+	Rejected429        int64
+	Spilled            int64
+	Evicted            int64
+	BreakerTransitions int64
 }
 
 // RecordAdmission counts one admitted request and its time-to-first-token.
@@ -128,6 +146,37 @@ func (s *Stats) RecordRejection() {
 	s.mu.Unlock()
 }
 
+// RecordOverloadRejection counts a request refused by the admission
+// controller (HTTP 429 with Retry-After).
+func (s *Stats) RecordOverloadRejection() {
+	s.mu.Lock()
+	s.serve.rejected429++
+	s.mu.Unlock()
+}
+
+// RecordSpill counts one slot's KV cache spilled from the GPU staging path to
+// host memory by the pressure ladder.
+func (s *Stats) RecordSpill() {
+	s.mu.Lock()
+	s.serve.spilled++
+	s.mu.Unlock()
+}
+
+// RecordEviction counts one slot evicted under memory pressure for
+// recompute-on-resume.
+func (s *Stats) RecordEviction() {
+	s.mu.Lock()
+	s.serve.evicted++
+	s.mu.Unlock()
+}
+
+// RecordBreakerTransition counts one circuit-breaker state change.
+func (s *Stats) RecordBreakerTransition() {
+	s.mu.Lock()
+	s.serve.breakerFlips++
+	s.mu.Unlock()
+}
+
 // RecordBatchStep counts one continuous-batching decode step with the given
 // slot occupancy and observed queue depth.
 func (s *Stats) RecordBatchStep(occupancy, queueDepth int) {
@@ -145,12 +194,16 @@ func (s *Stats) ServeSummary() ServeSummary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := ServeSummary{
-		Admitted:   s.serve.admitted,
-		Completed:  s.serve.completed,
-		Canceled:   s.serve.canceled,
-		Rejected:   s.serve.rejected,
-		BatchSteps: s.serve.batchSteps,
-		QueuePeak:  s.serve.queuePeak,
+		Admitted:           s.serve.admitted,
+		Completed:          s.serve.completed,
+		Canceled:           s.serve.canceled,
+		Rejected:           s.serve.rejected,
+		BatchSteps:         s.serve.batchSteps,
+		QueuePeak:          s.serve.queuePeak,
+		Rejected429:        s.serve.rejected429,
+		Spilled:            s.serve.spilled,
+		Evicted:            s.serve.evicted,
+		BreakerTransitions: s.serve.breakerFlips,
 	}
 	if s.serve.batchSteps > 0 {
 		out.AvgOccupancy = float64(s.serve.occupancySum) / float64(s.serve.batchSteps)
@@ -223,6 +276,20 @@ func (s *Stats) addCleared(n int64) {
 	s.mu.Lock()
 	s.FaultsCleared += n
 	s.mu.Unlock()
+}
+
+func (s *Stats) addArenaFreeError() {
+	s.mu.Lock()
+	s.arenaFreeErrors++
+	s.mu.Unlock()
+}
+
+// ArenaFreeErrorCount returns how many arena free underflows the engine has
+// absorbed (each one is an accounting discrepancy worth alerting on).
+func (s *Stats) ArenaFreeErrorCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arenaFreeErrors
 }
 
 // TokensGeneratedCount returns the decoded-token counter under the stats

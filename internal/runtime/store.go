@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/model"
@@ -162,12 +163,20 @@ func (c kvChunk) transferBytes() int64 {
 
 // KVStore is the host-side KV cache: per (layer, sequence) chunk lists,
 // quantized when the policy says so (Eqs. 6–7's real counterpart).
+//
+// The chunk table is guarded by an RWMutex so concurrent observers (metrics,
+// a spill in flight next to a fetch retry) are safe; the serving session
+// remains the sole mutator in practice, and the race-mode tests pin the
+// locking down.
 type KVStore struct {
 	layers, batch int
 	quantized     bool
 	f16           bool
 	cfg           quant.Config
-	chunks        [][][]kvChunk // [layer][seq][]chunk
+
+	mu      sync.RWMutex
+	chunks  [][][]kvChunk   // [layer][seq][]chunk
+	slotCfg []*quant.Config // per-seq quantization override (pressure ladder rung 1)
 
 	pool  *threadpool.Pool
 	width int
@@ -201,29 +210,72 @@ func NewKVStore(layers, batch int, quantize bool, cfg quant.Config, hostF16 bool
 	for l := range st.chunks {
 		st.chunks[l] = make([][]kvChunk, batch)
 	}
+	st.slotCfg = make([]*quant.Config, batch)
 	return st, nil
 }
 
-// Quantized reports whether new chunks are compressed.
+// Quantized reports whether new chunks are compressed store-wide.
 func (st *KVStore) Quantized() bool { return st.quantized }
+
+// SetSlotQuant overrides one sequence slot's storage form: a non-nil cfg
+// quantizes that slot's future appends (the KV-pressure ladder's
+// quantize-new-slots rung), nil restores the store-wide default. It has no
+// effect when the whole store already quantizes.
+func (st *KVStore) SetSlotQuant(seq int, cfg *quant.Config) error {
+	if seq < 0 || seq >= st.batch {
+		return fmt.Errorf("runtime: slot %d outside [0, %d)", seq, st.batch)
+	}
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		cp := *cfg
+		cfg = &cp
+	}
+	st.mu.Lock()
+	st.slotCfg[seq] = cfg
+	st.mu.Unlock()
+	return nil
+}
+
+// SlotQuantized reports whether (store-wide or per-slot) appends to seq are
+// quantized.
+func (st *KVStore) SlotQuantized(seq int) bool {
+	if st.quantized {
+		return true
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.slotCfg[seq] != nil
+}
 
 // Append stores the new K/V rows for (layer, seq), quantizing them when
 // enabled (the store_cache task). It returns the bytes that crossed the
 // interconnect.
 func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
+	// Resolve the slot's storage form first; the (de)quantization kernels run
+	// outside the lock so a slow append cannot starve concurrent fetches.
+	cfg, doQuant, doF16 := st.cfg, st.quantized, st.f16
+	if !doQuant {
+		st.mu.RLock()
+		if sc := st.slotCfg[seq]; sc != nil {
+			cfg, doQuant, doF16 = *sc, true, false
+		}
+		st.mu.RUnlock()
+	}
 	var c kvChunk
 	switch {
-	case st.quantized:
-		qk, err := quant.QuantizeParallel(st.pool, st.width, k, st.cfg)
+	case doQuant:
+		qk, err := quant.QuantizeParallel(st.pool, st.width, k, cfg)
 		if err != nil {
 			return 0, err
 		}
-		qv, err := quant.QuantizeParallel(st.pool, st.width, v, st.cfg)
+		qv, err := quant.QuantizeParallel(st.pool, st.width, v, cfg)
 		if err != nil {
 			return 0, err
 		}
 		c = kvChunk{qk: qk, qv: qv}
-	case st.f16:
+	case doF16:
 		hk, hv := tensor.ToF16(k), tensor.ToF16(v)
 		// Seal over the reconstructed float32 payload — the form the fetch
 		// path verifies — so FP16 rounding cannot trip the checksum.
@@ -232,7 +284,9 @@ func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
 		ck, cv := k.Clone(), v.Clone()
 		c = kvChunk{k: ck, v: cv, crc: floatsCRC(ck.Data(), cv.Data())}
 	}
+	st.mu.Lock()
 	st.chunks[layer][seq] = append(st.chunks[layer][seq], c)
+	st.mu.Unlock()
 	return c.transferBytes(), nil
 }
 
@@ -242,8 +296,13 @@ func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
 // and a transient error when a chunk fails verification — the host copy is
 // intact, so the caller retries the fetch.
 func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64, err error) {
+	// Snapshot the chunk list under the read lock; chunks themselves are
+	// immutable once appended, so materialization proceeds unlocked.
+	st.mu.RLock()
+	chunks := st.chunks[layer][seq]
+	st.mu.RUnlock()
 	var ks, vs *tensor.Tensor
-	for ci, c := range st.chunks[layer][seq] {
+	for ci, c := range chunks {
 		bytes += c.transferBytes()
 		ck, cv, cerr := st.materialize(c)
 		if cerr != nil {
@@ -322,6 +381,8 @@ var errPermanentCorruption = fmt.Errorf("runtime: host KV payload corrupted")
 // Mark snapshots the per-slot chunk counts — a rollback point taken before
 // a decode step so a failed step's partial appends can be undone.
 func (st *KVStore) Mark() [][]int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([][]int, st.layers)
 	for l := range out {
 		out[l] = make([]int, st.batch)
@@ -335,6 +396,8 @@ func (st *KVStore) Mark() [][]int {
 // Rollback truncates every slot to the chunk counts recorded by Mark,
 // discarding chunks appended since.
 func (st *KVStore) Rollback(mark [][]int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for l := range mark {
 		for s, n := range mark[l] {
 			if n < len(st.chunks[l][s]) {
@@ -347,13 +410,25 @@ func (st *KVStore) Rollback(mark [][]int) {
 // ResetSlot drops every chunk of one sequence slot across all layers,
 // recycling the slot for a new sequence (the serving session's retire path).
 func (st *KVStore) ResetSlot(seq int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for l := range st.chunks {
 		st.chunks[l][seq] = nil
 	}
+	st.slotCfg[seq] = nil
+}
+
+// ChunkCount returns how many chunks are stored for (layer, seq).
+func (st *KVStore) ChunkCount(layer, seq int) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.chunks[layer][seq])
 }
 
 // SeqLen returns the cached token count for (layer, seq).
 func (st *KVStore) SeqLen(layer, seq int) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	n := 0
 	for _, c := range st.chunks[layer][seq] {
 		switch {
@@ -371,6 +446,8 @@ func (st *KVStore) SeqLen(layer, seq int) int {
 // HostBytes returns the store's host-memory footprint (compressed sizes for
 // quantized chunks).
 func (st *KVStore) HostBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var total int64
 	for l := range st.chunks {
 		for s := range st.chunks[l] {

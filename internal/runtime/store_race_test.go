@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// kvRow builds one deterministic KV row pair for the race tests.
+func kvRow(rng *rand.Rand, hidden int) (*tensor.Tensor, *tensor.Tensor) {
+	k, v := tensor.New(1, hidden), tensor.New(1, hidden)
+	for i := range k.Data() {
+		k.Data()[i] = rng.Float32() - 0.5
+		v.Data()[i] = rng.Float32() - 0.5
+	}
+	return k, v
+}
+
+// TestKVStoreConcurrentResetRollback hammers a KVStore with concurrent
+// Append/Fetch traffic on some slots while other goroutines ResetSlot,
+// Rollback, and flip SetSlotQuant on the same store — the serving-layer
+// access pattern once the pressure ladder spills and evicts mid-decode. Run
+// under -race this pins the RWMutex discipline; in any mode it checks the
+// store never tears a chunk list (fetched lengths are whole multiples of the
+// appended row height).
+func TestKVStoreConcurrentResetRollback(t *testing.T) {
+	const (
+		layers = 2
+		batch  = 4
+		hidden = 64
+	)
+	iters := 120
+	if testing.Short() {
+		iters = 40
+	}
+	st, err := NewKVStore(layers, batch, false, quant.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	// Writers: each owns one slot and appends/fetches rows in a loop.
+	for seq := 0; seq < batch-1; seq++ {
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seq)))
+			for i := 0; i < iters; i++ {
+				k, v := kvRow(rng, hidden)
+				for layer := 0; layer < layers; layer++ {
+					if _, err := st.Append(layer, seq, k, v); err != nil {
+						t.Errorf("append slot %d: %v", seq, err)
+						return
+					}
+				}
+				for layer := 0; layer < layers; layer++ {
+					fk, fv, _, err := st.Fetch(layer, seq)
+					if err != nil {
+						t.Errorf("fetch slot %d: %v", seq, err)
+						return
+					}
+					if fk == nil {
+						continue // raced with a concurrent rollback to empty
+					}
+					if fk.Shape()[1] != hidden || fv.Shape()[1] != hidden {
+						t.Errorf("torn fetch on slot %d: shapes %v/%v", seq, fk.Shape(), fv.Shape())
+						return
+					}
+				}
+				_ = st.SeqLen(0, seq)
+				_ = st.HostBytes()
+			}
+		}(seq)
+	}
+
+	// Resetter: the evict path clearing the last slot while others run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		victim := batch - 1
+		for i := 0; i < iters; i++ {
+			k, v := kvRow(rng, hidden)
+			if _, err := st.Append(0, victim, k, v); err != nil {
+				t.Errorf("victim append: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				st.ResetSlot(victim)
+			}
+			if i%5 == 0 {
+				cfg := quant.DefaultConfig()
+				if err := st.SetSlotQuant(victim, &cfg); err != nil {
+					t.Errorf("SetSlotQuant: %v", err)
+					return
+				}
+				st.ResetSlot(victim) // also clears the per-slot override
+			}
+		}
+	}()
+
+	// Roller: checkpoint/rollback cycles over the whole store, the
+	// retry path's mark discipline racing live appends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			mark := st.Mark()
+			st.Rollback(mark)
+			_ = st.ChunkCount(0, 0)
+		}
+	}()
+
+	wg.Wait()
+}

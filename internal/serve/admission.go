@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+)
+
+// ErrOverloaded is the sentinel all admission-controller rejections wrap;
+// errors.Is(err, ErrOverloaded) matches any OverloadError.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// OverloadError is a structured admission rejection: the HTTP layer maps it
+// to 429 (memory/latency pressure) or 503 (breaker shedding) with a
+// Retry-After derived from the predicted drain time.
+type OverloadError struct {
+	// Reason is a short machine-readable cause: "arena-pressure",
+	// "tpot-budget", "never-fits", or "shedding".
+	Reason string
+	// RetryAfter is the predicted time until the pressure drains (zero when
+	// the step-cost model has no estimate yet).
+	RetryAfter time.Duration
+	// State is the breaker state at rejection time.
+	State BreakerState
+}
+
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("serve: overloaded (%s, state %s, retry after %v)", e.Reason, e.State, e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: overloaded (%s, state %s)", e.Reason, e.State)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// newAdmissionModel builds the perfmodel admission estimator from the
+// engine's actual deployment: its pinned resident bytes, its largest
+// streamed layer buffer, and the prefetch depth. This is the closed loop the
+// tentpole asks for — the analytical model parameterized by the running
+// engine rather than by a hypothetical platform.
+func newAdmissionModel(eng *runtime.Engine, cfg Config) perfmodel.AdmissionModel {
+	buffers := 1
+	if eng.Policy().Prefetch {
+		buffers = 2 // current + prefetched next layer
+	}
+	return perfmodel.AdmissionModel{
+		HiddenDim:    eng.ModelConfig().Hidden,
+		BytesPerElem: 4, // staged KV working copies are float32
+		ResidentBase: eng.ResidentBaseBytes(),
+		LayerBytes:   eng.MaxStreamLayerBytes(),
+		WeightBuffers: buffers,
+		Slack:        cfg.FootprintSlack,
+	}
+}

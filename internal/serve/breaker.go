@@ -1,0 +1,123 @@
+package serve
+
+import "sync"
+
+// BreakerState is the scheduler's health circuit-breaker position. The
+// breaker watches three overload signals — fault rate (engine retries),
+// arena-pressure ladder level, and queue depth — and walks
+// Healthy → Degraded → Shedding as they worsen. Upgrades are immediate;
+// downgrades need HealthyStreak consecutive clean evaluations (hysteresis),
+// so the server does not flap at a boundary.
+type BreakerState int
+
+const (
+	// Healthy accepts traffic normally.
+	Healthy BreakerState = iota
+	// Degraded still accepts traffic but signals pressure: the ladder is
+	// escalated, faults are arriving, or the queue is deep. /healthz reports
+	// it so load balancers can prefer other replicas.
+	Degraded
+	// Shedding refuses new submissions outright (HTTP 503) until the streak
+	// of clean evaluations walks the breaker back down.
+	Shedding
+)
+
+// String returns the state's wire name (the /healthz JSON value).
+func (b BreakerState) String() string {
+	switch b {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	default:
+		return "unknown"
+	}
+}
+
+// breakerSignals is one evaluation's input: how many overload indicators are
+// currently raised.
+type breakerSignals struct {
+	faults        bool // engine retries observed since the last evaluation
+	ladderHigh    bool // pressure ladder at or above the spill rung
+	queueSwamped  bool // queue depth at or beyond capacity
+	arenaCritical bool // predicted pressure above the high watermark with the ladder maxed
+}
+
+func (sig breakerSignals) raised() int {
+	n := 0
+	for _, b := range []bool{sig.faults, sig.ladderHigh, sig.queueSwamped, sig.arenaCritical} {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// target maps raised signal counts to the state the breaker should be at or
+// above: one signal is Degraded, two or more (or a critical arena) is
+// Shedding.
+func (sig breakerSignals) target() BreakerState {
+	switch {
+	case sig.arenaCritical || sig.raised() >= 2:
+		return Shedding
+	case sig.raised() >= 1:
+		return Degraded
+	default:
+		return Healthy
+	}
+}
+
+// breaker is the mutexed state machine. The scheduler loop evaluates it once
+// per iteration; Health() also evaluates lazily so an idle server still
+// recovers.
+type breaker struct {
+	mu          sync.Mutex
+	state       BreakerState
+	streak      int // consecutive evaluations wanting a lower state
+	needStreak  int
+	transitions int64
+}
+
+// evaluate folds one observation into the state machine and returns the
+// resulting state plus whether it changed.
+func (b *breaker) evaluate(sig breakerSignals) (BreakerState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	want := sig.target()
+	switch {
+	case want > b.state:
+		// Upgrades are immediate: overload protection must not lag.
+		b.state = want
+		b.streak = 0
+		b.transitions++
+		return b.state, true
+	case want < b.state:
+		b.streak++
+		if b.streak >= b.needStreak {
+			// One level at a time: Shedding recovers through Degraded.
+			b.state--
+			b.streak = 0
+			b.transitions++
+			return b.state, true
+		}
+	default:
+		b.streak = 0
+	}
+	return b.state, false
+}
+
+// current returns the state without evaluating.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transitionCount returns how many state changes have occurred.
+func (b *breaker) transitionCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}

@@ -58,8 +58,12 @@ func DecodeGenerateRequest(body []byte, cfg Config) (Request, bool, error) {
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		state := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if state == Shedding {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, map[string]string{"state": state.String()})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -81,7 +85,11 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		st, err := s.Submit(r.Context(), req)
+		var ovl *OverloadError
 		switch {
+		case errors.As(err, &ovl):
+			writeOverload(w, ovl)
+			return
 		case errors.Is(err, ErrQueueFull):
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return
@@ -105,6 +113,29 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, GenerateResponse{Tokens: tokens})
 	})
 	return mux
+}
+
+// writeOverload maps a structured admission rejection onto the wire: 503 when
+// the breaker is shedding, 429 for memory/latency pressure, both carrying a
+// Retry-After header (whole seconds, rounded up, only when the drain
+// predictor has an estimate) and a JSON body with the machine-readable cause.
+func writeOverload(w http.ResponseWriter, e *OverloadError) {
+	status := http.StatusTooManyRequests
+	if e.Reason == "shedding" {
+		status = http.StatusServiceUnavailable
+	}
+	if e.RetryAfter > 0 {
+		secs := int64((e.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, map[string]any{
+		"error":          "overloaded",
+		"reason":         e.Reason,
+		"retry_after_ms": ms(e.RetryAfter),
+		"state":          e.State.String(),
+	})
 }
 
 // streamSSE delivers a request's tokens as server-sent events: one
@@ -153,6 +184,17 @@ func statsPayload(m Metrics) map[string]any {
 		"ttft_p99_ms":      ms(m.Serve.TTFTP99),
 		"ttft_mean_ms":     ms(m.Serve.TTFTMean),
 		"tpot_mean_ms":     ms(m.Serve.TPOTMean),
+
+		"rejected_429":         m.Serve.Rejected429,
+		"spilled":              m.Serve.Spilled,
+		"evicted":              m.Serve.Evicted,
+		"breaker_state":        m.Breaker.String(),
+		"breaker_transitions":  m.BreakerTransitions,
+		"pressure_level":       m.PressureLevel,
+		"predicted_peak_bytes": m.PredictedPeakBytes,
+		"arena_capacity":       m.ArenaCapacity,
+		"arena_peak":           m.ArenaPeak,
+		"estimate_ratio":       m.EstimateRatio,
 	}
 }
 

@@ -212,9 +212,16 @@ func TestHTTPHealthAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	if health["state"] != "healthy" {
+		t.Fatalf("/healthz state = %q, want healthy", health["state"])
 	}
 
 	// Serve one request so the counters are non-zero.
@@ -239,7 +246,10 @@ func TestHTTPHealthAndStats(t *testing.T) {
 		"tokens_generated", "tokens_per_sec", "admitted", "completed",
 		"canceled", "rejected", "batch_steps", "avg_occupancy",
 		"queue_peak", "ttft_p50_ms", "ttft_p99_ms", "ttft_mean_ms",
-		"tpot_mean_ms",
+		"tpot_mean_ms", "rejected_429", "spilled", "evicted",
+		"breaker_state", "breaker_transitions", "pressure_level",
+		"predicted_peak_bytes", "arena_capacity", "arena_peak",
+		"estimate_ratio",
 	} {
 		if _, ok := stats[key]; !ok {
 			t.Errorf("/stats missing %q", key)

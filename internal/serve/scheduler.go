@@ -2,9 +2,12 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/perfmodel"
+	"repro/internal/quant"
 	"repro/internal/runtime"
 )
 
@@ -20,6 +23,41 @@ type pending struct {
 	produced int
 	firstTok time.Time
 	lastTok  time.Time
+
+	// Overload-protection state.
+	admittedOnce bool  // TTFT/admission recorded; set on first successful admit
+	kvQuant      bool  // sticky per-request KV storage mode (ladder rung 1)
+	estimate     int64 // admission-time predicted peak arena bytes
+	// resumePrompt replaces req.Prompt after an eviction: the original
+	// prompt plus every token already delivered, so re-prefill regenerates
+	// the exact continuation (recompute-on-resume).
+	resumePrompt []int
+}
+
+// promptLen returns the effective prompt length (resume prompt after evict).
+func (p *pending) promptLen() int {
+	if p.resumePrompt != nil {
+		return len(p.resumePrompt)
+	}
+	return len(p.req.Prompt)
+}
+
+// finalKVTokens is the slot's token count at completion: original prompt
+// plus the full budget, invariant across evict/resume (produced tokens move
+// from budget to prompt).
+func (p *pending) finalKVTokens() (promptLen, newTokens int) {
+	return len(p.req.Prompt), p.req.MaxNewTokens
+}
+
+// pressureView is the loop-published snapshot of overload state that Submit,
+// Health, and Metrics read under the scheduler mutex.
+type pressureView struct {
+	level             int
+	gpuFrac, hostFrac float64
+	predictedPeak     int64 // current batch's predicted peak at final lengths
+	maxPredictedPeak  int64 // high-water of admission-time estimates
+	drain             time.Duration
+	tpotNext          time.Duration // predicted TPOT if one more slot joins
 }
 
 // Scheduler drives a continuous-batching session: submissions land in a
@@ -27,27 +65,47 @@ type pending struct {
 // decode-step boundaries, steps the shared batch, fans tokens out to the
 // per-request streams, and retires finished or cancelled sequences so their
 // slots recycle immediately.
+//
+// With Config.AdmissionControl, the loop additionally closes the paper's
+// performance model back onto serving: footprint estimates gate admission,
+// a KV-pressure ladder (quantize new slots → spill → evict) sheds memory
+// before the arena OOMs, and a circuit breaker walks
+// healthy → degraded → shedding under sustained overload.
 type Scheduler struct {
 	eng   *runtime.Engine
 	sess  *runtime.Session
 	cfg   Config
 	start time.Time
 
-	mu     sync.Mutex
-	queue  admitQueue
-	closed bool
-	active int // slots occupied, mirrored under mu for Metrics
+	// Admission-control machinery (zero-valued when disabled).
+	adm        perfmodel.AdmissionModel
+	kvHeadroom int64 // arena capacity minus the weight working set
+	cost       *perfmodel.StepCostModel
+	brk        breaker
+
+	mu          sync.Mutex
+	queue       admitQueue
+	closed      bool
+	active      int // slots occupied, mirrored under mu for Metrics
+	press       pressureView
+	lastRetries int64
 
 	wake chan struct{} // 1-buffered submit/close signal for the idle loop
 	done chan struct{} // closed when the loop drains and exits
 
-	// Loop-owned state (no locking needed): slot -> in-flight request.
-	running map[int]*pending
+	// Loop-owned state (no locking needed): slot -> in-flight request,
+	// pressure-ladder level, and the de-escalation streak.
+	running      map[int]*pending
+	level        int
+	healthyEvals int
 }
 
 // New builds a scheduler over the engine and starts its loop. The engine
 // must be dedicated to this scheduler (sessions own the engine's arena and
-// stats) and its fault injector, if any, wired beforehand.
+// stats) and its fault injector, if any, wired beforehand. With admission
+// control, the arena must leave positive KV headroom beyond the weight
+// working set, and the ladder's quantization groups must align to the
+// model's rows.
 func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -66,6 +124,23 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 		done:    make(chan struct{}),
 		running: make(map[int]*pending),
 	}
+	if cfg.AdmissionControl {
+		s.adm = newAdmissionModel(eng, cfg)
+		if err := s.adm.Validate(); err != nil {
+			return nil, err
+		}
+		s.kvHeadroom = eng.ArenaCapacity() - s.adm.ResidentBase - int64(s.adm.WeightBuffers)*s.adm.LayerBytes
+		if s.kvHeadroom <= 0 {
+			return nil, fmt.Errorf("serve: arena capacity %d leaves no KV headroom beyond the weight working set (%d resident + %d buffered)",
+				eng.ArenaCapacity(), s.adm.ResidentBase, int64(s.adm.WeightBuffers)*s.adm.LayerBytes)
+		}
+		if eng.ModelConfig().Hidden%cfg.LadderKV.GroupSize != 0 {
+			return nil, fmt.Errorf("serve: ladder KV group size %d must divide the model hidden dimension %d",
+				cfg.LadderKV.GroupSize, eng.ModelConfig().Hidden)
+		}
+		s.cost = &perfmodel.StepCostModel{}
+		s.brk.needStreak = cfg.HealthyStreak
+	}
 	go s.loop()
 	return s, nil
 }
@@ -73,7 +148,9 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 // Submit validates and enqueues a request, returning its token stream. The
 // context governs the request's whole lifetime: cancellation or deadline
 // expiry removes it from the queue or retires its slot at the next step
-// boundary, with the stream finishing on ctx.Err().
+// boundary, with the stream finishing on ctx.Err(). Under admission control,
+// overloaded states reject with a structured *OverloadError instead of
+// queuing work the server cannot absorb.
 func (s *Scheduler) Submit(ctx context.Context, req Request) (*Stream, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -82,6 +159,12 @@ func (s *Scheduler) Submit(ctx context.Context, req Request) (*Stream, error) {
 	if err != nil {
 		s.eng.Stats().RecordRejection()
 		return nil, err
+	}
+	if s.cfg.AdmissionControl {
+		if err := s.admitCheck(req); err != nil {
+			s.eng.Stats().RecordOverloadRejection()
+			return nil, err
+		}
 	}
 	p := &pending{req: req, ctx: ctx, stream: newStream(req.MaxNewTokens), submitted: time.Now()}
 	s.mu.Lock()
@@ -98,6 +181,66 @@ func (s *Scheduler) Submit(ctx context.Context, req Request) (*Stream, error) {
 	s.mu.Unlock()
 	s.kick()
 	return p.stream, nil
+}
+
+// admitCheck is the submit-side admission controller: it rejects against the
+// breaker and the loop-published pressure snapshot. Per-request footprint
+// gating against the watermarks happens in the loop (which defers instead of
+// dropping); here only requests that could never fit, or that arrive while
+// the server is already past its watermarks, are turned away.
+func (s *Scheduler) admitCheck(req Request) error {
+	if st := s.brk.current(); st == Shedding {
+		s.mu.Lock()
+		drain := s.press.drain
+		s.mu.Unlock()
+		return &OverloadError{Reason: "shedding", RetryAfter: drain, State: st}
+	}
+	if s.adm.ScaledKV(s.adm.SlotKVBytes(len(req.Prompt), req.MaxNewTokens)) > s.kvHeadroom {
+		return &OverloadError{Reason: "never-fits", State: s.brk.current()}
+	}
+	s.mu.Lock()
+	view := s.press
+	s.mu.Unlock()
+	if view.gpuFrac >= s.cfg.ArenaHighWater || view.hostFrac >= s.cfg.ArenaHighWater {
+		return &OverloadError{Reason: "arena-pressure", RetryAfter: view.drain, State: s.brk.current()}
+	}
+	if s.cfg.TPOTBudget > 0 && view.tpotNext > s.cfg.TPOTBudget {
+		return &OverloadError{Reason: "tpot-budget", RetryAfter: view.drain, State: s.brk.current()}
+	}
+	return nil
+}
+
+// Health evaluates and returns the breaker state. Evaluating here (not just
+// in the loop) lets an idle server walk back to healthy between polls.
+func (s *Scheduler) Health() BreakerState {
+	if !s.cfg.AdmissionControl {
+		return Healthy
+	}
+	s.mu.Lock()
+	view := s.press
+	s.mu.Unlock()
+	st, changed := s.brk.evaluate(s.signals(view.level, view.gpuFrac, view.hostFrac))
+	if changed {
+		s.eng.Stats().RecordBreakerTransition()
+	}
+	return st
+}
+
+// signals assembles the breaker inputs from the given pressure state plus
+// the live fault and queue counters.
+func (s *Scheduler) signals(level int, gpuFrac, hostFrac float64) breakerSignals {
+	total := s.eng.Stats().TotalRetries()
+	s.mu.Lock()
+	faults := total > s.lastRetries
+	s.lastRetries = total
+	qlen := s.queue.len()
+	s.mu.Unlock()
+	return breakerSignals{
+		faults:        faults,
+		ladderHigh:    level >= 2,
+		queueSwamped:  qlen >= s.cfg.QueueDepth,
+		arenaCritical: level >= 3 && (gpuFrac >= s.cfg.ArenaHighWater || hostFrac >= s.cfg.ArenaHighWater),
+	}
 }
 
 // Close stops admission and waits for the queue and every in-flight request
@@ -125,6 +268,17 @@ type Metrics struct {
 	TokensPerSec    float64
 
 	Serve runtime.ServeSummary
+
+	// Overload protection (meaningful with Config.AdmissionControl).
+	Breaker            BreakerState
+	BreakerTransitions int64
+	PressureLevel      int
+	PredictedPeakBytes int64 // admission-time estimate high-water
+	ArenaCapacity      int64
+	ArenaPeak          int64
+	// EstimateRatio is PredictedPeakBytes over the arena's actual peak — the
+	// admission model's over-estimate factor (0 until something ran).
+	EstimateRatio float64
 }
 
 // Metrics snapshots the serving metrics.
@@ -132,21 +286,31 @@ func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
 	depth := s.queue.len()
 	active := s.active
+	view := s.press
 	s.mu.Unlock()
 	st := s.eng.Stats()
 	summary := st.ServeSummary()
 	uptime := time.Since(s.start)
 	tokens := st.TokensGeneratedCount()
 	m := Metrics{
-		QueueDepth:      depth,
-		ActiveSlots:     active,
-		TotalSlots:      s.cfg.Slots,
-		Uptime:          uptime,
-		TokensGenerated: tokens,
-		Serve:           summary,
+		QueueDepth:         depth,
+		ActiveSlots:        active,
+		TotalSlots:         s.cfg.Slots,
+		Uptime:             uptime,
+		TokensGenerated:    tokens,
+		Serve:              summary,
+		Breaker:            s.brk.current(),
+		BreakerTransitions: s.brk.transitionCount(),
+		PressureLevel:      view.level,
+		PredictedPeakBytes: view.maxPredictedPeak,
+		ArenaCapacity:      s.eng.ArenaCapacity(),
+		ArenaPeak:          s.eng.ArenaPeak(),
 	}
 	if uptime > 0 {
 		m.TokensPerSec = float64(tokens) / uptime.Seconds()
+	}
+	if m.ArenaPeak > 0 && m.PredictedPeakBytes > 0 {
+		m.EstimateRatio = float64(m.PredictedPeakBytes) / float64(m.ArenaPeak)
 	}
 	return m
 }
@@ -169,12 +333,16 @@ func (s *Scheduler) kick() {
 }
 
 // loop is the scheduler's only mutator of the session. Each iteration works
-// one step boundary: retire cancelled slots, admit from the queue, then run
-// one decode step over the active batch and deliver its tokens.
+// one step boundary: manage memory pressure, retire cancelled slots, admit
+// from the queue, then run one decode step over the active batch and deliver
+// its tokens.
 func (s *Scheduler) loop() {
 	defer close(s.done)
 	for {
 		s.retireCancelled()
+		if s.cfg.AdmissionControl {
+			s.managePressure()
+		}
 		s.admit()
 		if s.sess.NumActive() == 0 {
 			s.mu.Lock()
@@ -193,8 +361,8 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// retireCancelled retires every active slot whose request context ended,
-// finishing its stream with the context error.
+// retireCancelled frees the slots of requests whose context ended, so a
+// cancelled request stops consuming decode steps at the next boundary.
 func (s *Scheduler) retireCancelled() {
 	for slot, p := range s.running {
 		if err := p.ctx.Err(); err != nil {
@@ -207,24 +375,271 @@ func (s *Scheduler) retireCancelled() {
 	}
 }
 
+// managePressure is the KV-pressure ladder: it measures the scaled staging
+// pressure against the arena's KV headroom (and the host budget), escalates
+// one rung per iteration above the high watermark — quantize new slots,
+// spill the largest staged slot, evict the lowest-priority slot — and walks
+// back down one rung per HealthyStreak of evaluations below the low
+// watermark. It then feeds the breaker and publishes the pressure snapshot.
+func (s *Scheduler) managePressure() {
+	gpuFrac, hostFrac := s.pressureFractions()
+	hwm, lwm := s.cfg.ArenaHighWater, s.cfg.ArenaLowWater
+	switch {
+	case s.sess.NumActive() == 0:
+		// Idle: nothing is staged, so pressure is definitionally gone. Walk
+		// the ladder fully down so a calm server restores normal storage.
+		if s.level != 0 {
+			s.level = 0
+			s.healthyEvals = 0
+			s.sess.SetQuantizeNewSlots(false, quant.Config{})
+		}
+	case gpuFrac >= hwm || hostFrac >= hwm:
+		s.escalate(gpuFrac >= hwm)
+		s.healthyEvals = 0
+		// Re-measure: a spill or evict changes the pressure immediately.
+		gpuFrac, hostFrac = s.pressureFractions()
+	case gpuFrac < lwm && hostFrac < lwm:
+		s.healthyEvals++
+		if s.healthyEvals >= s.cfg.HealthyStreak && s.level > 0 {
+			s.level--
+			s.healthyEvals = 0
+			if s.level < 1 {
+				s.sess.SetQuantizeNewSlots(false, quant.Config{})
+			}
+		}
+	default:
+		s.healthyEvals = 0
+	}
+	st, changed := s.brk.evaluate(s.signals(s.level, gpuFrac, hostFrac))
+	_ = st
+	if changed {
+		s.eng.Stats().RecordBreakerTransition()
+	}
+	s.publishPressure(gpuFrac, hostFrac)
+}
+
+// pressureFractions measures current pressure: the largest staged slot's
+// slack-scaled bytes over the KV headroom, and host KV bytes over the host
+// budget (zero when unbudgeted).
+func (s *Scheduler) pressureFractions() (gpuFrac, hostFrac float64) {
+	var maxStaged int64
+	for slot := range s.running {
+		if b := s.sess.StagedKVBytes(slot); b > maxStaged {
+			maxStaged = b
+		}
+	}
+	gpuFrac = float64(s.adm.ScaledKV(maxStaged)) / float64(s.kvHeadroom)
+	if s.cfg.HostKVBudget > 0 {
+		hostFrac = float64(s.sess.HostKVBytes()) / float64(s.cfg.HostKVBudget)
+	}
+	return gpuFrac, hostFrac
+}
+
+// escalate takes the next ladder rung. gpuHigh distinguishes arena staging
+// pressure (relieved by spilling) from host pressure (relieved only by
+// eviction).
+func (s *Scheduler) escalate(gpuHigh bool) {
+	switch {
+	case s.level == 0:
+		s.level = 1
+		// Rung 1: new slots store their KV quantized — ~8x less host KV and
+		// proportionally less staging for every future admission.
+		s.sess.SetQuantizeNewSlots(true, s.cfg.LadderKV)
+	case s.level == 1:
+		s.level = 2
+		if gpuHigh {
+			s.spillLargest()
+		}
+	default:
+		s.level = 3
+		s.evictOne(gpuHigh)
+	}
+}
+
+// spillLargest moves the biggest staged slot's KV to the host cache (rung
+// 2): its attention runs on the CPU from now on and its staging pressure
+// drops to zero, exactness preserved.
+func (s *Scheduler) spillLargest() {
+	victim, best := -1, int64(0)
+	for slot := range s.running {
+		if b := s.sess.StagedKVBytes(slot); b > best {
+			victim, best = slot, b
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	// A failed spill leaves the staged copy authoritative; the ladder simply
+	// tries again next iteration.
+	_ = s.sess.SpillSlot(context.Background(), victim)
+}
+
+// evictOne retires the lowest-priority slot — the fewest-tokens-produced
+// sequence whose KV is stored raw — and re-queues it at the head of the line
+// for recompute-on-resume (rung 3). Raw-only because a re-prefill regenerates
+// a raw slot's KV bit-identically, while a quantized slot's lossy history
+// cannot be reproduced from tokens; quantized slots are spilled instead.
+// With a single active slot there is nothing to gain (the evictee would be
+// re-admitted immediately), so eviction needs at least two.
+func (s *Scheduler) evictOne(gpuHigh bool) {
+	var victim *pending
+	for _, p := range s.running {
+		if s.sess.SlotQuantizedKV(p.slot) {
+			continue
+		}
+		if victim == nil || p.produced < victim.produced {
+			victim = p
+		}
+	}
+	if victim == nil || len(s.running) < 2 {
+		if gpuHigh {
+			s.spillLargest()
+		}
+		return
+	}
+	resume := make([]int, 0, len(victim.req.Prompt)+victim.produced)
+	resume = append(resume, victim.req.Prompt...)
+	resume = append(resume, victim.stream.snapshot()...)
+	s.sess.Retire(victim.slot)
+	delete(s.running, victim.slot)
+	s.noteActive(-1)
+	victim.resumePrompt = resume
+	s.mu.Lock()
+	s.queue.pushFront(victim)
+	s.mu.Unlock()
+	s.eng.Stats().RecordEviction()
+}
+
+// publishPressure refreshes the mu-guarded snapshot Submit and Health read.
+func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
+	var maxKV, remaining int64
+	for _, p := range s.running {
+		pl, nt := p.finalKVTokens()
+		if kv := s.adm.SlotKVBytes(pl, nt); kv > maxKV {
+			maxKV = kv
+		}
+		remaining += int64(p.req.MaxNewTokens - p.produced)
+	}
+	occ := len(s.running)
+	var predicted int64
+	if occ > 0 {
+		predicted = s.adm.PeakBytes(maxKV)
+	}
+	drain := s.cost.PredictDrain(remaining, occ)
+	tpotNext := s.cost.PredictTPOT(occ + 1)
+	s.mu.Lock()
+	s.press.level = s.level
+	s.press.gpuFrac = gpuFrac
+	s.press.hostFrac = hostFrac
+	s.press.predictedPeak = predicted
+	s.press.drain = drain
+	s.press.tpotNext = tpotNext
+	s.mu.Unlock()
+}
+
+// gateDecision is the loop-side admission gate's verdict on the queue head.
+type gateDecision int
+
+const (
+	gateAdmit gateDecision = iota
+	gateDefer
+	gateReject
+)
+
+// gateHead decides whether the queue head can join the batch now. Deferring
+// keeps it queued (FIFO order preserved); rejecting finishes it with a
+// structured overload error. The watermark tightens to the low mark while
+// the ladder is escalated (hysteresis: drain below lwm before admitting
+// freely again).
+func (s *Scheduler) gateHead(p *pending) gateDecision {
+	pl, nt := p.finalKVTokens()
+	cand := s.adm.ScaledKV(s.adm.SlotKVBytes(pl, nt))
+	if cand > s.kvHeadroom {
+		return gateReject
+	}
+	if s.sess.NumActive() == 0 {
+		// Livelock guard: with an empty batch nothing drains, so anything
+		// that absolutely fits must be admitted.
+		return gateAdmit
+	}
+	thr := s.cfg.ArenaHighWater
+	if s.level > 0 {
+		thr = s.cfg.ArenaLowWater
+	}
+	newMax := cand
+	for _, q := range s.running {
+		qpl, qnt := q.finalKVTokens()
+		if b := s.adm.ScaledKV(s.adm.SlotKVBytes(qpl, qnt)); b > newMax {
+			newMax = b
+		}
+	}
+	if float64(newMax) > thr*float64(s.kvHeadroom) {
+		return gateDefer
+	}
+	if s.cfg.HostKVBudget > 0 &&
+		float64(s.sess.HostKVBytes()) >= thr*float64(s.cfg.HostKVBudget) {
+		return gateDefer
+	}
+	if s.cfg.TPOTBudget > 0 {
+		if t := s.cost.PredictTPOT(s.sess.NumActive() + 1); t > s.cfg.TPOTBudget {
+			return gateDefer
+		}
+	}
+	return gateAdmit
+}
+
+// popHead dequeues the queue head (which the caller has already peeked).
+func (s *Scheduler) popHead() {
+	s.mu.Lock()
+	s.queue.pop()
+	s.mu.Unlock()
+}
+
 // admit moves queued requests into free slots, prefilling each and emitting
 // its first token. Requests whose context already ended are dropped without
-// consuming a slot.
+// consuming a slot. Under admission control the queue head is gated against
+// the watermarks first — deferred requests stay queued at the head.
 func (s *Scheduler) admit() {
 	for s.sess.NumActive() < s.cfg.Slots {
 		s.mu.Lock()
-		p := s.queue.pop()
+		p := s.queue.peek()
 		s.mu.Unlock()
 		if p == nil {
 			return
 		}
 		if err := p.ctx.Err(); err != nil {
+			s.popHead()
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
 			continue
 		}
+		if s.cfg.AdmissionControl {
+			switch s.gateHead(p) {
+			case gateDefer:
+				return
+			case gateReject:
+				s.popHead()
+				p.stream.finish(&OverloadError{Reason: "never-fits", State: s.brk.current()})
+				s.eng.Stats().RecordOverloadRejection()
+				continue
+			}
+		}
+		s.popHead()
 		slot := s.freeSlot()
-		tok, err := s.sess.Admit(p.ctx, slot, p.req.Prompt)
+		prompt := p.req.Prompt
+		if p.resumePrompt != nil {
+			prompt = p.resumePrompt
+		}
+		var tok int
+		var err error
+		if s.cfg.AdmissionControl {
+			if !p.admittedOnce {
+				p.kvQuant = s.sess.QuantizeNewSlots()
+			}
+			tok, err = s.sess.AdmitKV(p.ctx, slot, prompt, p.kvQuant)
+		} else {
+			tok, err = s.sess.Admit(p.ctx, slot, prompt)
+		}
 		if err != nil {
 			p.stream.finish(err)
 			if p.ctx.Err() != nil {
@@ -235,12 +650,39 @@ func (s *Scheduler) admit() {
 			continue
 		}
 		now := time.Now()
-		p.slot, p.firstTok, p.lastTok = slot, now, now
+		p.slot, p.lastTok = slot, now
 		s.running[slot] = p
 		s.noteActive(1)
-		s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
+		if !p.admittedOnce {
+			p.admittedOnce = true
+			p.firstTok = now
+			p.stream.setKVQuant(s.sess.SlotQuantizedKV(slot))
+			s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
+		}
+		if s.cfg.AdmissionControl {
+			s.recordEstimate(p)
+		}
 		s.deliver(p, tok)
 	}
+}
+
+// recordEstimate stores the admission-time peak prediction for p (covering
+// the whole batch it joined, at final lengths) and folds it into the
+// published high-water estimate.
+func (s *Scheduler) recordEstimate(p *pending) {
+	var maxKV int64
+	for _, q := range s.running {
+		qpl, qnt := q.finalKVTokens()
+		if kv := s.adm.SlotKVBytes(qpl, qnt); kv > maxKV {
+			maxKV = kv
+		}
+	}
+	p.estimate = s.adm.PeakBytes(maxKV)
+	s.mu.Lock()
+	if p.estimate > s.press.maxPredictedPeak {
+		s.press.maxPredictedPeak = p.estimate
+	}
+	s.mu.Unlock()
 }
 
 // freeSlot returns an inactive slot index; admit only calls it when one
@@ -258,6 +700,7 @@ func (s *Scheduler) freeSlot() int {
 // out. A step error after the session's own retries and degradations is
 // batch-fatal: every in-flight request fails with it.
 func (s *Scheduler) stepBatch() {
+	t0 := time.Now()
 	toks, err := s.sess.Step(context.Background())
 	if err != nil {
 		for slot, p := range s.running {
@@ -268,6 +711,9 @@ func (s *Scheduler) stepBatch() {
 			s.eng.Stats().RecordCancellation()
 		}
 		return
+	}
+	if s.cfg.AdmissionControl {
+		s.cost.Observe(len(toks), time.Since(t0))
 	}
 	s.mu.Lock()
 	depth := s.queue.len()

@@ -11,6 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/quant"
 )
 
 // Admission and lifecycle errors surfaced by Submit and the streams.
@@ -43,6 +46,36 @@ type Config struct {
 	// Vocab rejects prompt tokens outside [0, Vocab) — the engine's Embed
 	// panics on them, so they must never reach a slot.
 	Vocab int
+
+	// AdmissionControl enables the performance-model-guided overload
+	// protection: footprint estimates gate admission (structured 429s with
+	// Retry-After), the KV-pressure ladder sheds memory before the arena
+	// OOMs, and the health circuit breaker trips to shedding under sustained
+	// faults. Off, the scheduler admits blindly (PR 2 behavior).
+	AdmissionControl bool
+	// ArenaHighWater and ArenaLowWater are fractions of the arena's KV
+	// headroom (capacity minus the weight working set). Predicted pressure
+	// above the high watermark stops admissions and escalates the ladder;
+	// hysteresis de-escalates only after HealthyStreak evaluations below the
+	// low watermark.
+	ArenaHighWater float64
+	ArenaLowWater  float64
+	// FootprintSlack scales footprint estimates (≥ 1) so transient
+	// double-buffering during retries stays inside the estimate.
+	FootprintSlack float64
+	// TPOTBudget rejects admissions whose predicted time-per-output-token at
+	// the resulting occupancy exceeds the budget. Zero disables the check.
+	TPOTBudget time.Duration
+	// HostKVBudget bounds the session's host-side KV bytes; pressure against
+	// it escalates the ladder toward eviction. Zero is unlimited.
+	HostKVBudget int64
+	// LadderKV is the quantization applied to newly admitted slots at the
+	// ladder's first rung. Its group size must divide the model's hidden
+	// dimension (checked at New) so quantized slots stay token-exact.
+	LadderKV quant.Config
+	// HealthyStreak is how many consecutive healthy evaluations de-escalate
+	// the ladder and the circuit breaker by one level.
+	HealthyStreak int
 }
 
 // DefaultConfig returns serving limits sized for the functional models.
@@ -55,6 +88,12 @@ func DefaultConfig(vocab int) Config {
 		DefaultNewTokens: 32,
 		EOS:              -1,
 		Vocab:            vocab,
+		AdmissionControl: true,
+		ArenaHighWater:   0.85,
+		ArenaLowWater:    0.65,
+		FootprintSlack:   1.15,
+		LadderKV:         quant.Config{Bits: 4, GroupSize: 32},
+		HealthyStreak:    3,
 	}
 }
 
@@ -77,6 +116,27 @@ func (c Config) Validate() error {
 	}
 	if c.Vocab <= 0 {
 		return fmt.Errorf("serve: vocab must be positive, got %d", c.Vocab)
+	}
+	if c.AdmissionControl {
+		if !(c.ArenaLowWater > 0 && c.ArenaLowWater < c.ArenaHighWater && c.ArenaHighWater <= 1) {
+			return fmt.Errorf("serve: watermarks must satisfy 0 < low (%g) < high (%g) <= 1",
+				c.ArenaLowWater, c.ArenaHighWater)
+		}
+		if c.FootprintSlack < 1 {
+			return fmt.Errorf("serve: footprint slack %g must be >= 1", c.FootprintSlack)
+		}
+		if c.TPOTBudget < 0 {
+			return fmt.Errorf("serve: negative TPOT budget %v", c.TPOTBudget)
+		}
+		if c.HostKVBudget < 0 {
+			return fmt.Errorf("serve: negative host KV budget %d", c.HostKVBudget)
+		}
+		if err := c.LadderKV.Validate(); err != nil {
+			return fmt.Errorf("serve: ladder KV config: %w", err)
+		}
+		if c.HealthyStreak <= 0 {
+			return fmt.Errorf("serve: healthy streak must be positive, got %d", c.HealthyStreak)
+		}
 	}
 	return nil
 }
@@ -120,9 +180,10 @@ type Stream struct {
 	ch   chan int
 	done chan struct{}
 
-	mu     sync.Mutex
-	tokens []int
-	err    error
+	mu      sync.Mutex
+	tokens  []int
+	err     error
+	kvQuant bool // slot stored its KV quantized (pressure ladder rung 1)
 }
 
 func newStream(budget int) *Stream {
@@ -142,6 +203,30 @@ func (st *Stream) Wait() ([]int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return append([]int(nil), st.tokens...), st.err
+}
+
+// KVQuantized reports whether the request's KV was stored quantized (the
+// pressure ladder's quantize-new-slots rung, or a store-wide QuantKV
+// policy). Differential checks use it to pick the matching solo reference.
+func (st *Stream) KVQuantized() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.kvQuant
+}
+
+// setKVQuant records the slot's storage mode at admission.
+func (st *Stream) setKVQuant(q bool) {
+	st.mu.Lock()
+	st.kvQuant = q
+	st.mu.Unlock()
+}
+
+// snapshot returns the tokens generated so far — the evict path's resume
+// state (prompt + produced tokens re-prefill bit-identically).
+func (st *Stream) snapshot() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]int(nil), st.tokens...)
 }
 
 // push records and delivers one token. The channel send cannot block: at
@@ -188,6 +273,24 @@ func (q *admitQueue) pop() *pending {
 	q.items[0] = nil
 	q.items = q.items[1:]
 	return p
+}
+
+// peek returns the oldest request without dequeuing it, or nil when empty.
+// The admission gate peeks before popping so a deferred request keeps its
+// place at the head of the line.
+func (q *admitQueue) peek() *pending {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// pushFront re-enqueues a request at the head of the line, exempt from the
+// capacity bound: the evict path re-queues a request that was already
+// admitted once, and dropping it to enforce capacity would turn a shed into
+// a lost request.
+func (q *admitQueue) pushFront(p *pending) {
+	q.items = append([]*pending{p}, q.items...)
 }
 
 func (q *admitQueue) len() int { return len(q.items) }
