@@ -29,6 +29,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/threadpool"
 	"repro/internal/trace"
+	"repro/internal/xtrace"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 0, "snapshot generation state every N decode steps (0 = off)")
 	ckptFile := flag.String("checkpoint", "", "write the final snapshot to this file (requires -ckpt-every)")
 	resumeFile := flag.String("resume", "", "resume generation from a checkpoint file instead of starting fresh")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	var cfg model.Config
@@ -113,6 +115,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var rec *xtrace.Recorder
+	if *traceFile != "" {
+		rec = xtrace.NewRecorder(0)
+		eng.SetTracer(rec)
+	}
 
 	ctx := context.Background()
 	var out [][]int
@@ -164,6 +171,13 @@ func main() {
 			break
 		}
 		fmt.Printf("seq %d: %v\n", i, seq)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-infer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans written to %s (%d dropped by the ring)\n", rec.Len(), *traceFile, rec.Dropped())
 	}
 	fmt.Printf("\nengine stats: %s\n", eng.Stats())
 	if inj != nil {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/threadpool"
+	"repro/internal/xtrace"
 )
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	lwm := flag.Float64("lwm", 0.65, "low watermark (hysteresis floor) as a fraction of KV headroom")
 	tpotBudget := flag.Duration("tpot-budget", 0, "reject admissions predicted to push TPOT past this (0 = off)")
 	hostKVMB := flag.Int64("host-kv-mb", 0, "host-side KV byte budget in MiB (0 = unlimited)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file on shutdown")
 	flag.Parse()
 
 	var cfg model.Config
@@ -121,13 +123,20 @@ func main() {
 	scfg.ArenaLowWater = *lwm
 	scfg.TPOTBudget = *tpotBudget
 	scfg.HostKVBudget = *hostKVMB << 20
+	var rec *xtrace.Recorder
+	if *traceFile != "" {
+		rec = xtrace.NewRecorder(0)
+		eng.SetTracer(rec)
+	}
 	sched, err := serve.New(eng, scfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched)}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		<-ctx.Done()
@@ -136,12 +145,23 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 		sched.Close()
+		if rec != nil {
+			if err := rec.WriteFile(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "lmo-serve:", err)
+			} else {
+				fmt.Printf("trace: %d spans written to %s (%d dropped by the ring)\n",
+					rec.Len(), *traceFile, rec.Dropped())
+			}
+		}
 	}()
 	fmt.Printf("lmo-serve: %s model, %d slots, queue %d, listening on %s\n",
 		cfg.Name, *slots, *queueDepth, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+	// ListenAndServe returns the instant Shutdown begins; wait for the drain
+	// (and the trace write) to finish before exiting.
+	<-done
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xtrace"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	steps := flag.Int("steps", 4, "decode steps to simulate")
 	curve := flag.Bool("curve", false, "print the per-token latency curve instead of the average")
 	faultSpec := flag.String("faults", "", `resource fault windows, e.g. "h2d@0.5+0.2,gpu@1.0+0.5x3" (outage, or xF slowdown)`)
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated schedule to this file")
 	flag.Parse()
 
 	mod, err := model.ByName(*modelName)
@@ -81,10 +83,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
 		os.Exit(2)
 	}
-	res, err := sim.SimulateDecode(est, *steps, events...)
+	var rec *xtrace.Recorder
+	if *traceFile != "" {
+		rec = xtrace.NewRecorder(0)
+	}
+	res, err := sim.SimulateDecodeTraced(est, *steps, rec, events...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lmo-sim:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans written to %s\n", rec.Len(), *traceFile)
 	}
 
 	fmt.Printf("strategy: %v under %s profile, %s\n\n", strat, exec.Name, work)

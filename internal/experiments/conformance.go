@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xtrace/conformance"
+)
+
+// ConformanceResult wraps the model-conformance suite's report: every
+// measured-vs-predicted comparison across the simulator, the live engine,
+// and the serving layer, in one table.
+type ConformanceResult struct {
+	Report *conformance.Report
+}
+
+// Conformance runs the full conformance suite (sim-vs-model equality,
+// calibrated engine-vs-model ordering, serve-layer bound checks).
+func Conformance() (*ConformanceResult, error) {
+	rep, err := conformance.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ConformanceResult{Report: rep}, nil
+}
+
+// Format renders the measured-vs-predicted table with a per-suite summary.
+func (r *ConformanceResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Model conformance: measured vs predicted (Eq. 2 task decomposition)\n\n")
+	fmt.Fprintf(&b, "%-16s %-18s %-9s %-28s %12s %12s %8s  %s\n",
+		"suite", "case", "check", "task", "predicted", "measured", "relerr", "verdict")
+	for _, row := range r.Report.Rows {
+		verdict := "pass"
+		if row.Check == "error" {
+			verdict = "info"
+		} else if !row.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-16s %-18s %-9s %-28s %12.4g %12.4g %8.3f  %s\n",
+			row.Suite, row.Case, row.Check, row.Task,
+			row.Predicted, row.Measured, row.RelErr, verdict)
+	}
+	pass, fail, info := 0, 0, 0
+	for _, row := range r.Report.Rows {
+		switch {
+		case row.Check == "error":
+			info++
+		case row.Pass:
+			pass++
+		default:
+			fail++
+		}
+	}
+	fmt.Fprintf(&b, "\n%d checks passed, %d failed, %d informational rows\n", pass, fail, info)
+	return b.String()
+}
+
+// CSV renders the full row set for the CI error-table artifact.
+func (r *ConformanceResult) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"suite", "case", "check", "task", "predicted", "measured", "relerr", "pass", "note"})
+	for _, row := range r.Report.Rows {
+		_ = w.Write([]string{
+			row.Suite, row.Case, row.Check, row.Task,
+			fmt.Sprintf("%.6g", row.Predicted), fmt.Sprintf("%.6g", row.Measured),
+			fmt.Sprintf("%.4f", row.RelErr), strconv.FormatBool(row.Pass), row.Note,
+		})
+	}
+	w.Flush()
+	return buf.String()
+}

@@ -90,7 +90,21 @@ func (e *Estimator) DecodeTasks() TaskTimes {
 // partial-overlap model: the busiest resource bounds the step, and a β
 // fraction of the remaining resources' work fails to hide behind it
 // (per-layer synchronization, default-stream kernel serialization).
-// β = 0 recovers the paper's ideal Eq. 2.
+// β = 0 and StepOverhead = 0 recover the paper's ideal Eq. 2.
+//
+// TGen vs TGenPaper: TGen is the calibrated estimate and is what every
+// consumer that acts on a prediction uses — Latency/GenerationLatency/
+// Throughput here, the quantization-benefit decisions (decisions.go,
+// quantcost.go), the pipeline stage planner (internal/pipeline), the
+// latency curve (curve.go), the policy-tuning experiments (figure8), and
+// the lmo-sim CLI's analytic column. TGenPaper is the uncorrected Eq. 2
+// maximum, kept only for reporting how optimistic the paper's ideal-overlap
+// assumption is (the validation experiment's "paper" column and the
+// sim/conformance suites). TGen ≥ TGenPaper for any valid profile: β ≥ 0
+// adds back unhidden work and StepOverhead ≥ 0 adds scheduling cost, while
+// the resource-aggregated max it starts from is itself at least the
+// per-task max (each Eq. 2 task's time is contained in one resource's
+// total). latency_divergence_test.go pins both properties.
 func (e *Estimator) TGen() float64 {
 	p := e.Parts()
 	gpu := p.GPUCompute + p.GPUQuant
@@ -253,9 +267,14 @@ func (e *Estimator) PrefillParts() (compute, kvDown float64) {
 }
 
 // TGenPaper is the literal Eq. 2 composition — the unmodified maximum over
-// the six task times — with no partial-overlap correction. Comparing it with
-// TGen (β-calibrated) and the discrete-event simulator quantifies how
-// optimistic the paper's idealized asynchrony assumption is.
+// the six task times (DecodeTasks().Max(), exactly) — with no
+// partial-overlap correction. Comparing it with TGen (β-calibrated) and the
+// discrete-event simulator quantifies how optimistic the paper's idealized
+// asynchrony assumption is. Nothing that acts on a prediction calls this:
+// its callers are the validation experiment's "paper" column
+// (internal/experiments/validation.go) and the sim/conformance test suites;
+// every planning and serving path uses TGen. See TGen's doc comment for the
+// full divergence contract.
 func (e *Estimator) TGenPaper() float64 {
 	return e.DecodeTasks().Max()
 }

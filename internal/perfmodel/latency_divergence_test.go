@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"testing"
+)
+
+// divergenceGrid spans strategies that light up different Eq. 2 tasks:
+// pure streaming, partial placement, both quantizations, and attention
+// offloading.
+func divergenceGrid() []Strategy {
+	return []Strategy{
+		{GroupSize: 64},
+		{WeightsGPUPct: 0.5, CacheGPUPct: 0.3, GroupSize: 64},
+		{WeightsGPUPct: 0.2, QuantWeights: true, WeightBits: 4, QuantKV: true, KVBits: 4, GroupSize: 64},
+		{AttnOnCPU: true, WeightsGPUPct: 0.4, GroupSize: 64},
+		{WeightsGPUPct: 1, CacheGPUPct: 1, ActGPUPct: 1, GroupSize: 64},
+	}
+}
+
+// TestTGenPaperIsTaskMax pins TGenPaper to the literal Eq. 2 composition:
+// exactly the maximum of the six DecodeTasks components, no overhead, no β.
+func TestTGenPaperIsTaskMax(t *testing.T) {
+	for _, s := range divergenceGrid() {
+		for _, exec := range []ExecProfile{FlexGenProfile(), ZeROProfile(), LMOffloadProfile()} {
+			e := fixture(t, s, exec)
+			if got, want := e.TGenPaper(), e.DecodeTasks().Max(); got != want {
+				t.Errorf("%+v/%s: TGenPaper = %v, DecodeTasks().Max() = %v (must be identical)",
+					s, exec.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestTGenBoundsTGenPaper pins the divergence direction documented on TGen:
+// the calibrated estimate can only add to the paper's ideal-overlap bound
+// (β ≥ 0 resurfaces unhidden work, StepOverhead ≥ 0 adds scheduling cost,
+// and the resource-aggregated max dominates the per-task max).
+func TestTGenBoundsTGenPaper(t *testing.T) {
+	for _, s := range divergenceGrid() {
+		for _, exec := range []ExecProfile{FlexGenProfile(), ZeROProfile(), LMOffloadProfile()} {
+			e := fixture(t, s, exec)
+			paper, beta := e.TGenPaper(), e.TGen()
+			if beta < paper*(1-1e-12) {
+				t.Errorf("%+v/%s: TGen %v < TGenPaper %v — calibrated model fell below the Eq. 2 bound",
+					s, exec.Name, beta, paper)
+			}
+		}
+	}
+}
+
+// TestTGenDivergenceIsTheOverlapPenalty checks the two knobs that separate
+// the estimates actually separate them: with β > 0 and several busy
+// resources TGen strictly exceeds TGenPaper, and zeroing β and StepOverhead
+// closes the gap to the pure resource-max (which still dominates the task
+// max only through aggregation).
+func TestTGenDivergenceIsTheOverlapPenalty(t *testing.T) {
+	// Streaming everything keeps the links and the GPU simultaneously busy.
+	s := Strategy{WeightsGPUPct: 0, GroupSize: 64}
+	e := fixture(t, s, LMOffloadProfile()) // β = 0.85
+	if e.TGen() <= e.TGenPaper() {
+		t.Errorf("β=%.2f with busy links: TGen %v should strictly exceed TGenPaper %v",
+			e.Exec.OverlapBeta, e.TGen(), e.TGenPaper())
+	}
+
+	ideal := LMOffloadProfile()
+	ideal.OverlapBeta = 0
+	ideal.StepOverhead = 0
+	ei := fixture(t, s, ideal)
+	p := ei.Parts()
+	gpu := p.GPUCompute + p.GPUQuant
+	wantMax := max4(p.LinkUp, p.LinkDown, p.CPUCompute, gpu)
+	if got := ei.TGen(); got != wantMax {
+		t.Errorf("β=0, overhead=0: TGen = %v, want resource max %v", got, wantMax)
+	}
+	if gap := ei.TGen() - ei.TGenPaper(); gap < 0 {
+		t.Errorf("β=0: TGen %v below TGenPaper %v", ei.TGen(), ei.TGenPaper())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/threadpool"
+	"repro/internal/xtrace"
 )
 
 // Policy selects the engine's offloading behaviour — the executable subset
@@ -126,6 +128,12 @@ type Engine struct {
 	ckptEvery int // snapshot every N decode steps (0 = off)
 	ckptMu    sync.Mutex
 	lastCkpt  *Checkpoint
+
+	// tracer is the optional execution-span recorder. It is an atomic
+	// pointer so tracing can be enabled or disabled mid-run (including
+	// mid-serve) without synchronizing with in-flight steps; a nil pointer
+	// (the default) makes every trace site a single atomic load.
+	tracer atomic.Pointer[xtrace.Recorder]
 }
 
 // NewEngine builds an engine. gpuArenaBytes bounds the simulated device
@@ -222,6 +230,32 @@ func (e *Engine) Policy() Policy { return e.policy }
 // SetFaultInjector wires a fault injector into every probe site. A nil
 // injector (the default) disables injection.
 func (e *Engine) SetFaultInjector(inj *faults.Injector) { e.faults = inj }
+
+// SetTracer installs (or, with nil, removes) the execution-span recorder.
+// Safe to call while generation or serving is in flight: in-flight tasks
+// finish recording into whichever recorder they loaded at task start.
+func (e *Engine) SetTracer(r *xtrace.Recorder) { e.tracer.Store(r) }
+
+// Tracer returns the currently installed recorder, or nil.
+func (e *Engine) Tracer() *xtrace.Recorder { return e.tracer.Load() }
+
+// task closes out one timed task: it feeds the Stats accounting (always) and
+// the span recorder (when installed) with the same task name, so trace
+// aggregates and Stats.TaskTime line up key-for-key. With tracing disabled
+// the only cost over the bare stats update is one atomic load.
+func (e *Engine) task(name, lane string, t0 time.Time, l xtrace.Labels) {
+	d := time.Since(t0)
+	e.stats.addTask(name, d)
+	e.tracer.Load().Record(name, lane, t0, d, l)
+}
+
+// trace records a span without touching Stats — for lifecycle intervals
+// (decode_step) that are not part of the task-time accounting.
+func (e *Engine) trace(name, lane string, t0 time.Time, l xtrace.Labels) {
+	if r := e.tracer.Load(); r != nil {
+		r.Record(name, lane, t0, time.Since(t0), l)
+	}
+}
 
 // SetRetryConfig replaces the transient-fault retry policy.
 func (e *Engine) SetRetryConfig(rc RetryConfig) error {
@@ -355,7 +389,7 @@ func (e *Engine) GenerateStream(ctx context.Context, prompts [][]int, genLen int
 		t0 := time.Now()
 		h, err := e.prefill(stepCtx, run)
 		cancel()
-		e.stats.addTask("prefill", time.Since(t0))
+		e.task(xtrace.TaskPrefill, xtrace.LaneEngine, t0, xtrace.NoLabels)
 		if err == nil {
 			hidden = h
 			break
@@ -405,8 +439,10 @@ func (e *Engine) decodeLoop(ctx context.Context, run *genRun) ([][]int, error) {
 		}
 		m := run.mark()
 		stepCtx, cancel := e.stepContext(ctx)
+		t0 := time.Now()
 		next, err := e.decodeStep(stepCtx, run)
 		cancel()
+		e.trace(xtrace.TaskDecodeStep, xtrace.LaneEngine, t0, xtrace.At(run.step, -1, -1))
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				e.stats.WallTime = time.Since(run.start)
@@ -578,20 +614,19 @@ func (e *Engine) prefill(ctx context.Context, run *genRun) (hidden *tensor.Tenso
 		for i := range x {
 			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
 		}
-		e.stats.addTask("compute", time.Since(t0))
+		e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, -1))
 		e.freeGPU(ll.resident)
 
 		if run.kvStore != nil {
 			// Step 1.3: offload this layer's KV, quantized when enabled
-			// (Eq. 5), and release the live copy.
-			t1 := time.Now()
+			// (Eq. 5), and release the live copy. storeChunk times each
+			// chunk's store_cache (and quant_kv) itself.
 			for seq := 0; seq < batch; seq++ {
 				if err := e.storeChunk(ctx, run.kvStore, j, seq, live.Keys(j, seq), live.Values(j, seq)); err != nil {
 					return nil, err
 				}
 				live.SetKV(j, seq, nil, nil)
 			}
-			e.stats.addTask("store_cache", time.Since(t1))
 		}
 	}
 
@@ -603,19 +638,32 @@ func (e *Engine) prefill(ctx context.Context, run *genRun) (hidden *tensor.Tenso
 }
 
 // storeChunk performs one store_cache transfer with fault probes and retry.
+// Each attempt is timed individually (so retry backoff never inflates the
+// task time), with a nested quant_kv span over the Eq. 20–23 quantize+pack
+// when KV quantization is on.
 func (e *Engine) storeChunk(ctx context.Context, kvStore *KVStore, layer, seq int, k, v *tensor.Tensor) error {
 	return e.withRetry(ctx, "store_cache", func() error {
+		t0 := time.Now()
+		defer func() { e.task(xtrace.TaskStoreKV, xtrace.LaneKVDown, t0, xtrace.At(-1, layer, seq)) }()
 		if err := e.stallOrFail(ctx, faults.KVTransfer); err != nil {
 			return err
+		}
+		rec := e.tracer.Load()
+		var tq time.Time
+		if rec != nil && e.policy.QuantKV {
+			tq = time.Now()
 		}
 		n, err := kvStore.Append(layer, seq, k, v)
 		if err != nil {
 			return err
 		}
-		e.stats.addBytes(&e.stats.KVDownBytes, n)
 		if e.policy.QuantKV {
+			if rec != nil {
+				rec.Record(xtrace.TaskQuantKV, xtrace.LaneKVDown, tq, time.Since(tq), xtrace.At(-1, layer, seq))
+			}
 			e.stats.addOps(2, 0)
 		}
+		e.stats.addBytes(&e.stats.KVDownBytes, n)
 		return nil
 	})
 }
@@ -694,17 +742,17 @@ func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 			return loadedLayer{weights: e.resident[j]}
 		}
 		t0 := time.Now()
-		defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
+		defer func() { e.task(xtrace.TaskLoadWgt, xtrace.LaneWeights, t0, xtrace.At(-1, j, -1)) }()
 		scratch := e.weights.ResidentBytes(j)
 		if err := e.allocGPU(scratch); err != nil {
 			return loadedLayer{err: err}
 		}
-		lw := e.weights.Load(j)
+		lw := e.loadWeightsTraced(j)
 		e.stats.addOps(0, 6)
 		return loadedLayer{weights: lw, resident: scratch}
 	}
 	t0 := time.Now()
-	defer func() { e.stats.addTask("load_weight", time.Since(t0)) }()
+	defer func() { e.task(xtrace.TaskLoadWgt, xtrace.LaneWeights, t0, xtrace.At(-1, j, -1)) }()
 	if err := e.stallOrFail(ctx, faults.WeightTransfer); err != nil {
 		return loadedLayer{err: err}
 	}
@@ -713,11 +761,25 @@ func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 		return loadedLayer{err: err}
 	}
 	e.stats.addBytes(&e.stats.WeightUpBytes, e.weights.TransferBytes(j))
-	lw := e.weights.Load(j)
+	lw := e.loadWeightsTraced(j)
 	if e.weights.Quantized() {
 		e.stats.addOps(0, 6) // six matrices dequantized
 	}
 	return loadedLayer{weights: lw, resident: resident}
+}
+
+// loadWeightsTraced materializes layer j's weights, recording the Eq. 12–16
+// dequantization as a dequant_weight span (nested in the enclosing
+// load_weight span) when the store is quantized and tracing is on.
+func (e *Engine) loadWeightsTraced(j int) *model.LayerWeights {
+	rec := e.tracer.Load()
+	if rec == nil || !e.weights.Quantized() {
+		return e.weights.Load(j)
+	}
+	t0 := time.Now()
+	lw := e.weights.Load(j)
+	rec.Record(xtrace.TaskDequantWgt, xtrace.LaneWeights, t0, time.Since(t0), xtrace.At(-1, j, -1))
+	return lw
 }
 
 // allocGPU claims arena space, first probing the memory-pressure fault site
@@ -786,7 +848,9 @@ func (e *Engine) decodeStep(ctx context.Context, run *genRun) (next []int, err e
 	t0 := time.Now()
 	logits := e.mod.Logits(e.pool, e.policy.IntraOp, rowsOf(x, cfg.Hidden))
 	next = tensor.ArgmaxRows(logits)
-	e.stats.addTask("compute", time.Since(t0))
+	// Layer -1 marks the logits projection so per-layer aggregation can
+	// separate it from transformer-block compute.
+	e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.NoLabels)
 	e.stats.addBytes(&e.stats.ActDownBytes, actBytes)
 	return next, nil
 }
@@ -853,12 +917,19 @@ func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase
 		}
 	}()
 	t0 := time.Now()
-	defer func() { e.stats.addTask("load_cache", time.Since(t0)) }()
+	defer func() { e.task(xtrace.TaskLoadKV, xtrace.LaneKVUp, t0, xtrace.At(-1, j, seqBase)) }()
 	cfg := e.mod.Cfg
 	out = fetchedKV{cache: model.NewKVCache(cfg.Layers, seqBase+batch, cfg.Hidden)}
 	if err := e.stallOrFail(ctx, faults.KVTransfer); err != nil {
 		out.err = err
 		return out
+	}
+	// The dequant_kv span (Eqs. 12–16 applied to the old cache) covers the
+	// fetch loop: reconstruction and staging of the quantized chunks.
+	rec := e.tracer.Load()
+	var td time.Time
+	if rec != nil && e.policy.QuantKV {
+		td = time.Now()
 	}
 	for s := 0; s < batch; s++ {
 		k, v, bytes, err := kvStore.Fetch(j, seqBase+s)
@@ -879,6 +950,9 @@ func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase
 			out.fetched += kb
 			out.cache.SetKV(j, seqBase+s, k, v)
 		}
+	}
+	if rec != nil && e.policy.QuantKV {
+		rec.Record(xtrace.TaskDequantKV, xtrace.LaneKVUp, td, time.Since(td), xtrace.At(-1, j, seqBase))
 	}
 	return out
 }
@@ -965,19 +1039,18 @@ func (e *Engine) computeBatch(ctx context.Context, run *genRun, j, seqBase int, 
 	for i := range x {
 		model.MLP(e.pool, e.policy.IntraOp, cfg, lw, x[i])
 	}
-	e.stats.addTask("compute", time.Since(t0))
+	e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, seqBase))
 
 	if kvStore != nil {
 		// store_cache: persist the new rows (quantized when enabled). Stores
-		// complete before the layer's synchronize() (Algorithm 1 line 18).
-		t1 := time.Now()
+		// complete before the layer's synchronize() (Algorithm 1 line 18);
+		// storeChunk times each chunk itself.
 		for s := 0; s < batch; s++ {
 			if err := e.storeChunk(ctx, kvStore, j, seqBase+s, outAttn.NewK[s], outAttn.NewV[s]); err != nil {
 				e.freeGPU(fetched)
 				return err
 			}
 		}
-		e.stats.addTask("store_cache", time.Since(t1))
 		e.freeGPU(fetched)
 	}
 	return nil
@@ -1043,7 +1116,7 @@ func (e *Engine) loadActivations(x []*tensor.Tensor) {
 		}
 	}
 	e.stats.addBytes(&e.stats.ActUpBytes, bytes)
-	e.stats.addTask("load_activation", time.Since(t0))
+	e.task(xtrace.TaskLoadAct, xtrace.LaneActUp, t0, xtrace.NoLabels)
 }
 
 // storeActivations performs the store_activation task: the layer's output
@@ -1062,7 +1135,7 @@ func (e *Engine) storeActivations(x []*tensor.Tensor) {
 		}
 	}
 	e.stats.addBytes(&e.stats.ActDownBytes, bytes)
-	e.stats.addTask("store_activation", time.Since(t0))
+	e.task(xtrace.TaskStoreAct, xtrace.LaneActDown, t0, xtrace.NoLabels)
 }
 
 // runAttention executes one layer's attention over the batch, co-running

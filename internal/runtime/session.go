@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/quant"
 	"repro/internal/tensor"
+	"repro/internal/xtrace"
 )
 
 // Session is the engine's continuous-batching surface: a fixed number of KV
@@ -251,7 +252,7 @@ func (s *Session) SpillSlot(ctx context.Context, slot int) error {
 	s.kv.ResetSlot(slot)
 	s.spilled[slot] = true
 	s.e.stats.RecordSpill()
-	s.e.stats.addTask("kv_spill", time.Since(t0))
+	s.e.task(xtrace.TaskKVSpill, xtrace.LaneKVDown, t0, xtrace.At(-1, -1, slot))
 	return nil
 }
 
@@ -375,7 +376,7 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 		t0 := time.Now()
 		tok, err := s.admitOnce(stepCtx, slot, prompt)
 		cancel()
-		s.e.stats.addTask("prefill", time.Since(t0))
+		s.e.task(xtrace.TaskPrefill, xtrace.LaneEngine, t0, xtrace.At(-1, -1, slot))
 		if err == nil {
 			s.active[slot] = true
 			s.pos[slot] = len(prompt)
@@ -454,16 +455,14 @@ func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok in
 			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
 		}
 		model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x)
-		e.stats.addTask("compute", time.Since(t0))
+		e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
 		e.freeGPU(ll.resident)
 
 		if s.kv != nil {
-			t1 := time.Now()
 			if err := e.storeChunk(ctx, s.kv, j, slot, live.Keys(j, 0), live.Values(j, 0)); err != nil {
 				return 0, err
 			}
 			live.SetKV(j, 0, nil, nil)
-			e.stats.addTask("store_cache", time.Since(t1))
 		}
 	}
 
@@ -566,7 +565,7 @@ func (s *Session) stepOnce(ctx context.Context, act []int) (next []int, err erro
 	t0 := time.Now()
 	logits := e.mod.Logits(e.pool, e.policy.IntraOp, rowsOf(x, cfg.Hidden))
 	next = tensor.ArgmaxRows(logits)
-	e.stats.addTask("compute", time.Since(t0))
+	e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.NoLabels)
 	e.stats.addBytes(&e.stats.ActDownBytes, actBytes)
 	return next, nil
 }
@@ -591,7 +590,7 @@ func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []in
 			t0 := time.Now()
 			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
 			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
-			e.stats.addTask("compute", time.Since(t0))
+			e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
 			if s.quantKV[slot] {
 				if err := s.sealHostRows(j, slot, 1); err != nil {
 					return err
@@ -613,12 +612,10 @@ func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []in
 			t0 := time.Now()
 			out := model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, kv.cache, j, slot, xs)
 			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
-			e.stats.addTask("compute", time.Since(t0))
-			t1 := time.Now()
+			e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
 			if err := e.storeChunk(ctx, s.kv, j, slot, out.NewK[0], out.NewV[0]); err != nil {
 				return err
 			}
-			e.stats.addTask("store_cache", time.Since(t1))
 			return nil
 		}(); err != nil {
 			return err

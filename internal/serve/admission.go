@@ -48,11 +48,11 @@ func newAdmissionModel(eng *runtime.Engine, cfg Config) perfmodel.AdmissionModel
 		buffers = 2 // current + prefetched next layer
 	}
 	return perfmodel.AdmissionModel{
-		HiddenDim:    eng.ModelConfig().Hidden,
-		BytesPerElem: 4, // staged KV working copies are float32
-		ResidentBase: eng.ResidentBaseBytes(),
-		LayerBytes:   eng.MaxStreamLayerBytes(),
+		HiddenDim:     eng.ModelConfig().Hidden,
+		BytesPerElem:  4, // staged KV working copies are float32
+		ResidentBase:  eng.ResidentBaseBytes(),
+		LayerBytes:    eng.MaxStreamLayerBytes(),
 		WeightBuffers: buffers,
-		Slack:        cfg.FootprintSlack,
+		Slack:         cfg.FootprintSlack,
 	}
 }

@@ -166,7 +166,7 @@ func streamSSE(w http.ResponseWriter, st *Stream) {
 
 // statsPayload flattens Metrics into the /stats JSON document.
 func statsPayload(m Metrics) map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"uptime_sec":       m.Uptime.Seconds(),
 		"queue_depth":      m.QueueDepth,
 		"active_slots":     m.ActiveSlots,
@@ -195,7 +195,18 @@ func statsPayload(m Metrics) map[string]any {
 		"arena_capacity":       m.ArenaCapacity,
 		"arena_peak":           m.ArenaPeak,
 		"estimate_ratio":       m.EstimateRatio,
+		"predicted_tpot_ms":    ms(m.PredictedTPOT),
 	}
+	// Span aggregates appear only while tracing is enabled, keyed by the
+	// shared task vocabulary.
+	if m.TraceTasks != nil {
+		tasks := make(map[string]float64, len(m.TraceTasks))
+		for name, d := range m.TraceTasks {
+			tasks[name] = ms(d)
+		}
+		out["trace_tasks_ms"] = tasks
+	}
+	return out
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

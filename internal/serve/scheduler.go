@@ -9,6 +9,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/quant"
 	"repro/internal/runtime"
+	"repro/internal/xtrace"
 )
 
 // pending is one request's lifecycle record, owned by the scheduler loop
@@ -58,6 +59,7 @@ type pressureView struct {
 	maxPredictedPeak  int64 // high-water of admission-time estimates
 	drain             time.Duration
 	tpotNext          time.Duration // predicted TPOT if one more slot joins
+	tpotNow           time.Duration // predicted TPOT at the current occupancy
 }
 
 // Scheduler drives a continuous-batching session: submissions land in a
@@ -94,10 +96,12 @@ type Scheduler struct {
 	done chan struct{} // closed when the loop drains and exits
 
 	// Loop-owned state (no locking needed): slot -> in-flight request,
-	// pressure-ladder level, and the de-escalation streak.
+	// pressure-ladder level, the de-escalation streak, and the decode-step
+	// counter labelling step spans.
 	running      map[int]*pending
 	level        int
 	healthyEvals int
+	stepIdx      int
 }
 
 // New builds a scheduler over the engine and starts its loop. The engine
@@ -279,6 +283,12 @@ type Metrics struct {
 	// EstimateRatio is PredictedPeakBytes over the arena's actual peak — the
 	// admission model's over-estimate factor (0 until something ran).
 	EstimateRatio float64
+	// PredictedTPOT is the step-cost model's latency prediction at the
+	// current batch occupancy (0 while idle or before the fit is ready).
+	PredictedTPOT time.Duration
+	// TraceTasks is the per-task traced time since tracing was enabled (nil
+	// while tracing is off) — the /stats view of the span aggregates.
+	TraceTasks map[string]time.Duration
 }
 
 // Metrics snapshots the serving metrics.
@@ -305,6 +315,15 @@ func (s *Scheduler) Metrics() Metrics {
 		PredictedPeakBytes: view.maxPredictedPeak,
 		ArenaCapacity:      s.eng.ArenaCapacity(),
 		ArenaPeak:          s.eng.ArenaPeak(),
+		PredictedTPOT:      view.tpotNow,
+	}
+	if rec := s.eng.Tracer(); rec != nil {
+		agg := xtrace.Aggregate(rec.Spans())
+		tt := make(map[string]time.Duration, len(agg.Tasks))
+		for name, ts := range agg.Tasks {
+			tt[name] = ts.Total
+		}
+		m.TraceTasks = tt
 	}
 	if uptime > 0 {
 		m.TokensPerSec = float64(tokens) / uptime.Seconds()
@@ -313,6 +332,22 @@ func (s *Scheduler) Metrics() Metrics {
 		m.EstimateRatio = float64(m.PredictedPeakBytes) / float64(m.ArenaPeak)
 	}
 	return m
+}
+
+// trace records one serving-lifecycle span (queue_wait, admit, step) into
+// the engine's span recorder on the serve lane. Nil-safe and ~free while
+// tracing is off.
+func (s *Scheduler) trace(name string, t0 time.Time, l xtrace.Labels) {
+	if rec := s.eng.Tracer(); rec != nil {
+		rec.Record(name, xtrace.LaneServe, t0, time.Since(t0), l)
+	}
+}
+
+// traceEvent records an instantaneous serving marker (retire).
+func (s *Scheduler) traceEvent(name string, l xtrace.Labels) {
+	if rec := s.eng.Tracer(); rec != nil {
+		rec.Event(name, xtrace.LaneServe, time.Now(), l)
+	}
 }
 
 // noteActive mirrors the loop-owned occupancy into the mu-guarded counter
@@ -369,6 +404,7 @@ func (s *Scheduler) retireCancelled() {
 			s.sess.Retire(slot)
 			delete(s.running, slot)
 			s.noteActive(-1)
+			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
 		}
@@ -503,6 +539,7 @@ func (s *Scheduler) evictOne(gpuHigh bool) {
 	s.sess.Retire(victim.slot)
 	delete(s.running, victim.slot)
 	s.noteActive(-1)
+	s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, victim.slot))
 	victim.resumePrompt = resume
 	s.mu.Lock()
 	s.queue.pushFront(victim)
@@ -527,6 +564,7 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 	}
 	drain := s.cost.PredictDrain(remaining, occ)
 	tpotNext := s.cost.PredictTPOT(occ + 1)
+	tpotNow := s.cost.PredictTPOT(occ)
 	s.mu.Lock()
 	s.press.level = s.level
 	s.press.gpuFrac = gpuFrac
@@ -534,6 +572,7 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 	s.press.predictedPeak = predicted
 	s.press.drain = drain
 	s.press.tpotNext = tpotNext
+	s.press.tpotNow = tpotNow
 	s.mu.Unlock()
 }
 
@@ -630,6 +669,13 @@ func (s *Scheduler) admit() {
 		if p.resumePrompt != nil {
 			prompt = p.resumePrompt
 		}
+		// queue_wait covers submission to the admission decision; an evicted
+		// request's resume admissions are not re-counted (its wait is the
+		// original one).
+		if !p.admittedOnce {
+			s.trace(xtrace.TaskQueueWait, p.submitted, xtrace.At(-1, -1, slot))
+		}
+		tAdmit := time.Now()
 		var tok int
 		var err error
 		if s.cfg.AdmissionControl {
@@ -640,6 +686,7 @@ func (s *Scheduler) admit() {
 		} else {
 			tok, err = s.sess.Admit(p.ctx, slot, prompt)
 		}
+		s.trace(xtrace.TaskAdmit, tAdmit, xtrace.At(-1, -1, slot))
 		if err != nil {
 			p.stream.finish(err)
 			if p.ctx.Err() != nil {
@@ -702,11 +749,14 @@ func (s *Scheduler) freeSlot() int {
 func (s *Scheduler) stepBatch() {
 	t0 := time.Now()
 	toks, err := s.sess.Step(context.Background())
+	s.trace(xtrace.TaskStep, t0, xtrace.At(s.stepIdx, -1, -1))
+	s.stepIdx++
 	if err != nil {
 		for slot, p := range s.running {
 			s.sess.Retire(slot)
 			delete(s.running, slot)
 			s.noteActive(-1)
+			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
 		}
@@ -736,6 +786,7 @@ func (s *Scheduler) deliver(p *pending, tok int) {
 		s.sess.Retire(p.slot)
 		delete(s.running, p.slot)
 		s.noteActive(-1)
+		s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, p.slot))
 		var tpot time.Duration
 		if p.produced > 1 {
 			tpot = p.lastTok.Sub(p.firstTok) / time.Duration(p.produced-1)

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	rt "repro/internal/runtime"
+	"repro/internal/xtrace"
+)
+
+// submitBatch pushes n requests through the scheduler and waits for all of
+// them to finish.
+func submitBatch(t *testing.T, sched *Scheduler, rng *rand.Rand, n, genLen int) {
+	t.Helper()
+	vocab := model.Tiny().Vocab
+	streams := make([]*Stream, 0, n)
+	for i := 0; i < n; i++ {
+		prompt := make([]int, 4)
+		for j := range prompt {
+			prompt[j] = rng.Intn(vocab)
+		}
+		st, err := sched.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: genLen})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		streams = append(streams, st)
+	}
+	for i, st := range streams {
+		if _, err := st.Wait(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestTracerEnableDisableMidServeNoLeak turns tracing on and off while the
+// scheduler is serving and checks that the toggle neither breaks requests
+// nor leaks goroutines: the recorder has no background machinery, so
+// enabling tracing must add zero goroutines and disabling must strand none.
+func TestTracerEnableDisableMidServeNoLeak(t *testing.T) {
+	eng := tinyEngine(t, rt.Policy{IntraOp: 1}, 1)
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 8
+	cfg.MaxNewTokens = 8
+	cfg.DefaultNewTokens = 8
+	sched, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	submitBatch(t, sched, rng, 4, 8) // warm up with tracing off
+
+	baseline := runtime.NumGoroutine()
+
+	rec := xtrace.NewRecorder(0)
+	eng.SetTracer(rec) // enable mid-serve
+	submitBatch(t, sched, rng, 4, 8)
+	if rec.Len() == 0 {
+		t.Error("no spans recorded while tracing was enabled")
+	}
+
+	eng.SetTracer(nil) // disable mid-serve
+	before := rec.Len()
+	submitBatch(t, sched, rng, 4, 8)
+	if rec.Len() != before {
+		t.Errorf("recorder grew from %d to %d spans after SetTracer(nil)", before, rec.Len())
+	}
+
+	// The toggle must not have added goroutines. Allow the runtime a moment
+	// to retire request-scoped goroutines from the last batch.
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline {
+		t.Errorf("goroutines grew from %d to %d across tracer enable/disable", baseline, n)
+	}
+	sched.Close()
+}
+
+// TestTracerRingWraparoundUnderServe serves through a deliberately tiny
+// ring: wraparound must drop oldest spans (counted, not panicked) while the
+// scheduler keeps serving correctly.
+func TestTracerRingWraparoundUnderServe(t *testing.T) {
+	eng := tinyEngine(t, rt.Policy{IntraOp: 1}, 1)
+	rec := xtrace.NewRecorder(32) // far smaller than one request's span count
+	eng.SetTracer(rec)
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 8
+	cfg.MaxNewTokens = 8
+	cfg.DefaultNewTokens = 8
+	sched, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+
+	submitBatch(t, sched, rand.New(rand.NewSource(5)), 6, 8)
+
+	if rec.Len() != 32 {
+		t.Errorf("ring retained %d spans, want full capacity 32", rec.Len())
+	}
+	if rec.Dropped() == 0 {
+		t.Error("expected wraparound drops with a 32-span ring under serve load")
+	}
+}

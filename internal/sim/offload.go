@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/perfmodel"
+	"repro/internal/xtrace"
 )
 
 // Resources used by the offload schedule.
@@ -61,6 +62,14 @@ func (r *OffloadResult) Bottleneck() string {
 // bandwidth slowdowns); the resulting schedule shows how much of the clean
 // throughput a policy retains under the degraded conditions.
 func SimulateDecode(e *perfmodel.Estimator, steps int, events ...FaultEvent) (*OffloadResult, error) {
+	return SimulateDecodeTraced(e, steps, nil, events...)
+}
+
+// SimulateDecodeTraced is SimulateDecode with the executed schedule replayed
+// into rec (nil disables tracing) using the shared xtrace span vocabulary,
+// so the simulated overlap structure exports to the same Chrome-trace format
+// as a live engine run.
+func SimulateDecodeTraced(e *perfmodel.Estimator, steps int, rec *xtrace.Recorder, events ...FaultEvent) (*OffloadResult, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("sim: steps must be >= 1, got %d", steps)
 	}
@@ -205,6 +214,7 @@ func SimulateDecode(e *perfmodel.Estimator, steps int, events ...FaultEvent) (*O
 	if err != nil {
 		return nil, err
 	}
+	traceInto(rec, s, res)
 	stepTime := res.Makespan / float64(steps) / float64(layers)
 	out := &OffloadResult{
 		StepTime:       stepTime,

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/xtrace"
+)
+
+// simSpanName maps a sim task kind onto the shared xtrace span vocabulary
+// and the lane it ran on. The DES names CPU attention and GPU MLP separately
+// (they occupy different resources); both are the Eq. 2 compute task,
+// distinguished by lane. ok=false marks tasks that should not be exported
+// (the zero-duration sync barriers).
+func simSpanName(kind, resource string) (name, lane string, ok bool) {
+	switch kind {
+	case "load_weight":
+		return xtrace.TaskLoadWgt, resource, true
+	case "dequan_weight":
+		return xtrace.TaskDequantWgt, resource, true
+	case "load_cache":
+		return xtrace.TaskLoadKV, resource, true
+	case "dequan_cache":
+		return xtrace.TaskDequantKV, resource, true
+	case "load_act":
+		return xtrace.TaskLoadAct, resource, true
+	case "compute", "gpu_mlp", "cpu_attn":
+		return xtrace.TaskCompute, resource, true
+	case "quan_cache":
+		return xtrace.TaskQuantKV, resource, true
+	case "store_cache":
+		return xtrace.TaskStoreKV, resource, true
+	case "store_act":
+		return xtrace.TaskStoreAct, resource, true
+	case "sync":
+		return "", "", false
+	}
+	return kind, resource, true
+}
+
+// parseSimLabels extracts the [step,layer,batch] coordinates a sim task name
+// carries; missing coordinates stay -1.
+func parseSimLabels(name string) xtrace.Labels {
+	l := xtrace.NoLabels
+	open := strings.IndexByte(name, '[')
+	end := strings.IndexByte(name, ']')
+	if open < 0 || end <= open {
+		return l
+	}
+	parts := strings.Split(name[open+1:end], ",")
+	dst := []*int{&l.Step, &l.Layer, &l.Slot}
+	for i, p := range parts {
+		if i >= len(dst) {
+			break
+		}
+		if v, err := strconv.Atoi(strings.TrimSpace(p)); err == nil {
+			*dst[i] = v
+		}
+	}
+	return l
+}
+
+// traceInto replays an executed schedule into rec using the shared span
+// vocabulary: virtual-time seconds become offsets from the recorder epoch,
+// so the exported Chrome trace shows the simulated overlap structure exactly
+// as the DES resolved it — directly comparable lane-for-lane with a live
+// engine trace of the same workload.
+func traceInto(rec *xtrace.Recorder, s *Sim, res *Result) {
+	if rec == nil {
+		return
+	}
+	for i, t := range s.tasks {
+		kind := t.Name
+		if cut := strings.IndexByte(kind, '['); cut >= 0 {
+			kind = kind[:cut]
+		}
+		name, lane, ok := simSpanName(kind, t.Resource)
+		if !ok {
+			continue
+		}
+		start := time.Duration(res.Start[i] * float64(time.Second))
+		dur := time.Duration((res.End[i] - res.Start[i]) * float64(time.Second))
+		rec.RecordAt(name, lane, start, dur, parseSimLabels(t.Name))
+	}
+}

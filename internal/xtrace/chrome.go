@@ -1,0 +1,115 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format, which both
+// chrome://tracing and Perfetto accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports spans as Chrome trace-event JSON. Each distinct
+// lane becomes its own tid (with a thread_name metadata record) so
+// concurrent resources render as parallel tracks. The exporter is total: it
+// sanitizes non-finite or negative inputs rather than failing, so any span
+// sequence — including fuzzed garbage — yields valid JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	// Stable lane → tid assignment: lanes in first-seen order after sorting
+	// spans by start so repeated exports of one trace agree.
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	tids := make(map[string]int)
+	var laneOrder []string
+	for _, s := range sorted {
+		if _, ok := tids[s.Lane]; !ok {
+			tids[s.Lane] = len(tids) + 1
+			laneOrder = append(laneOrder, s.Lane)
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(sorted)+len(laneOrder))
+	for _, lane := range laneOrder {
+		name := lane
+		if name == "" {
+			name = "(unnamed)"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[lane],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range sorted {
+		args := map[string]any{}
+		if s.Step >= 0 {
+			args["step"] = s.Step
+		}
+		if s.Layer >= 0 {
+			args["layer"] = s.Layer
+		}
+		if s.Slot >= 0 {
+			args["slot"] = s.Slot
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Lane,
+			Ph:   "X",
+			Ts:   sanitizeMicros(s.Start.Seconds() * 1e6),
+			Dur:  sanitizeMicros(s.Dur.Seconds() * 1e6),
+			Pid:  1,
+			Tid:  tids[s.Lane],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// sanitizeMicros clamps values json.Marshal would reject or viewers would
+// choke on: NaN/±Inf become 0, negatives become 0.
+func sanitizeMicros(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// WriteFile exports the recorder's retained spans to path as Chrome
+// trace-event JSON. Nil-safe: a nil recorder writes an empty (but valid)
+// trace so `-trace` works even when nothing was recorded.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteChromeTrace(f, r.Spans())
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,70 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// failuresText renders the failing rows of a report for test diagnostics.
+func failuresText(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, row := range rep.Failures() {
+		t.Errorf("%s/%s %s %s: predicted %.6g measured %.6g (relerr %.3f) — %s",
+			row.Suite, row.Case, row.Check, row.Task,
+			row.Predicted, row.Measured, row.RelErr, row.Note)
+	}
+}
+
+// TestSimVsModel asserts the hard-equality arm: every simulator task-busy
+// total equals the estimator component that seeded it, across the full
+// strategy × profile grid.
+func TestSimVsModel(t *testing.T) {
+	rep, err := SimVsModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("sim-vs-model produced no comparison rows")
+	}
+	failuresText(t, rep)
+}
+
+// TestEngineVsModel asserts the calibrated live-engine arm: structural span
+// presence, decisive Eq. 2 argmax agreement, and order/scale agreement on
+// the rate-anchored tasks.
+func TestEngineVsModel(t *testing.T) {
+	rep, err := EngineVsModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("engine-vs-model produced no comparison rows")
+	}
+	// The suite must exercise every grid case with at least one enforced
+	// (non-informational) check.
+	cases := map[string]int{}
+	for _, row := range rep.Rows {
+		if row.Check != "error" {
+			cases[row.Case]++
+		}
+	}
+	for _, c := range engineGrid() {
+		if cases[c.label] == 0 {
+			t.Errorf("case %s has no enforced checks", c.label)
+		}
+	}
+	failuresText(t, rep)
+}
+
+// TestServeBounds asserts the serving-layer arm: the admission model's peak
+// estimate upper-bounds the arena high-water mark, and the step-cost TPOT
+// prediction brackets the measured mean.
+func TestServeBounds(t *testing.T) {
+	rep, err := ServeBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 2 {
+		t.Fatalf("serve-bounds produced %d rows, want >= 2", len(rep.Rows))
+	}
+	failuresText(t, rep)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package conformance
+
+// raceEnabled reports whether the race detector instruments this build; see
+// race_on.go for why wall-clock ratio checks are demoted when it does.
+const raceEnabled = false

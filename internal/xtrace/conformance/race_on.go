@@ -1,0 +1,15 @@
+//go:build race
+
+package conformance
+
+// raceEnabled is true when the race detector instruments this build. The
+// detector adds per-memory-access overhead to hand-written Go loops (the
+// dequantization and attention kernels slow ~10x) while runtime-implemented
+// block copies are checked once per call, so cross-task wall-clock ratios
+// measured under -race are skewed by large, path-dependent factors in both
+// directions. The ratio checks (argmax, order, scale) are therefore demoted
+// to informational in race builds; CI enforces them in the native
+// conformance run that produces the error-table artifact. Structural
+// presence checks, the sim equality arm, and the serve bound checks remain
+// enforced under -race.
+const raceEnabled = true

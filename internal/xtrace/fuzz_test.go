@@ -1,0 +1,103 @@
+package xtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzTraceExport feeds arbitrary span sets — garbage names/lanes, negative
+// and overflowing offsets, zero-duration and out-of-order spans — through
+// the Chrome exporter and asserts the output is always valid JSON with one
+// "X" event per span. The exporter is the last hop before an external
+// viewer, so it must be total: sanitize, never fail.
+func FuzzTraceExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x01})
+	f.Add([]byte("load_weight\x00gpu\xfe\xff\xff\xff\xff\xff\xff\x7f"))
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans := spansFromBytes(data)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, spans); err != nil {
+			t.Fatalf("WriteChromeTrace failed on %d fuzzed spans: %v", len(spans), err)
+		}
+		var out struct {
+			TraceEvents []struct {
+				Ph  string  `json:"ph"`
+				Ts  float64 `json:"ts"`
+				Dur float64 `json:"dur"`
+			} `json:"traceEvents"`
+			DisplayTimeUnit string `json:"displayTimeUnit"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.Bytes())
+		}
+		nX := 0
+		for _, e := range out.TraceEvents {
+			switch e.Ph {
+			case "X":
+				nX++
+				if math.IsNaN(e.Ts) || math.IsInf(e.Ts, 0) || e.Ts < 0 ||
+					math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) || e.Dur < 0 {
+					t.Fatalf("unsanitized timestamp ts=%v dur=%v", e.Ts, e.Dur)
+				}
+			case "M": // lane metadata
+			default:
+				t.Fatalf("unexpected event phase %q", e.Ph)
+			}
+		}
+		if nX != len(spans) {
+			t.Fatalf("exported %d X events for %d spans", nX, len(spans))
+		}
+	})
+}
+
+// spansFromBytes deterministically decodes a fuzz payload into spans,
+// deliberately without any validation: names may contain NULs and invalid
+// UTF-8, offsets and durations may be negative or near-overflow, labels may
+// be any int value.
+func spansFromBytes(data []byte) []Span {
+	var spans []Span
+	for len(data) >= 4 {
+		nameLen := int(data[0]) % 9
+		laneLen := int(data[1]) % 5
+		data = data[2:]
+		take := func(n int) string {
+			if n > len(data) {
+				n = len(data)
+			}
+			s := string(data[:n])
+			data = data[n:]
+			return s
+		}
+		s := Span{Name: take(nameLen), Lane: take(laneLen)}
+		if len(data) >= 8 {
+			s.Start = time.Duration(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+		if len(data) >= 8 {
+			s.Dur = time.Duration(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+		if len(data) >= 3 {
+			s.Step = int(int8(data[0]))
+			s.Layer = int(int8(data[1]))
+			s.Slot = int(int8(data[2]))
+			data = data[3:]
+		}
+		spans = append(spans, s)
+		if len(spans) >= 256 {
+			break
+		}
+	}
+	return spans
+}

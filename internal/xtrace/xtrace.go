@@ -1,0 +1,222 @@
+// Package xtrace records execution spans from the functional engine, the
+// discrete-event simulator, and the serving scheduler using one shared task
+// vocabulary: the six overlapped decode tasks of Eq. 2 (compute, load_weight,
+// load_cache, store_cache, load_activation, store_activation) plus the
+// quantization phases of Eqs. 12–16 and 20–23 (quant_kv, dequant_kv,
+// dequant_weight) and the serving lifecycle (queue_wait, admit, step,
+// retire). Spans aggregate into per-task totals (agg.go) and export as
+// Chrome trace-event JSON (chrome.go) loadable in chrome://tracing or
+// Perfetto.
+//
+// The recorder is designed so instrumentation can stay compiled into hot
+// paths: every method is safe on a nil *Recorder and returns immediately, so
+// a disabled tracer costs one pointer check per would-be span. Recording is
+// a short critical section appending into a fixed-capacity ring; when the
+// ring wraps the oldest spans are overwritten and counted in Dropped.
+package xtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// Task names shared by the engine, the simulator, and the scheduler. The
+// first six are the Eq. 2 task set; the engine's stats accounting uses the
+// same strings, so Stats.TaskTime and trace aggregates line up key-for-key.
+const (
+	TaskCompute  = "compute"
+	TaskLoadWgt  = "load_weight"
+	TaskLoadKV   = "load_cache"
+	TaskStoreKV  = "store_cache"
+	TaskLoadAct  = "load_activation"
+	TaskStoreAct = "store_activation"
+
+	// Quantization phases (Eqs. 12–16 and 20–23). Each nests inside its
+	// parent transfer span on the same lane: dequant_weight within
+	// load_weight, dequant_kv within load_cache, quant_kv within
+	// store_cache.
+	TaskDequantWgt = "dequant_weight"
+	TaskDequantKV  = "dequant_kv"
+	TaskQuantKV    = "quant_kv"
+
+	// Engine lifecycle.
+	TaskPrefill    = "prefill"
+	TaskDecodeStep = "decode_step"
+	TaskKVSpill    = "kv_spill"
+
+	// Serving lifecycle.
+	TaskQueueWait = "queue_wait"
+	TaskAdmit     = "admit"
+	TaskStep      = "step"
+	TaskRetire    = "retire"
+)
+
+// Lanes name the logical resource a span occupied. The Chrome exporter maps
+// each lane to its own tid so spans that genuinely overlap (different
+// resources) never render as false nesting, while spans on one lane nest by
+// containment (e.g. dequant_weight inside load_weight).
+const (
+	LaneEngine  = "engine"
+	LaneGPU     = "gpu"
+	LaneCPU     = "cpu"
+	LaneWeights = "h2d.weight"
+	LaneKVUp    = "h2d.kv"
+	LaneKVDown  = "d2h.kv"
+	LaneActUp   = "h2d.act"
+	LaneActDown = "d2h.act"
+	LaneServe   = "serve"
+)
+
+// Labels attach step/layer/slot coordinates to a span; -1 means "not
+// applicable" (e.g. a prefill span has no decode step index).
+type Labels struct {
+	Step  int
+	Layer int
+	Slot  int
+}
+
+// NoLabels is the unlabeled value for spans outside the step/layer/slot grid.
+var NoLabels = Labels{Step: -1, Layer: -1, Slot: -1}
+
+// At builds Labels; pass -1 for coordinates that do not apply.
+func At(step, layer, slot int) Labels { return Labels{Step: step, Layer: layer, Slot: slot} }
+
+// Span is one completed interval of work. Start is an offset from the
+// recorder's epoch (monotonic for live recording, the sim clock for
+// simulated schedules), so spans from one recorder are mutually comparable.
+type Span struct {
+	Name  string
+	Lane  string
+	Start time.Duration
+	Dur   time.Duration
+	Labels
+}
+
+// End returns the span's end offset.
+func (s Span) End() time.Duration { return s.Start + s.Dur }
+
+// DefaultCapacity bounds the ring when NewRecorder is given cap <= 0. At
+// ~80 B/span this is ~5 MiB — several thousand decode steps of a fully
+// instrumented tiny-model run before wraparound.
+const DefaultCapacity = 1 << 16
+
+// Recorder collects spans into a fixed-capacity ring. All methods are safe
+// for concurrent use and safe on a nil receiver (no-ops), so call sites
+// never branch on "tracing enabled".
+type Recorder struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	ring    []Span
+	next    uint64 // total spans ever recorded; ring index is next % cap
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity spans (DefaultCapacity
+// when capacity <= 0). The epoch is the wall-clock instant of creation; spans
+// recorded via Record are offset against it using the monotonic clock.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{epoch: time.Now(), ring: make([]Span, 0, capacity)}
+}
+
+// Epoch returns the recorder's time origin.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// Record adds a span for work that started at the wall-clock instant start
+// and ran for dur. Nil-safe; negative durations are clamped to zero so a
+// stepped system clock cannot corrupt the trace.
+func (r *Recorder) Record(name, lane string, start time.Time, dur time.Duration, l Labels) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(name, lane, start.Sub(r.epoch), dur, l)
+}
+
+// RecordAt adds a span at an explicit offset from the epoch. The simulator
+// uses this to replay its virtual-time schedule into the same format.
+func (r *Recorder) RecordAt(name, lane string, start, dur time.Duration, l Labels) {
+	if r == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	s := Span{Name: name, Lane: lane, Start: start, Dur: dur, Labels: l}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next%uint64(cap(r.ring))] = s
+		r.dropped++
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Event records an instantaneous marker (zero-duration span).
+func (r *Recorder) Event(name, lane string, start time.Time, l Labels) {
+	r.Record(name, lane, start, 0, l)
+}
+
+// Spans returns a copy of the retained spans sorted in recording order
+// (oldest retained first). The copy is safe to read while recording
+// continues.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < cap(r.ring) {
+		out := make([]Span, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	// Wrapped: oldest retained span sits at next % cap.
+	c := uint64(cap(r.ring))
+	out := make([]Span, 0, c)
+	head := r.next % c
+	out = append(out, r.ring[head:]...)
+	out = append(out, r.ring[:head]...)
+	return out
+}
+
+// Len reports how many spans are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset drops all retained spans and the dropped counter, keeping the epoch.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring = r.ring[:0]
+	r.next = 0
+	r.dropped = 0
+	r.mu.Unlock()
+}
