@@ -174,6 +174,19 @@ func registry() []experiment {
 			}
 			return r.CSV(), nil
 		}},
+		{name: "prefix", run: func() (string, error) {
+			r, err := experiments.PrefixReuse(12)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.PrefixReuse(12)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
 		{name: "conformance", run: func() (string, error) {
 			r, err := experiments.Conformance()
 			if err != nil {

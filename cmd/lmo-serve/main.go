@@ -17,7 +17,7 @@
 //	          [-max-new 64] [-eos -1] [-kvbits 0|2|4|8] [-cpu-attn]
 //	          [-workers 4] [-seed 42] [-faults spec] [-step-timeout dur]
 //	          [-arena-mb 2048] [-admission] [-hwm 0.85] [-lwm 0.65]
-//	          [-tpot-budget dur] [-host-kv-mb 0]
+//	          [-tpot-budget dur] [-host-kv-mb 0] [-prefix-cache-mb 0]
 //
 // Example session:
 //
@@ -66,6 +66,7 @@ func main() {
 	lwm := flag.Float64("lwm", 0.65, "low watermark (hysteresis floor) as a fraction of KV headroom")
 	tpotBudget := flag.Duration("tpot-budget", 0, "reject admissions predicted to push TPOT past this (0 = off)")
 	hostKVMB := flag.Int64("host-kv-mb", 0, "host-side KV byte budget in MiB (0 = unlimited)")
+	prefixMB := flag.Int64("prefix-cache-mb", 0, "shared-prefix KV cache budget in MiB (0 = off); admissions reuse cached prompt prefixes and prefill only the suffix")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file on shutdown")
 	flag.Parse()
 
@@ -123,6 +124,7 @@ func main() {
 	scfg.ArenaLowWater = *lwm
 	scfg.TPOTBudget = *tpotBudget
 	scfg.HostKVBudget = *hostKVMB << 20
+	scfg.PrefixCacheBytes = *prefixMB << 20
 	var rec *xtrace.Recorder
 	if *traceFile != "" {
 		rec = xtrace.NewRecorder(0)

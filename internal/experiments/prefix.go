@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/threadpool"
+)
+
+// PrefixRow is one overlap level of the shared-prefix reuse experiment: the
+// same trace served twice, with the prefix cache off and on.
+type PrefixRow struct {
+	// Overlap is the fraction of each prompt shared with every other request
+	// in the row (the system-prompt scenario).
+	Overlap  float64
+	Requests int
+	// TTFTOff/TTFTOn are median submit-to-first-token latencies over the
+	// per-request minima across prefixReps repetitions, excluding the first
+	// (necessarily cold) request of each run.
+	TTFTOff time.Duration
+	TTFTOn  time.Duration
+	// Speedup is TTFTOff / TTFTOn.
+	Speedup float64
+	// HitRate and ReusedTokens come from the cache-on run's counters.
+	HitRate      float64
+	ReusedTokens int64
+}
+
+// PrefixResult is the shared-prefix KV reuse experiment: Poisson arrivals of
+// prompts sharing a common prefix (0%, 50%, 75% of the prompt), served with
+// and without the prefix cache. It demonstrates the TTFT win the cache buys
+// on system-prompt-style traffic while re-verifying that reuse keeps served
+// tokens bit-identical to solo generation and that the admission-time peak
+// estimate still upper-bounds the measured arena high-water mark.
+type PrefixResult struct {
+	Model      model.Config
+	PromptLen  int
+	CacheBytes int64
+	Rows       []PrefixRow
+	// ExactChecked is how many cache-on completions were re-verified
+	// token-exact against a dedicated solo replay.
+	ExactChecked int
+}
+
+// prefixPromptLen is long enough that per-token prefill compute dominates the
+// fixed per-layer streaming cost, so suffix-only prefill shows up in TTFT
+// with enough margin that machine noise cannot flip the 1.5x assertion.
+const prefixPromptLen = 160
+
+// prefixOverlaps are the shared-prefix fractions swept.
+var prefixOverlaps = []float64{0, 0.5, 0.75}
+
+// prefixReps is how many times each off/on pair is repeated. The reported
+// TTFT is the median over requests of each request's *minimum* across
+// repetitions: a load spike only corrupts a request's sample if it hits that
+// request in every repetition, so the envelope tracks the machine's true
+// prefill floor even when whole runs land on a busy interval.
+const prefixReps = 5
+
+// prefixAttempts bounds how many times an overlap level that misses the
+// speedup bar is re-measured before the experiment fails.
+const prefixAttempts = 3
+
+// prefixTrace builds n prompts of promptLen tokens sharing the first
+// sharedLen tokens, plus Poisson inter-arrival gaps.
+func prefixTrace(rng *rand.Rand, n, promptLen, sharedLen, vocab int) (prompts [][]int, gaps []time.Duration) {
+	shared := make([]int, sharedLen)
+	for i := range shared {
+		shared[i] = rng.Intn(vocab)
+	}
+	for i := 0; i < n; i++ {
+		p := make([]int, promptLen)
+		copy(p, shared)
+		for j := sharedLen; j < promptLen; j++ {
+			p[j] = rng.Intn(vocab)
+		}
+		prompts = append(prompts, p)
+		gaps = append(gaps, time.Duration(rng.ExpFloat64()*float64(time.Millisecond)))
+	}
+	return prompts, gaps
+}
+
+// prefixServeRun serves the trace closed-loop (each request waits for the
+// previous, spaced by the Poisson gaps) so TTFT isolates prefill cost from
+// queueing, and returns the per-request TTFTs, outputs, and final metrics.
+func prefixServeRun(seed int64, cfg model.Config, prompts [][]int, gaps []time.Duration, budget int, cacheBytes int64) ([]time.Duration, [][]int, serve.Metrics, error) {
+	m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		return nil, nil, serve.Metrics{}, err
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 2, Prefetch: true}, 1<<30, threadpool.MustNew(2))
+	if err != nil {
+		return nil, nil, serve.Metrics{}, err
+	}
+	scfg := serve.DefaultConfig(cfg.Vocab)
+	scfg.PrefixCacheBytes = cacheBytes
+	sched, err := serve.New(eng, scfg)
+	if err != nil {
+		return nil, nil, serve.Metrics{}, err
+	}
+	defer sched.Close()
+
+	ttfts := make([]time.Duration, len(prompts))
+	outs := make([][]int, len(prompts))
+	ctx := context.Background()
+	for i, prompt := range prompts {
+		time.Sleep(gaps[i])
+		t0 := time.Now()
+		st, err := sched.Submit(ctx, serve.Request{Prompt: prompt, MaxNewTokens: budget})
+		if err != nil {
+			return nil, nil, serve.Metrics{}, fmt.Errorf("experiments: prefix: submit %d: %w", i, err)
+		}
+		if _, ok := <-st.Tokens(); ok {
+			ttfts[i] = time.Since(t0)
+		}
+		outs[i], err = st.Wait()
+		if err != nil {
+			return nil, nil, serve.Metrics{}, fmt.Errorf("experiments: prefix: request %d: %w", i, err)
+		}
+	}
+	met := sched.Metrics()
+	return ttfts, outs, met, nil
+}
+
+// minEnvelope folds one repetition's per-request TTFTs into the running
+// elementwise minimum.
+func minEnvelope(env, ds []time.Duration) []time.Duration {
+	if env == nil {
+		return append([]time.Duration(nil), ds...)
+	}
+	for i, d := range ds {
+		if d < env[i] {
+			env[i] = d
+		}
+	}
+	return env
+}
+
+// medianSkipFirst takes the median after dropping the first sample — the
+// cold request that can never hit the cache, excluded from both runs for
+// symmetry. The median (not the mean) keeps a single GC or scheduler pause
+// in an 11-sample run from flipping the speedup assertion.
+func medianSkipFirst(ds []time.Duration) time.Duration {
+	if len(ds) <= 1 {
+		return 0
+	}
+	warm := append([]time.Duration(nil), ds[1:]...)
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	mid := len(warm) / 2
+	if len(warm)%2 == 0 {
+		return (warm[mid-1] + warm[mid]) / 2
+	}
+	return warm[mid]
+}
+
+// PrefixReuse runs the shared-prefix experiment with n requests per overlap
+// level. It fails if reuse at >= 50% overlap does not improve median TTFT by
+// at least 1.5x, if any cache-on completion diverges from its solo replay, or
+// if the admission estimate falls below the measured arena peak. Because the
+// speedup is a wall-clock ratio, a level that misses the bar is re-measured
+// up to prefixAttempts times before failing: a load spike does not recur
+// across attempts, a real regression (ratio near 1x) fails every one.
+func PrefixReuse(n int) (*PrefixResult, error) {
+	cfg := model.Tiny()
+	const (
+		seed       = 20250806
+		budget     = 8
+		cacheBytes = 16 << 20
+	)
+	out := &PrefixResult{Model: cfg, PromptLen: prefixPromptLen, CacheBytes: cacheBytes}
+
+	for _, overlap := range prefixOverlaps {
+		rng := rand.New(rand.NewSource(seed + int64(overlap*100)))
+		prompts, gaps := prefixTrace(rng, n, prefixPromptLen, int(overlap*prefixPromptLen), cfg.Vocab)
+
+		var (
+			row    PrefixRow
+			onOuts [][]int
+		)
+		for attempt := 1; ; attempt++ {
+			var (
+				offEnv, onEnv []time.Duration
+				met           serve.Metrics
+			)
+			for rep := 0; rep < prefixReps; rep++ {
+				offTTFT, _, _, err := prefixServeRun(seed, cfg, prompts, gaps, budget, 0)
+				if err != nil {
+					return nil, err
+				}
+				onTTFT, repOuts, repMet, err := prefixServeRun(seed, cfg, prompts, gaps, budget, cacheBytes)
+				if err != nil {
+					return nil, err
+				}
+				if repMet.PredictedPeakBytes < repMet.ArenaPeak {
+					return nil, fmt.Errorf("experiments: prefix: admission estimate %d below arena peak %d at overlap %.0f%%",
+						repMet.PredictedPeakBytes, repMet.ArenaPeak, overlap*100)
+				}
+				offEnv = minEnvelope(offEnv, offTTFT)
+				onEnv = minEnvelope(onEnv, onTTFT)
+				onOuts, met = repOuts, repMet
+			}
+
+			row = PrefixRow{
+				Overlap:      overlap,
+				Requests:     n,
+				TTFTOff:      medianSkipFirst(offEnv),
+				TTFTOn:       medianSkipFirst(onEnv),
+				HitRate:      met.PrefixHitRate,
+				ReusedTokens: met.Serve.PrefixReusedTokens,
+			}
+			if row.TTFTOn > 0 {
+				row.Speedup = float64(row.TTFTOff) / float64(row.TTFTOn)
+			}
+			if overlap < 0.5 || row.Speedup >= 1.5 {
+				break
+			}
+			if attempt == prefixAttempts {
+				return nil, fmt.Errorf("experiments: prefix: TTFT speedup %.2fx below 1.5x at overlap %.0f%% after %d attempts (off %v, on %v)",
+					row.Speedup, overlap*100, attempt, row.TTFTOff, row.TTFTOn)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+
+		// Sampled exactness: reuse must not change a single served token.
+		if overlap >= 0.5 {
+			for i := 0; i < len(prompts) && out.ExactChecked < 4; i += len(prompts) / 2 {
+				want, err := prefixSoloReplay(seed, cfg, prompts[i], budget)
+				if err != nil {
+					return nil, err
+				}
+				if len(want) != len(onOuts[i]) {
+					return nil, fmt.Errorf("experiments: prefix: request %d length %d != solo %d", i, len(onOuts[i]), len(want))
+				}
+				for j := range want {
+					if want[j] != onOuts[i][j] {
+						return nil, fmt.Errorf("experiments: prefix: request %d token %d = %d, solo %d", i, j, onOuts[i][j], want[j])
+					}
+				}
+				out.ExactChecked++
+			}
+		}
+	}
+	return out, nil
+}
+
+// prefixSoloReplay regenerates one request on a dedicated engine with no
+// serving layer and no prefix cache — the exactness reference.
+func prefixSoloReplay(seed int64, cfg model.Config, prompt []int, budget int) ([]int, error) {
+	m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<30, nil)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := eng.Generate(context.Background(), [][]int{prompt}, budget)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Format renders the overlap sweep.
+func (r *PrefixResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shared-prefix KV reuse: %s, %d-token prompts, %d MiB cache, Poisson arrivals\n",
+		r.Model.Name, r.PromptLen, r.CacheBytes>>20)
+	t := stats.NewTable("overlap", "requests", "ttft off (ms)", "ttft on (ms)", "speedup", "hit rate", "reused tokens")
+	for _, row := range r.Rows {
+		t.AddRowf("%.0f%%\t%d\t%.2f\t%.2f\t%.2fx\t%.2f\t%d",
+			row.Overlap*100, row.Requests,
+			float64(row.TTFTOff)/float64(time.Millisecond),
+			float64(row.TTFTOn)/float64(time.Millisecond),
+			row.Speedup, row.HitRate, row.ReusedTokens)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "%d cache-on completions re-verified token-exact against solo replays; admission estimate upper-bounded the arena peak in every run\n",
+		r.ExactChecked)
+	return b.String()
+}
+
+// CSV emits the overlap sweep.
+func (r *PrefixResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("overlap,requests,ttft_off_ms,ttft_on_ms,speedup,hit_rate,reused_tokens\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d\n",
+			row.Overlap, row.Requests,
+			float64(row.TTFTOff)/float64(time.Millisecond),
+			float64(row.TTFTOn)/float64(time.Millisecond),
+			row.Speedup, row.HitRate, row.ReusedTokens)
+	}
+	return b.String()
+}

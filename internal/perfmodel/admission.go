@@ -73,6 +73,17 @@ func (a AdmissionModel) SlotKVBytes(promptLen, newTokens int) int64 {
 
 // PeakBytes returns the predicted peak arena use when the largest staged
 // slot holds kvBytes, saturating on overflow.
+//
+// Shared-prefix KV reuse does not lower this bound, and deliberately so:
+// seeding a slot from the prefix cache skips suffix-prefill *compute*, but
+// the slot's store still receives the full prompt's KV, and every decode
+// step stages the full (prompt+generated) working copy into the arena. The
+// prefill itself never charges its live KV to the arena (it is host-side
+// until store_cache). So the admission-time estimate at final lengths
+// remains a valid upper bound on the arena high-water mark with reuse on —
+// the property the serve-bounds conformance suite checks. Reused bytes show
+// up in the *time* models instead: PrefillCostModel predicts the suffix
+// prefill stall, and drain estimates fold the queued suffix backlog in.
 func (a AdmissionModel) PeakBytes(kvBytes int64) int64 {
 	if kvBytes < 0 {
 		kvBytes = 0
@@ -206,4 +217,69 @@ func (m *StepCostModel) PredictDrain(remainingTokens int64, occupancy int) time.
 	}
 	steps := (remainingTokens + int64(occupancy) - 1) / int64(occupancy)
 	return time.Duration(steps) * m.PredictTPOT(occupancy)
+}
+
+// PrefillCostModel predicts admission prefill latency as a function of the
+// tokens actually prefilled — with shared-prefix reuse, the *suffix* length,
+// which is where reused bytes enter the scheduler's latency math. Prefill
+// streams every layer once regardless of prompt length and then pays per
+// prefilled token (projections, MLP, store_cache), so the Eq. 2 shape is the
+// same affine fit the step model uses: T_prefill(n) ≈ fixed + perToken·n,
+// with the quadratic attention term absorbed into the slope over the short
+// prompt ranges one deployment serves. Exponentially-decayed least squares,
+// same decay and readiness gate as StepCostModel; not safe for concurrent
+// use (the scheduler owns it from its loop goroutine).
+type PrefillCostModel struct {
+	n, st, stt, sy, sty float64
+	samples             int64
+}
+
+// Observe folds one admission: tokens actually prefilled (suffix length
+// under reuse) against the measured prefill duration.
+func (m *PrefillCostModel) Observe(tokens int, d time.Duration) {
+	if tokens <= 0 || d <= 0 {
+		return
+	}
+	t, y := float64(tokens), d.Seconds()
+	m.n = m.n*stepCostDecay + 1
+	m.st = m.st*stepCostDecay + t
+	m.stt = m.stt*stepCostDecay + t*t
+	m.sy = m.sy*stepCostDecay + y
+	m.sty = m.sty*stepCostDecay + t*y
+	m.samples++
+}
+
+// Ready reports whether the model has enough samples to predict.
+func (m *PrefillCostModel) Ready() bool { return m.samples >= stepCostMinSamples }
+
+// Coefficients returns the fitted (fixed, perToken) parts in seconds, with
+// the same degenerate-input and negative-slope fallbacks as the step model.
+func (m *PrefillCostModel) Coefficients() (fixed, perToken float64) {
+	if m.n <= 0 {
+		return 0, 0
+	}
+	det := m.n*m.stt - m.st*m.st
+	mean := m.sy / m.n
+	if det <= 1e-12*m.n*m.stt {
+		return mean, 0
+	}
+	perToken = (m.n*m.sty - m.st*m.sy) / det
+	fixed = (m.sy - perToken*m.st) / m.n
+	if perToken < 0 {
+		return mean, 0
+	}
+	if fixed < 0 {
+		fixed = 0
+	}
+	return fixed, perToken
+}
+
+// Predict returns the expected prefill stall for the given token count
+// (zero before Ready or for nothing to prefill).
+func (m *PrefillCostModel) Predict(tokens int) time.Duration {
+	if !m.Ready() || tokens <= 0 {
+		return 0
+	}
+	fixed, perToken := m.Coefficients()
+	return time.Duration((fixed + perToken*float64(tokens)) * float64(time.Second))
 }

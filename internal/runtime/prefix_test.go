@@ -1,0 +1,348 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// prefixVal is the synthetic, token-determined cell value the prefix-store
+// tests fill K/V matrices with: any aliasing of two distinct prefixes shows
+// up as a mismatched cell, not just a wrong length.
+func prefixVal(tok, layer, col int, isV bool) float32 {
+	v := float32(tok)*1000 + float32(layer)*100 + float32(col)*10
+	if isV {
+		v++
+	}
+	return v
+}
+
+// insertPrefix pushes every full block of prompt into the store through the
+// candidate path, filling K/V rows from prefixVal. Returns blocks inserted.
+func insertPrefix(t *testing.T, ps *PrefixStore, prompt []int) int {
+	t.Helper()
+	matched := ps.MatchTokens(prompt, len(prompt))
+	c := ps.NewCandidate(prompt, matched)
+	if c == nil {
+		return 0
+	}
+	for l := 0; l < ps.layers; l++ {
+		k := tensor.New(len(prompt), ps.hidden)
+		v := tensor.New(len(prompt), ps.hidden)
+		for r := 0; r < len(prompt); r++ {
+			for col := 0; col < ps.hidden; col++ {
+				k.Row(r)[col] = prefixVal(prompt[r], l, col, false)
+				v.Row(r)[col] = prefixVal(prompt[r], l, col, true)
+			}
+		}
+		c.CaptureLayer(l, k, v)
+	}
+	ins, _ := ps.Commit(c)
+	return ins
+}
+
+// checkSeed verifies a pinned match's seeded rows carry exactly the values
+// the prompt's own tokens were inserted with.
+func checkSeed(t *testing.T, ps *PrefixStore, m *PrefixMatch, prompt []int) {
+	t.Helper()
+	for l := 0; l < ps.layers; l++ {
+		k, v := m.SeedLayer(l)
+		for r := 0; r < m.Tokens(); r++ {
+			for col := 0; col < ps.hidden; col++ {
+				if got, want := k.Row(r)[col], prefixVal(prompt[r], l, col, false); got != want {
+					t.Fatalf("layer %d K row %d col %d = %g, want %g (aliased prefix)", l, r, col, got, want)
+				}
+				if got, want := v.Row(r)[col], prefixVal(prompt[r], l, col, true); got != want {
+					t.Fatalf("layer %d V row %d col %d = %g, want %g (aliased prefix)", l, r, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixStoreAcquireSeedsExactRows(t *testing.T) {
+	ps, err := NewPrefixStore(1<<20, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3} // 2 full blocks + 2 spare
+	if ins := insertPrefix(t, ps, prompt); ins != 2 {
+		t.Fatalf("inserted %d blocks, want 2", ins)
+	}
+	m := ps.Acquire(prompt, len(prompt)-1)
+	if m == nil {
+		t.Fatal("acquire missed a cached prefix")
+	}
+	if m.Tokens() != 8 {
+		t.Fatalf("matched %d tokens, want 8", m.Tokens())
+	}
+	checkSeed(t, ps, m, prompt)
+	m.Release()
+	m.Release() // idempotent
+	if n := ps.refsTotal(); n != 0 {
+		t.Fatalf("%d refs leaked after release", n)
+	}
+	st := ps.Stats()
+	if st.Hits != 1 || st.Inserts != 2 || st.ReusedTokens != 8 {
+		t.Errorf("stats = %+v, want 1 hit, 2 inserts, 8 reused", st)
+	}
+}
+
+// TestPrefixStoreNoAliasing: prompts sharing a first block but diverging in
+// the second must each seed their own tokens' values, and a prompt diverging
+// inside block 0 must not match at all.
+func TestPrefixStoreNoAliasing(t *testing.T) {
+	ps, err := NewPrefixStore(1<<20, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int{1, 2, 3, 4, 10, 11, 12, 13}
+	b := []int{1, 2, 3, 4, 20, 21, 22, 23}
+	insertPrefix(t, ps, a)
+	insertPrefix(t, ps, b)
+	for _, p := range [][]int{a, b} {
+		m := ps.Acquire(p, len(p))
+		if m == nil || m.Tokens() != 8 {
+			t.Fatalf("prompt %v matched %v, want 8 tokens", p, m)
+		}
+		checkSeed(t, ps, m, p)
+		m.Release()
+	}
+	if got := ps.MatchTokens([]int{1, 2, 3, 99, 10, 11, 12, 13}, 8); got != 0 {
+		t.Fatalf("mid-block divergence matched %d tokens, want 0", got)
+	}
+	if got := ps.Blocks(); got != 3 {
+		t.Errorf("store holds %d blocks, want 3 (shared first block deduped)", got)
+	}
+}
+
+// TestPrefixStorePinsBlockEviction: pinned chains survive both the insert
+// path's make-room sweep and EvictUnreferenced; releasing the pins makes the
+// whole chain reclaimable leaf-first.
+func TestPrefixStorePinsBlockEviction(t *testing.T) {
+	ps, err := NewPrefixStore(512, 4, 2, 4) // exactly 2 blocks of 256 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int{1, 1, 1, 1, 2, 2, 2, 2}
+	if ins := insertPrefix(t, ps, a); ins != 2 {
+		t.Fatalf("inserted %d, want 2", ins)
+	}
+	m := ps.Acquire(a, len(a))
+	if m == nil || m.Tokens() != 8 {
+		t.Fatal("acquire failed")
+	}
+	if n := ps.EvictUnreferenced(); n != 0 {
+		t.Fatalf("evicted %d pinned blocks", n)
+	}
+	b := []int{5, 5, 5, 5, 6, 6, 6, 6}
+	if ins := insertPrefix(t, ps, b); ins != 0 {
+		t.Fatalf("insert displaced %d pinned blocks", ins)
+	}
+	m.Release()
+	if n := ps.EvictUnreferenced(); n != 2 {
+		t.Fatalf("evicted %d after release, want 2", n)
+	}
+	if used, blocks := ps.UsedBytes(), ps.Blocks(); used != 0 || blocks != 0 {
+		t.Fatalf("store not empty after eviction: %d bytes, %d blocks", used, blocks)
+	}
+}
+
+// TestPrefixStoreLRUEviction: the insert path's make-room sweep takes the
+// least-recently-used unpinned block.
+func TestPrefixStoreLRUEviction(t *testing.T) {
+	ps, err := NewPrefixStore(256, 4, 1, 4) // exactly 2 blocks of 128 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := []int{1, 2, 3, 4}, []int{5, 6, 7, 8}, []int{9, 10, 11, 12}
+	insertPrefix(t, ps, a)
+	insertPrefix(t, ps, b)
+	ps.Acquire(a, len(a)).Release() // touch a: b becomes the LRU victim
+	if ins := insertPrefix(t, ps, c); ins != 1 {
+		t.Fatalf("inserted %d, want 1", ins)
+	}
+	if got := ps.MatchTokens(a, 4); got != 4 {
+		t.Errorf("recently-touched block evicted (a matches %d)", got)
+	}
+	if got := ps.MatchTokens(b, 4); got != 0 {
+		t.Errorf("LRU block survived (b matches %d)", got)
+	}
+	if got := ps.MatchTokens(c, 4); got != 4 {
+		t.Errorf("new block missing (c matches %d)", got)
+	}
+	if st := ps.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestPrefixStoreRejectsPartialCapture: a candidate whose prefill attempt
+// aborted before every layer was captured must not poison the cache.
+func TestPrefixStoreRejectsPartialCapture(t *testing.T) {
+	ps, err := NewPrefixStore(1<<20, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{1, 2, 3, 4}
+	c := ps.NewCandidate(prompt, 0)
+	k := tensor.New(4, 4)
+	v := tensor.New(4, 4)
+	c.CaptureLayer(0, k, v) // layer 1 never captured
+	if ins, _ := ps.Commit(c); ins != 0 {
+		t.Fatalf("partial capture inserted %d blocks", ins)
+	}
+	if ps.Blocks() != 0 || ps.UsedBytes() != 0 {
+		t.Fatal("partial capture left state behind")
+	}
+}
+
+// sessionGenerate serves prompts sequentially through one single-slot session
+// (so later prompts can hit prefixes cached by earlier ones) and returns each
+// prompt's generated tokens.
+func sessionGenerate(t *testing.T, pol Policy, ps *PrefixStore, quantKV bool, prompts [][]int, genLen int) [][]int {
+	t.Helper()
+	eng, err := NewEngine(tinyModel(t, 42), pol, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps != nil {
+		sess.UsePrefixStore(ps)
+	}
+	if quantKV {
+		if err := sess.SetQuantizeNewSlots(true, quant.Config{Bits: 4, GroupSize: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	var outs [][]int
+	for _, prompt := range prompts {
+		tok, err := sess.AdmitKV(ctx, 0, prompt, quantKV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := []int{tok}
+		for len(out) < genLen {
+			toks, err := sess.Step(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, toks[0].Token)
+		}
+		sess.Retire(0)
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// TestSessionPrefixReuseExactAcrossModes: serving with the prefix store on
+// must be token-identical to serving without it, in every KV storage mode —
+// staged raw, host-resident (CPU attention), and quantized slots. The store
+// holds raw prefill rows, which is what live attention reads in all three
+// modes, so reuse cannot perturb a single token.
+func TestSessionPrefixReuseExactAcrossModes(t *testing.T) {
+	shared := make([]int, 32)
+	for i := range shared {
+		shared[i] = (i*7 + 3) % model.Tiny().Vocab
+	}
+	promptA := append(append([]int(nil), shared...), 7, 8, 9, 10)
+	promptB := append(append([]int(nil), shared...), 11, 12, 13)
+	prompts := [][]int{promptA, promptB, promptB}
+	const genLen = 6
+
+	modes := []struct {
+		name    string
+		pol     Policy
+		quantKV bool
+	}{
+		{"staged-raw", Policy{IntraOp: 1}, false},
+		{"host-attn", Policy{IntraOp: 1, AttnOnCPU: true}, false},
+		{"quantized", Policy{IntraOp: 1}, true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			ps, err := NewPrefixStore(4<<20, 8, model.Tiny().Layers, model.Tiny().Hidden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := sessionGenerate(t, mode.pol, ps, mode.quantKV, prompts, genLen)
+			cold := sessionGenerate(t, mode.pol, nil, mode.quantKV, prompts, genLen)
+			for i := range prompts {
+				for j := range cold[i] {
+					if warm[i][j] != cold[i][j] {
+						t.Fatalf("prompt %d token %d: reuse %d != cold %d (reuse changed output)",
+							i, j, warm[i][j], cold[i][j])
+					}
+				}
+			}
+			st := ps.Stats()
+			if st.Hits < 2 {
+				t.Errorf("stats %+v: want >= 2 hits (B shares A's prefix, then hits its own)", st)
+			}
+			if st.ReusedTokens == 0 || st.Inserts == 0 {
+				t.Errorf("stats %+v: reuse never engaged", st)
+			}
+			if n := ps.refsTotal(); n != 0 {
+				t.Errorf("%d refs leaked after all slots retired", n)
+			}
+		})
+	}
+}
+
+// FuzzPrefixLookup: for arbitrary prompt pairs and block sizes, a lookup may
+// only ever return the prompt's own prefix values (hash collisions must not
+// alias distinct prefixes), matches respect the token cap and block
+// granularity, and refcounts return to zero after release.
+func FuzzPrefixLookup(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4}, []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{9, 9, 9}, []byte{9, 9, 9, 9, 9, 9}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0}, []byte{}, uint8(2))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, blockRaw uint8) {
+		block := int(blockRaw%8) + 1
+		const maxLen = 64
+		toTokens := func(raw []byte) []int {
+			if len(raw) > maxLen {
+				raw = raw[:maxLen]
+			}
+			toks := make([]int, len(raw))
+			for i, x := range raw {
+				toks[i] = int(x)
+			}
+			return toks
+		}
+		a, b := toTokens(rawA), toTokens(rawB)
+		ps, err := NewPrefixStore(1<<20, block, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertPrefix(t, ps, a)
+		insertPrefix(t, ps, b)
+		for _, p := range [][]int{a, b} {
+			if len(p) == 0 {
+				continue
+			}
+			m := ps.Acquire(p, len(p)-1)
+			if m == nil {
+				continue
+			}
+			if m.Tokens() > len(p)-1 {
+				t.Fatalf("matched %d tokens past the cap %d", m.Tokens(), len(p)-1)
+			}
+			if m.Tokens()%block != 0 {
+				t.Fatalf("matched %d tokens off block granularity %d", m.Tokens(), block)
+			}
+			checkSeed(t, ps, m, p)
+			m.Release()
+			m.Release()
+		}
+		if n := ps.refsTotal(); n != 0 {
+			t.Fatalf("%d refs leaked", n)
+		}
+	})
+}

@@ -58,6 +58,13 @@ type Session struct {
 	slotCfgs  []quant.Config // quant config per quantized slot (for sealing)
 	quantNew  bool           // ladder rung 1: quantize newly admitted slots
 	ladderCfg quant.Config
+
+	// prefix is the optional shared-prefix KV cache (UsePrefixStore). Each
+	// admitted slot that seeded from it holds its match pinned until Retire;
+	// reused records the seeded token count per slot.
+	prefix     *PrefixStore
+	prefixRefs []*PrefixMatch
+	reused     []int
 }
 
 // SlotToken is one decode-step result: the token generated for a slot.
@@ -75,14 +82,16 @@ func (e *Engine) NewSession(slots int) (*Session, error) {
 	}
 	cfg := e.mod.Cfg
 	s := &Session{
-		e:        e,
-		slots:    slots,
-		active:   make([]bool, slots),
-		pos:      make([]int, slots),
-		last:     make([]int, slots),
-		spilled:  make([]bool, slots),
-		quantKV:  make([]bool, slots),
-		slotCfgs: make([]quant.Config, slots),
+		e:          e,
+		slots:      slots,
+		active:     make([]bool, slots),
+		pos:        make([]int, slots),
+		last:       make([]int, slots),
+		spilled:    make([]bool, slots),
+		quantKV:    make([]bool, slots),
+		slotCfgs:   make([]quant.Config, slots),
+		prefixRefs: make([]*PrefixMatch, slots),
+		reused:     make([]int, slots),
 	}
 	if e.policy.AttnOnCPU {
 		s.host = model.NewKVCache(cfg.Layers, slots, cfg.Hidden)
@@ -205,6 +214,34 @@ func (s *Session) SetQuantizeNewSlots(on bool, cfg quant.Config) error {
 
 // QuantizeNewSlots reports whether ladder rung 1 is engaged.
 func (s *Session) QuantizeNewSlots() bool { return s.quantNew }
+
+// UsePrefixStore attaches a shared-prefix KV cache: subsequent admissions
+// seed their slot from the longest cached prefix (prefilling only the
+// suffix) and insert their own full blocks on success. Seeding is exact in
+// every storage mode — the store holds the raw float32 prefill values, which
+// is what live prefill attention reads before any per-slot quantization —
+// so the slot's token stream stays bit-identical to a cold prefill. Call
+// before the first Admit; passing nil disables reuse.
+func (s *Session) UsePrefixStore(ps *PrefixStore) { s.prefix = ps }
+
+// PrefixStore returns the attached shared-prefix cache (nil when disabled).
+func (s *Session) PrefixStore() *PrefixStore { return s.prefix }
+
+// SlotReusedTokens reports how many prompt tokens the slot seeded from the
+// prefix cache at admission (0 for cold prefills and inactive slots).
+func (s *Session) SlotReusedTokens(slot int) int {
+	if slot < 0 || slot >= s.slots || !s.active[slot] {
+		return 0
+	}
+	return s.reused[slot]
+}
+
+// prefixEvent records an instantaneous prefix-cache marker on the serve lane.
+func (s *Session) prefixEvent(name string, slot int) {
+	if rec := s.e.Tracer(); rec != nil {
+		rec.Event(name, xtrace.LaneServe, time.Now(), xtrace.At(-1, -1, slot))
+	}
+}
 
 // ensureHost lazily creates the host-side cache used by spilled slots.
 func (s *Session) ensureHost() {
@@ -360,11 +397,26 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 	default:
 		s.quantKV[slot] = false
 	}
+	// Seed from the longest cached prefix, leaving at least one prompt token
+	// to prefill (the last token's forward pass produces the first generated
+	// token). The match stays pinned until Retire; a failed admit releases it.
+	var match *PrefixMatch
+	if s.prefix != nil {
+		t0 := time.Now()
+		match = s.prefix.Acquire(prompt, len(prompt)-1)
+		if match != nil {
+			s.e.stats.RecordPrefixHit(match.Tokens())
+			s.e.task(xtrace.TaskPrefixHit, xtrace.LaneServe, t0, xtrace.At(-1, -1, slot))
+		} else {
+			s.e.stats.RecordPrefixMiss()
+		}
+	}
 	clearSlot := func() {
 		if s.kv != nil {
 			s.kv.SetSlotQuant(slot, nil)
 		}
 		s.quantKV[slot] = false
+		match.Release()
 	}
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -374,13 +426,30 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 		m := s.mark()
 		stepCtx, cancel := s.e.stepContext(ctx)
 		t0 := time.Now()
-		tok, err := s.admitOnce(stepCtx, slot, prompt)
+		tok, cand, err := s.admitOnce(stepCtx, slot, prompt, match)
 		cancel()
 		s.e.task(xtrace.TaskPrefill, xtrace.LaneEngine, t0, xtrace.At(-1, -1, slot))
 		if err == nil {
 			s.active[slot] = true
 			s.pos[slot] = len(prompt)
 			s.last[slot] = tok
+			s.prefixRefs[slot] = match
+			if match != nil {
+				s.reused[slot] = match.Tokens()
+			}
+			if cand != nil {
+				// Insert only after the whole prefill succeeded: a rolled-back
+				// attempt must never seed the shared cache.
+				inserted, evicted := s.prefix.Commit(cand)
+				if inserted > 0 {
+					s.e.stats.RecordPrefixInserts(int64(inserted))
+					s.prefixEvent(xtrace.TaskPrefixInsert, slot)
+				}
+				if evicted > 0 {
+					s.e.stats.RecordPrefixEvictions(int64(evicted))
+					s.prefixEvent(xtrace.TaskPrefixEvict, slot)
+				}
+			}
 			s.e.stats.mu.Lock()
 			s.e.stats.TokensGenerated++
 			s.e.stats.mu.Unlock()
@@ -409,14 +478,34 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 
 // admitOnce is one prefill attempt for a single sequence: stream every
 // layer's weights (with prefetch overlap when enabled), compute attention
-// and MLP over the whole prompt, and offload the slot's KV per layer.
-func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok int, err error) {
+// and MLP over the prompt, and offload the slot's KV per layer.
+//
+// With a prefix match, only the suffix is embedded and computed: each
+// layer's cache is seeded with the stored prefix K/V rows before the
+// suffix's attention runs. Causal attention makes this bit-identical to a
+// cold full prefill — a prefix token's K/V depends only on prefix tokens,
+// every per-row operation (projections, softmax, norms) is independent of
+// the other rows, and the slot's store still receives the full prompt's rows
+// as one chunk, so downstream chunking and quantization are unchanged.
+//
+// On success it also returns the insert candidate: the prompt's full blocks
+// the prefix store does not hold yet, captured before each layer's live rows
+// are dropped. The caller commits it only after the attempt succeeds.
+func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int, match *PrefixMatch) (tok int, cand *PrefixCandidate, err error) {
 	defer recoverAsError(&err)
 	e := s.e
 	cfg := e.mod.Cfg
-	x := e.mod.Embed(prompt, 0)
+	reused := 0
+	if match != nil {
+		reused = match.Tokens()
+	}
+	suffix := prompt[reused:]
+	x := e.mod.Embed(suffix, reused)
 	xs := []*tensor.Tensor{x}
-	e.stats.addBytes(&e.stats.ActUpBytes, int64(len(prompt)*cfg.Hidden)*4)
+	e.stats.addBytes(&e.stats.ActUpBytes, int64(len(suffix)*cfg.Hidden)*4)
+	if s.prefix != nil {
+		cand = s.prefix.NewCandidate(prompt, reused)
+	}
 
 	// With GPU attention, prefill computes into a one-sequence live cache
 	// whose layer slices are offloaded (and dropped) as each layer finishes;
@@ -433,7 +522,7 @@ func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok in
 	}
 	for j := 0; j < cfg.Layers; j++ {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		var ll loadedLayer
 		if e.policy.Prefetch {
@@ -445,13 +534,21 @@ func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok in
 			ll = e.loadLayer(ctx, j)
 		}
 		if ll.err != nil {
-			return 0, fmt.Errorf("runtime: admit layer %d: %w", j, ll.err)
+			return 0, nil, fmt.Errorf("runtime: admit layer %d: %w", j, ll.err)
 		}
 
 		t0 := time.Now()
 		if s.kv != nil {
+			if match != nil {
+				pk, pv := match.SeedLayer(j)
+				live.SetKV(j, 0, pk, pv)
+			}
 			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, live, j, 0, xs)
 		} else {
+			if match != nil {
+				pk, pv := match.SeedLayer(j)
+				s.host.SetKV(j, slot, pk, pv)
+			}
 			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
 		}
 		model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x)
@@ -459,16 +556,21 @@ func (s *Session) admitOnce(ctx context.Context, slot int, prompt []int) (tok in
 		e.freeGPU(ll.resident)
 
 		if s.kv != nil {
+			if cand != nil {
+				cand.CaptureLayer(j, live.Keys(j, 0), live.Values(j, 0))
+			}
 			if err := e.storeChunk(ctx, s.kv, j, slot, live.Keys(j, 0), live.Values(j, 0)); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			live.SetKV(j, 0, nil, nil)
+		} else if cand != nil {
+			cand.CaptureLayer(j, s.host.Keys(j, slot), s.host.Values(j, slot))
 		}
 	}
 
 	hidden := tensor.New(1, cfg.Hidden)
-	copy(hidden.Row(0), x.Row(len(prompt)-1))
-	return tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))[0], nil
+	copy(hidden.Row(0), x.Row(len(suffix)-1))
+	return tensor.ArgmaxRows(e.mod.Logits(e.pool, e.policy.IntraOp, hidden))[0], cand, nil
 }
 
 // Step advances every active slot by one token and returns the new token per
@@ -635,6 +737,11 @@ func (s *Session) Retire(slot int) {
 	s.last[slot] = 0
 	s.spilled[slot] = false
 	s.quantKV[slot] = false
+	s.reused[slot] = 0
+	if m := s.prefixRefs[slot]; m != nil {
+		m.Release()
+		s.prefixRefs[slot] = nil
+	}
 	if s.kv != nil {
 		s.kv.ResetSlot(slot)
 	}

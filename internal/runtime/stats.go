@@ -66,6 +66,15 @@ type serveAccum struct {
 	spilled      int64
 	evicted      int64
 	breakerFlips int64
+
+	// Shared-prefix KV cache counters (admissions seeded from the store,
+	// cold admissions while the store was attached, tokens skipped by
+	// seeding, and block inserts/evictions).
+	prefixHits      int64
+	prefixMisses    int64
+	prefixReused    int64
+	prefixInserts   int64
+	prefixEvictions int64
 }
 
 // ring is a fixed-capacity overwrite buffer of duration samples.
@@ -109,6 +118,47 @@ type ServeSummary struct {
 	Spilled            int64
 	Evicted            int64
 	BreakerTransitions int64
+
+	// Shared-prefix KV cache: admissions seeded from the store vs. cold
+	// admissions with the store attached, prompt tokens whose prefill was
+	// skipped by seeding, and prefix blocks inserted/evicted.
+	PrefixHits         int64
+	PrefixMisses       int64
+	PrefixReusedTokens int64
+	PrefixInserts      int64
+	PrefixEvictions    int64
+}
+
+// RecordPrefixHit counts one admission seeded from the prefix cache and the
+// prompt tokens the seeding skipped.
+func (s *Stats) RecordPrefixHit(reusedTokens int) {
+	s.mu.Lock()
+	s.serve.prefixHits++
+	s.serve.prefixReused += int64(reusedTokens)
+	s.mu.Unlock()
+}
+
+// RecordPrefixMiss counts one cold admission while the prefix cache was
+// attached.
+func (s *Stats) RecordPrefixMiss() {
+	s.mu.Lock()
+	s.serve.prefixMisses++
+	s.mu.Unlock()
+}
+
+// RecordPrefixInserts counts blocks inserted into the prefix cache.
+func (s *Stats) RecordPrefixInserts(n int64) {
+	s.mu.Lock()
+	s.serve.prefixInserts += n
+	s.mu.Unlock()
+}
+
+// RecordPrefixEvictions counts blocks evicted from the prefix cache (LRU
+// reclaim on insert or the pressure ladder's drop-unreferenced rung).
+func (s *Stats) RecordPrefixEvictions(n int64) {
+	s.mu.Lock()
+	s.serve.prefixEvictions += n
+	s.mu.Unlock()
 }
 
 // RecordAdmission counts one admitted request and its time-to-first-token.
@@ -204,6 +254,11 @@ func (s *Stats) ServeSummary() ServeSummary {
 		Spilled:            s.serve.spilled,
 		Evicted:            s.serve.evicted,
 		BreakerTransitions: s.serve.breakerFlips,
+		PrefixHits:         s.serve.prefixHits,
+		PrefixMisses:       s.serve.prefixMisses,
+		PrefixReusedTokens: s.serve.prefixReused,
+		PrefixInserts:      s.serve.prefixInserts,
+		PrefixEvictions:    s.serve.prefixEvictions,
 	}
 	if s.serve.batchSteps > 0 {
 		out.AvgOccupancy = float64(s.serve.occupancySum) / float64(s.serve.batchSteps)

@@ -25,9 +25,18 @@ type OverloadError struct {
 	RetryAfter time.Duration
 	// State is the breaker state at rejection time.
 	State BreakerState
+	// Permanent marks rejections no amount of waiting can fix — the request
+	// can never be admitted on this deployment (its KV at final length
+	// exceeds the arena's whole headroom). The HTTP layer maps permanent
+	// rejections to 422 with no Retry-After, so clients stop retrying them;
+	// transient pressure stays 429/503.
+	Permanent bool
 }
 
 func (e *OverloadError) Error() string {
+	if e.Permanent {
+		return fmt.Sprintf("serve: request can never be admitted (%s, state %s)", e.Reason, e.State)
+	}
 	if e.RetryAfter > 0 {
 		return fmt.Sprintf("serve: overloaded (%s, state %s, retry after %v)", e.Reason, e.State, e.RetryAfter)
 	}

@@ -115,16 +115,23 @@ func NewHandler(s *Scheduler) http.Handler {
 	return mux
 }
 
-// writeOverload maps a structured admission rejection onto the wire: 503 when
-// the breaker is shedding, 429 for memory/latency pressure, both carrying a
-// Retry-After header (whole seconds, rounded up, only when the drain
-// predictor has an estimate) and a JSON body with the machine-readable cause.
+// writeOverload maps a structured admission rejection onto the wire: 503
+// when the breaker is shedding and 429 for transient memory/latency
+// pressure, both carrying a Retry-After header (whole seconds, rounded up,
+// only when the drain predictor has an estimate); permanent rejections — a
+// request that can never fit this deployment — return 422 with no
+// Retry-After, so a well-behaved client stops resubmitting a request no
+// amount of waiting can admit. The JSON body always carries the
+// machine-readable cause.
 func writeOverload(w http.ResponseWriter, e *OverloadError) {
 	status := http.StatusTooManyRequests
-	if e.Reason == "shedding" {
+	switch {
+	case e.Permanent:
+		status = http.StatusUnprocessableEntity
+	case e.Reason == "shedding":
 		status = http.StatusServiceUnavailable
 	}
-	if e.RetryAfter > 0 {
+	if !e.Permanent && e.RetryAfter > 0 {
 		secs := int64((e.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
@@ -135,6 +142,7 @@ func writeOverload(w http.ResponseWriter, e *OverloadError) {
 		"reason":         e.Reason,
 		"retry_after_ms": ms(e.RetryAfter),
 		"state":          e.State.String(),
+		"permanent":      e.Permanent,
 	})
 }
 
@@ -196,6 +204,17 @@ func statsPayload(m Metrics) map[string]any {
 		"arena_peak":           m.ArenaPeak,
 		"estimate_ratio":       m.EstimateRatio,
 		"predicted_tpot_ms":    ms(m.PredictedTPOT),
+	}
+	// Prefix-cache fields appear only when the shared-prefix store is on.
+	if m.PrefixCacheCapacity > 0 {
+		out["prefix_hits"] = m.Serve.PrefixHits
+		out["prefix_misses"] = m.Serve.PrefixMisses
+		out["prefix_hit_rate"] = m.PrefixHitRate
+		out["prefix_reused_tokens"] = m.Serve.PrefixReusedTokens
+		out["prefix_inserts"] = m.Serve.PrefixInserts
+		out["prefix_evictions"] = m.Serve.PrefixEvictions
+		out["prefix_cache_bytes"] = m.PrefixCacheBytes
+		out["prefix_cache_capacity"] = m.PrefixCacheCapacity
 	}
 	// Span aggregates appear only while tracing is enabled, keyed by the
 	// shared task vocabulary.

@@ -206,6 +206,157 @@ func TestHTTPQueueFull(t *testing.T) {
 	}
 }
 
+// TestWriteOverloadTransientVsPermanent pins the wire mapping of structured
+// rejections: transient pressure is 429 with Retry-After (so clients back off
+// and retry), shedding is 503, and a permanent never-fits rejection is 422
+// with NO Retry-After and "permanent": true — the regression was surfacing
+// never-fits as a 429 with RetryAfter zero, which well-behaved clients retry
+// forever.
+func TestWriteOverloadTransientVsPermanent(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeOverload(rec, &OverloadError{Reason: "arena-pressure", RetryAfter: 1500 * time.Millisecond})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("transient status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("transient Retry-After = %q, want \"2\" (1.5s rounded up)", got)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["permanent"] != false {
+		t.Errorf("transient body permanent = %v, want false", body["permanent"])
+	}
+
+	rec = httptest.NewRecorder()
+	writeOverload(rec, &OverloadError{Reason: "shedding"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("shedding status = %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	writeOverload(rec, &OverloadError{Reason: "never-fits", Permanent: true})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("permanent status = %d, want 422", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("permanent rejection carries Retry-After %q; clients would retry a request that can never fit", got)
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["permanent"] != true || body["reason"] != "never-fits" {
+		t.Errorf("permanent body = %v, want permanent true / reason never-fits", body)
+	}
+}
+
+// TestHTTPNeverFitsEndToEnd drives the permanent rejection through the full
+// stack: a request whose final-length KV exceeds the whole arena headroom
+// gets 422 (not 429) from /generate, with no Retry-After.
+func TestHTTPNeverFitsEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	cfg.MaxPromptLen = 64
+	cfg.MaxNewTokens = 64
+
+	m, err := model.NewModel(rand.New(rand.NewSource(modelSeed)), model.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := probe.ResidentBaseBytes() + probe.MaxStreamLayerBytes() + 60<<10
+	m2, err := model.NewModel(rand.New(rand.NewSource(modelSeed)), model.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := runtime.NewEngine(m2, runtime.Policy{IntraOp: 1}, capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(sched))
+	t.Cleanup(func() {
+		srv.Close()
+		sched.Close()
+	})
+
+	// 64 prompt + 64 new tokens: ~75 KiB slack-scaled KV against 60 KiB of
+	// headroom — can never be admitted, no matter how long the client waits.
+	body := `{"prompt":[` + strings.Repeat("1,", 63) + `1],"max_new_tokens":64}`
+	resp, err := http.Post(srv.URL+"/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("never-fits status = %d, want 422", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Errorf("never-fits response carries Retry-After %q", got)
+	}
+	var payload map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload["permanent"] != true {
+		t.Errorf("never-fits body = %v, want permanent true", payload)
+	}
+}
+
+// TestHTTPStatsPrefixFields: the prefix counters appear in /stats exactly
+// when the cache is configured.
+func TestHTTPStatsPrefixFields(t *testing.T) {
+	readStats := func(t *testing.T, url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(url + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	off, _ := testServer(t, DefaultConfig(model.Tiny().Vocab))
+	if stats := readStats(t, off.URL); stats["prefix_hits"] != nil {
+		t.Errorf("/stats exposes prefix fields with the cache off: %v", stats)
+	}
+
+	cfg := DefaultConfig(model.Tiny().Vocab)
+	cfg.PrefixCacheBytes = 4 << 20
+	on, _ := testServer(t, cfg)
+	// Serve the same prompt twice so the second admission hits the cache.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(on.URL+"/generate", "application/json",
+			strings.NewReader(`{"prompt":[`+strings.Repeat("2,", 31)+`2],"max_new_tokens":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	stats := readStats(t, on.URL)
+	for _, key := range []string{
+		"prefix_hits", "prefix_misses", "prefix_hit_rate", "prefix_reused_tokens",
+		"prefix_inserts", "prefix_evictions", "prefix_cache_bytes", "prefix_cache_capacity",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q with the cache on", key)
+		}
+	}
+	if stats["prefix_hits"].(float64) < 1 {
+		t.Errorf("repeated prompt produced no cache hit: %v", stats)
+	}
+}
+
 func TestHTTPHealthAndStats(t *testing.T) {
 	srv, sched := testServer(t, DefaultConfig(model.Tiny().Vocab))
 	resp, err := http.Get(srv.URL + "/healthz")

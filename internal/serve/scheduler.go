@@ -22,13 +22,23 @@ type pending struct {
 
 	slot     int
 	produced int
-	firstTok time.Time
 	lastTok  time.Time
+
+	// TPOT accounting: the sum and count of *decode* inter-token gaps only.
+	// Tokens that arrive with an admission (the prefill's first token, and
+	// every re-prefill token after an eviction resume) restart the window
+	// without contributing a gap, so prefill latency and eviction dead time
+	// never skew the decode-latency metric.
+	tpotAccum time.Duration
+	tpotGaps  int
 
 	// Overload-protection state.
 	admittedOnce bool  // TTFT/admission recorded; set on first successful admit
 	kvQuant      bool  // sticky per-request KV storage mode (ladder rung 1)
 	estimate     int64 // admission-time predicted peak arena bytes
+	// prefillDeferrals counts suffix-cost gate deferrals, bounding how long
+	// a long-cold-prefill head request can be held back (FIFO liveness).
+	prefillDeferrals int
 	// resumePrompt replaces req.Prompt after an eviction: the original
 	// prompt plus every token already delivered, so re-prefill regenerates
 	// the exact continuation (recompute-on-resume).
@@ -41,6 +51,37 @@ func (p *pending) promptLen() int {
 		return len(p.resumePrompt)
 	}
 	return len(p.req.Prompt)
+}
+
+// effectivePrompt returns the tokens the next admission will prefill.
+func (p *pending) effectivePrompt() []int {
+	if p.resumePrompt != nil {
+		return p.resumePrompt
+	}
+	return p.req.Prompt
+}
+
+// noteAdmitToken stamps a token delivered by an admission's prefill: it
+// restarts the decode-gap window without recording a gap.
+func (p *pending) noteAdmitToken(now time.Time) { p.lastTok = now }
+
+// noteDecodeToken stamps a token delivered by a decode step, accumulating
+// the gap since the previous token of this admission window.
+func (p *pending) noteDecodeToken(now time.Time) {
+	if !p.lastTok.IsZero() {
+		p.tpotAccum += now.Sub(p.lastTok)
+		p.tpotGaps++
+	}
+	p.lastTok = now
+}
+
+// tpot returns the request's mean decode inter-token gap (zero when every
+// token came from prefills).
+func (p *pending) tpot() time.Duration {
+	if p.tpotGaps == 0 {
+		return 0
+	}
+	return p.tpotAccum / time.Duration(p.tpotGaps)
 }
 
 // finalKVTokens is the slot's token count at completion: original prompt
@@ -80,10 +121,21 @@ type Scheduler struct {
 	start time.Time
 
 	// Admission-control machinery (zero-valued when disabled).
-	adm        perfmodel.AdmissionModel
-	kvHeadroom int64 // arena capacity minus the weight working set
-	cost       *perfmodel.StepCostModel
-	brk        breaker
+	adm         perfmodel.AdmissionModel
+	kvHeadroom  int64 // arena capacity minus the weight working set
+	cost        *perfmodel.StepCostModel
+	prefillCost *perfmodel.PrefillCostModel
+	brk         breaker
+
+	// prefixStore is the shared-prefix KV cache (nil when disabled).
+	prefixStore *runtime.PrefixStore
+
+	// lifeCtx is the scheduler's lifecycle context: batch steps derive from
+	// it (never from context.Background()), so a hung step can be unwound
+	// once every request it serves has been abandoned, and drain cannot be
+	// wedged behind work nobody is waiting for.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 
 	mu          sync.Mutex
 	queue       admitQueue
@@ -128,6 +180,17 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 		done:    make(chan struct{}),
 		running: make(map[int]*pending),
 	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+	if cfg.PrefixCacheBytes > 0 {
+		ps, err := runtime.NewPrefixStore(cfg.PrefixCacheBytes, cfg.PrefixBlockTokens,
+			eng.ModelConfig().Layers, eng.ModelConfig().Hidden)
+		if err != nil {
+			return nil, err
+		}
+		sess.UsePrefixStore(ps)
+		s.prefixStore = ps
+	}
+	s.prefillCost = &perfmodel.PrefillCostModel{}
 	if cfg.AdmissionControl {
 		s.adm = newAdmissionModel(eng, cfg)
 		if err := s.adm.Validate(); err != nil {
@@ -200,7 +263,9 @@ func (s *Scheduler) admitCheck(req Request) error {
 		return &OverloadError{Reason: "shedding", RetryAfter: drain, State: st}
 	}
 	if s.adm.ScaledKV(s.adm.SlotKVBytes(len(req.Prompt), req.MaxNewTokens)) > s.kvHeadroom {
-		return &OverloadError{Reason: "never-fits", State: s.brk.current()}
+		// No drain can ever make this request fit: its own final-length KV
+		// exceeds the whole arena headroom. Permanent → HTTP 422, never 429.
+		return &OverloadError{Reason: "never-fits", State: s.brk.current(), Permanent: true}
 	}
 	s.mu.Lock()
 	view := s.press
@@ -289,6 +354,13 @@ type Metrics struct {
 	// TraceTasks is the per-task traced time since tracing was enabled (nil
 	// while tracing is off) — the /stats view of the span aggregates.
 	TraceTasks map[string]time.Duration
+
+	// Shared-prefix cache (zero-valued when Config.PrefixCacheBytes is 0).
+	// PrefixHitRate is hits over hits+misses; byte fields mirror the
+	// store's arena accounting.
+	PrefixHitRate       float64
+	PrefixCacheBytes    int64
+	PrefixCacheCapacity int64
 }
 
 // Metrics snapshots the serving metrics.
@@ -316,6 +388,14 @@ func (s *Scheduler) Metrics() Metrics {
 		ArenaCapacity:      s.eng.ArenaCapacity(),
 		ArenaPeak:          s.eng.ArenaPeak(),
 		PredictedTPOT:      view.tpotNow,
+	}
+	if s.prefixStore != nil {
+		ps := s.prefixStore.Stats()
+		m.PrefixCacheBytes = ps.UsedBytes
+		m.PrefixCacheCapacity = ps.CapacityBytes
+		if total := summary.PrefixHits + summary.PrefixMisses; total > 0 {
+			m.PrefixHitRate = float64(summary.PrefixHits) / float64(total)
+		}
 	}
 	if rec := s.eng.Tracer(); rec != nil {
 		agg := xtrace.Aggregate(rec.Spans())
@@ -373,6 +453,7 @@ func (s *Scheduler) kick() {
 // its tokens.
 func (s *Scheduler) loop() {
 	defer close(s.done)
+	defer s.lifeCancel()
 	for {
 		s.retireCancelled()
 		if s.cfg.AdmissionControl {
@@ -466,7 +547,14 @@ func (s *Scheduler) pressureFractions() (gpuFrac, hostFrac float64) {
 	}
 	gpuFrac = float64(s.adm.ScaledKV(maxStaged)) / float64(s.kvHeadroom)
 	if s.cfg.HostKVBudget > 0 {
-		hostFrac = float64(s.sess.HostKVBytes()) / float64(s.cfg.HostKVBudget)
+		host := s.sess.HostKVBytes()
+		if s.prefixStore != nil {
+			// Cached prefix blocks are host memory too; counting them here is
+			// what lets the ladder's drop-prefix rung actually relieve the
+			// pressure it sees.
+			host += s.prefixStore.UsedBytes()
+		}
+		hostFrac = float64(host) / float64(s.cfg.HostKVBudget)
 	}
 	return gpuFrac, hostFrac
 }
@@ -474,7 +562,20 @@ func (s *Scheduler) pressureFractions() (gpuFrac, hostFrac float64) {
 // escalate takes the next ladder rung. gpuHigh distinguishes arena staging
 // pressure (relieved by spilling) from host pressure (relieved only by
 // eviction).
+//
+// Before any rung that touches a live slot, host pressure first drops
+// unreferenced prefix-cache blocks: they are the only memory in the system
+// whose reclaim costs future hit rate rather than a live request's storage
+// mode or progress. GPU staging pressure skips this rung — prefix blocks
+// are host-resident and free no arena bytes.
 func (s *Scheduler) escalate(gpuHigh bool) {
+	if !gpuHigh && s.prefixStore != nil {
+		if n := s.prefixStore.EvictUnreferenced(); n > 0 {
+			s.eng.Stats().RecordPrefixEvictions(int64(n))
+			s.traceEvent(xtrace.TaskPrefixEvict, xtrace.NoLabels)
+			return
+		}
+	}
 	switch {
 	case s.level == 0:
 		s.level = 1
@@ -563,6 +664,17 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 		predicted = s.adm.PeakBytes(maxKV)
 	}
 	drain := s.cost.PredictDrain(remaining, occ)
+	// Fold the queued prefill backlog into the drain estimate at *suffix*
+	// cost: a queue full of cached-prefix requests drains far faster than
+	// its raw prompt lengths suggest, and Retry-After should say so.
+	if s.prefillCost.Ready() {
+		s.mu.Lock()
+		queued := append([]*pending(nil), s.queue.items...)
+		s.mu.Unlock()
+		for _, q := range queued {
+			drain += s.prefillCost.Predict(s.suffixTokens(q))
+		}
+	}
 	tpotNext := s.cost.PredictTPOT(occ + 1)
 	tpotNow := s.cost.PredictTPOT(occ)
 	s.mu.Lock()
@@ -623,8 +735,41 @@ func (s *Scheduler) gateHead(p *pending) gateDecision {
 		if t := s.cost.PredictTPOT(s.sess.NumActive() + 1); t > s.cfg.TPOTBudget {
 			return gateDefer
 		}
+		// Suffix-cost gate: an admission stalls every active slot for the
+		// prefill's duration, so the head is costed at the tokens it will
+		// actually prefill — its prompt minus whatever the prefix cache
+		// already holds. A cached-prefix request sails through where an
+		// equally long cold one defers. Deferrals are bounded so a cold
+		// head eventually admits regardless (FIFO liveness).
+		if s.prefillCost.Ready() && p.prefillDeferrals < maxPrefillDeferrals {
+			suffix := s.suffixTokens(p)
+			if s.prefillCost.Predict(suffix) > time.Duration(prefillStallSteps)*s.cfg.TPOTBudget {
+				p.prefillDeferrals++
+				return gateDefer
+			}
+		}
 	}
 	return gateAdmit
+}
+
+// prefillStallSteps is how many TPOT budgets an admission's predicted
+// prefill stall may cost the running batch before the gate defers it;
+// maxPrefillDeferrals bounds those deferrals per request.
+const (
+	prefillStallSteps   = 4
+	maxPrefillDeferrals = 16
+)
+
+// suffixTokens predicts how many tokens admitting p will actually prefill:
+// its effective prompt minus the longest cached prefix (capped so at least
+// one token always prefills).
+func (s *Scheduler) suffixTokens(p *pending) int {
+	prompt := p.effectivePrompt()
+	n := len(prompt)
+	if s.prefixStore != nil {
+		n -= s.prefixStore.MatchTokens(prompt, len(prompt)-1)
+	}
+	return n
 }
 
 // popHead dequeues the queue head (which the caller has already peeked).
@@ -658,7 +803,7 @@ func (s *Scheduler) admit() {
 				return
 			case gateReject:
 				s.popHead()
-				p.stream.finish(&OverloadError{Reason: "never-fits", State: s.brk.current()})
+				p.stream.finish(&OverloadError{Reason: "never-fits", State: s.brk.current(), Permanent: true})
 				s.eng.Stats().RecordOverloadRejection()
 				continue
 			}
@@ -686,6 +831,7 @@ func (s *Scheduler) admit() {
 		} else {
 			tok, err = s.sess.Admit(p.ctx, slot, prompt)
 		}
+		admitDur := time.Since(tAdmit)
 		s.trace(xtrace.TaskAdmit, tAdmit, xtrace.At(-1, -1, slot))
 		if err != nil {
 			p.stream.finish(err)
@@ -697,16 +843,22 @@ func (s *Scheduler) admit() {
 			continue
 		}
 		now := time.Now()
-		p.slot, p.lastTok = slot, now
+		p.slot = slot
+		// The admission's token came from prefill: restart the decode-gap
+		// window without recording a gap, so TPOT only ever averages
+		// decode-step intervals.
+		p.noteAdmitToken(now)
 		s.running[slot] = p
 		s.noteActive(1)
 		if !p.admittedOnce {
 			p.admittedOnce = true
-			p.firstTok = now
 			p.stream.setKVQuant(s.sess.SlotQuantizedKV(slot))
 			s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
 		}
 		if s.cfg.AdmissionControl {
+			// The prefill-cost fit observes the tokens this admission
+			// actually prefilled — the suffix beyond any prefix-cache seed.
+			s.prefillCost.Observe(len(prompt)-s.sess.SlotReusedTokens(slot), admitDur)
 			s.recordEstimate(p)
 		}
 		s.deliver(p, tok)
@@ -746,9 +898,21 @@ func (s *Scheduler) freeSlot() int {
 // stepBatch advances the whole active batch one token and fans the results
 // out. A step error after the session's own retries and degradations is
 // batch-fatal: every in-flight request fails with it.
+//
+// The step runs under a context derived from the scheduler's lifecycle —
+// never context.Background() — and additionally cancelled once every request
+// in the batch has abandoned its own context. Close keeps its documented
+// semantics (in-flight requests run to completion) but a step that stalls in
+// a fault window can no longer wedge drain when nobody is waiting for its
+// result.
 func (s *Scheduler) stepBatch() {
+	stepCtx, cancel := s.stepContext()
+	defer cancel()
 	t0 := time.Now()
-	toks, err := s.sess.Step(context.Background())
+	toks, err := s.sess.Step(stepCtx)
+	// Measure the step window immediately: the cost model must fit the
+	// decode step itself, not the step plus tracing and fan-out overhead.
+	stepDur := time.Since(t0)
 	s.trace(xtrace.TaskStep, t0, xtrace.At(s.stepIdx, -1, -1))
 	s.stepIdx++
 	if err != nil {
@@ -763,18 +927,49 @@ func (s *Scheduler) stepBatch() {
 		return
 	}
 	if s.cfg.AdmissionControl {
-		s.cost.Observe(len(toks), time.Since(t0))
+		s.cost.Observe(len(toks), stepDur)
 	}
 	s.mu.Lock()
 	depth := s.queue.len()
 	s.mu.Unlock()
 	s.eng.Stats().RecordBatchStep(len(toks), depth)
+	// One timestamp for the whole fan-out: tokens of the same step are
+	// simultaneous, and per-token clock reads would smear delivery overhead
+	// into later slots' TPOT gaps.
+	now := time.Now()
 	for _, st := range toks {
 		if p := s.running[st.Slot]; p != nil {
-			p.lastTok = time.Now()
+			p.noteDecodeToken(now)
 			s.deliver(p, st.Token)
 		}
 	}
+}
+
+// stepContext derives the batch step's context: child of the scheduler
+// lifecycle, cancelled early once every running request's own context is
+// done. The watcher goroutine waits on each request context in turn (order
+// is irrelevant — all must be done) and exits promptly when the step
+// finishes first.
+func (s *Scheduler) stepContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(s.lifeCtx)
+	if len(s.running) == 0 {
+		return ctx, cancel
+	}
+	ctxs := make([]context.Context, 0, len(s.running))
+	for _, p := range s.running {
+		ctxs = append(ctxs, p.ctx)
+	}
+	go func() {
+		for _, c := range ctxs {
+			select {
+			case <-c.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
 }
 
 // deliver pushes one token to the request's stream and completes the request
@@ -787,11 +982,7 @@ func (s *Scheduler) deliver(p *pending, tok int) {
 		delete(s.running, p.slot)
 		s.noteActive(-1)
 		s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, p.slot))
-		var tpot time.Duration
-		if p.produced > 1 {
-			tpot = p.lastTok.Sub(p.firstTok) / time.Duration(p.produced-1)
-		}
 		p.stream.finish(nil)
-		s.eng.Stats().RecordCompletion(tpot)
+		s.eng.Stats().RecordCompletion(p.tpot())
 	}
 }

@@ -76,6 +76,16 @@ type Config struct {
 	// HealthyStreak is how many consecutive healthy evaluations de-escalate
 	// the ladder and the circuit breaker by one level.
 	HealthyStreak int
+
+	// PrefixCacheBytes budgets the shared-prefix KV cache: admissions seed
+	// their slot from the longest cached prompt prefix and prefill only the
+	// suffix, with served tokens staying byte-identical to a cold prefill.
+	// Zero disables reuse. The cache is host memory, charged against
+	// HostKVBudget's pressure accounting when that is set.
+	PrefixCacheBytes int64
+	// PrefixBlockTokens is the prefix cache's block granularity; zero takes
+	// runtime.DefaultPrefixBlockTokens.
+	PrefixBlockTokens int
 }
 
 // DefaultConfig returns serving limits sized for the functional models.
@@ -137,6 +147,12 @@ func (c Config) Validate() error {
 		if c.HealthyStreak <= 0 {
 			return fmt.Errorf("serve: healthy streak must be positive, got %d", c.HealthyStreak)
 		}
+	}
+	if c.PrefixCacheBytes < 0 {
+		return fmt.Errorf("serve: negative prefix cache budget %d", c.PrefixCacheBytes)
+	}
+	if c.PrefixBlockTokens < 0 {
+		return fmt.Errorf("serve: negative prefix block tokens %d", c.PrefixBlockTokens)
 	}
 	return nil
 }

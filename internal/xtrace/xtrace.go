@@ -49,6 +49,13 @@ const (
 	TaskAdmit     = "admit"
 	TaskStep      = "step"
 	TaskRetire    = "retire"
+
+	// Shared-prefix KV cache: a hit span covers the lookup+pin of the
+	// longest cached prefix at admission; insert/evict are instantaneous
+	// markers for blocks entering and leaving the store.
+	TaskPrefixHit    = "prefix_hit"
+	TaskPrefixInsert = "prefix_insert"
+	TaskPrefixEvict  = "prefix_evict"
 )
 
 // Lanes name the logical resource a span occupied. The Chrome exporter maps
