@@ -187,6 +187,19 @@ func registry() []experiment {
 			}
 			return r.CSV(), nil
 		}},
+		{name: "cluster", run: func() (string, error) {
+			r, err := experiments.ClusterBench(60)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := experiments.ClusterBench(60)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
 		{name: "conformance", run: func() (string, error) {
 			r, err := experiments.Conformance()
 			if err != nil {

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func postGenerate(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/generate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestClusterHTTPRoutedGenerate: a routed request answers exactly like a
+// single replica's /generate.
+func TestClusterHTTPRoutedGenerate(t *testing.T) {
+	be := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 4}, scripts: []script{{tokens: []int{3, 1, 4}, dieAfter: -1}}}
+	c, _ := fakeCluster(t, Options{}, be)
+	h := NewHandler(c)
+
+	w := postGenerate(t, h, `{"prompt":[1,2,3],"max_new_tokens":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var resp serve.GenerateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tokens) != 3 || resp.Tokens[0] != 3 || resp.Tokens[1] != 1 || resp.Tokens[2] != 4 {
+		t.Fatalf("tokens = %v, want [3 1 4]", resp.Tokens)
+	}
+}
+
+// TestClusterHTTPRetryAfterIsMax is the satellite regression: when every
+// replica rejects transiently, the HTTP answer is 429 carrying the MAX
+// Retry-After across tried replicas — not the first or most optimistic hint.
+func TestClusterHTTPRetryAfterIsMax(t *testing.T) {
+	quick := &fakeBackend{
+		snap:      serve.RouteSnapshot{TotalSlots: 4},
+		submitErr: &serve.OverloadError{Reason: "arena-pressure", RetryAfter: 2 * time.Second},
+	}
+	slow := &fakeBackend{
+		snap:      serve.RouteSnapshot{TotalSlots: 4},
+		submitErr: &serve.OverloadError{Reason: "tpot-budget", RetryAfter: 5 * time.Second},
+	}
+	c, _ := fakeCluster(t, Options{}, quick, slow)
+	h := NewHandler(c)
+
+	w := postGenerate(t, h, `{"prompt":[1,2,3]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After = %q, want \"5\" (the max across replicas)", got)
+	}
+	if quick.submitCount() != 1 || slow.submitCount() != 1 {
+		t.Fatal("transient rejection must walk every routable replica before answering 429")
+	}
+}
+
+// TestClusterHTTPPermanentIs422Once is the other half of the contract: a
+// never-fits verdict answers 422 with no Retry-After, and the router must
+// not have burned the second replica's admission queue on it.
+func TestClusterHTTPPermanentIs422Once(t *testing.T) {
+	perm := &fakeBackend{
+		snap:      serve.RouteSnapshot{TotalSlots: 4},
+		match:     3, // wins the ranking
+		submitErr: &serve.OverloadError{Reason: "never-fits", Permanent: true},
+	}
+	spare := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 4}, scripts: []script{{tokens: []int{1}, dieAfter: -1}}}
+	c, _ := fakeCluster(t, Options{}, perm, spare)
+	h := NewHandler(c)
+
+	w := postGenerate(t, h, `{"prompt":[1,2,3]}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (body %s)", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("permanent rejection carried Retry-After %q; clients must not retry it", got)
+	}
+	if spare.submitCount() != 0 {
+		t.Fatal("permanent rejection was re-dispatched to the spare replica")
+	}
+	var body struct {
+		Permanent bool   `json:"permanent"`
+		Reason    string `json:"reason"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Permanent || body.Reason != "never-fits" {
+		t.Fatalf("body = %+v, want permanent never-fits", body)
+	}
+}
+
+// TestClusterHTTPDeadFleetIs503: no routable replica answers 503, mirroring
+// a single shedding replica.
+func TestClusterHTTPDeadFleetIs503(t *testing.T) {
+	a := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 1}}
+	c, _ := fakeCluster(t, Options{}, a)
+	c.Kill(0)
+	h := NewHandler(c)
+
+	w := postGenerate(t, h, `{"prompt":[1]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", w.Code, w.Body.String())
+	}
+
+	// /healthz agrees.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hw := httptest.NewRecorder()
+	h.ServeHTTP(hw, req)
+	if hw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d, want 503", hw.Code)
+	}
+
+	// Restart and the fleet serves again.
+	c.Restart(0)
+	a.mu.Lock()
+	a.scripts = []script{{tokens: []int{1}, dieAfter: -1}}
+	a.mu.Unlock()
+	if w := postGenerate(t, h, `{"prompt":[1]}`); w.Code != http.StatusOK {
+		t.Fatalf("status after restart %d, want 200", w.Code)
+	}
+}
+
+// TestClusterHTTPStats: the stats document carries the router counters and
+// one entry per replica.
+func TestClusterHTTPStats(t *testing.T) {
+	a := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 4}, scripts: []script{{tokens: []int{1}, dieAfter: -1}}}
+	b := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 4}}
+	c, _ := fakeCluster(t, Options{}, a, b)
+	h := NewHandler(c)
+
+	if w := postGenerate(t, h, `{"prompt":[1,2]}`); w.Code != http.StatusOK {
+		t.Fatalf("generate status %d", w.Code)
+	}
+	c.Wait()
+
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var stats struct {
+		Replicas   int              `json:"replicas"`
+		Submitted  int64            `json:"submitted"`
+		Completed  int64            `json:"completed"`
+		PerReplica []map[string]any `json:"per_replica"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replicas != 2 || stats.Submitted != 1 || stats.Completed != 1 {
+		t.Fatalf("stats = %+v, want 2 replicas, 1 submitted, 1 completed", stats)
+	}
+	if len(stats.PerReplica) != 2 {
+		t.Fatalf("per_replica has %d entries, want 2", len(stats.PerReplica))
+	}
+}
+
+// TestClusterHTTPBadRequest: malformed and oversize bodies answer 400 without
+// touching any replica.
+func TestClusterHTTPBadRequest(t *testing.T) {
+	a := &fakeBackend{snap: serve.RouteSnapshot{TotalSlots: 4}}
+	c, _ := fakeCluster(t, Options{}, a)
+	h := NewHandler(c)
+
+	for _, body := range []string{`{`, `{"prompt":[]}`, `{"prompt":[999999]}`, `{"nope":1}`} {
+		if w := postGenerate(t, h, body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q answered %d, want 400", body, w.Code)
+		}
+	}
+	if a.submitCount() != 0 {
+		t.Fatal("malformed request reached a replica")
+	}
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	rt "repro/internal/runtime"
+	"repro/internal/serve"
+)
+
+const modelSeed = 42
+
+// liveCluster builds n replicas over independent engines initialized from the
+// same model seed — the in-process stand-in for n identical deployments.
+func liveCluster(t *testing.T, n int, cfg serve.Config, opts Options) (*Cluster, []*serve.Scheduler) {
+	t.Helper()
+	reps := make([]*Replica, n)
+	scheds := make([]*serve.Scheduler, n)
+	for i := 0; i < n; i++ {
+		m, err := model.NewModel(rand.New(rand.NewSource(modelSeed)), model.Tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := rt.NewEngine(m, rt.Policy{IntraOp: 1}, 1<<30, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds[i] = s
+		reps[i] = NewReplica(string(rune('a'+i)), s, nil)
+	}
+	t.Cleanup(func() {
+		for _, s := range scheds {
+			s.Close()
+		}
+	})
+	c, err := New(reps, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, scheds
+}
+
+// soloReference generates the prompt on a dedicated offline engine: the
+// token-exactness baseline for routed output.
+func soloReference(t *testing.T, prompt []int, genLen int) []int {
+	t.Helper()
+	m, err := model.NewModel(rand.New(rand.NewSource(modelSeed)), model.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rt.NewEngine(m, rt.Policy{IntraOp: 1}, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Generate(context.Background(), [][]int{prompt}, genLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out[0]
+}
+
+// TestClusterDifferentialTokenExact is the acceptance differential: routed
+// generation — whatever replica the policy picks — must be token-exact
+// against solo generation of the same prompt.
+func TestClusterDifferentialTokenExact(t *testing.T) {
+	vocab := model.Tiny().Vocab
+	cfg := serve.DefaultConfig(vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 32
+	cfg.PrefixCacheBytes = 1 << 20 // exercise the affinity path too
+
+	c, _ := liveCluster(t, 3, cfg, Options{})
+
+	rng := rand.New(rand.NewSource(7))
+	shared := make([]int, 24)
+	for i := range shared {
+		shared[i] = rng.Intn(vocab)
+	}
+	type job struct {
+		prompt []int
+		genLen int
+		st     *Stream
+	}
+	var jobs []job
+	for i := 0; i < 12; i++ {
+		var prompt []int
+		if i%2 == 0 {
+			// Shared-prefix family: exercises prefix-affinity routing.
+			prompt = append(append([]int{}, shared...), rng.Intn(vocab), rng.Intn(vocab))
+		} else {
+			prompt = make([]int, 8+rng.Intn(16))
+			for j := range prompt {
+				prompt[j] = rng.Intn(vocab)
+			}
+		}
+		jobs = append(jobs, job{prompt: prompt, genLen: 6 + rng.Intn(6)})
+	}
+	for i := range jobs {
+		st, err := c.Submit(context.Background(), serve.Request{Prompt: jobs[i].prompt, MaxNewTokens: jobs[i].genLen})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i].st = st
+	}
+	for i := range jobs {
+		got, err := jobs[i].st.Wait()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		want := soloReference(t, jobs[i].prompt, jobs[i].genLen)
+		if len(got) != len(want) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("request %d diverged at token %d: routed %v vs solo %v (served by %v)",
+					i, j, got, want, jobs[i].st.Replicas())
+			}
+		}
+	}
+	c.Wait()
+}
+
+// TestClusterFailoverContinuationTokenExact kills the serving replica
+// mid-stream and checks the failover continuation is still token-exact: the
+// resumed replica prefills prompt+delivered and regenerates the identical
+// suffix.
+func TestClusterFailoverContinuationTokenExact(t *testing.T) {
+	vocab := model.Tiny().Vocab
+	cfg := serve.DefaultConfig(vocab)
+	cfg.Slots = 2
+	c, _ := liveCluster(t, 2, cfg, Options{})
+
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	const genLen = 24
+	st, err := c.Submit(context.Background(), serve.Request{Prompt: prompt, MaxNewTokens: genLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few tokens flow, then kill whoever is serving.
+	got := make([]int, 0, genLen)
+	for tok := range st.Tokens() {
+		got = append(got, tok)
+		if len(got) == 3 {
+			c.Kill(st.Replicas()[0])
+		}
+	}
+	all, werr := st.Wait()
+	if werr != nil {
+		t.Fatalf("Wait: %v (replicas %v)", werr, st.Replicas())
+	}
+	want := soloReference(t, prompt, genLen)
+	if len(all) != len(want) {
+		t.Fatalf("got %d tokens, want %d (replicas %v)", len(all), len(want), st.Replicas())
+	}
+	for i := range all {
+		if all[i] != want[i] {
+			t.Fatalf("failover continuation diverged at token %d: %v vs %v", i, all, want)
+		}
+	}
+	if reps := st.Replicas(); len(reps) < 2 {
+		t.Fatalf("Replicas = %v, want a failover to a second replica", reps)
+	}
+	c.Wait()
+}
+
+// TestClusterChaosSoak is the satellite chaos gate: Poisson-ish load against
+// three live replicas while one is repeatedly killed and restarted. Every
+// request must end with a definite status — tokens or a structured error,
+// never a silent drop — and the drain must leak no goroutines.
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	vocab := model.Tiny().Vocab
+	cfg := serve.DefaultConfig(vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 16
+	cfg.DefaultNewTokens = 6
+	cfg.MaxNewTokens = 16
+
+	c, _ := liveCluster(t, 3, cfg, Options{Hedge: true})
+	baseline := runtime.NumGoroutine()
+
+	// Chaos: kill replica 0, let it stay dead a while, restart, repeat.
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopChaos:
+				c.Restart(0)
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			if i%2 == 0 {
+				c.Kill(0)
+			} else {
+				c.Restart(0)
+			}
+		}
+	}()
+
+	const n = 60
+	rng := rand.New(rand.NewSource(11))
+	var mu sync.Mutex
+	completed, rejected := 0, 0
+	var firstBad error
+	var reqWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		prompt := make([]int, 4+rng.Intn(8))
+		for j := range prompt {
+			prompt[j] = rng.Intn(vocab)
+		}
+		genLen := 3 + rng.Intn(6)
+		reqWG.Add(1)
+		go func(prompt []int, genLen int) {
+			defer reqWG.Done()
+			st, err := c.Submit(context.Background(), serve.Request{Prompt: prompt, MaxNewTokens: genLen})
+			if err == nil {
+				_, err = st.Wait()
+				if err == nil {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+					return
+				}
+			}
+			var ovl *serve.OverloadError
+			switch {
+			case errors.As(err, &ovl), errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			default:
+				mu.Lock()
+				if firstBad == nil {
+					firstBad = err
+				}
+				mu.Unlock()
+			}
+		}(prompt, genLen)
+		time.Sleep(time.Duration(rng.ExpFloat64() * float64(5*time.Millisecond)))
+	}
+	reqWG.Wait()
+	close(stopChaos)
+	chaosWG.Wait()
+	c.Wait()
+
+	if firstBad != nil {
+		t.Fatalf("request ended without a definite status: %v", firstBad)
+	}
+	if completed+rejected != n {
+		t.Fatalf("accounted %d of %d requests", completed+rejected, n)
+	}
+	if completed == 0 {
+		t.Fatal("chaos soak completed zero requests; two healthy replicas should have carried the load")
+	}
+	t.Logf("chaos soak: %d completed, %d rejected-with-status, metrics %+v", completed, rejected, c.Metrics())
+
+	// Goroutine-leak-free drain: after Wait, only the scheduler loops (part
+	// of baseline) remain. Allow slack for runtime background goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cluster is the fault-tolerant multi-replica serving layer: a
+// router fronting N engine replicas that scores each replica by its
+// performance-model drain/prefill estimates plus prefix-cache affinity,
+// consumes replica health (circuit breaker + liveness) to mark replicas
+// up/degraded/down, hedges slow requests onto a second replica
+// (first token wins, loser cancelled), and fails requests over from downed
+// replicas mid-queue or mid-stream with the 429-vs-422 overload contract
+// preserved end-to-end.
+//
+// The routing policy itself (ReplicaView, Policy) is pure arithmetic with no
+// dependency on the live serving stack, so the discrete-event fleet
+// simulator (internal/sim.Fleet) evaluates the *same* policy at hundreds of
+// simulated replicas and millions of simulated requests.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ReplicaState is the router's health classification of one replica.
+type ReplicaState int
+
+const (
+	// Up replicas take traffic normally.
+	Up ReplicaState = iota
+	// DegradedReplica replicas still take traffic but score worse and make
+	// their requests hedge-eligible immediately: the breaker reports
+	// pressure, or a fault window is open.
+	DegradedReplica
+	// DownReplica replicas are unroutable: killed, unreachable, or shedding.
+	DownReplica
+)
+
+// String returns the state's wire name.
+func (s ReplicaState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case DegradedReplica:
+		return "degraded"
+	case DownReplica:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// ReplicaView is one replica's state as scored for one request: occupancy,
+// model predictions, and how much of this request's prompt the replica's
+// prefix cache already holds.
+type ReplicaView struct {
+	State       ReplicaState
+	QueueDepth  int
+	ActiveSlots int
+	TotalSlots  int
+	// PredictedDrain is the replica's queue+batch drain estimate (zero while
+	// its step-cost fit is cold).
+	PredictedDrain time.Duration
+	// PredictedTPOT is the replica's step latency at current occupancy.
+	PredictedTPOT time.Duration
+	// PrefillCost is the replica's predicted prefill stall for this
+	// request's suffix (prompt minus cached prefix); zero while the
+	// prefill-cost fit is cold — the policy then falls back to
+	// NominalTokenCost.
+	PrefillCost time.Duration
+	// PromptTokens and MatchedTokens give the request's prompt length and
+	// the longest prefix of it this replica has cached.
+	PromptTokens  int
+	MatchedTokens int
+}
+
+// SuffixTokens is how many tokens this replica would actually prefill.
+func (v ReplicaView) SuffixTokens() int {
+	n := v.PromptTokens - v.MatchedTokens
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Policy is the scoring/hedging rule set. The score of a replica for a
+// request is its predicted time-to-first-token:
+//
+//	score = drain + prefill(suffix) + SlotBusyCost·(queue+active)/slots
+//	        [+ DegradedPenalty when the replica is degraded]
+//
+// where prefill(suffix) uses the replica's fitted prefill-cost coefficients
+// when ready and NominalTokenCost·suffix while cold, so prefix affinity
+// steers routing from the very first request. Lower is better; Down replicas
+// never route.
+type Policy struct {
+	// NominalTokenCost prices one prefill token before the replica's own
+	// prefill fit is ready. It only needs the right order of magnitude: its
+	// job is making a 75%-cached prompt score below a cold one.
+	NominalTokenCost time.Duration
+	// SlotBusyCost is the load-balancing term: the per-request penalty for
+	// each queued or active request per slot, which breaks ties toward the
+	// least-loaded replica while the latency predictors are cold.
+	SlotBusyCost time.Duration
+	// DegradedPenalty is added to a degraded replica's score so healthy
+	// replicas win unless the degraded one is dramatically better placed
+	// (e.g. holds the whole prompt prefix).
+	DegradedPenalty time.Duration
+	// HedgeFactor triggers a hedged second attempt when the primary has not
+	// produced a first token within HedgeFactor × its predicted TTFT.
+	HedgeFactor float64
+	// HedgeFallback is the hedge delay when the primary has no TTFT
+	// prediction yet (cold fits).
+	HedgeFallback time.Duration
+}
+
+// DefaultPolicy returns routing constants sized for the functional models.
+func DefaultPolicy() Policy {
+	return Policy{
+		NominalTokenCost: 200 * time.Microsecond,
+		SlotBusyCost:     2 * time.Millisecond,
+		DegradedPenalty:  250 * time.Millisecond,
+		HedgeFactor:      3,
+		HedgeFallback:    400 * time.Millisecond,
+	}
+}
+
+// Validate reports malformed policies.
+func (p Policy) Validate() error {
+	if p.NominalTokenCost < 0 || p.SlotBusyCost < 0 || p.DegradedPenalty < 0 || p.HedgeFallback < 0 {
+		return fmt.Errorf("cluster: negative policy cost")
+	}
+	if p.HedgeFactor < 1 {
+		return fmt.Errorf("cluster: hedge factor %g must be >= 1", p.HedgeFactor)
+	}
+	return nil
+}
+
+// PrefillEstimate prices the view's suffix: the replica's own fitted cost
+// when available, the nominal per-token cost otherwise.
+func (p Policy) PrefillEstimate(v ReplicaView) time.Duration {
+	if v.PrefillCost > 0 {
+		return v.PrefillCost
+	}
+	return time.Duration(v.SuffixTokens()) * p.NominalTokenCost
+}
+
+// Score returns the replica's routing score in seconds (lower is better) and
+// whether the replica is routable at all.
+func (p Policy) Score(v ReplicaView) (float64, bool) {
+	if v.State == DownReplica {
+		return 0, false
+	}
+	s := v.PredictedDrain.Seconds() + p.PrefillEstimate(v).Seconds()
+	slots := v.TotalSlots
+	if slots < 1 {
+		slots = 1
+	}
+	s += p.SlotBusyCost.Seconds() * float64(v.QueueDepth+v.ActiveSlots) / float64(slots)
+	if v.State == DegradedReplica {
+		s += p.DegradedPenalty.Seconds()
+	}
+	return s, true
+}
+
+// Rank returns the routable replica indices in ascending score order (ties
+// break toward the lower index, so ranking is deterministic).
+func (p Policy) Rank(views []ReplicaView) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	order := make([]scored, 0, len(views))
+	for i, v := range views {
+		if s, ok := p.Score(v); ok {
+			order = append(order, scored{i, s})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].score != order[b].score {
+			return order[a].score < order[b].score
+		}
+		return order[a].idx < order[b].idx
+	})
+	out := make([]int, len(order))
+	for i, s := range order {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// PredictTTFT is the primary's expected time-to-first-token under this
+// policy's pricing — the baseline the hedging rule multiplies.
+func (p Policy) PredictTTFT(v ReplicaView) time.Duration {
+	return v.PredictedDrain + p.PrefillEstimate(v)
+}
+
+// HedgeDelay returns how long to wait for the primary's first token before
+// launching a hedged attempt: zero (hedge immediately) when the primary is
+// degraded, HedgeFactor × predicted TTFT when a prediction exists, and the
+// fallback while the fits are cold.
+func (p Policy) HedgeDelay(primary ReplicaView) time.Duration {
+	if primary.State == DegradedReplica {
+		return 0
+	}
+	if ttft := p.PredictTTFT(primary); ttft > 0 {
+		return time.Duration(p.HedgeFactor * float64(ttft))
+	}
+	return p.HedgeFallback
+}

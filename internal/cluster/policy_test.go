@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPolicyScorePrefersAffinity: with equal load and health, the replica
+// holding a cached prefix of the prompt must score (and rank) strictly better
+// — prefix affinity is the whole point of scoring prefill by suffix length.
+func TestPolicyScorePrefersAffinity(t *testing.T) {
+	p := DefaultPolicy()
+	cold := ReplicaView{State: Up, TotalSlots: 4, PromptTokens: 100}
+	warm := cold
+	warm.MatchedTokens = 75
+
+	sc, okC := p.Score(cold)
+	sw, okW := p.Score(warm)
+	if !okC || !okW {
+		t.Fatal("both Up replicas must be routable")
+	}
+	if sw >= sc {
+		t.Fatalf("warm replica scored %g, cold %g; cached prefix must win", sw, sc)
+	}
+	if got := p.Rank([]ReplicaView{cold, warm}); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("Rank = %v, want warm replica (index 1) first", got)
+	}
+}
+
+// TestPolicyScoreFittedPrefillWins: a replica that published a fitted prefill
+// cost is priced by it, not the nominal fallback.
+func TestPolicyScoreFittedPrefillWins(t *testing.T) {
+	p := DefaultPolicy()
+	v := ReplicaView{State: Up, TotalSlots: 1, PromptTokens: 50, PrefillCost: 7 * time.Millisecond}
+	if got := p.PrefillEstimate(v); got != 7*time.Millisecond {
+		t.Fatalf("PrefillEstimate = %v, want the fitted 7ms", got)
+	}
+	v.PrefillCost = 0
+	if got := p.PrefillEstimate(v); got != 50*p.NominalTokenCost {
+		t.Fatalf("cold PrefillEstimate = %v, want 50×nominal", got)
+	}
+}
+
+// TestPolicyRankSkipsDownAndPenalizesDegraded: Down replicas never appear in
+// the ranking; a degraded replica ranks behind an otherwise-identical healthy
+// one but stays routable.
+func TestPolicyRankSkipsDownAndPenalizesDegraded(t *testing.T) {
+	p := DefaultPolicy()
+	views := []ReplicaView{
+		{State: DegradedReplica, TotalSlots: 4, PromptTokens: 10},
+		{State: DownReplica, TotalSlots: 4, PromptTokens: 10},
+		{State: Up, TotalSlots: 4, PromptTokens: 10},
+	}
+	got := p.Rank(views)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("Rank = %v, want [2 0] (healthy first, degraded second, down absent)", got)
+	}
+	if _, ok := p.Score(views[1]); ok {
+		t.Fatal("Down replica must be unroutable")
+	}
+}
+
+// TestPolicyLoadBalancesWhenCold: with no predictions and no prefix state,
+// the busier replica loses — SlotBusyCost is the tiebreaker that spreads a
+// cold fleet.
+func TestPolicyLoadBalancesWhenCold(t *testing.T) {
+	p := DefaultPolicy()
+	idle := ReplicaView{State: Up, TotalSlots: 4}
+	busy := ReplicaView{State: Up, TotalSlots: 4, QueueDepth: 3, ActiveSlots: 4}
+	if got := p.Rank([]ReplicaView{busy, idle}); got[0] != 1 {
+		t.Fatalf("Rank = %v, want idle replica first", got)
+	}
+}
+
+// TestPolicyRankDeterministicTies: equal scores break toward the lower index
+// so routing is reproducible.
+func TestPolicyRankDeterministicTies(t *testing.T) {
+	p := DefaultPolicy()
+	same := ReplicaView{State: Up, TotalSlots: 2, PromptTokens: 5}
+	for i := 0; i < 8; i++ {
+		if got := p.Rank([]ReplicaView{same, same, same}); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Fatalf("Rank = %v, want [0 1 2]", got)
+		}
+	}
+}
+
+// TestPolicyHedgeDelay pins the three hedge regimes: degraded primaries hedge
+// immediately, predicted primaries hedge at HedgeFactor × TTFT, cold
+// primaries hedge at the fallback.
+func TestPolicyHedgeDelay(t *testing.T) {
+	p := DefaultPolicy()
+	if got := p.HedgeDelay(ReplicaView{State: DegradedReplica}); got != 0 {
+		t.Fatalf("degraded hedge delay = %v, want 0", got)
+	}
+	v := ReplicaView{State: Up, PredictedDrain: 100 * time.Millisecond, PromptTokens: 0}
+	if got := p.HedgeDelay(v); got != 300*time.Millisecond {
+		t.Fatalf("predicted hedge delay = %v, want 3×100ms", got)
+	}
+	if got := p.HedgeDelay(ReplicaView{State: Up}); got != p.HedgeFallback {
+		t.Fatalf("cold hedge delay = %v, want fallback %v", got, p.HedgeFallback)
+	}
+}
+
+// TestPolicyValidate rejects malformed rule sets.
+func TestPolicyValidate(t *testing.T) {
+	good := DefaultPolicy()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.HedgeFactor = 0.5
+	if bad.Validate() == nil {
+		t.Fatal("HedgeFactor < 1 must be rejected")
+	}
+	bad = good
+	bad.DegradedPenalty = -time.Second
+	if bad.Validate() == nil {
+		t.Fatal("negative cost must be rejected")
+	}
+}
+
+// TestSuffixTokensClamps: a stale prefix match longer than the prompt must
+// not produce a negative suffix.
+func TestSuffixTokensClamps(t *testing.T) {
+	v := ReplicaView{PromptTokens: 4, MatchedTokens: 9}
+	if got := v.SuffixTokens(); got != 0 {
+		t.Fatalf("SuffixTokens = %d, want 0", got)
+	}
+}

@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ClusterRow is one scenario of the cluster robustness bench.
+type ClusterRow struct {
+	Scenario     string
+	Mode         string // "live" (in-process replicas) or "sim" (fleet DES)
+	Hedge        string // "on", "off", or "-" when not the variable under test
+	Offered      int
+	Completed    int
+	Failed       int
+	Availability float64
+	Failovers    int64
+	Hedges       int64
+	HedgeWins    int64
+	// TTFT percentiles in seconds over completed requests (0 when the
+	// scenario does not measure latency).
+	TTFTp50 float64
+	TTFTp99 float64
+}
+
+// ClusterResult is the cluster bench: a live three-replica run with one
+// replica killed and restarted mid-trace (the availability gate), the fleet
+// simulator's hedging A/B under a silently slow replica (the tail-latency
+// gate), and a 128-replica chaos run showing the same policy at a scale the
+// live harness cannot reach.
+type ClusterResult struct {
+	Rows []ClusterRow
+	// ExactChecked counts live routed outputs re-verified token-exact
+	// against a dedicated solo replay.
+	ExactChecked int
+}
+
+const clusterSeed = 424242
+
+// clusterEngine builds one replica's engine from the shared seed, so every
+// replica (and the solo reference) is the identical deployment.
+func clusterEngine() (*runtime.Engine, error) {
+	m, err := model.NewModel(rand.New(rand.NewSource(clusterSeed)), model.Tiny())
+	if err != nil {
+		return nil, err
+	}
+	return runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<30, nil)
+}
+
+// clusterSolo regenerates one prompt offline — the token-exactness reference
+// for routed output.
+func clusterSolo(prompt []int, budget int) ([]int, error) {
+	eng, err := clusterEngine()
+	if err != nil {
+		return nil, err
+	}
+	out, err := eng.Generate(context.Background(), [][]int{prompt}, budget)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// clusterLiveKill drives n Poisson requests at three live replicas, kills
+// replica 0 a third of the way through the trace, and restarts it at two
+// thirds. Every request must end with a definite status; availability is the
+// completed fraction. A sample of completed outputs is verified token-exact
+// against solo replays.
+func clusterLiveKill(n int) (ClusterRow, int, error) {
+	// Hedging stays off here so failover — not a hedge promotion — is the
+	// rescue path under test; the hedging A/B has its own simulated rows.
+	row := ClusterRow{Scenario: "kill-1-of-3", Mode: "live", Hedge: "off", Offered: n}
+
+	vocab := model.Tiny().Vocab
+	cfg := serve.DefaultConfig(vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 2 * n // the kill, not queue pressure, is the variable
+	cfg.MaxNewTokens = 16
+	cfg.DefaultNewTokens = 6
+	cfg.AdmissionControl = false
+
+	reps := make([]*cluster.Replica, 3)
+	scheds := make([]*serve.Scheduler, 3)
+	for i := range reps {
+		eng, err := clusterEngine()
+		if err != nil {
+			return row, 0, err
+		}
+		s, err := serve.New(eng, cfg)
+		if err != nil {
+			return row, 0, err
+		}
+		scheds[i] = s
+		reps[i] = cluster.NewReplica(fmt.Sprintf("r%d", i), s, nil)
+	}
+	defer func() {
+		for _, s := range scheds {
+			s.Close()
+		}
+	}()
+	c, err := cluster.New(reps, cfg, cluster.Options{})
+	if err != nil {
+		return row, 0, err
+	}
+
+	type outcome struct {
+		prompt []int
+		budget int
+		out    []int
+		ttft   time.Duration
+		ok     bool
+	}
+	results := make([]outcome, n)
+	rng := rand.New(rand.NewSource(clusterSeed + 1))
+	var rejected int
+	var firstBad error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	consume := func(i int, t0 time.Time, st *cluster.Stream, err error) {
+		defer wg.Done()
+		if err == nil {
+			var ttft time.Duration
+			for range st.Tokens() {
+				if ttft == 0 {
+					ttft = time.Since(t0)
+				}
+			}
+			var out []int
+			out, err = st.Wait()
+			if err == nil {
+				results[i].out = out
+				results[i].ttft = ttft
+				results[i].ok = true
+				return
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		var ovl *serve.OverloadError
+		switch {
+		case errors.As(err, &ovl), errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+			rejected++
+		default:
+			if firstBad == nil {
+				firstBad = err
+			}
+		}
+	}
+	victim := 0
+	for i := 0; i < n; i++ {
+		prompt := make([]int, 4+rng.Intn(10))
+		for j := range prompt {
+			prompt[j] = rng.Intn(vocab)
+		}
+		budget := 6 + rng.Intn(8)
+		results[i] = outcome{prompt: prompt, budget: budget}
+		wg.Add(1)
+		if i == n/3 {
+			// The kill: submit this request synchronously, then take down
+			// whichever replica it routed to while it is still in flight —
+			// the failover path, not scheduling luck, is under test.
+			t0 := time.Now()
+			st, err := c.Submit(context.Background(), serve.Request{Prompt: prompt, MaxNewTokens: budget})
+			if err == nil && len(st.Replicas()) > 0 {
+				victim = st.Replicas()[0]
+			}
+			go consume(i, t0, st, err)
+			c.Kill(victim)
+		} else {
+			if i == 2*n/3 {
+				c.Restart(victim)
+			}
+			go func(i int) {
+				t0 := time.Now()
+				st, err := c.Submit(context.Background(), serve.Request{Prompt: results[i].prompt, MaxNewTokens: results[i].budget})
+				consume(i, t0, st, err)
+			}(i)
+		}
+		time.Sleep(time.Duration(rng.ExpFloat64() * float64(3*time.Millisecond)))
+	}
+	wg.Wait()
+	c.Wait()
+
+	if firstBad != nil {
+		return row, 0, fmt.Errorf("experiments: cluster live request ended without a definite status: %w", firstBad)
+	}
+	var ttfts []float64
+	exact := 0
+	for i := range results {
+		if !results[i].ok {
+			continue
+		}
+		row.Completed++
+		ttfts = append(ttfts, results[i].ttft.Seconds())
+		// Verify a spread sample token-exact against solo replays (replays
+		// build a fresh engine each, so bound the count).
+		if exact < 6 && i%(n/6+1) == 0 {
+			want, err := clusterSolo(results[i].prompt, results[i].budget)
+			if err != nil {
+				return row, 0, err
+			}
+			if len(results[i].out) != len(want) {
+				return row, 0, fmt.Errorf("experiments: cluster request %d routed %d tokens, solo %d", i, len(results[i].out), len(want))
+			}
+			for j := range want {
+				if results[i].out[j] != want[j] {
+					return row, 0, fmt.Errorf("experiments: cluster request %d diverged from solo at token %d", i, j)
+				}
+			}
+			exact++
+		}
+	}
+	row.Failed = n - row.Completed - rejected
+	row.Availability = float64(row.Completed) / float64(n)
+	m := c.Metrics()
+	row.Failovers, row.Hedges, row.HedgeWins = m.Failovers, m.Hedges, m.HedgeWins
+	sort.Float64s(ttfts)
+	row.TTFTp50 = clusterPercentile(ttfts, 0.50)
+	row.TTFTp99 = clusterPercentile(ttfts, 0.99)
+	return row, exact, nil
+}
+
+// clusterFleetBase is the simulated counterpart of the live deployment:
+// three 4-slot replicas under Poisson load with fitted per-token costs.
+func clusterFleetBase() sim.FleetConfig {
+	return sim.FleetConfig{
+		Replicas:         3,
+		Slots:            4,
+		Requests:         2000,
+		ArrivalRate:      400,
+		PromptLen:        64,
+		GenLen:           32,
+		PrefillTokenCost: 40e-6,
+		TokenCost:        300e-6,
+		Seed:             1,
+	}
+}
+
+func clusterFleetRow(scenario, hedge string, cfg sim.FleetConfig) (ClusterRow, error) {
+	res, err := sim.RunFleet(cfg)
+	if err != nil {
+		return ClusterRow{}, fmt.Errorf("experiments: cluster fleet %s: %w", scenario, err)
+	}
+	return ClusterRow{
+		Scenario:     scenario,
+		Mode:         "sim",
+		Hedge:        hedge,
+		Offered:      res.Offered,
+		Completed:    res.Completed,
+		Failed:       res.Failed,
+		Availability: res.Availability,
+		Failovers:    int64(res.Failovers),
+		Hedges:       int64(res.Hedges),
+		HedgeWins:    int64(res.HedgeWins),
+		TTFTp50:      res.TTFTp50,
+		TTFTp99:      res.TTFTp99,
+	}, nil
+}
+
+// ClusterBench runs the cluster robustness suite with n live requests. It
+// errors — rather than just reporting — when an acceptance gate fails: live
+// availability under a one-of-three kill must stay >= 99%, and hedging must
+// improve simulated p99 TTFT under a silently slow replica.
+func ClusterBench(n int) (*ClusterResult, error) {
+	out := &ClusterResult{}
+
+	live, exact, err := clusterLiveKill(n)
+	if err != nil {
+		return nil, err
+	}
+	if live.Availability < 0.99 {
+		return nil, fmt.Errorf("experiments: cluster live availability %.4f under one-of-three kill, want >= 0.99", live.Availability)
+	}
+	out.Rows = append(out.Rows, live)
+	out.ExactChecked = exact
+
+	// Fleet kill: the same scenario at simulated scale and determinism.
+	kill := clusterFleetBase()
+	kill.Down = []sim.FleetWindow{{Replica: 0, Start: 0.5, Duration: 2.0}}
+	row, err := clusterFleetRow("kill-1-of-3", "off", kill)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+
+	// Hedging A/B: one replica serves 20x slow but its health still reads Up
+	// (the undetected-degradation regime), so score-based routing keeps
+	// feeding it. Hedged second attempts are the only defense.
+	slow := clusterFleetBase()
+	slow.Slow = []sim.FleetWindow{{Replica: 0, Start: 0.2, Duration: 3.0, Factor: 20, Silent: true}}
+	plain, err := clusterFleetRow("silent-20x-slow", "off", slow)
+	if err != nil {
+		return nil, err
+	}
+	slow.Hedge = true
+	hedged, err := clusterFleetRow("silent-20x-slow", "on", slow)
+	if err != nil {
+		return nil, err
+	}
+	if hedged.TTFTp99 >= plain.TTFTp99 {
+		return nil, fmt.Errorf("experiments: hedging did not improve p99 TTFT: %.4fs hedged vs %.4fs plain", hedged.TTFTp99, plain.TTFTp99)
+	}
+	out.Rows = append(out.Rows, plain, hedged)
+
+	// Fleet scale: 128 replicas, two kills and a slowdown, 20k requests.
+	big := clusterFleetBase()
+	big.Replicas = 128
+	big.Requests = 20000
+	big.ArrivalRate = 20000
+	big.PrefixGroups = 64
+	big.Hedge = true
+	big.Down = []sim.FleetWindow{
+		{Replica: 3, Start: 0.2, Duration: 0.5},
+		{Replica: 77, Start: 0.4, Duration: 0.3},
+	}
+	big.Slow = []sim.FleetWindow{{Replica: 9, Start: 0.1, Duration: 0.8, Factor: 10}}
+	row, err = clusterFleetRow("chaos-128x4", "on", big)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	return out, nil
+}
+
+// Format renders the scenario table.
+func (r *ClusterResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Cluster robustness: availability and tail latency under replica faults\n")
+	fmt.Fprintf(&b, "live = 3 in-process replicas (%d routed outputs verified token-exact vs solo)\n", r.ExactChecked)
+	b.WriteString("sim  = fleet discrete-event run of the same routing policy\n")
+	t := stats.NewTable("scenario", "mode", "hedge", "offered", "completed", "failed", "avail", "failovers", "hedges(wins)", "p50 ttft", "p99 ttft")
+	for _, c := range r.Rows {
+		t.AddRowf("%s\t%s\t%s\t%d\t%d\t%d\t%.2f%%\t%d\t%d(%d)\t%s\t%s",
+			c.Scenario, c.Mode, c.Hedge, c.Offered, c.Completed, c.Failed,
+			c.Availability*100, c.Failovers, c.Hedges, c.HedgeWins,
+			clusterDur(c.TTFTp50), clusterDur(c.TTFTp99))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CSV emits the scenario grid for plotting.
+func (r *ClusterResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,mode,hedge,offered,completed,failed,availability,failovers,hedges,hedge_wins,ttft_p50_s,ttft_p99_s\n")
+	for _, c := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%.4f,%d,%d,%d,%.6f,%.6f\n",
+			c.Scenario, c.Mode, c.Hedge, c.Offered, c.Completed, c.Failed,
+			c.Availability, c.Failovers, c.Hedges, c.HedgeWins, c.TTFTp50, c.TTFTp99)
+	}
+	return b.String()
+}
+
+func clusterPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func clusterDur(s float64) string {
+	return time.Duration(float64(time.Second) * s).Round(10 * time.Microsecond).String()
+}

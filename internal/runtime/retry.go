@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/faults"
@@ -12,18 +13,61 @@ import (
 type RetryConfig struct {
 	// MaxAttempts is the total number of tries per operation (>= 1).
 	MaxAttempts int
-	// BaseBackoff is the delay before the first retry; each subsequent retry
-	// doubles it. Zero disables backoff sleeps (useful in tests).
+	// BaseBackoff is the delay ceiling before the first retry; each
+	// subsequent retry doubles it. Zero disables backoff sleeps (useful in
+	// tests).
 	BaseBackoff time.Duration
 	// MaxBackoff caps the doubled delay (0 = uncapped).
 	MaxBackoff time.Duration
+	// Jitter selects full-jitter backoff: each sleep is drawn uniformly from
+	// (0, d] where d is the exponential delay. Without it every replica that
+	// observes the same fault window retries in lockstep — a thundering herd
+	// against the shared link at cluster scale.
+	Jitter bool
+	// Rand overrides the jitter source with a deterministic one (tests).
+	// Nil uses math/rand's goroutine-safe global source. Ignored unless
+	// Jitter is set; the BaseBackoff==0 no-sleep path never draws from it,
+	// so zero-backoff tests stay byte-deterministic either way.
+	Rand func() float64
 }
 
 // DefaultRetryConfig retries transient faults three times with a short
-// exponential backoff — enough to absorb injected transfer failures without
-// stretching a degraded run.
+// full-jitter exponential backoff — enough to absorb injected transfer
+// failures without stretching a degraded run, and decorrelated so a fleet of
+// replicas sharing a fault window does not retry in phase.
 func DefaultRetryConfig() RetryConfig {
-	return RetryConfig{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	return RetryConfig{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond, Jitter: true}
+}
+
+// delay returns the sleep before retry `attempt` (1-based): the exponential
+// ceiling min(MaxBackoff, BaseBackoff<<(attempt-1)), jittered to a uniform
+// draw from (0, ceiling] when Jitter is on. Zero BaseBackoff stays zero.
+func (rc RetryConfig) delay(attempt int) time.Duration {
+	if rc.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	d := rc.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if rc.MaxBackoff > 0 && d >= rc.MaxBackoff {
+			d = rc.MaxBackoff
+			break
+		}
+	}
+	if rc.MaxBackoff > 0 && d > rc.MaxBackoff {
+		d = rc.MaxBackoff
+	}
+	if !rc.Jitter {
+		return d
+	}
+	rnd := rc.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Uniform over (0, d]: 1-rnd() is in (0, 1], so two replicas with the
+	// same ceiling sleep different amounts and a zero sleep (which would
+	// hammer the faulted resource immediately) cannot be drawn.
+	return time.Duration((1 - rnd()) * float64(d))
 }
 
 // Validate reports malformed configurations.
@@ -46,7 +90,6 @@ func (e *Engine) withRetry(ctx context.Context, name string, op func() error) er
 	if rc.MaxAttempts < 1 {
 		rc.MaxAttempts = 1
 	}
-	backoff := rc.BaseBackoff
 	var err error
 	for attempt := 1; ; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -63,15 +106,11 @@ func (e *Engine) withRetry(ctx context.Context, name string, op func() error) er
 			break
 		}
 		e.stats.addRetry(name)
-		if backoff > 0 {
+		if d := rc.delay(attempt); d > 0 {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-			if rc.MaxBackoff > 0 && backoff > rc.MaxBackoff {
-				backoff = rc.MaxBackoff
+			case <-time.After(d):
 			}
 		}
 	}

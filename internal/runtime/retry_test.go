@@ -1,0 +1,113 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayExponentialNoJitter pins the deterministic ladder: base,
+// 2x, 4x, ... capped at MaxBackoff.
+func TestRetryDelayExponentialNoJitter(t *testing.T) {
+	rc := RetryConfig{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, // attempt 1
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		5 * time.Millisecond, // capped
+		5 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := rc.delay(i + 1); got != w {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestRetryDelayFullJitter drives the jitter with an injected source and
+// checks the draw is (0, ceiling] of the exponential ladder.
+func TestRetryDelayFullJitter(t *testing.T) {
+	draws := []float64{0, 0.25, 0.5, 0.999999}
+	idx := 0
+	rc := RetryConfig{
+		MaxAttempts: 8,
+		BaseBackoff: 4 * time.Millisecond,
+		MaxBackoff:  16 * time.Millisecond,
+		Jitter:      true,
+		Rand:        func() float64 { v := draws[idx%len(draws)]; idx++; return v },
+	}
+	// Attempt 1 ceiling is 4ms; draw 0 must yield the full ceiling (never a
+	// zero sleep, which would defeat the backoff entirely).
+	if got := rc.delay(1); got != 4*time.Millisecond {
+		t.Fatalf("jittered delay with draw 0 = %v, want the 4ms ceiling", got)
+	}
+	// Attempt 2 ceiling is 8ms; draw 0.25 yields 6ms.
+	if got := rc.delay(2); got != 6*time.Millisecond {
+		t.Fatalf("jittered delay with draw 0.25 = %v, want 6ms", got)
+	}
+	// Attempt 3 ceiling is 16ms (capped); draw 0.5 yields 8ms.
+	if got := rc.delay(3); got != 8*time.Millisecond {
+		t.Fatalf("jittered delay with draw 0.5 = %v, want 8ms", got)
+	}
+	// Draw ~1 yields an arbitrarily small but positive sleep.
+	if got := rc.delay(4); got <= 0 || got > 16*time.Millisecond {
+		t.Fatalf("jittered delay with draw ~1 = %v, want in (0, 16ms]", got)
+	}
+}
+
+// TestRetryDelayDecorrelatesReplicas is the thundering-herd regression: two
+// configs with distinct jitter streams must not produce identical backoff
+// schedules, while the zero-backoff test path stays exactly zero.
+func TestRetryDelayDecorrelatesReplicas(t *testing.T) {
+	mk := func(seed float64) RetryConfig {
+		v := seed
+		return RetryConfig{
+			MaxAttempts: 4,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			Jitter:      true,
+			Rand: func() float64 {
+				v = v * 0.7312 // cheap deterministic per-replica stream
+				return v
+			},
+		}
+	}
+	a, b := mk(0.9), mk(0.3)
+	same := true
+	for attempt := 1; attempt <= 3; attempt++ {
+		if a.delay(attempt) != b.delay(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two replicas with distinct jitter streams produced identical backoff schedules")
+	}
+
+	zero := RetryConfig{MaxAttempts: 4, Jitter: true, Rand: func() float64 {
+		t.Fatal("zero-backoff path must not draw randomness")
+		return 0
+	}}
+	for attempt := 1; attempt <= 3; attempt++ {
+		if d := zero.delay(attempt); d != 0 {
+			t.Fatalf("zero BaseBackoff produced delay %v", d)
+		}
+	}
+}
+
+// TestDefaultRetryConfigJitterOn pins that the production default is
+// decorrelated.
+func TestDefaultRetryConfigJitterOn(t *testing.T) {
+	rc := DefaultRetryConfig()
+	if !rc.Jitter {
+		t.Fatal("DefaultRetryConfig must enable full-jitter backoff")
+	}
+	if err := rc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The nil-Rand path must produce a bounded positive delay.
+	for i := 0; i < 32; i++ {
+		d := rc.delay(3)
+		if d <= 0 || d > 4*rc.BaseBackoff {
+			t.Fatalf("default jittered delay(3) = %v outside (0, %v]", d, 4*rc.BaseBackoff)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+// TestBreakerHysteresisLadder pins the state machine's asymmetry: upgrades
+// are immediate, downgrades take HealthyStreak consecutive clean evaluations,
+// recovery is one level at a time, and a single dirty evaluation resets the
+// streak — a flapping signal cannot tunnel the breaker back to Healthy.
+func TestBreakerHysteresisLadder(t *testing.T) {
+	b := &breaker{needStreak: 3}
+
+	// Two raised signals jump straight to Shedding.
+	if st, changed := b.evaluate(breakerSignals{faults: true, queueSwamped: true}); st != Shedding || !changed {
+		t.Fatalf("two signals -> (%v, %v), want immediate Shedding", st, changed)
+	}
+
+	// Clean evaluations: no change until the streak completes, then exactly
+	// one level down (Shedding recovers through Degraded, never skips).
+	for i := 0; i < 2; i++ {
+		if st, changed := b.evaluate(breakerSignals{}); st != Shedding || changed {
+			t.Fatalf("clean eval %d -> (%v, %v), want Shedding unchanged (streak %d/3)", i+1, st, changed, i+1)
+		}
+	}
+	if st, _ := b.evaluate(breakerSignals{}); st != Degraded {
+		t.Fatalf("third clean eval -> %v, want Degraded (one level at a time)", st)
+	}
+
+	// Flap: two clean evals, then a raised signal. The streak must reset —
+	// Degraded persists through the next two clean evals.
+	b.evaluate(breakerSignals{})
+	b.evaluate(breakerSignals{})
+	if st, _ := b.evaluate(breakerSignals{faults: true}); st != Degraded {
+		t.Fatalf("dirty eval at Degraded -> %v, want Degraded (matching target holds)", st)
+	}
+	for i := 0; i < 2; i++ {
+		if st, changed := b.evaluate(breakerSignals{}); st != Degraded || changed {
+			t.Fatalf("post-flap clean eval %d -> (%v, %v), want Degraded (streak must have reset)", i+1, st, changed)
+		}
+	}
+	if st, _ := b.evaluate(breakerSignals{}); st != Healthy {
+		t.Fatalf("final clean eval -> %v, want Healthy", st)
+	}
+
+	// An arena-critical signal sheds regardless of count.
+	if st, _ := b.evaluate(breakerSignals{arenaCritical: true}); st != Shedding {
+		t.Fatalf("arena-critical -> %v, want Shedding", st)
+	}
+}
+
+// TestBreakerFlapUnderConcurrentSubmit drives a live scheduler with
+// concurrent submissions while the fault-injection window flaps open and
+// closed. Invariants: every request ends with a definite status (tokens,
+// overload, or queue-full), the breaker leaves Healthy while faults flap and
+// walks back down after the window closes for good, and no torn state
+// appears under the race detector.
+func TestBreakerFlapUnderConcurrentSubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flap soak skipped in -short")
+	}
+	vocab := model.Tiny().Vocab
+	cfg := DefaultConfig(vocab)
+	cfg.Slots = 2
+	cfg.QueueDepth = 8
+	cfg.MaxPromptLen = 64
+	cfg.MaxNewTokens = 8
+	cfg.DefaultNewTokens = 4
+	cfg.HealthyStreak = 2
+
+	eng := smallArenaEngine(t, 96<<10, 1)
+	inj := faults.MustNew(29, map[faults.Site]faults.Rule{
+		faults.WeightTransfer: {Prob: 0.3},
+		faults.KVTransfer:     {Prob: 0.25},
+	})
+	inj.SetActive(false)
+	eng.SetFaultInjector(inj)
+	eng.SetRetryConfig(runtime.RetryConfig{MaxAttempts: 6, Jitter: false})
+
+	sched, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+
+	// Flapper: open and close the fault window on a short period while load
+	// runs, ending closed.
+	stopFlap := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		active := false
+		for {
+			select {
+			case <-stopFlap:
+				inj.SetActive(false)
+				return
+			case <-time.After(15 * time.Millisecond):
+				active = !active
+				inj.SetActive(active)
+			}
+		}
+	}()
+
+	// Health watcher: sample the breaker concurrently with the loop's own
+	// evaluations — this is the cross-goroutine read the race detector vets.
+	var sawDegradedOrWorse sync.Once
+	degraded := make(chan struct{})
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(2 * time.Millisecond):
+				if sched.Health() != Healthy {
+					sawDegradedOrWorse.Do(func() { close(degraded) })
+				}
+			}
+		}
+	}()
+
+	const n = 48
+	rng := rand.New(rand.NewSource(5))
+	var mu sync.Mutex
+	completed, shed := 0, 0
+	var firstBad error
+	var reqWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		prompt := make([]int, 3+rng.Intn(6))
+		for j := range prompt {
+			prompt[j] = rng.Intn(vocab)
+		}
+		reqWG.Add(1)
+		go func(prompt []int) {
+			defer reqWG.Done()
+			st, err := sched.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: 3})
+			if err == nil {
+				_, err = st.Wait()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			var ovl *OverloadError
+			switch {
+			case err == nil:
+				completed++
+			case errors.As(err, &ovl), errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				if firstBad == nil {
+					firstBad = err
+				}
+			}
+		}(prompt)
+		time.Sleep(time.Duration(rng.ExpFloat64() * float64(3*time.Millisecond)))
+	}
+	reqWG.Wait()
+	close(stopFlap)
+	flapWG.Wait()
+	close(stopWatch)
+	watchWG.Wait()
+
+	if firstBad != nil {
+		t.Fatalf("request ended without a definite status: %v", firstBad)
+	}
+	if completed+shed != n {
+		t.Fatalf("accounted %d of %d requests", completed+shed, n)
+	}
+	if completed == 0 {
+		t.Fatal("no request completed across the flap windows")
+	}
+
+	// With aggressive fault rates the breaker must have left Healthy at some
+	// point (the watcher or the transition counter caught it).
+	select {
+	case <-degraded:
+	default:
+		if sched.Metrics().BreakerTransitions == 0 {
+			t.Fatal("breaker never left Healthy despite 30% fault windows")
+		}
+	}
+
+	// After the window closes for good, hysteresis walks the breaker back to
+	// Healthy — one level per HealthyStreak clean evaluations, evaluated
+	// lazily by Health() even on an idle server.
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck at %v after faults stopped", sched.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("flap soak: %d completed, %d shed, %d breaker transitions",
+		completed, shed, sched.Metrics().BreakerTransitions)
+}

@@ -88,7 +88,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		var ovl *OverloadError
 		switch {
 		case errors.As(err, &ovl):
-			writeOverload(w, ovl)
+			WriteOverload(w, ovl)
 			return
 		case errors.Is(err, ErrQueueFull):
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -115,15 +115,16 @@ func NewHandler(s *Scheduler) http.Handler {
 	return mux
 }
 
-// writeOverload maps a structured admission rejection onto the wire: 503
+// WriteOverload maps a structured admission rejection onto the wire: 503
 // when the breaker is shedding and 429 for transient memory/latency
 // pressure, both carrying a Retry-After header (whole seconds, rounded up,
 // only when the drain predictor has an estimate); permanent rejections — a
 // request that can never fit this deployment — return 422 with no
 // Retry-After, so a well-behaved client stops resubmitting a request no
 // amount of waiting can admit. The JSON body always carries the
-// machine-readable cause.
-func writeOverload(w http.ResponseWriter, e *OverloadError) {
+// machine-readable cause. Exported so the cluster frontend answers routed
+// rejections with byte-identical semantics.
+func WriteOverload(w http.ResponseWriter, e *OverloadError) {
 	status := http.StatusTooManyRequests
 	switch {
 	case e.Permanent:

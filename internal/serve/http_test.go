@@ -214,7 +214,7 @@ func TestHTTPQueueFull(t *testing.T) {
 // forever.
 func TestWriteOverloadTransientVsPermanent(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeOverload(rec, &OverloadError{Reason: "arena-pressure", RetryAfter: 1500 * time.Millisecond})
+	WriteOverload(rec, &OverloadError{Reason: "arena-pressure", RetryAfter: 1500 * time.Millisecond})
 	if rec.Code != http.StatusTooManyRequests {
 		t.Errorf("transient status = %d, want 429", rec.Code)
 	}
@@ -230,13 +230,13 @@ func TestWriteOverloadTransientVsPermanent(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	writeOverload(rec, &OverloadError{Reason: "shedding"})
+	WriteOverload(rec, &OverloadError{Reason: "shedding"})
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("shedding status = %d, want 503", rec.Code)
 	}
 
 	rec = httptest.NewRecorder()
-	writeOverload(rec, &OverloadError{Reason: "never-fits", Permanent: true})
+	WriteOverload(rec, &OverloadError{Reason: "never-fits", Permanent: true})
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Errorf("permanent status = %d, want 422", rec.Code)
 	}

@@ -1,0 +1,68 @@
+package serve
+
+import "time"
+
+// RouteSnapshot is the scheduler state a cluster router scores replicas by:
+// queue/slot occupancy, the breaker position, and the loop-published
+// performance-model predictions (drain, TPOT, prefill coefficients). All
+// fields are copied under the scheduler mutex, so snapshots are safe to take
+// from any goroutine while the loop runs.
+type RouteSnapshot struct {
+	Breaker     BreakerState
+	QueueDepth  int
+	ActiveSlots int
+	TotalSlots  int
+	// PredictedDrain is the loop's estimate of how long the current queue and
+	// batch take to finish — the same figure Retry-After is derived from.
+	PredictedDrain time.Duration
+	// PredictedTPOT is the step-cost model's latency at the current occupancy.
+	PredictedTPOT time.Duration
+	// PrefillReady reports whether the prefill-cost fit has enough samples;
+	// PrefillFixed/PrefillPerToken are its coefficients in seconds.
+	PrefillReady    bool
+	PrefillFixed    float64
+	PrefillPerToken float64
+}
+
+// PredictPrefill applies the snapshot's prefill-cost coefficients to a token
+// count (zero before the fit is ready or for nothing to prefill).
+func (rs RouteSnapshot) PredictPrefill(tokens int) time.Duration {
+	if !rs.PrefillReady || tokens <= 0 {
+		return 0
+	}
+	return time.Duration((rs.PrefillFixed + rs.PrefillPerToken*float64(tokens)) * float64(time.Second))
+}
+
+// RouteSnapshot captures the routing view of this scheduler.
+func (s *Scheduler) RouteSnapshot() RouteSnapshot {
+	s.mu.Lock()
+	view := s.press
+	depth := s.queue.len()
+	active := s.active
+	s.mu.Unlock()
+	return RouteSnapshot{
+		Breaker:         s.brk.current(),
+		QueueDepth:      depth,
+		ActiveSlots:     active,
+		TotalSlots:      s.cfg.Slots,
+		PredictedDrain:  view.drain,
+		PredictedTPOT:   view.tpotNow,
+		PrefillReady:    view.prefillReady,
+		PrefillFixed:    view.prefillFixed,
+		PrefillPerToken: view.prefillPerT,
+	}
+}
+
+// PrefixMatchTokens reports how many leading prompt tokens this scheduler's
+// prefix cache already holds (capped one short of the prompt so an admission
+// always prefills at least one token) — the router's affinity signal. Zero
+// without a prefix store.
+func (s *Scheduler) PrefixMatchTokens(prompt []int) int {
+	if s.prefixStore == nil || len(prompt) == 0 {
+		return 0
+	}
+	return s.prefixStore.MatchTokens(prompt, len(prompt)-1)
+}
+
+// Config returns the scheduler's effective configuration (a copy).
+func (s *Scheduler) Config() Config { return s.cfg }

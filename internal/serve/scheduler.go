@@ -101,6 +101,12 @@ type pressureView struct {
 	drain             time.Duration
 	tpotNext          time.Duration // predicted TPOT if one more slot joins
 	tpotNow           time.Duration // predicted TPOT at the current occupancy
+
+	// Prefill-cost coefficients (seconds), published so routers can predict
+	// a candidate admission's prefill stall without touching the loop-owned
+	// PrefillCostModel from another goroutine.
+	prefillReady              bool
+	prefillFixed, prefillPerT float64
 }
 
 // Scheduler drives a continuous-batching session: submissions land in a
@@ -677,6 +683,8 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 	}
 	tpotNext := s.cost.PredictTPOT(occ + 1)
 	tpotNow := s.cost.PredictTPOT(occ)
+	prefillReady := s.prefillCost.Ready()
+	prefillFixed, prefillPerT := s.prefillCost.Coefficients()
 	s.mu.Lock()
 	s.press.level = s.level
 	s.press.gpuFrac = gpuFrac
@@ -685,6 +693,9 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 	s.press.drain = drain
 	s.press.tpotNext = tpotNext
 	s.press.tpotNow = tpotNow
+	s.press.prefillReady = prefillReady
+	s.press.prefillFixed = prefillFixed
+	s.press.prefillPerT = prefillPerT
 	s.mu.Unlock()
 }
 

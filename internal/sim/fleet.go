@@ -1,0 +1,515 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// FleetConfig drives a discrete-event simulation of the cluster router at
+// scale: N replicas × S slots serving a Poisson request stream, routed by the
+// SAME cluster.Policy the live router uses (the policy is pure arithmetic
+// over ReplicaViews, so simulated and live routing decisions come from one
+// code path). Where the live cluster tops out at a handful of in-process
+// engines, the fleet runs hundreds of replicas and tens of thousands of
+// requests in milliseconds, which is how routing changes are evaluated before
+// they ship: outage windows exercise failover, slowdown windows exercise
+// hedging, and shared-prefix request families exercise affinity.
+type FleetConfig struct {
+	Replicas int
+	Slots    int
+	Requests int
+	// ArrivalRate is the Poisson arrival intensity in requests/second across
+	// the whole fleet.
+	ArrivalRate float64
+	// PromptLen and GenLen are mean request shapes (actual draws are uniform
+	// in [mean/2, 3·mean/2)).
+	PromptLen int
+	GenLen    int
+	// PrefillTokenCost and TokenCost are the per-token service times in
+	// seconds for prefill and decode — the simulated replicas' "fitted"
+	// performance model.
+	PrefillTokenCost float64
+	TokenCost        float64
+	// PrefixGroups > 0 partitions requests into shared-prefix families: each
+	// request draws a family and shares its first PromptLen/2 tokens with
+	// every sibling, so a replica that completed a family request holds its
+	// prefix (MatchedTokens) and skips that prefill work on a hit.
+	PrefixGroups int
+	// Policy is the routing rule set; the zero value takes
+	// cluster.DefaultPolicy.
+	Policy cluster.Policy
+	// BlindAffinity hides cached prefixes from routing (views report no
+	// match and full-prompt prefill cost) while service still benefits from
+	// hits — the control arm for measuring what affinity-aware routing buys.
+	BlindAffinity bool
+	// Hedge enables hedged second attempts per the policy's HedgeDelay.
+	Hedge bool
+	Seed  int64
+	// Down and Slow schedule replica fault windows: Down replicas are
+	// unroutable and fail their in-flight requests over; Slow replicas serve
+	// at 1/Factor rate and route as degraded.
+	Down []FleetWindow
+	Slow []FleetWindow
+}
+
+// FleetWindow degrades one simulated replica for [Start, Start+Duration)
+// seconds. Factor is only meaningful for slowdowns (service rate 1/Factor).
+// Silent (slowdowns only) hides the degradation from routing: the replica
+// serves at 1/Factor but its views report Up — the undetected-slow-replica
+// regime where hedging, not health-aware scoring, is the defense.
+type FleetWindow struct {
+	Replica  int
+	Start    float64
+	Duration float64
+	Factor   float64
+	Silent   bool
+}
+
+// Validate reports malformed fleet configurations.
+func (c FleetConfig) Validate() error {
+	if c.Replicas <= 0 || c.Slots <= 0 || c.Requests <= 0 {
+		return fmt.Errorf("sim: fleet needs positive replicas/slots/requests, got %d/%d/%d", c.Replicas, c.Slots, c.Requests)
+	}
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("sim: fleet arrival rate %g must be positive", c.ArrivalRate)
+	}
+	if c.PromptLen <= 0 || c.GenLen <= 0 {
+		return fmt.Errorf("sim: fleet prompt/gen lengths must be positive, got %d/%d", c.PromptLen, c.GenLen)
+	}
+	if c.PrefillTokenCost <= 0 || c.TokenCost <= 0 {
+		return fmt.Errorf("sim: fleet token costs must be positive, got %g/%g", c.PrefillTokenCost, c.TokenCost)
+	}
+	for _, w := range append(append([]FleetWindow{}, c.Down...), c.Slow...) {
+		if w.Replica < 0 || w.Replica >= c.Replicas {
+			return fmt.Errorf("sim: fleet window on replica %d outside [0, %d)", w.Replica, c.Replicas)
+		}
+		if w.Start < 0 || w.Duration <= 0 {
+			return fmt.Errorf("sim: fleet window [%g, +%g) must have start >= 0 and positive duration", w.Start, w.Duration)
+		}
+	}
+	for _, w := range c.Slow {
+		if w.Factor < 1 {
+			return fmt.Errorf("sim: fleet slowdown factor %g must be >= 1", w.Factor)
+		}
+	}
+	return nil
+}
+
+// FleetResult summarizes one fleet run.
+type FleetResult struct {
+	Offered   int
+	Completed int
+	// Failed counts requests that found no routable replica (at arrival or
+	// after exhausting failover targets) — the availability loss.
+	Failed       int
+	Availability float64
+	Failovers    int
+	Hedges       int
+	HedgeWins    int
+	PrefixHits   int
+	// TTFT percentiles over completed requests in seconds (arrival to the
+	// winning attempt's first token).
+	TTFTp50, TTFTp95, TTFTp99 float64
+	MeanTTFT                  float64
+	Makespan                  float64
+}
+
+// fleetReq is one simulated request.
+type fleetReq struct {
+	id        int
+	group     int // prefix family, -1 when PrefixGroups is 0
+	sharedLen int // tokens shared with the family
+	promptLen int
+	genLen    int
+	arrival   float64
+
+	tried    map[int]bool
+	attempts []*fleetAttempt
+	done     bool
+	failed   bool
+	ttft     float64
+}
+
+// fleetAttempt is one dispatch of a request onto one replica.
+type fleetAttempt struct {
+	req      *fleetReq
+	replica  int
+	hedge    bool
+	inQueue  bool
+	serving  bool
+	canceled bool
+	firstAt  float64
+	finishAt float64
+}
+
+// live reports whether the attempt can still win.
+func (a *fleetAttempt) live() bool { return !a.canceled && (a.inQueue || a.serving) }
+
+// fleetReplica is one simulated cluster member.
+type fleetReplica struct {
+	down   bool
+	factor float64 // 1 = nominal, >1 = slowdown in effect
+	silent bool    // slowdown hidden from routing (views report Up)
+	busy   int
+	queue  []*fleetAttempt
+	// cached prefix families (the simulated PrefixStore's MatchTokens).
+	cached map[int]bool
+}
+
+// fleet event kinds; lower kinds win time ties so state edges (windows)
+// apply before arrivals and completions at the same instant.
+const (
+	evWindow = iota
+	evArrival
+	evFinish
+	evHedge
+)
+
+type fleetEvent struct {
+	time float64
+	kind int
+	seq  int
+	fn   func(now float64)
+}
+
+type fleetHeap []fleetEvent
+
+func (h fleetHeap) Len() int { return len(h) }
+func (h fleetHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fleetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fleetHeap) Push(x interface{}) { *h = append(*h, x.(fleetEvent)) }
+func (h *fleetHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunFleet executes the fleet simulation. Runs are deterministic in the
+// config (seeded arrivals, deterministic tie-breaking in both the event heap
+// and the routing policy).
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Policy
+	if pol == (cluster.Policy{}) {
+		pol = cluster.DefaultPolicy()
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	replicas := make([]*fleetReplica, cfg.Replicas)
+	for i := range replicas {
+		replicas[i] = &fleetReplica{factor: 1, cached: map[int]bool{}}
+	}
+	res := &FleetResult{Offered: cfg.Requests}
+	var reqs []*fleetReq
+
+	var events fleetHeap
+	seq := 0
+	push := func(t float64, kind int, fn func(now float64)) {
+		heap.Push(&events, fleetEvent{time: t, kind: kind, seq: seq, fn: fn})
+		seq++
+	}
+
+	// meanService seeds the drain estimate: the simulated scheduler predicts
+	// drain as pending service over slot parallelism (in-service requests
+	// count half, being half done on average).
+	meanService := float64(cfg.PromptLen)*cfg.PrefillTokenCost + float64(cfg.GenLen)*cfg.TokenCost
+
+	state := func(r *fleetReplica) cluster.ReplicaState {
+		switch {
+		case r.down:
+			return cluster.DownReplica
+		case r.factor > 1 && !r.silent:
+			return cluster.DegradedReplica
+		default:
+			return cluster.Up
+		}
+	}
+	view := func(i int, req *fleetReq) cluster.ReplicaView {
+		r := replicas[i]
+		v := cluster.ReplicaView{
+			State:        state(r),
+			QueueDepth:   len(r.queue),
+			ActiveSlots:  r.busy,
+			TotalSlots:   cfg.Slots,
+			PromptTokens: req.promptLen,
+		}
+		if v.State == cluster.DownReplica {
+			return v
+		}
+		if !cfg.BlindAffinity && req.group >= 0 && r.cached[req.group] {
+			v.MatchedTokens = req.sharedLen
+		}
+		v.PrefillCost = durSec(float64(req.promptLen-v.MatchedTokens) * cfg.PrefillTokenCost)
+		v.PredictedDrain = durSec((float64(len(r.queue)) + float64(r.busy)*0.5) * meanService / float64(cfg.Slots))
+		return v
+	}
+
+	var startService func(i int, now float64)
+	var dispatch func(req *fleetReq, hedge bool, now float64) bool
+
+	// finishAttempt settles a completed service: the first attempt to finish
+	// wins its request; stale events for canceled attempts (whose slot was
+	// already freed) are ignored.
+	finishAttempt := func(a *fleetAttempt, now float64) {
+		if !a.serving {
+			return
+		}
+		a.serving = false
+		r := replicas[a.replica]
+		r.busy--
+		if !a.canceled && !a.req.done {
+			a.req.done = true
+			a.req.ttft = a.firstAt - a.req.arrival
+			res.Completed++
+			if a.hedge {
+				res.HedgeWins++
+			}
+			if a.req.group >= 0 {
+				r.cached[a.req.group] = true
+			}
+			// First finish wins: cancel the losing attempts so their slots
+			// free immediately (the live router cancels the loser's context).
+			for _, sib := range a.req.attempts {
+				if sib != a && sib.live() {
+					sib.canceled = true
+					if sib.serving {
+						sib.serving = false
+						replicas[sib.replica].busy--
+						startService(sib.replica, now)
+					}
+				}
+			}
+		}
+		startService(a.replica, now)
+	}
+
+	startService = func(i int, now float64) {
+		r := replicas[i]
+		for r.busy < cfg.Slots && !r.down && len(r.queue) > 0 {
+			a := r.queue[0]
+			r.queue = r.queue[1:]
+			a.inQueue = false
+			if a.canceled || a.req.done {
+				continue
+			}
+			matched := 0
+			if a.req.group >= 0 && r.cached[a.req.group] {
+				matched = a.req.sharedLen
+				res.PrefixHits++
+			}
+			prefill := float64(a.req.promptLen-matched) * cfg.PrefillTokenCost * r.factor
+			decode := float64(a.req.genLen) * cfg.TokenCost * r.factor
+			a.serving = true
+			a.firstAt = now + prefill
+			a.finishAt = now + prefill + decode
+			r.busy++
+			att := a
+			push(a.finishAt, evFinish, func(now float64) { finishAttempt(att, now) })
+		}
+	}
+
+	dispatch = func(req *fleetReq, hedge bool, now float64) bool {
+		views := make([]cluster.ReplicaView, cfg.Replicas)
+		for i := range views {
+			views[i] = view(i, req)
+		}
+		for _, i := range pol.Rank(views) {
+			if req.tried[i] {
+				continue
+			}
+			req.tried[i] = true
+			a := &fleetAttempt{req: req, replica: i, hedge: hedge, inQueue: true}
+			req.attempts = append(req.attempts, a)
+			replicas[i].queue = append(replicas[i].queue, a)
+			startService(i, now)
+			switch {
+			case hedge:
+				res.Hedges++
+			case len(req.attempts) > 1:
+				res.Failovers++
+			}
+			// Schedule the hedge check against the primary's predicted TTFT.
+			if cfg.Hedge && !hedge && len(req.attempts) == 1 && cfg.Replicas > 1 {
+				delay := pol.HedgeDelay(views[i]).Seconds()
+				r := req
+				push(now+delay, evHedge, func(now float64) {
+					if r.done || r.failed || r.firstTokenBy(now) {
+						return
+					}
+					dispatch(r, true, now)
+				})
+			}
+			return true
+		}
+		return false
+	}
+
+	// Window edges.
+	for _, w := range cfg.Slow {
+		w := w
+		push(w.Start, evWindow, func(float64) {
+			replicas[w.Replica].factor = w.Factor
+			replicas[w.Replica].silent = w.Silent
+		})
+		push(w.Start+w.Duration, evWindow, func(float64) {
+			replicas[w.Replica].factor = 1
+			replicas[w.Replica].silent = false
+		})
+	}
+	for _, w := range cfg.Down {
+		w := w
+		push(w.Start, evWindow, func(now float64) {
+			r := replicas[w.Replica]
+			r.down = true
+			// Everything in flight on the replica dies with it; orphaned
+			// requests re-dispatch in arrival order (deterministic).
+			for _, a := range r.queue {
+				a.canceled = true
+				a.inQueue = false
+			}
+			r.queue = nil
+			var orphans []*fleetReq
+			for _, req := range reqs {
+				if req.done || req.failed {
+					continue
+				}
+				for _, a := range req.attempts {
+					if a.replica == w.Replica && a.serving && !a.canceled {
+						a.canceled = true
+						a.serving = false
+						r.busy--
+					}
+				}
+				if req.tried[w.Replica] && !alive(req.attempts) {
+					orphans = append(orphans, req)
+				}
+			}
+			for _, req := range orphans {
+				if !dispatch(req, false, now) {
+					req.failed = true
+					res.Failed++
+				}
+			}
+		})
+		push(w.Start+w.Duration, evWindow, func(now float64) {
+			replicas[w.Replica].down = false
+			startService(w.Replica, now)
+		})
+	}
+
+	// Poisson arrivals.
+	t := 0.0
+	for i := 0; i < cfg.Requests; i++ {
+		t += rng.ExpFloat64() / cfg.ArrivalRate
+		group := -1
+		shared := 0
+		promptLen := cfg.PromptLen/2 + rng.Intn(cfg.PromptLen)
+		if cfg.PrefixGroups > 0 {
+			group = rng.Intn(cfg.PrefixGroups)
+			shared = cfg.PromptLen / 2
+			if shared > promptLen {
+				shared = promptLen
+			}
+		}
+		req := &fleetReq{
+			id:        i,
+			group:     group,
+			sharedLen: shared,
+			promptLen: promptLen,
+			genLen:    cfg.GenLen/2 + rng.Intn(cfg.GenLen),
+			arrival:   t,
+			tried:     map[int]bool{},
+		}
+		reqs = append(reqs, req)
+		push(t, evArrival, func(now float64) {
+			if !dispatch(req, false, now) {
+				req.failed = true
+				res.Failed++
+			}
+		})
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(fleetEvent)
+		ev.fn(ev.time)
+		if ev.time > res.Makespan {
+			res.Makespan = ev.time
+		}
+	}
+
+	// TTFT percentiles over completed requests.
+	var ttfts []float64
+	sum := 0.0
+	for _, req := range reqs {
+		if req.done {
+			ttfts = append(ttfts, req.ttft)
+			sum += req.ttft
+		}
+	}
+	sort.Float64s(ttfts)
+	if len(ttfts) > 0 {
+		res.TTFTp50 = percentile(ttfts, 0.50)
+		res.TTFTp95 = percentile(ttfts, 0.95)
+		res.TTFTp99 = percentile(ttfts, 0.99)
+		res.MeanTTFT = sum / float64(len(ttfts))
+	}
+	res.Availability = float64(res.Completed) / float64(res.Offered)
+	return res, nil
+}
+
+// firstTokenBy reports whether any live attempt emitted its first token by
+// time t — the hedge check's "primary answered in time" condition.
+func (r *fleetReq) firstTokenBy(t float64) bool {
+	if r.done {
+		return true
+	}
+	for _, a := range r.attempts {
+		if !a.canceled && a.serving && a.firstAt <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// alive reports whether the request still has an attempt that can win.
+func alive(atts []*fleetAttempt) bool {
+	for _, a := range atts {
+		if a.live() {
+			return true
+		}
+	}
+	return false
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// durSec converts seconds to a time.Duration for ReplicaView fields.
+func durSec(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+)
+
+func baseFleet() FleetConfig {
+	return FleetConfig{
+		Replicas:         3,
+		Slots:            4,
+		Requests:         2000,
+		ArrivalRate:      400,
+		PromptLen:        64,
+		GenLen:           32,
+		PrefillTokenCost: 40e-6,
+		TokenCost:        300e-6,
+		Seed:             1,
+	}
+}
+
+// TestFleetBaselineServesEverything: a healthy, adequately provisioned fleet
+// completes every request with no failovers.
+func TestFleetBaselineServesEverything(t *testing.T) {
+	res, err := RunFleet(baseFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Offered || res.Failed != 0 {
+		t.Fatalf("healthy fleet completed %d/%d with %d failed", res.Completed, res.Offered, res.Failed)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("healthy fleet recorded %d failovers", res.Failovers)
+	}
+	if res.Availability != 1 {
+		t.Fatalf("availability = %g, want 1", res.Availability)
+	}
+}
+
+// TestFleetDeterministic: identical configs produce identical results — the
+// property that makes fleet experiments reproducible artifacts.
+func TestFleetDeterministic(t *testing.T) {
+	cfg := baseFleet()
+	cfg.Down = []FleetWindow{{Replica: 0, Start: 0.5, Duration: 1.0}}
+	cfg.Hedge = true
+	a, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same config diverged:\n%+v\n%+v", *a, *b)
+	}
+}
+
+// TestFleetAvailabilityUnderKill: killing one of three replicas mid-run
+// fails its in-flight requests over and the fleet stays >= 99% available —
+// the same gate the live bench run enforces.
+func TestFleetAvailabilityUnderKill(t *testing.T) {
+	cfg := baseFleet()
+	cfg.Down = []FleetWindow{{Replica: 0, Start: 0.5, Duration: 2.0}}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("kill window produced no failovers; in-flight requests were not re-dispatched")
+	}
+	if res.Availability < 0.99 {
+		t.Fatalf("availability %.4f under one-of-three kill, want >= 0.99 (%d failed)", res.Availability, res.Failed)
+	}
+}
+
+// TestFleetHedgingImprovesTailLatency: one replica goes 20x slow SILENTLY
+// (health signals still say Up, so affinity/score routing keeps sending it
+// traffic — the undetected-degradation regime). Hedging must cut p99 TTFT
+// versus the identical run without hedging: requests stuck on the slow
+// replica get rescued by the second attempt.
+func TestFleetHedgingImprovesTailLatency(t *testing.T) {
+	cfg := baseFleet()
+	cfg.Slow = []FleetWindow{{Replica: 0, Start: 0.2, Duration: 3.0, Factor: 20, Silent: true}}
+
+	plain, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hedge = true
+	hedged, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.Hedges == 0 {
+		t.Fatal("slow window triggered no hedges")
+	}
+	if hedged.HedgeWins == 0 {
+		t.Fatal("no hedge ever won against a 20x-slow primary")
+	}
+	if hedged.TTFTp99 >= plain.TTFTp99 {
+		t.Fatalf("hedging did not improve p99 TTFT: %.4fs hedged vs %.4fs plain", hedged.TTFTp99, plain.TTFTp99)
+	}
+	t.Logf("p99 TTFT: plain %.4fs, hedged %.4fs (%d hedges, %d wins)",
+		plain.TTFTp99, hedged.TTFTp99, hedged.Hedges, hedged.HedgeWins)
+}
+
+// TestFleetPrefixAffinityConcentratesFamilies: with many shared-prefix
+// families spread over many replicas, affinity-aware routing concentrates
+// each family onto the replicas already holding its prefix — more cache
+// hits and a lower mean TTFT than the BlindAffinity control, where routing
+// cannot see the caches and every family pays cold prefills on every
+// replica it happens to land on.
+func TestFleetPrefixAffinityConcentratesFamilies(t *testing.T) {
+	cfg := baseFleet()
+	cfg.Replicas = 8
+	cfg.PrefixGroups = 64
+	cfg.Requests = 4000
+
+	affine, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affine.PrefixHits == 0 {
+		t.Fatal("affinity routing produced no prefix hits")
+	}
+
+	blind := cfg
+	blind.BlindAffinity = true
+	blindRes, err := RunFleet(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affine.PrefixHits <= blindRes.PrefixHits {
+		t.Fatalf("affinity hits %d not above blind routing's %d", affine.PrefixHits, blindRes.PrefixHits)
+	}
+	if affine.MeanTTFT >= blindRes.MeanTTFT {
+		t.Fatalf("affinity mean TTFT %.5fs not below blind %.5fs", affine.MeanTTFT, blindRes.MeanTTFT)
+	}
+	t.Logf("prefix hits: affine %d vs blind %d; mean TTFT %.5fs vs %.5fs",
+		affine.PrefixHits, blindRes.PrefixHits, affine.MeanTTFT, blindRes.MeanTTFT)
+}
+
+// TestFleetScalesToHundredReplicas: the router policy at 128 replicas and
+// 20k requests — the scale the live harness cannot reach — still completes
+// everything and runs in well under a second.
+func TestFleetScalesToHundredReplicas(t *testing.T) {
+	cfg := baseFleet()
+	cfg.Replicas = 128
+	cfg.Slots = 4
+	cfg.Requests = 20000
+	cfg.ArrivalRate = 20000
+	cfg.PrefixGroups = 64
+	cfg.Hedge = true
+	cfg.Down = []FleetWindow{
+		{Replica: 3, Start: 0.2, Duration: 0.5},
+		{Replica: 77, Start: 0.4, Duration: 0.3},
+	}
+	cfg.Slow = []FleetWindow{{Replica: 9, Start: 0.1, Duration: 0.8, Factor: 10}}
+
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability < 0.999 {
+		t.Fatalf("availability %.5f at 128 replicas with two kills, want >= 0.999", res.Availability)
+	}
+	t.Logf("fleet 128x4: %d/%d completed, %d failovers, %d hedges, p99 TTFT %.4fs",
+		res.Completed, res.Offered, res.Failovers, res.Hedges, res.TTFTp99)
+}
+
+// TestFleetConfigValidate rejects malformed configurations.
+func TestFleetConfigValidate(t *testing.T) {
+	bad := baseFleet()
+	bad.Replicas = 0
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	bad = baseFleet()
+	bad.Down = []FleetWindow{{Replica: 99, Start: 0, Duration: 1}}
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("out-of-range window replica accepted")
+	}
+	bad = baseFleet()
+	bad.Slow = []FleetWindow{{Replica: 0, Start: 0, Duration: 1, Factor: 0.5}}
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("slowdown factor < 1 accepted")
+	}
+}

@@ -56,6 +56,16 @@ const (
 	TaskPrefixHit    = "prefix_hit"
 	TaskPrefixInsert = "prefix_insert"
 	TaskPrefixEvict  = "prefix_evict"
+
+	// Cluster routing lifecycle: a route span covers scoring and the primary
+	// dispatch decision; hedge marks a secondary attempt launched against a
+	// slow or degraded primary; failover marks a mid-flight re-dispatch away
+	// from a downed replica; replica_down/replica_up mark health transitions.
+	TaskRoute       = "route"
+	TaskHedge       = "hedge"
+	TaskFailover    = "failover"
+	TaskReplicaDown = "replica_down"
+	TaskReplicaUp   = "replica_up"
 )
 
 // Lanes name the logical resource a span occupied. The Chrome exporter maps
@@ -72,6 +82,7 @@ const (
 	LaneActUp   = "h2d.act"
 	LaneActDown = "d2h.act"
 	LaneServe   = "serve"
+	LaneCluster = "cluster"
 )
 
 // Labels attach step/layer/slot coordinates to a span; -1 means "not
