@@ -12,6 +12,20 @@ type experiment struct {
 
 // registry lists every experiment in paper order.
 func registry() []experiment {
+	// The workload grid is the slowest experiment; memoize so -csv does not
+	// replay the whole grid a second time.
+	var workloadGrid *experiments.WorkloadResult
+	workload := func() (*experiments.WorkloadResult, error) {
+		if workloadGrid != nil {
+			return workloadGrid, nil
+		}
+		r, err := experiments.WorkloadGrid(24, false)
+		if err != nil {
+			return nil, err
+		}
+		workloadGrid = r
+		return r, nil
+	}
 	return []experiment{
 		{name: "fig3", run: func() (string, error) {
 			r, err := experiments.Figure3()
@@ -195,6 +209,19 @@ func registry() []experiment {
 			return r.Format(), nil
 		}, csv: func() (string, error) {
 			r, err := experiments.ClusterBench(60)
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "workload", run: func() (string, error) {
+			r, err := workload()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := workload()
 			if err != nil {
 				return "", err
 			}

@@ -18,6 +18,12 @@
 //	          [-workers 4] [-seed 42] [-faults spec] [-step-timeout dur]
 //	          [-arena-mb 2048] [-admission] [-hwm 0.85] [-lwm 0.65]
 //	          [-tpot-budget dur] [-host-kv-mb 0] [-prefix-cache-mb 0]
+//	          [-fair-share -tenants "free=1,pro=2/3"] [-latency-samples 4096]
+//
+// With -fair-share, -tenants declares per-tenant active-slot quotas, queue
+// depths, and weighted-round-robin shares; requests carrying a "tenant"
+// field bill against their tenant and untagged requests bill to "default".
+// /stats then reports per-tenant queued/active/completed counters.
 //
 // Example session:
 //
@@ -68,7 +74,15 @@ func main() {
 	hostKVMB := flag.Int64("host-kv-mb", 0, "host-side KV byte budget in MiB (0 = unlimited)")
 	prefixMB := flag.Int64("prefix-cache-mb", 0, "shared-prefix KV cache budget in MiB (0 = off); admissions reuse cached prompt prefixes and prefill only the suffix")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file on shutdown")
+	tenants := flag.String("tenants", "", `fair-share tenants as name=slots[/weight[/depth]] entries, e.g. "free=1,pro=2/3,batch=1/1/16" (slots 0 = suspended; requests tagged "tenant" bill per-tenant, untagged ones bill to "default")`)
+	fairShare := flag.Bool("fair-share", false, "enable weighted fair-share scheduling (requires -tenants)")
+	latencySamples := flag.Int("latency-samples", 0, "TTFT/TPOT latency reservoir capacity per ring (0 = default 4096)")
 	flag.Parse()
+
+	if *fairShare != (*tenants != "") {
+		fmt.Fprintln(os.Stderr, "lmo-serve: -fair-share and -tenants must be used together")
+		os.Exit(2)
+	}
 
 	var cfg model.Config
 	switch *modelName {
@@ -125,6 +139,14 @@ func main() {
 	scfg.TPOTBudget = *tpotBudget
 	scfg.HostKVBudget = *hostKVMB << 20
 	scfg.PrefixCacheBytes = *prefixMB << 20
+	scfg.LatencySampleCap = *latencySamples
+	if *tenants != "" {
+		tcs, err := serve.ParseTenantSpec(*tenants)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Tenants = tcs
+	}
 	var rec *xtrace.Recorder
 	if *traceFile != "" {
 		rec = xtrace.NewRecorder(0)

@@ -139,10 +139,14 @@ func TestClusterFailoverContinuationTokenExact(t *testing.T) {
 	vocab := model.Tiny().Vocab
 	cfg := serve.DefaultConfig(vocab)
 	cfg.Slots = 2
+	// Streams are budget-buffered, so generation runs ahead of the consumer;
+	// the budget must be long enough that the kill below lands before the
+	// tiny model finishes every step, or there is nothing left to fail over.
+	const genLen = 192
+	cfg.MaxNewTokens = genLen
 	c, _ := liveCluster(t, 2, cfg, Options{})
 
 	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6}
-	const genLen = 24
 	st, err := c.Submit(context.Background(), serve.Request{Prompt: prompt, MaxNewTokens: genLen})
 	if err != nil {
 		t.Fatal(err)

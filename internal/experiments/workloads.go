@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/threadpool"
+	"repro/internal/workload"
+)
+
+// WorkloadCell is one grid point: a workload generator replayed through the
+// scheduler under one queueing policy and one load profile, with every
+// perfmodel estimator scored as q-error (max(pred/act, act/pred)) against
+// what the run actually measured.
+type WorkloadCell struct {
+	Workload string // generator kind (workload.Kinds)
+	Policy   string // "fifo" or "fair"
+	Profile  string // "calm" or "peak"
+
+	Requests  int
+	Completed int
+	Shed      int // admission rejections (429/422/queue-full)
+
+	// Scores maps estimator kind (perfmodel.Est*) to its accumulated
+	// q-errors for this cell.
+	Scores map[string]perfmodel.EstAccuracy
+}
+
+// WorkloadResult is the full workload × policy × profile estimator-accuracy
+// grid.
+type WorkloadResult struct {
+	Model   model.Config
+	Slots   int
+	PerCell int
+	Reduced bool
+	Cells   []WorkloadCell
+}
+
+// workloadEstimators is the canonical estimator order for tables and CSV.
+var workloadEstimators = []string{
+	perfmodel.EstPeakArena, perfmodel.EstTPOT, perfmodel.EstDrain, perfmodel.EstPrefill,
+}
+
+// gridTenants is the standing multi-tenant mix the "fair" policy runs under:
+// an interactive free tier, a weighted pro tier, and a batch tier.
+func gridTenants(slots int) map[string]serve.TenantConfig {
+	return map[string]serve.TenantConfig{
+		"free":  {Slots: 1, Weight: 1},
+		"pro":   {Slots: slots - 1, Weight: 3},
+		"batch": {Slots: 1, Weight: 1},
+	}
+}
+
+// WorkloadGrid runs the estimator-accuracy grid: every workload generator ×
+// {fifo, fair} × {calm, peak}, perCell requests per cell, on a dedicated
+// tiny-model engine per cell. Reduced (the CI -race configuration) trims to
+// {diurnal, bursty, chat} × {fifo, fair} × calm.
+func WorkloadGrid(perCell int, reduced bool) (*WorkloadResult, error) {
+	cfg := model.Tiny()
+	kinds := workload.Kinds()
+	profiles := []string{"calm", "peak"}
+	if reduced {
+		kinds = []string{"diurnal", "bursty", "chat"}
+		profiles = []string{"calm"}
+	}
+	const slots = 3
+	out := &WorkloadResult{Model: cfg, Slots: slots, PerCell: perCell, Reduced: reduced}
+	cellSeed := int64(9000)
+	for _, kind := range kinds {
+		for _, policy := range []string{"fifo", "fair"} {
+			for _, profile := range profiles {
+				cellSeed += 101
+				cell, err := runWorkloadCell(cfg, kind, policy, profile, perCell, slots, cellSeed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: workload cell %s/%s/%s: %w", kind, policy, profile, err)
+				}
+				out.Cells = append(out.Cells, *cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// runWorkloadCell replays one generated trace through a fresh scheduler and
+// scores the estimators. TPOT and prefill-cost pairs arrive inline via the
+// scheduler's EstObserver; peak-arena is the admission model's high-water
+// estimate against the arena's measured peak; drain is the published
+// Retry-After predictor sampled during the post-arrival drain window against
+// the wall-clock time the drain actually took.
+func runWorkloadCell(cfg model.Config, kind, policy, profile string, perCell, slots int, seed int64) (*WorkloadCell, error) {
+	// The calm profile leaves decode headroom between arrivals; peak
+	// compresses the same trace into a third of the time, pushing the
+	// scheduler against its admission gates.
+	horizon := time.Duration(perCell) * 18 * time.Millisecond
+	if profile == "peak" {
+		horizon = time.Duration(perCell) * 6 * time.Millisecond
+	}
+	trace, err := workload.Generate(kind, workload.Spec{
+		Seed: seed, N: perCell, Vocab: cfg.Vocab, Horizon: horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if policy == "fair" {
+		trace = workload.AssignTenants(trace, seed+1, "free", "pro", "batch")
+	}
+
+	m, err := model.NewModel(rand.New(rand.NewSource(424242)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 2, GPUBatch: slots}, 1<<30, threadpool.MustNew(2))
+	if err != nil {
+		return nil, err
+	}
+	collector := perfmodel.NewEstCollector()
+	scfg := serve.DefaultConfig(cfg.Vocab)
+	scfg.Slots = slots
+	scfg.QueueDepth = perCell + 8
+	scfg.EstObserver = collector
+	scfg.LatencySampleCap = 4 * perCell // keep every cell sample for quantiles
+	if policy == "fair" {
+		scfg.Tenants = gridTenants(slots)
+	}
+	if kind == "chat" {
+		scfg.PrefixCacheBytes = 1 << 20
+	}
+	sched, err := serve.New(eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		completed int
+		shed      int
+	)
+	var allSubmitted atomic.Bool
+	done := make(chan struct{})
+
+	// Drain sampler: once every arrival is in, each (t, predicted drain)
+	// sample is scored against how long the system actually took to go idle
+	// from t.
+	type drainSample struct {
+		at   time.Time
+		pred time.Duration
+	}
+	var drainSamples []drainSample
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if !allSubmitted.Load() {
+					continue
+				}
+				met := sched.Metrics()
+				if met.PredictedDrain > 0 && met.QueueDepth+met.ActiveSlots > 0 {
+					drainSamples = append(drainSamples, drainSample{at: time.Now(), pred: met.PredictedDrain})
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, r := range trace {
+		wg.Add(1)
+		go func(i int, r workload.Request) {
+			defer wg.Done()
+			if d := time.Until(start.Add(r.At)); d > 0 {
+				time.Sleep(d)
+			}
+			st, err := sched.Submit(context.Background(), serve.Request{
+				Prompt: r.Prompt, MaxNewTokens: r.MaxNewTokens, Tenant: r.Tenant,
+			})
+			if i == len(trace)-1 {
+				allSubmitted.Store(true)
+			}
+			if err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			if _, err := st.Wait(); err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			completed++
+			mu.Unlock()
+		}(i, r)
+	}
+	wg.Wait()
+	drainedAt := time.Now()
+	close(done)
+	samplerWG.Wait()
+
+	met := sched.Metrics()
+	sched.Close()
+
+	for _, s := range drainSamples {
+		// Samples inside the last tick race the idle transition (both sides
+		// near zero, ratio pure noise) — score only measurable drains.
+		actual := drainedAt.Sub(s.at)
+		if actual >= 2*time.Millisecond {
+			collector.ObserveEstimate(perfmodel.EstDrain, s.pred.Seconds(), actual.Seconds())
+		}
+	}
+	if met.PredictedPeakBytes > 0 && met.ArenaPeak > 0 {
+		collector.ObserveEstimate(perfmodel.EstPeakArena,
+			float64(met.PredictedPeakBytes), float64(met.ArenaPeak))
+	}
+
+	cell := &WorkloadCell{
+		Workload: kind, Policy: policy, Profile: profile,
+		Requests: len(trace), Completed: completed, Shed: shed,
+		Scores: map[string]perfmodel.EstAccuracy{},
+	}
+	for _, est := range workloadEstimators {
+		cell.Scores[est] = collector.Accuracy(est)
+	}
+	return cell, nil
+}
+
+// MedianFor returns the median q-error for one estimator across the cells
+// selected by the filter (0 when nothing matched — callers decide whether
+// absence is a failure).
+func (r *WorkloadResult) MedianFor(est string, keep func(WorkloadCell) bool) float64 {
+	var meds []float64
+	for _, c := range r.Cells {
+		if keep != nil && !keep(c) {
+			continue
+		}
+		if acc, ok := c.Scores[est]; ok && acc.Count() > 0 {
+			meds = append(meds, acc.Median())
+		}
+	}
+	if len(meds) == 0 {
+		return 0
+	}
+	sort.Float64s(meds)
+	return meds[len(meds)/2]
+}
+
+// WorstMedian returns the worst per-cell median for one estimator across the
+// whole grid (0 when the estimator never scored).
+func (r *WorkloadResult) WorstMedian(est string) float64 {
+	worst := 0.0
+	for _, c := range r.Cells {
+		if acc, ok := c.Scores[est]; ok && acc.Count() > 0 && acc.Median() > worst {
+			worst = acc.Median()
+		}
+	}
+	return worst
+}
+
+// CheckAcceptance enforces the grid's committed bar: on every calm diurnal
+// cell the admission model's peak-arena median q-error and the step-cost
+// TPOT median q-error must stay ≤ 2.0.
+func (r *WorkloadResult) CheckAcceptance() error {
+	for _, c := range r.Cells {
+		if c.Workload != "diurnal" || c.Profile != "calm" {
+			continue
+		}
+		for _, est := range []string{perfmodel.EstPeakArena, perfmodel.EstTPOT} {
+			acc := c.Scores[est]
+			if acc.Count() == 0 {
+				return fmt.Errorf("experiments: %s/%s/%s: estimator %s never scored",
+					c.Workload, c.Policy, c.Profile, est)
+			}
+			if med := acc.Median(); med > 2.0 {
+				return fmt.Errorf("experiments: %s/%s/%s: %s median q-error %.2f exceeds 2.0",
+					c.Workload, c.Policy, c.Profile, est, med)
+			}
+		}
+	}
+	return nil
+}
+
+// cellLabel is the compact workload/policy/profile cell name.
+func (c WorkloadCell) cellLabel() string {
+	return c.Workload + "/" + c.Policy + "/" + c.Profile
+}
+
+// qErrorBars renders a terminal bar chart of per-cell median q-error for one
+// estimator: 1.0 is a perfect prediction, so bars grow with (median − 1).
+func qErrorBars(cells []WorkloadCell, est string) string {
+	const width = 40
+	maxOver := 0.0
+	for _, c := range cells {
+		if acc := c.Scores[est]; acc.Count() > 0 && acc.Median()-1 > maxOver {
+			maxOver = acc.Median() - 1
+		}
+	}
+	if maxOver <= 0 {
+		maxOver = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "median q-error by cell (%s; bar is excess over the perfect 1.0)\n", est)
+	for _, c := range cells {
+		acc := c.Scores[est]
+		if acc.Count() == 0 {
+			fmt.Fprintf(&b, "  %-24s | (no samples)\n", c.cellLabel())
+			continue
+		}
+		n := int(float64(width) * (acc.Median() - 1) / maxOver)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-24s |%s %.2f\n", c.cellLabel(), strings.Repeat("█", n), acc.Median())
+	}
+	return b.String()
+}
+
+// Format renders the grid with per-estimator medians/p95s per cell plus the
+// TPOT and peak-arena charts.
+func (r *WorkloadResult) Format() string {
+	var b strings.Builder
+	mode := "full"
+	if r.Reduced {
+		mode = "reduced"
+	}
+	fmt.Fprintf(&b, "Workload grid: estimator q-error over workload × policy × profile (%s, %s grid, %d slots, %d req/cell)\n",
+		r.Model.Name, mode, r.Slots, r.PerCell)
+	t := stats.NewTable("cell", "done", "shed", "estimator", "n", "q50", "q95", "qmax")
+	for _, c := range r.Cells {
+		for _, est := range workloadEstimators {
+			acc := c.Scores[est]
+			if acc.Count() == 0 {
+				t.AddRowf("%s\t%d\t%d\t%s\t0\t-\t-\t-", c.cellLabel(), c.Completed, c.Shed, est)
+				continue
+			}
+			t.AddRowf("%s\t%d\t%d\t%s\t%d\t%.2f\t%.2f\t%.2f",
+				c.cellLabel(), c.Completed, c.Shed, est,
+				acc.Count(), acc.Median(), acc.P95(), acc.Max())
+		}
+	}
+	b.WriteString(t.String())
+	b.WriteString(qErrorBars(r.Cells, perfmodel.EstTPOT))
+	b.WriteString(qErrorBars(r.Cells, perfmodel.EstPeakArena))
+	b.WriteString("q-error = max(predicted/actual, actual/predicted): 1.0 is exact, 2.0 is off by 2x either way.\n")
+	b.WriteString("tpot/prefill score the live least-squares fits step by step; peak_arena scores the admission\n")
+	b.WriteString("estimate against the arena high-water mark; drain scores Retry-After against the measured drain.\n")
+	if err := r.CheckAcceptance(); err != nil {
+		fmt.Fprintf(&b, "ACCEPTANCE FAILED: %v\n", err)
+	} else {
+		b.WriteString("acceptance: calm/diurnal peak_arena and tpot medians within 2.0 ✓\n")
+	}
+	return b.String()
+}
+
+// CSV emits one row per cell × estimator.
+func (r *WorkloadResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,policy,profile,requests,completed,shed,estimator,count,q50,q95,qmax\n")
+	for _, c := range r.Cells {
+		for _, est := range workloadEstimators {
+			acc := c.Scores[est]
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%s,%d,%.3f,%.3f,%.3f\n",
+				c.Workload, c.Policy, c.Profile, c.Requests, c.Completed, c.Shed,
+				est, acc.Count(), acc.Median(), acc.P95(), acc.Max())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// loadThresholds parses testdata/workload_thresholds.csv — the pinned
+// per-estimator ceilings on worst-cell median q-error that CI enforces.
+func loadThresholds(t *testing.T) map[string]float64 {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/workload_thresholds.csv")
+	if err != nil {
+		t.Fatalf("read thresholds: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "estimator,max_median" {
+		t.Fatalf("thresholds header = %q, want estimator,max_median", lines[0])
+	}
+	out := map[string]float64{}
+	for _, line := range lines[1:] {
+		parts := strings.Split(strings.TrimSpace(line), ",")
+		if len(parts) != 2 {
+			t.Fatalf("malformed threshold row %q", line)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			t.Fatalf("threshold %q: %v", line, err)
+		}
+		out[parts[0]] = v
+	}
+	return out
+}
+
+// TestWorkloadGridThresholds replays the reduced grid (the CI -race
+// configuration) and fails if any estimator's worst-cell median q-error
+// regresses past its pinned threshold, or if the committed acceptance bar
+// (calm/diurnal peak_arena and tpot ≤ 2.0) breaks.
+func TestWorkloadGridThresholds(t *testing.T) {
+	r, err := WorkloadGrid(16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckAcceptance(); err != nil {
+		t.Errorf("acceptance: %v", err)
+	}
+	thresholds := loadThresholds(t)
+	for _, est := range []string{perfmodel.EstPeakArena, perfmodel.EstTPOT, perfmodel.EstPrefill} {
+		if _, ok := thresholds[est]; !ok {
+			t.Errorf("thresholds file missing estimator %s", est)
+		}
+	}
+	for est, max := range thresholds {
+		worst := r.WorstMedian(est)
+		if worst == 0 && est != perfmodel.EstDrain {
+			// Drain legitimately records nothing on calm cells with no
+			// post-arrival backlog; everything else must score every run.
+			t.Errorf("estimator %s never scored on the reduced grid", est)
+		}
+		if worst > max {
+			t.Errorf("estimator %s worst-cell median q-error %.2f exceeds pinned %.2f", est, worst, max)
+		}
+	}
+	// Every cell must have actually served its trace: the reduced grid runs
+	// calm profiles only, so nothing should shed.
+	for _, c := range r.Cells {
+		if c.Completed != c.Requests || c.Shed != 0 {
+			t.Errorf("%s: completed %d shed %d of %d requests", c.cellLabel(), c.Completed, c.Shed, c.Requests)
+		}
+	}
+	// CSV shape: header plus one row per cell × estimator.
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if want := 1 + len(r.Cells)*len(workloadEstimators); len(lines) != want {
+		t.Errorf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(csv, "workload,policy,profile,requests,completed,shed,estimator,count,q50,q95,qmax\n") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}

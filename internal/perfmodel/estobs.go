@@ -1,0 +1,142 @@
+package perfmodel
+
+import (
+	"sort"
+	"sync"
+)
+
+// Estimator kinds reported through EstObserver. The scheduler emits tpot and
+// prefill observations inline (prediction captured immediately before the
+// measured operation); peak_arena and drain are sampled by the harness
+// against engine counters and wall-clock drain time.
+const (
+	// EstPeakArena scores AdmissionModel's peak-arena-bytes estimate against
+	// the arena high-water mark the run actually reached.
+	EstPeakArena = "peak_arena"
+	// EstTPOT scores StepCostModel.PredictTPOT against measured decode-step
+	// latency at the same batch size.
+	EstTPOT = "tpot"
+	// EstDrain scores StepCostModel.PredictDrain against the wall-clock time
+	// the queue+batch actually took to drain.
+	EstDrain = "drain"
+	// EstPrefill scores the fitted PrefillCostModel against measured
+	// admission (prefill) latency for the same suffix length.
+	EstPrefill = "prefill"
+)
+
+// EstObserver receives (predicted, actual) estimator pairs as they happen.
+// Implementations must be safe for concurrent use; the scheduler calls it
+// from its loop goroutine while harnesses may call it from samplers.
+type EstObserver interface {
+	ObserveEstimate(kind string, predicted, actual float64)
+}
+
+// QError is the symmetric relative error used throughout the estimator grid:
+// max(predicted/actual, actual/predicted), so 1.0 is exact and both over-
+// and under-prediction score alike. Non-positive inputs cannot be ranked and
+// return +Inf-free sentinel 0 so callers can drop them.
+func QError(predicted, actual float64) float64 {
+	if predicted <= 0 || actual <= 0 {
+		return 0
+	}
+	if predicted >= actual {
+		return predicted / actual
+	}
+	return actual / predicted
+}
+
+// EstAccuracy accumulates q-errors for one estimator kind and reports order
+// statistics over everything seen so far.
+type EstAccuracy struct {
+	qerrs []float64
+}
+
+// Add records one (predicted, actual) pair; unrankable pairs (either side
+// non-positive) are dropped.
+func (a *EstAccuracy) Add(predicted, actual float64) {
+	if q := QError(predicted, actual); q > 0 {
+		a.qerrs = append(a.qerrs, q)
+	}
+}
+
+// Count returns how many rankable pairs have been recorded.
+func (a EstAccuracy) Count() int { return len(a.qerrs) }
+
+// quantile returns the q-quantile (nearest-rank on a sorted copy), or 0 when
+// empty.
+func (a EstAccuracy) quantile(q float64) float64 {
+	if len(a.qerrs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), a.qerrs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Median returns the median q-error (0 when empty).
+func (a EstAccuracy) Median() float64 { return a.quantile(0.5) }
+
+// P95 returns the 95th-percentile q-error (0 when empty).
+func (a EstAccuracy) P95() float64 { return a.quantile(0.95) }
+
+// Max returns the worst q-error seen (0 when empty).
+func (a EstAccuracy) Max() float64 {
+	m := 0.0
+	for _, q := range a.qerrs {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// EstCollector is a thread-safe EstObserver that buckets observations by
+// estimator kind — the accumulator behind each grid cell.
+type EstCollector struct {
+	mu    sync.Mutex
+	kinds map[string]*EstAccuracy
+}
+
+// NewEstCollector returns an empty collector.
+func NewEstCollector() *EstCollector {
+	return &EstCollector{kinds: map[string]*EstAccuracy{}}
+}
+
+// ObserveEstimate implements EstObserver.
+func (c *EstCollector) ObserveEstimate(kind string, predicted, actual float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acc := c.kinds[kind]
+	if acc == nil {
+		acc = &EstAccuracy{}
+		c.kinds[kind] = acc
+	}
+	acc.Add(predicted, actual)
+}
+
+// Kinds returns the estimator kinds observed so far, sorted.
+func (c *EstCollector) Kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.kinds))
+	for k := range c.kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accuracy returns a snapshot of the accumulated q-errors for one kind
+// (empty accumulator if the kind was never observed).
+func (c *EstCollector) Accuracy(kind string) EstAccuracy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if acc := c.kinds[kind]; acc != nil {
+		return EstAccuracy{qerrs: append([]float64(nil), acc.qerrs...)}
+	}
+	return EstAccuracy{}
+}

@@ -1,0 +1,85 @@
+package perfmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct{ pred, act, want float64 }{
+		{10, 10, 1},
+		{20, 10, 2},
+		{10, 20, 2}, // symmetric: under-prediction scores like over-prediction
+		{0, 10, 0},
+		{10, 0, 0},
+		{-1, 10, 0},
+	}
+	for _, c := range cases {
+		if got := QError(c.pred, c.act); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("QError(%v, %v) = %v, want %v", c.pred, c.act, got, c.want)
+		}
+	}
+}
+
+func TestEstAccuracyQuantiles(t *testing.T) {
+	var a EstAccuracy
+	if a.Median() != 0 || a.P95() != 0 || a.Max() != 0 || a.Count() != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+	// q-errors 1..10 via pred=k, act=1.
+	for k := 1; k <= 10; k++ {
+		a.Add(float64(k), 1)
+	}
+	a.Add(0, 5) // dropped
+	if a.Count() != 10 {
+		t.Fatalf("count %d, want 10", a.Count())
+	}
+	if got := a.Median(); got != 6 { // nearest-rank: sorted[5]
+		t.Fatalf("median %v, want 6", got)
+	}
+	if got := a.Max(); got != 10 {
+		t.Fatalf("max %v, want 10", got)
+	}
+	if got := a.P95(); got != 10 {
+		t.Fatalf("p95 %v, want 10", got)
+	}
+}
+
+func TestEstCollectorConcurrent(t *testing.T) {
+	c := NewEstCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.ObserveEstimate(EstTPOT, 2, 1)
+				c.ObserveEstimate(EstPeakArena, 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	kinds := c.Kinds()
+	if len(kinds) != 2 || kinds[0] != EstPeakArena || kinds[1] != EstTPOT {
+		t.Fatalf("kinds %v", kinds)
+	}
+	tpot := c.Accuracy(EstTPOT)
+	if tpot.Count() != 800 || tpot.Median() != 2 {
+		t.Fatalf("tpot count=%d median=%v", tpot.Count(), tpot.Median())
+	}
+	arena := c.Accuracy(EstPeakArena)
+	if arena.Count() != 800 || arena.Max() != 1 {
+		t.Fatalf("arena count=%d max=%v", arena.Count(), arena.Max())
+	}
+	// Snapshot independence: mutating the snapshot must not affect the
+	// collector.
+	snap := c.Accuracy(EstTPOT)
+	snap.Add(100, 1)
+	if c.Accuracy(EstTPOT).Count() != 800 {
+		t.Fatal("Accuracy snapshot aliases collector state")
+	}
+	if c.Accuracy("never").Count() != 0 {
+		t.Fatal("unknown kind must be empty")
+	}
+}

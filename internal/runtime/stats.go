@@ -49,9 +49,10 @@ type Stats struct {
 	serve serveAccum
 }
 
-// serveSampleCap bounds the latency sample rings; past it the oldest samples
-// are overwritten, so quantiles describe the recent window.
-const serveSampleCap = 4096
+// defaultServeSampleCap bounds the latency sample rings when the serving
+// layer does not configure a capacity; past it the oldest samples are
+// overwritten, so quantiles describe the recent window.
+const defaultServeSampleCap = 4096
 
 // serveAccum is the scheduler-side counters behind ServeSummary, guarded by
 // the owning Stats' mutex.
@@ -60,6 +61,7 @@ type serveAccum struct {
 	batchSteps, occupancySum                int64
 	queuePeak                               int
 	ttft, tpot                              ring
+	sampleCap                               int // 0 = defaultServeSampleCap
 
 	// Overload-protection counters (admission controller + pressure ladder).
 	rejected429  int64
@@ -77,20 +79,27 @@ type serveAccum struct {
 	prefixEvictions int64
 }
 
-// ring is a fixed-capacity overwrite buffer of duration samples.
+// ring is a fixed-capacity overwrite buffer of duration samples. Its
+// capacity is latched from the owning serveAccum's configured cap (or the
+// default) at the first sample.
 type ring struct {
+	cap   int
 	buf   []time.Duration
 	count int64
 }
 
-func (r *ring) add(d time.Duration) {
+func (r *ring) add(d time.Duration, cap int) {
 	if r.buf == nil {
-		r.buf = make([]time.Duration, 0, serveSampleCap)
+		if cap <= 0 {
+			cap = defaultServeSampleCap
+		}
+		r.cap = cap
+		r.buf = make([]time.Duration, 0, r.cap)
 	}
-	if len(r.buf) < serveSampleCap {
+	if len(r.buf) < r.cap {
 		r.buf = append(r.buf, d)
 	} else {
-		r.buf[r.count%serveSampleCap] = d
+		r.buf[r.count%int64(r.cap)] = d
 	}
 	r.count++
 }
@@ -161,11 +170,23 @@ func (s *Stats) RecordPrefixEvictions(n int64) {
 	s.mu.Unlock()
 }
 
+// SetServeSampleCap sizes the TTFT/TPOT latency sample rings (before their
+// first sample; rings that already latched a capacity keep it so samples are
+// never dropped mid-run). Zero or negative restores the default.
+func (s *Stats) SetServeSampleCap(n int) {
+	s.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	s.serve.sampleCap = n
+	s.mu.Unlock()
+}
+
 // RecordAdmission counts one admitted request and its time-to-first-token.
 func (s *Stats) RecordAdmission(ttft time.Duration) {
 	s.mu.Lock()
 	s.serve.admitted++
-	s.serve.ttft.add(ttft)
+	s.serve.ttft.add(ttft, s.serve.sampleCap)
 	s.mu.Unlock()
 }
 
@@ -175,7 +196,7 @@ func (s *Stats) RecordCompletion(tpot time.Duration) {
 	s.mu.Lock()
 	s.serve.completed++
 	if tpot > 0 {
-		s.serve.tpot.add(tpot)
+		s.serve.tpot.add(tpot, s.serve.sampleCap)
 	}
 	s.mu.Unlock()
 }
@@ -289,6 +310,10 @@ func quantiles(samples []time.Duration) (mean, p50, p99 time.Duration) {
 func newStats() *Stats {
 	return &Stats{TaskTime: map[string]time.Duration{}, Retries: map[string]int64{}}
 }
+
+// NewStats returns an empty standalone accumulator. Engines create their own;
+// harnesses and tests use this to exercise the recording paths directly.
+func NewStats() *Stats { return newStats() }
 
 func (s *Stats) addBytes(field *int64, n int64) {
 	s.mu.Lock()

@@ -20,6 +20,9 @@ type GenerateRequest struct {
 	MaxNewTokens int   `json:"max_new_tokens,omitempty"`
 	// Stream selects SSE token streaming instead of a single JSON response.
 	Stream bool `json:"stream,omitempty"`
+	// Tenant bills the request under a configured tenant (fair-share quotas
+	// and per-tenant /stats); empty maps to the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // GenerateResponse is the non-streaming /generate reply.
@@ -46,7 +49,7 @@ func DecodeGenerateRequest(body []byte, cfg Config) (Request, bool, error) {
 	if dec.More() {
 		return Request{}, false, fmt.Errorf("serve: trailing data after request object")
 	}
-	req, err := cfg.normalize(Request{Prompt: wire.Prompt, MaxNewTokens: wire.MaxNewTokens})
+	req, err := cfg.normalize(Request{Prompt: wire.Prompt, MaxNewTokens: wire.MaxNewTokens, Tenant: wire.Tenant})
 	if err != nil {
 		return Request{}, false, err
 	}
@@ -205,6 +208,11 @@ func statsPayload(m Metrics) map[string]any {
 		"arena_peak":           m.ArenaPeak,
 		"estimate_ratio":       m.EstimateRatio,
 		"predicted_tpot_ms":    ms(m.PredictedTPOT),
+		"predicted_drain_ms":   ms(m.PredictedDrain),
+	}
+	// Per-tenant accounting appears only when fair-share scheduling is on.
+	if m.Tenants != nil {
+		out["tenants"] = m.Tenants
 	}
 	// Prefix-cache fields appear only when the shared-prefix store is on.
 	if m.PrefixCacheCapacity > 0 {

@@ -19,6 +19,9 @@ type pending struct {
 	ctx       context.Context
 	stream    *Stream
 	submitted time.Time
+	// tenant is the resolved billing tenant (DefaultTenant for empty/unknown
+	// tags; equal to req.Tenant only when that tenant is configured).
+	tenant string
 
 	slot     int
 	produced int
@@ -144,11 +147,16 @@ type Scheduler struct {
 	lifeCancel context.CancelFunc
 
 	mu          sync.Mutex
-	queue       admitQueue
+	queue       *fairQueue
 	closed      bool
 	active      int // slots occupied, mirrored under mu for Metrics
 	press       pressureView
 	lastRetries int64
+	// Multi-tenant accounting (populated only when cfg.Tenants is set):
+	// active slots per tenant (the fair-share eligibility input) and the
+	// lifetime per-tenant counters Metrics reports.
+	tenantActive map[string]int
+	tenantCounts map[string]*TenantMetrics
 
 	wake chan struct{} // 1-buffered submit/close signal for the idle loop
 	done chan struct{} // closed when the loop drains and exits
@@ -177,14 +185,19 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	s := &Scheduler{
-		eng:     eng,
-		sess:    sess,
-		cfg:     cfg,
-		start:   time.Now(),
-		queue:   admitQueue{capacity: cfg.QueueDepth},
-		wake:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		running: make(map[int]*pending),
+		eng:          eng,
+		sess:         sess,
+		cfg:          cfg,
+		start:        time.Now(),
+		queue:        newFairQueue(cfg),
+		wake:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		running:      make(map[int]*pending),
+		tenantActive: make(map[string]int),
+		tenantCounts: make(map[string]*TenantMetrics),
+	}
+	if cfg.LatencySampleCap > 0 {
+		eng.Stats().SetServeSampleCap(cfg.LatencySampleCap)
 	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	if cfg.PrefixCacheBytes > 0 {
@@ -233,27 +246,70 @@ func (s *Scheduler) Submit(ctx context.Context, req Request) (*Stream, error) {
 		s.eng.Stats().RecordRejection()
 		return nil, err
 	}
+	tenant, tcfg := s.cfg.tenantConfig(req.Tenant)
+	if s.cfg.fairShare() {
+		s.bumpTenant(tenant, func(m *TenantMetrics) { m.Submitted++ })
+		if tcfg.Slots == 0 {
+			// An explicit zero-slot quota suspends the tenant: no amount of
+			// waiting admits it, so the rejection is permanent (HTTP 422).
+			s.bumpTenant(tenant, func(m *TenantMetrics) { m.Rejected++ })
+			s.eng.Stats().RecordOverloadRejection()
+			return nil, &OverloadError{Reason: "tenant-suspended", State: s.brk.current(), Permanent: true}
+		}
+	}
 	if s.cfg.AdmissionControl {
 		if err := s.admitCheck(req); err != nil {
 			s.eng.Stats().RecordOverloadRejection()
+			s.bumpTenant(tenant, func(m *TenantMetrics) { m.Rejected++ })
 			return nil, err
 		}
 	}
-	p := &pending{req: req, ctx: ctx, stream: newStream(req.MaxNewTokens), submitted: time.Now()}
+	p := &pending{req: req, tenant: tenant, ctx: ctx, stream: newStream(req.MaxNewTokens), submitted: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.eng.Stats().RecordRejection()
 		return nil, ErrClosed
 	}
-	if !s.queue.push(p) {
+	if err := s.queue.push(p); err != nil {
 		s.mu.Unlock()
 		s.eng.Stats().RecordRejection()
-		return nil, ErrQueueFull
+		s.bumpTenant(tenant, func(m *TenantMetrics) { m.Rejected++ })
+		return nil, err
 	}
 	s.mu.Unlock()
 	s.kick()
 	return p.stream, nil
+}
+
+// bumpTenant applies a counter update under the scheduler mutex (no-op in
+// single-tenant mode).
+func (s *Scheduler) bumpTenant(name string, f func(*TenantMetrics)) {
+	if !s.cfg.fairShare() {
+		return
+	}
+	s.mu.Lock()
+	m := s.tenantCounts[name]
+	if m == nil {
+		m = &TenantMetrics{}
+		s.tenantCounts[name] = m
+	}
+	f(m)
+	s.mu.Unlock()
+}
+
+// tenantEligibleLocked is the fair-share dispatcher's quota check: a tenant
+// may only take a slot while its active count is below its quota. Called by
+// fairQueue.next with s.mu held.
+func (s *Scheduler) tenantEligibleLocked(name string) bool {
+	if !s.cfg.fairShare() {
+		return true
+	}
+	_, tc := s.cfg.tenantConfig(name)
+	if tc.Slots <= 0 {
+		return false
+	}
+	return s.tenantActive[name] < tc.Slots
 }
 
 // admitCheck is the submit-side admission controller: it rejects against the
@@ -367,6 +423,28 @@ type Metrics struct {
 	PrefixHitRate       float64
 	PrefixCacheBytes    int64
 	PrefixCacheCapacity int64
+
+	// PredictedDrain is the loop's current estimate of the time to drain the
+	// running batch plus the queued prefill backlog — the number behind
+	// Retry-After, exposed so harnesses can score it against measured drains.
+	PredictedDrain time.Duration
+
+	// Tenants holds the per-tenant accounting when fair-share scheduling is
+	// on (nil otherwise), keyed by resolved tenant name.
+	Tenants map[string]TenantMetrics
+}
+
+// TenantMetrics is one tenant's point-in-time serving view: current queue
+// and slot occupancy plus lifetime request counters.
+type TenantMetrics struct {
+	Queued int `json:"queued"`
+	Active int `json:"active"`
+
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
 }
 
 // Metrics snapshots the serving metrics.
@@ -375,6 +453,23 @@ func (s *Scheduler) Metrics() Metrics {
 	depth := s.queue.len()
 	active := s.active
 	view := s.press
+	var tenants map[string]TenantMetrics
+	if s.cfg.fairShare() {
+		tenants = make(map[string]TenantMetrics, len(s.tenantCounts))
+		for name, tm := range s.tenantCounts {
+			snap := *tm
+			snap.Queued = s.queue.depth(name)
+			snap.Active = s.tenantActive[name]
+			tenants[name] = snap
+		}
+		// Tenants with traffic counters appear above; configured-but-idle
+		// tenants still show their (zero) occupancy.
+		for name := range s.queue.tenants {
+			if _, ok := tenants[name]; !ok {
+				tenants[name] = TenantMetrics{Queued: s.queue.depth(name), Active: s.tenantActive[name]}
+			}
+		}
+	}
 	s.mu.Unlock()
 	st := s.eng.Stats()
 	summary := st.ServeSummary()
@@ -394,6 +489,8 @@ func (s *Scheduler) Metrics() Metrics {
 		ArenaCapacity:      s.eng.ArenaCapacity(),
 		ArenaPeak:          s.eng.ArenaPeak(),
 		PredictedTPOT:      view.tpotNow,
+		PredictedDrain:     view.drain,
+		Tenants:            tenants,
 	}
 	if s.prefixStore != nil {
 		ps := s.prefixStore.Stats()
@@ -436,11 +533,15 @@ func (s *Scheduler) traceEvent(name string, l xtrace.Labels) {
 	}
 }
 
-// noteActive mirrors the loop-owned occupancy into the mu-guarded counter
-// Metrics reads.
-func (s *Scheduler) noteActive(delta int) {
+// noteActive mirrors the loop-owned occupancy into the mu-guarded counters
+// Metrics and the fair-share quota check read; p attributes the slot to its
+// tenant.
+func (s *Scheduler) noteActive(p *pending, delta int) {
 	s.mu.Lock()
 	s.active += delta
+	if s.cfg.fairShare() {
+		s.tenantActive[p.tenant] += delta
+	}
 	s.mu.Unlock()
 }
 
@@ -490,10 +591,11 @@ func (s *Scheduler) retireCancelled() {
 		if err := p.ctx.Err(); err != nil {
 			s.sess.Retire(slot)
 			delete(s.running, slot)
-			s.noteActive(-1)
+			s.noteActive(p, -1)
 			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Canceled++ })
 		}
 	}
 }
@@ -645,7 +747,7 @@ func (s *Scheduler) evictOne(gpuHigh bool) {
 	resume = append(resume, victim.stream.snapshot()...)
 	s.sess.Retire(victim.slot)
 	delete(s.running, victim.slot)
-	s.noteActive(-1)
+	s.noteActive(victim, -1)
 	s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, victim.slot))
 	victim.resumePrompt = resume
 	s.mu.Lock()
@@ -675,7 +777,7 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 	// its raw prompt lengths suggest, and Retry-After should say so.
 	if s.prefillCost.Ready() {
 		s.mu.Lock()
-		queued := append([]*pending(nil), s.queue.items...)
+		queued := s.queue.snapshot()
 		s.mu.Unlock()
 		for _, q := range queued {
 			drain += s.prefillCost.Predict(s.suffixTokens(q))
@@ -783,29 +885,34 @@ func (s *Scheduler) suffixTokens(p *pending) int {
 	return n
 }
 
-// popHead dequeues the queue head (which the caller has already peeked).
-func (s *Scheduler) popHead() {
+// takeQueued removes a request (previously returned by next) from the queue,
+// charging its tenant's fair-share credit.
+func (s *Scheduler) takeQueued(p *pending) {
 	s.mu.Lock()
-	s.queue.pop()
+	s.queue.take(p)
 	s.mu.Unlock()
 }
 
 // admit moves queued requests into free slots, prefilling each and emitting
-// its first token. Requests whose context already ended are dropped without
-// consuming a slot. Under admission control the queue head is gated against
-// the watermarks first — deferred requests stay queued at the head.
+// its first token. The dispatch choice is the fair queue's: FIFO order in
+// single-tenant mode, weighted round-robin under per-tenant quotas
+// otherwise. Requests whose context already ended are dropped without
+// consuming a slot. Under admission control the dispatched candidate is
+// gated against the watermarks first — deferred requests stay queued in
+// place.
 func (s *Scheduler) admit() {
 	for s.sess.NumActive() < s.cfg.Slots {
 		s.mu.Lock()
-		p := s.queue.peek()
+		p := s.queue.next(s.tenantEligibleLocked)
 		s.mu.Unlock()
 		if p == nil {
 			return
 		}
 		if err := p.ctx.Err(); err != nil {
-			s.popHead()
+			s.takeQueued(p)
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Canceled++ })
 			continue
 		}
 		if s.cfg.AdmissionControl {
@@ -813,13 +920,14 @@ func (s *Scheduler) admit() {
 			case gateDefer:
 				return
 			case gateReject:
-				s.popHead()
+				s.takeQueued(p)
 				p.stream.finish(&OverloadError{Reason: "never-fits", State: s.brk.current(), Permanent: true})
 				s.eng.Stats().RecordOverloadRejection()
+				s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Rejected++ })
 				continue
 			}
 		}
-		s.popHead()
+		s.takeQueued(p)
 		slot := s.freeSlot()
 		prompt := p.req.Prompt
 		if p.resumePrompt != nil {
@@ -860,16 +968,24 @@ func (s *Scheduler) admit() {
 		// decode-step intervals.
 		p.noteAdmitToken(now)
 		s.running[slot] = p
-		s.noteActive(1)
+		s.noteActive(p, 1)
 		if !p.admittedOnce {
 			p.admittedOnce = true
 			p.stream.setKVQuant(s.sess.SlotQuantizedKV(slot))
 			s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Admitted++ })
 		}
 		if s.cfg.AdmissionControl {
 			// The prefill-cost fit observes the tokens this admission
 			// actually prefilled — the suffix beyond any prefix-cache seed.
-			s.prefillCost.Observe(len(prompt)-s.sess.SlotReusedTokens(slot), admitDur)
+			// The estimator observation uses the prediction as of *before*
+			// this sample lands in the fit.
+			suffix := len(prompt) - s.sess.SlotReusedTokens(slot)
+			if obs := s.cfg.EstObserver; obs != nil && s.prefillCost.Ready() {
+				obs.ObserveEstimate(perfmodel.EstPrefill,
+					s.prefillCost.Predict(suffix).Seconds(), admitDur.Seconds())
+			}
+			s.prefillCost.Observe(suffix, admitDur)
 			s.recordEstimate(p)
 		}
 		s.deliver(p, tok)
@@ -930,14 +1046,22 @@ func (s *Scheduler) stepBatch() {
 		for slot, p := range s.running {
 			s.sess.Retire(slot)
 			delete(s.running, slot)
-			s.noteActive(-1)
+			s.noteActive(p, -1)
 			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
 			p.stream.finish(err)
 			s.eng.Stats().RecordCancellation()
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Canceled++ })
 		}
 		return
 	}
 	if s.cfg.AdmissionControl {
+		// Score the TPOT prediction this step would have been quoted before
+		// folding the measurement into the fit.
+		if obs := s.cfg.EstObserver; obs != nil {
+			if pred := s.cost.PredictTPOT(len(toks)); pred > 0 {
+				obs.ObserveEstimate(perfmodel.EstTPOT, pred.Seconds(), stepDur.Seconds())
+			}
+		}
 		s.cost.Observe(len(toks), stepDur)
 	}
 	s.mu.Lock()
@@ -991,9 +1115,10 @@ func (s *Scheduler) deliver(p *pending, tok int) {
 	if (s.cfg.EOS >= 0 && tok == s.cfg.EOS) || p.produced >= p.req.MaxNewTokens {
 		s.sess.Retire(p.slot)
 		delete(s.running, p.slot)
-		s.noteActive(-1)
+		s.noteActive(p, -1)
 		s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, p.slot))
 		p.stream.finish(nil)
 		s.eng.Stats().RecordCompletion(p.tpot())
+		s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Completed++ })
 	}
 }

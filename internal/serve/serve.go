@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/perfmodel"
 	"repro/internal/quant"
 )
 
@@ -86,6 +87,25 @@ type Config struct {
 	// PrefixBlockTokens is the prefix cache's block granularity; zero takes
 	// runtime.DefaultPrefixBlockTokens.
 	PrefixBlockTokens int
+
+	// Tenants enables multi-tenant fair-share scheduling: each entry gets its
+	// own bounded admission queue, an active-slot quota, and a weighted
+	// round-robin share of admissions. Requests with an empty or unknown
+	// tenant bill to the reserved DefaultTenant. Nil/empty keeps the
+	// single-tenant FIFO.
+	Tenants map[string]TenantConfig
+
+	// LatencySampleCap overrides the TTFT/TPOT sample-ring capacity backing
+	// ServeSummary's quantiles (zero keeps the runtime default). Long
+	// benchmark cells set it so late samples don't displace early ones from
+	// the window the quantiles are computed over.
+	LatencySampleCap int
+
+	// EstObserver, when set, receives (predicted, actual) pairs for the
+	// scheduler's inline estimators — StepCost TPOT at each decode step and
+	// fitted PrefillCost at each admission — letting harnesses score q-error
+	// without touching loop-owned models. Must be safe for concurrent use.
+	EstObserver perfmodel.EstObserver
 }
 
 // DefaultConfig returns serving limits sized for the functional models.
@@ -154,6 +174,18 @@ func (c Config) Validate() error {
 	if c.PrefixBlockTokens < 0 {
 		return fmt.Errorf("serve: negative prefix block tokens %d", c.PrefixBlockTokens)
 	}
+	if c.LatencySampleCap < 0 {
+		return fmt.Errorf("serve: negative latency sample cap %d", c.LatencySampleCap)
+	}
+	for name, tc := range c.Tenants {
+		if name == "" {
+			return fmt.Errorf("serve: tenant with empty name (use %q for the catch-all)", DefaultTenant)
+		}
+		if tc.Slots < 0 || tc.QueueDepth < 0 || tc.Weight < 0 {
+			return fmt.Errorf("serve: tenant %s: slots/queue-depth/weight must be non-negative, got %d/%d/%d",
+				name, tc.Slots, tc.QueueDepth, tc.Weight)
+		}
+	}
 	return nil
 }
 
@@ -163,6 +195,10 @@ type Request struct {
 	// MaxNewTokens bounds the generated tokens (EOS may stop earlier).
 	// Zero takes the config default.
 	MaxNewTokens int
+	// Tenant bills the request under a configured tenant for quota and
+	// fair-share accounting. Empty (or unknown) maps to DefaultTenant;
+	// ignored entirely when Config.Tenants is empty.
+	Tenant string
 }
 
 // normalize applies defaults and validates the request against the limits.
@@ -307,6 +343,19 @@ func (q *admitQueue) peek() *pending {
 // a lost request.
 func (q *admitQueue) pushFront(p *pending) {
 	q.items = append([]*pending{p}, q.items...)
+}
+
+// remove deletes p by identity, reporting whether it was present.
+func (q *admitQueue) remove(p *pending) bool {
+	for i, it := range q.items {
+		if it == p {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
 }
 
 func (q *admitQueue) len() int { return len(q.items) }

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// randPrompt draws a uniform-length prompt with tokens in [0, Vocab).
+func randPrompt(rng *rand.Rand, s Spec, minLen, maxLen int) []int {
+	n := minLen
+	if maxLen > minLen {
+		n += rng.Intn(maxLen - minLen + 1)
+	}
+	prompt := make([]int, n)
+	for i := range prompt {
+		prompt[i] = rng.Intn(s.Vocab)
+	}
+	return prompt
+}
+
+// randBudget draws a uniform output budget within the spec bounds.
+func randBudget(rng *rand.Rand, s Spec) int {
+	if s.MaxNewTokens > s.MinNewTokens {
+		return s.MinNewTokens + rng.Intn(s.MaxNewTokens-s.MinNewTokens+1)
+	}
+	return s.MinNewTokens
+}
+
+// Diurnal generates an inhomogeneous Poisson arrival process whose rate
+// follows one sinusoidal "day" across the horizon: a trough at the start and
+// end, a peak in the middle, with the trough floored at 15% of the peak so
+// off-hours traffic never fully stops. Arrivals are drawn by thinning a
+// homogeneous process at the peak rate.
+func Diurnal(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	// The mean of the modulation 0.15 + 0.85·(1+sin)/2 over a full period is
+	// 0.575, so the peak rate that lands ~N arrivals in the horizon is
+	// N / (0.575·H).
+	peakRate := float64(s.N) / (0.575 * s.Horizon.Seconds())
+	var out Trace
+	at := 0.0
+	for len(out) < s.N {
+		at += rng.ExpFloat64() / peakRate
+		phase := 2*math.Pi*at/s.Horizon.Seconds() - math.Pi/2
+		accept := 0.15 + 0.85*(1+math.Sin(phase))/2
+		if rng.Float64() > accept {
+			continue
+		}
+		out = append(out, Request{
+			At:           time.Duration(at * float64(time.Second)),
+			Tenant:       s.Tenant,
+			Session:      -1,
+			Prompt:       randPrompt(rng, s, s.MinPromptLen, s.MaxPromptLen),
+			MaxNewTokens: randBudget(rng, s),
+			Kind:         "diurnal",
+		})
+	}
+	return out
+}
+
+// Bursty generates a two-state Markov-modulated Poisson process (MMPP): an
+// ON state arriving ~6× faster than the spec's mean rate and an OFF state
+// ~6× slower, with exponentially distributed sojourns of about an eighth of
+// the horizon each. The result alternates dense bursts with near-silence at
+// the same overall request count — the regime that stresses admission
+// control and drain prediction.
+func Bursty(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanGap := s.meanGap().Seconds()
+	gaps := [2]float64{meanGap / 6, meanGap * 6} // ON, OFF
+	sojourn := s.Horizon.Seconds() / 8
+	state := 0 // start in a burst: the cold-start flood is the hard case
+	stateEnds := rng.ExpFloat64() * sojourn
+	var out Trace
+	at := 0.0
+	for len(out) < s.N {
+		at += rng.ExpFloat64() * gaps[state]
+		for at > stateEnds {
+			state = 1 - state
+			stateEnds += rng.ExpFloat64() * sojourn
+		}
+		out = append(out, Request{
+			At:           time.Duration(at * float64(time.Second)),
+			Tenant:       s.Tenant,
+			Session:      -1,
+			Prompt:       randPrompt(rng, s, s.MinPromptLen, s.MaxPromptLen),
+			MaxNewTokens: randBudget(rng, s),
+			Kind:         "bursty",
+		})
+	}
+	return out
+}
+
+// heavyTailAlpha is the Pareto shape for interarrivals: 1.5 has a finite
+// mean but infinite variance, so a few very long gaps separate clumps of
+// near-simultaneous arrivals.
+const heavyTailAlpha = 1.5
+
+// HeavyTail generates Pareto-distributed interarrival gaps and lognormal
+// prompt/output lengths (clamped to the spec bounds): most requests are
+// small and closely spaced, a heavy tail of long prompts and long silences
+// dominates the aggregate. σ=0.8 puts roughly 10% of draws past 2.8× the
+// median.
+func HeavyTail(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	// Pareto with mean = xm·α/(α-1) matched to the spec's mean gap.
+	xm := s.meanGap().Seconds() * (heavyTailAlpha - 1) / heavyTailAlpha
+	const sigma = 0.8
+	lognorm := func(median float64) float64 {
+		return median * math.Exp(sigma*rng.NormFloat64()-sigma*sigma/2)
+	}
+	clamp := func(v float64, lo, hi int) int {
+		n := int(math.Round(v))
+		if n < lo {
+			return lo
+		}
+		if n > hi {
+			return hi
+		}
+		return n
+	}
+	var out Trace
+	at := 0.0
+	for len(out) < s.N {
+		at += xm / math.Pow(rng.Float64(), 1/heavyTailAlpha)
+		plen := clamp(lognorm(float64(s.MinPromptLen+s.MaxPromptLen)/3), s.MinPromptLen, s.MaxPromptLen)
+		budget := clamp(lognorm(float64(s.MinNewTokens+s.MaxNewTokens)/3), s.MinNewTokens, s.MaxNewTokens)
+		out = append(out, Request{
+			At:           time.Duration(at * float64(time.Second)),
+			Tenant:       s.Tenant,
+			Session:      -1,
+			Prompt:       randPrompt(rng, s, plen, plen),
+			MaxNewTokens: budget,
+			Kind:         "heavytail",
+		})
+	}
+	return out
+}
+
+// AssignTenants re-tags a trace with tenants drawn from the given list,
+// weighted uniformly, holding each chat session on a single tenant (a
+// session hopping tenants would be nonsense traffic). The assignment is a
+// pure function of (trace, seed, tenants); the input is not modified.
+func AssignTenants(t Trace, seed int64, tenants ...string) Trace {
+	if len(tenants) == 0 {
+		return append(Trace(nil), t...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bySession := map[int]string{}
+	out := make(Trace, len(t))
+	for i, r := range t {
+		if r.Session >= 0 {
+			name, ok := bySession[r.Session]
+			if !ok {
+				name = tenants[rng.Intn(len(tenants))]
+				bySession[r.Session] = name
+			}
+			r.Tenant = name
+		} else {
+			r.Tenant = tenants[rng.Intn(len(tenants))]
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden workload traces")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the file
+// under -update (same idiom as the xtrace golden trace-structure tests).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/workload -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s: trace diverged from golden (run with -update if the change is intended)\n got %d bytes, want %d bytes", name, len(got), len(want))
+	}
+}
+
+// Each generator's trace for a pinned seed must stay byte-identical release
+// to release: arrival times, tenants, session structure, prompt lengths and
+// content hashes, and output budgets are all pinned via Encode.
+func TestGoldenTraces(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			tr, err := Generate(kind, Spec{Seed: 20260808, N: 60, Vocab: 128})
+			if err != nil {
+				t.Fatalf("Generate(%q): %v", kind, err)
+			}
+			checkGolden(t, kind, tr.Encode())
+		})
+	}
+}
+
+// The multi-tenant mix (generation + tenant tagging + merge) is golden-pinned
+// as a whole, since the grid harness replays exactly this composition.
+func TestGoldenMultiTenantMix(t *testing.T) {
+	tr, err := MultiTenant(
+		TenantStream{Tenant: "pro", Kind: "chat", Spec: Spec{Seed: 101, N: 30, Vocab: 128}},
+		TenantStream{Tenant: "free", Kind: "diurnal", Spec: Spec{Seed: 102, N: 30, Vocab: 128}},
+		TenantStream{Tenant: "batch", Kind: "batch", Spec: Spec{Seed: 103, N: 20, Vocab: 128}},
+	)
+	if err != nil {
+		t.Fatalf("MultiTenant: %v", err)
+	}
+	checkGolden(t, "multitenant", tr.Encode())
+}
+
+// AssignTenants output is part of the deterministic surface too.
+func TestGoldenAssignTenants(t *testing.T) {
+	tr := Bursty(Spec{Seed: 55, N: 40, Vocab: 128})
+	checkGolden(t, "assign_tenants", AssignTenants(tr, 77, "free", "pro").Encode())
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// chatPrefixFamilies is how many distinct shared system prompts the chat
+// generator draws from: sessions of the same family start with identical
+// prefix tokens, so the prefix cache sees cross-session sharing as well as
+// the intra-session turn-over-turn extension.
+const chatPrefixFamilies = 4
+
+// chatFamilyPrefix returns family f's deterministic system-prompt tokens.
+func chatFamilyPrefix(f, length, vocab int) []int {
+	out := make([]int, length)
+	for i := range out {
+		out[i] = (f*31 + i*7 + 3) % vocab
+	}
+	return out
+}
+
+// Chat generates multi-turn chat sessions: sessions arrive as a Poisson
+// process, draw one of a few shared system-prompt families, and then run
+// 2–4 turns separated by exponential think times. Turn k's prompt is turn
+// k-1's prompt plus the new user tokens, so consecutive turns (and sessions
+// of the same family) are exactly the shared-prefix shape the PrefixStore
+// accelerates. Sessions end early rather than exceed MaxPromptLen.
+func Chat(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	// ~3 turns per session on average; space session starts so the requested
+	// N lands inside the horizon.
+	sessionGap := s.Horizon.Seconds() / (float64(s.N) / 3)
+	thinkGap := 3 * s.meanGap().Seconds()
+	prefixLen := s.MinPromptLen + 2
+	if prefixLen > s.MaxPromptLen/2 {
+		prefixLen = s.MaxPromptLen / 2
+	}
+	if prefixLen < 1 {
+		prefixLen = 1
+	}
+	var out Trace
+	sessionStart := 0.0
+	session := s.SessionBase
+	for len(out) < s.N {
+		sessionStart += rng.ExpFloat64() * sessionGap
+		family := rng.Intn(chatPrefixFamilies)
+		prompt := append([]int(nil), chatFamilyPrefix(family, prefixLen, s.Vocab)...)
+		turns := 2 + rng.Intn(3)
+		at := sessionStart
+		for turn := 0; turn < turns && len(out) < s.N; turn++ {
+			// The user's new tokens for this turn extend the running prompt.
+			userLen := 2 + rng.Intn(4)
+			if len(prompt)+userLen > s.MaxPromptLen {
+				break
+			}
+			for i := 0; i < userLen; i++ {
+				prompt = append(prompt, rng.Intn(s.Vocab))
+			}
+			if turn > 0 {
+				at += rng.ExpFloat64() * thinkGap
+			}
+			out = append(out, Request{
+				At:           time.Duration(at * float64(time.Second)),
+				Tenant:       s.Tenant,
+				Session:      session,
+				Turn:         turn,
+				Prompt:       append([]int(nil), prompt...),
+				MaxNewTokens: randBudget(rng, s),
+				Kind:         "chat",
+			})
+		}
+		session++
+	}
+	// Think times can push a session's later turns past the next session's
+	// start; the canonical trace is time-ordered.
+	return Merge(out)
+}
+
+// Summarize generates long-context summarization traffic: Poisson arrivals
+// whose prompts sit in the top ~30% of the allowed length and whose output
+// budgets hug the minimum — maximal prefill work per token generated, the
+// workload that exposes prefill-cost mispredictions.
+func Summarize(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	minLen := s.MaxPromptLen * 7 / 10
+	if minLen < s.MinPromptLen {
+		minLen = s.MinPromptLen
+	}
+	maxBudget := s.MinNewTokens + 2
+	if maxBudget > s.MaxNewTokens {
+		maxBudget = s.MaxNewTokens
+	}
+	gap := s.meanGap().Seconds()
+	var out Trace
+	at := 0.0
+	for len(out) < s.N {
+		at += rng.ExpFloat64() * gap
+		out = append(out, Request{
+			At:           time.Duration(at * float64(time.Second)),
+			Tenant:       s.Tenant,
+			Session:      -1,
+			Prompt:       randPrompt(rng, s, minLen, s.MaxPromptLen),
+			MaxNewTokens: s.MinNewTokens + rng.Intn(maxBudget-s.MinNewTokens+1),
+			Kind:         "summarize",
+		})
+	}
+	return out
+}
+
+// BatchOffline generates a batch job: every request lands uniformly inside
+// the first tenth of the horizon (a queue-flood, not a stream) with output
+// budgets in the top half of the allowed range. This is the workload that
+// backfills idle slots under fair-share scheduling and starves interactive
+// tenants without it.
+func BatchOffline(s Spec) Trace {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	window := s.Horizon / 10
+	midBudget := (s.MinNewTokens + s.MaxNewTokens) / 2
+	var out Trace
+	for len(out) < s.N {
+		budget := midBudget
+		if s.MaxNewTokens > midBudget {
+			budget += rng.Intn(s.MaxNewTokens - midBudget + 1)
+		}
+		out = append(out, Request{
+			At:           time.Duration(rng.Int63n(int64(window) + 1)),
+			Tenant:       s.Tenant,
+			Session:      -1,
+			Prompt:       randPrompt(rng, s, s.MinPromptLen, s.MaxPromptLen),
+			MaxNewTokens: budget,
+			Kind:         "batch",
+		})
+	}
+	return Merge(out)
+}
+
+// TenantStream is one tenant's generator assignment in a multi-tenant mix.
+type TenantStream struct {
+	Tenant string
+	Kind   string
+	Spec   Spec
+}
+
+// MultiTenant generates each stream with its own spec (tagged with the
+// stream's tenant, chat sessions renumbered per stream so they never
+// collide) and merges the results by arrival time — the standing multi-tenant
+// mix the fair-share scheduler is tested against.
+func MultiTenant(streams ...TenantStream) (Trace, error) {
+	var parts []Trace
+	for i, st := range streams {
+		spec := st.Spec
+		spec.Tenant = st.Tenant
+		if spec.SessionBase == 0 {
+			spec.SessionBase = (i + 1) * 1_000_000
+		}
+		tr, err := Generate(st.Kind, spec)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, tr)
+	}
+	return Merge(parts...), nil
+}

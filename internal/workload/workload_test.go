@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec(seed int64) Spec {
+	return Spec{Seed: seed, N: 200, Vocab: 128}
+}
+
+// Every generator must be a pure function of its spec: same seed, same bytes.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, err := Generate(kind, testSpec(7))
+			if err != nil {
+				t.Fatalf("Generate(%q): %v", kind, err)
+			}
+			b, err := Generate(kind, testSpec(7))
+			if err != nil {
+				t.Fatalf("Generate(%q) second run: %v", kind, err)
+			}
+			if a.Encode() != b.Encode() {
+				t.Fatalf("%s: same seed produced different traces", kind)
+			}
+			c, err := Generate(kind, testSpec(8))
+			if err != nil {
+				t.Fatalf("Generate(%q) seed 8: %v", kind, err)
+			}
+			if a.Encode() == c.Encode() {
+				t.Fatalf("%s: different seeds produced identical traces", kind)
+			}
+		})
+	}
+}
+
+// Structural invariants every generator must hold: exact count, sorted
+// arrivals, in-bounds prompt lengths / budgets / token values.
+func TestGeneratorBounds(t *testing.T) {
+	spec := Spec{Seed: 11, N: 300, Vocab: 64, MinPromptLen: 3, MaxPromptLen: 20,
+		MinNewTokens: 2, MaxNewTokens: 9}
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			tr, err := Generate(kind, spec)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(tr) != spec.N {
+				t.Fatalf("got %d requests, want %d", len(tr), spec.N)
+			}
+			prev := time.Duration(-1)
+			for i, r := range tr {
+				if r.At < prev {
+					t.Fatalf("request %d arrives at %v before predecessor %v", i, r.At, prev)
+				}
+				prev = r.At
+				if len(r.Prompt) < 1 || len(r.Prompt) > spec.MaxPromptLen {
+					t.Fatalf("request %d prompt length %d outside [1, %d]", i, len(r.Prompt), spec.MaxPromptLen)
+				}
+				if kind != "chat" && len(r.Prompt) < spec.MinPromptLen {
+					t.Fatalf("request %d prompt length %d below min %d", i, len(r.Prompt), spec.MinPromptLen)
+				}
+				if r.MaxNewTokens < spec.MinNewTokens || r.MaxNewTokens > spec.MaxNewTokens {
+					t.Fatalf("request %d budget %d outside [%d, %d]", i, r.MaxNewTokens, spec.MinNewTokens, spec.MaxNewTokens)
+				}
+				for _, tok := range r.Prompt {
+					if tok < 0 || tok >= spec.Vocab {
+						t.Fatalf("request %d token %d outside vocab %d", i, tok, spec.Vocab)
+					}
+				}
+				if r.Kind == "" {
+					t.Fatalf("request %d has no kind", i)
+				}
+			}
+		})
+	}
+}
+
+// Chat turns must extend the previous turn's prompt exactly — that is the
+// shape the PrefixStore accelerates, and the differential test depends on it.
+func TestChatTurnsExtendPrefix(t *testing.T) {
+	tr := Chat(Spec{Seed: 3, N: 150, Vocab: 128})
+	bySession := map[int][]Request{}
+	for _, r := range tr {
+		if r.Session < 0 {
+			t.Fatalf("chat request missing session id: %+v", r)
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+	if len(bySession) < 2 {
+		t.Fatalf("expected multiple sessions, got %d", len(bySession))
+	}
+	multiTurn := 0
+	for sess, reqs := range bySession {
+		for i := 1; i < len(reqs); i++ {
+			prev, cur := reqs[i-1], reqs[i]
+			if cur.Turn != prev.Turn+1 {
+				t.Fatalf("session %d: turn %d follows turn %d", sess, cur.Turn, prev.Turn)
+			}
+			if cur.At < prev.At {
+				t.Fatalf("session %d: turn %d arrives before turn %d", sess, cur.Turn, prev.Turn)
+			}
+			if len(cur.Prompt) <= len(prev.Prompt) {
+				t.Fatalf("session %d: turn %d prompt did not grow", sess, cur.Turn)
+			}
+			for j, tok := range prev.Prompt {
+				if cur.Prompt[j] != tok {
+					t.Fatalf("session %d turn %d: prompt diverges from previous turn at token %d", sess, cur.Turn, j)
+				}
+			}
+			multiTurn++
+		}
+	}
+	if multiTurn == 0 {
+		t.Fatal("no multi-turn sessions generated")
+	}
+}
+
+// Sessions sharing a prefix family must start with identical tokens so the
+// prefix cache sees cross-session hits, not just intra-session ones.
+func TestChatSharedPrefixFamilies(t *testing.T) {
+	tr := Chat(Spec{Seed: 5, N: 200, Vocab: 128})
+	firstBySession := map[int]Request{}
+	for _, r := range tr {
+		if _, ok := firstBySession[r.Session]; !ok || r.Turn == 0 {
+			if r.Turn == 0 {
+				firstBySession[r.Session] = r
+			}
+		}
+	}
+	shared := 0
+	firsts := make([]Request, 0, len(firstBySession))
+	for _, r := range firstBySession {
+		firsts = append(firsts, r)
+	}
+	for i := 0; i < len(firsts); i++ {
+		for j := i + 1; j < len(firsts); j++ {
+			a, b := firsts[i].Prompt, firsts[j].Prompt
+			n := 0
+			for n < len(a) && n < len(b) && a[n] == b[n] {
+				n++
+			}
+			if n >= 4 {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no pair of sessions shares a prefix family")
+	}
+}
+
+func TestAssignTenantsSessionConsistent(t *testing.T) {
+	tr := Chat(Spec{Seed: 9, N: 120, Vocab: 64})
+	tagged := AssignTenants(tr, 42, "free", "pro", "batch")
+	if len(tagged) != len(tr) {
+		t.Fatalf("AssignTenants changed length: %d vs %d", len(tagged), len(tr))
+	}
+	for i := range tr {
+		if tr[i].Tenant != "" {
+			t.Fatalf("AssignTenants mutated its input at %d", i)
+		}
+	}
+	bySession := map[int]string{}
+	for i, r := range tagged {
+		if r.Tenant == "" {
+			t.Fatalf("request %d left untagged", i)
+		}
+		if prev, ok := bySession[r.Session]; ok && prev != r.Tenant {
+			t.Fatalf("session %d hops tenants: %s then %s", r.Session, prev, r.Tenant)
+		}
+		bySession[r.Session] = r.Tenant
+	}
+	again := AssignTenants(tr, 42, "free", "pro", "batch")
+	if tagged.Encode() != again.Encode() {
+		t.Fatal("AssignTenants is not deterministic for a fixed seed")
+	}
+	if got := tagged.Tenants(); len(got) < 2 {
+		t.Fatalf("expected at least 2 tenants used, got %v", got)
+	}
+}
+
+func TestMergeOrdersByArrival(t *testing.T) {
+	a := Trace{{At: 3 * time.Millisecond, Prompt: []int{1}, MaxNewTokens: 1, Kind: "x"}}
+	b := Trace{
+		{At: 1 * time.Millisecond, Prompt: []int{2}, MaxNewTokens: 1, Kind: "y"},
+		{At: 3 * time.Millisecond, Prompt: []int{3}, MaxNewTokens: 1, Kind: "y"},
+	}
+	m := Merge(a, b)
+	if len(m) != 3 {
+		t.Fatalf("merged length %d", len(m))
+	}
+	if m[0].Kind != "y" || m[1].Kind != "x" || m[2].Kind != "y" {
+		t.Fatalf("unexpected merge order: %v %v %v", m[0].Kind, m[1].Kind, m[2].Kind)
+	}
+}
+
+func TestMultiTenantMix(t *testing.T) {
+	tr, err := MultiTenant(
+		TenantStream{Tenant: "pro", Kind: "chat", Spec: testSpec(1)},
+		TenantStream{Tenant: "free", Kind: "diurnal", Spec: testSpec(2)},
+		TenantStream{Tenant: "batch", Kind: "batch", Spec: testSpec(3)},
+	)
+	if err != nil {
+		t.Fatalf("MultiTenant: %v", err)
+	}
+	if len(tr) != 600 {
+		t.Fatalf("got %d requests, want 600", len(tr))
+	}
+	want := []string{"batch", "free", "pro"}
+	got := tr.Tenants()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("tenants %v, want %v", got, want)
+	}
+	prev := time.Duration(-1)
+	sessionTenant := map[int]string{}
+	for _, r := range tr {
+		if r.At < prev {
+			t.Fatal("merged trace not time-ordered")
+		}
+		prev = r.At
+		if r.Session >= 0 {
+			if prevT, ok := sessionTenant[r.Session]; ok && prevT != r.Tenant {
+				t.Fatalf("session %d spans tenants %s and %s", r.Session, prevT, r.Tenant)
+			}
+			sessionTenant[r.Session] = r.Tenant
+		}
+	}
+	if _, err := MultiTenant(TenantStream{Tenant: "x", Kind: "nope", Spec: testSpec(1)}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Seed: 1, N: 0, Vocab: 8},
+		{Seed: 1, N: 5, Vocab: 0},
+		{Seed: 1, N: 5, Vocab: 8, MinPromptLen: 4, MaxPromptLen: 2},
+		{Seed: 1, N: 5, Vocab: 8, MinNewTokens: 4, MaxNewTokens: 2},
+		{Seed: 1, N: 5, Vocab: 8, Horizon: -time.Second},
+	}
+	for i, s := range bad {
+		if _, err := Generate("diurnal", s); err == nil {
+			t.Fatalf("case %d: invalid spec accepted", i)
+		}
+	}
+	if _, err := Generate("bogus", testSpec(1)); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
