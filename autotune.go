@@ -32,16 +32,19 @@ type AutoTuneResult struct {
 // setting feeds the §3 model's cpu_flops effectiveness — surfaced as one
 // call.
 func AutoTune(plat *Platform, mod ModelConfig, work Workload, maxIters int) (*AutoTuneResult, error) {
-	if maxIters < 1 {
-		return nil, fmt.Errorf("lmoffload: maxIters must be >= 1, got %d", maxIters)
-	}
+	return AutoTuneWithProfile(plat, mod, work, perfmodel.LMOffloadProfile(), maxIters)
+}
+
+// tuneSetup builds the controller and operator graph shared by the autotune
+// entry points.
+func tuneSetup(plat *Platform, mod ModelConfig, work Workload) (*parallelism.Controller, *parallelism.OpGraph, error) {
 	machine, err := parallelism.NewMachineModel(plat.CPU)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ctrl, err := parallelism.NewController(machine, plat.Link.BandwidthPerDir*0.5)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	groups := parallelism.DefaultHeadGroups
 	if groups > mod.Heads {
@@ -49,10 +52,37 @@ func AutoTune(plat *Platform, mod ModelConfig, work Workload, maxIters int) (*Au
 	}
 	og, err := parallelism.BuildAttentionGraph(mod, work, work.PromptLen+work.GenLen/2, groups)
 	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, og, nil
+}
+
+// policyTransfers converts a planned policy's modeled transfer times back
+// into the per-step volumes Algorithm 3 assigns threads against.
+func policyTransfers(plat *Platform, exec ExecProfile, res PolicyResult) []parallelism.TransferTask {
+	e := res.Estimator
+	return []parallelism.TransferTask{
+		{Name: "load_weight", Bytes: e.WeightUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+		{Name: "load_cache", Bytes: e.KVUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+		{Name: "store_cache", Bytes: e.KVDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+		{Name: "load_activation", Bytes: e.ActUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+		{Name: "store_activation", Bytes: e.ActDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
+	}
+}
+
+// AutoTuneWithProfile is AutoTune starting from an explicit execution profile
+// instead of the LM-Offload default. The online adapt loop uses it to re-run
+// the whole policy/parallelism search under coefficients refit to a drifted
+// machine (perfmodel.RefitProfile).
+func AutoTuneWithProfile(plat *Platform, mod ModelConfig, work Workload, exec ExecProfile, maxIters int) (*AutoTuneResult, error) {
+	if maxIters < 1 {
+		return nil, fmt.Errorf("lmoffload: maxIters must be >= 1, got %d", maxIters)
+	}
+	ctrl, og, err := tuneSetup(plat, mod, work)
+	if err != nil {
 		return nil, err
 	}
 
-	exec := perfmodel.LMOffloadProfile()
 	out := &AutoTuneResult{}
 	var prev perfmodel.Strategy
 	for iter := 0; iter < maxIters; iter++ {
@@ -65,15 +95,7 @@ func AutoTune(plat *Platform, mod ModelConfig, work Workload, maxIters int) (*Au
 		out.Policy = res
 
 		// Feed the chosen policy's actual transfer volumes to Algorithm 3.
-		e := res.Estimator
-		transfers := []parallelism.TransferTask{
-			{Name: "load_weight", Bytes: e.WeightUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
-			{Name: "load_cache", Bytes: e.KVUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
-			{Name: "store_cache", Bytes: e.KVDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
-			{Name: "load_activation", Bytes: e.ActUpTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
-			{Name: "store_activation", Bytes: e.ActDownTime() * plat.Link.BandwidthPerDir * exec.LinkEff},
-		}
-		setting, err := ctrl.Optimize(og, transfers)
+		setting, err := ctrl.Optimize(og, policyTransfers(plat, exec, res))
 		if err != nil {
 			return nil, err
 		}
@@ -93,4 +115,21 @@ func AutoTune(plat *Platform, mod ModelConfig, work Workload, maxIters int) (*Au
 		prev = res.Strategy
 	}
 	return out, nil
+}
+
+// EvaluateIntraOp prices a forced intra-op width under a given profile: it
+// plans the policy for that profile, derives the transfer volumes, and
+// profiles the width without letting Algorithm 3 choose a different one. The
+// adapt loop divides the current width's step time by AutoTuneWithProfile's
+// tuned step time to get an apples-to-apples predicted gain.
+func EvaluateIntraOp(plat *Platform, mod ModelConfig, work Workload, exec ExecProfile, intra int) (ParallelismSetting, error) {
+	ctrl, og, err := tuneSetup(plat, mod, work)
+	if err != nil {
+		return ParallelismSetting{}, err
+	}
+	res, err := policy.Plan(plat, mod, work, exec, policy.DefaultOptions())
+	if err != nil {
+		return ParallelismSetting{}, err
+	}
+	return ctrl.Evaluate(og, policyTransfers(plat, exec, res), intra)
 }

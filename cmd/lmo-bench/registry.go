@@ -26,6 +26,20 @@ func registry() []experiment {
 		workloadGrid = r
 		return r, nil
 	}
+	// The drift experiment runs a live adaptation lifecycle three times;
+	// memoize it the same way so -csv reuses the run.
+	var driftRes *experiments.DriftResult
+	drift := func() (*experiments.DriftResult, error) {
+		if driftRes != nil {
+			return driftRes, nil
+		}
+		r, err := experiments.DriftAdapt(2)
+		if err != nil {
+			return nil, err
+		}
+		driftRes = r
+		return r, nil
+	}
 	return []experiment{
 		{name: "fig3", run: func() (string, error) {
 			r, err := experiments.Figure3()
@@ -222,6 +236,19 @@ func registry() []experiment {
 			return r.Format(), nil
 		}, csv: func() (string, error) {
 			r, err := workload()
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "drift", run: func() (string, error) {
+			r, err := drift()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := drift()
 			if err != nil {
 				return "", err
 			}

@@ -19,6 +19,16 @@
 //	          [-arena-mb 2048] [-admission] [-hwm 0.85] [-lwm 0.65]
 //	          [-tpot-budget dur] [-host-kv-mb 0] [-prefix-cache-mb 0]
 //	          [-fair-share -tenants "free=1,pro=2/3"] [-latency-samples 4096]
+//	          [-adapt]
+//
+// With -adapt, a background controller watches the TPOT estimator's windowed
+// accuracy and the measured TPOT against a stable baseline; when the machine
+// drifts (thermal throttling, co-tenants), it refits the performance model's
+// hardware coefficients, re-runs the autotune search off the hot path, and
+// hot-swaps the execution policy at a decode-step boundary — canarying the
+// swap and rolling it back automatically if measured TPOT regresses. /stats
+// gains an "adapt" block (state, drift factor, swap/commit/rollback
+// counters). Requires -admission (the TPOT estimator feeds the detector).
 //
 // With -fair-share, -tenants declares per-tenant active-slot quotas, queue
 // depths, and weighted-round-robin shares; requests carrying a "tenant"
@@ -43,8 +53,12 @@ import (
 	"os/signal"
 	"time"
 
+	lmoffload "repro"
+	"repro/internal/adapt"
+	"repro/internal/adapt/tune"
 	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/perfmodel"
 	"repro/internal/quant"
 	"repro/internal/runtime"
 	"repro/internal/serve"
@@ -77,10 +91,15 @@ func main() {
 	tenants := flag.String("tenants", "", `fair-share tenants as name=slots[/weight[/depth]] entries, e.g. "free=1,pro=2/3,batch=1/1/16" (slots 0 = suspended; requests tagged "tenant" bill per-tenant, untagged ones bill to "default")`)
 	fairShare := flag.Bool("fair-share", false, "enable weighted fair-share scheduling (requires -tenants)")
 	latencySamples := flag.Int("latency-samples", 0, "TTFT/TPOT latency reservoir capacity per ring (0 = default 4096)")
+	adaptOn := flag.Bool("adapt", false, "online self-tuning: drift detection, background re-search, guarded policy hot-swap with canary rollback (requires -admission)")
 	flag.Parse()
 
 	if *fairShare != (*tenants != "") {
 		fmt.Fprintln(os.Stderr, "lmo-serve: -fair-share and -tenants must be used together")
+		os.Exit(2)
+	}
+	if *adaptOn && !*admission {
+		fmt.Fprintln(os.Stderr, "lmo-serve: -adapt requires -admission (the TPOT estimator feeds the drift detector)")
 		os.Exit(2)
 	}
 
@@ -147,6 +166,11 @@ func main() {
 		}
 		scfg.Tenants = tcs
 	}
+	var col *perfmodel.EstCollector
+	if *adaptOn {
+		col = perfmodel.NewEstCollector()
+		scfg.EstObserver = col
+	}
 	var rec *xtrace.Recorder
 	if *traceFile != "" {
 		rec = xtrace.NewRecorder(0)
@@ -155,6 +179,30 @@ func main() {
 	sched, err := serve.New(eng, scfg)
 	if err != nil {
 		fatal(err)
+	}
+	var ctl *adapt.Controller
+	if *adaptOn {
+		work, err := lmoffload.NewWorkload(64, *maxNew, 64, 10)
+		if err != nil {
+			fatal(err)
+		}
+		searcher := &tune.AutoTuneSearcher{
+			Plat:       lmoffload.SingleGPUA100(),
+			Mod:        lmoffload.OPT30B,
+			Work:       work,
+			Base:       perfmodel.LMOffloadProfile(),
+			MaxIters:   4,
+			MaxIntraOp: *workers,
+		}
+		ctl, err = adapt.New(sched, col, searcher, adapt.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		if rec != nil {
+			ctl.SetTracer(rec)
+		}
+		sched.SetAdaptStatsFunc(ctl.StatsMap)
+		ctl.Start()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched)}
@@ -168,6 +216,9 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		if ctl != nil {
+			ctl.Stop()
+		}
 		sched.Close()
 		if rec != nil {
 			if err := rec.WriteFile(*traceFile); err != nil {

@@ -1,0 +1,574 @@
+// Package adapt is the online self-tuning loop that closes LM-Offload's
+// performance model back onto a *running* server: it watches live estimator
+// accuracy and measured decode latency for drift, refits the execution
+// profile's hardware coefficients off the hot path, re-runs the
+// policy/parallelism search under the refitted profile, and hot-swaps the
+// resulting exec policy at a step boundary — guarded by a canary window whose
+// measured regression triggers automatic rollback.
+//
+// The controller is deliberately paranoid about touching a live server:
+//
+//   - it never requests a swap unless the plant reports Stable (for the
+//     serving scheduler that means circuit breaker Healthy and not closing),
+//     and the scheduler re-checks the same interlock at apply time;
+//   - a cooldown separates consecutive swap attempts, and confirmed forward
+//     swaps are rate-limited per hour (rollbacks are exempt — reverting a bad
+//     policy is a safety action, not an experiment);
+//   - a swap only goes out when the search predicts a gain above a hysteresis
+//     threshold, so model noise cannot thrash the policy;
+//   - after a swap the pre-swap policy and its measured TPOT are retained,
+//     and the canary window's median is compared against them: a measured
+//     regression beyond CanaryRegress reverts the swap.
+//
+// Detection is dual-signal: the windowed median q-error of the TPOT estimator
+// (prediction quality collapses the moment the machine leaves the fitted
+// regime, before the decayed fit catches up) OR the windowed actual TPOT
+// median against a stable-period baseline (still firing after the estimator
+// has re-converged on the slow regime). Both use streak hysteresis.
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+	"repro/internal/xtrace"
+)
+
+// Plant is the controller's view of the system it tunes. The serving
+// scheduler (internal/serve.Scheduler) implements it; tests use fakes.
+type Plant interface {
+	// ExecPolicy returns the exec policy currently applied.
+	ExecPolicy() runtime.ExecPolicy
+	// RequestSwap asks for p to be installed at the next step boundary.
+	// Application is asynchronous: poll ExecPolicy to confirm.
+	RequestSwap(p runtime.ExecPolicy) error
+	// Stable reports whether policy experiments are safe right now.
+	Stable() bool
+}
+
+// Candidate is one search result: a policy plus the search's own prediction
+// of how much faster it is than the current one.
+type Candidate struct {
+	Policy runtime.ExecPolicy
+	// PredictedGain is current-step-time / candidate-step-time under the
+	// refitted profile (>1 means the candidate is predicted faster).
+	PredictedGain float64
+	// Profile names the execution profile the search ran under.
+	Profile string
+}
+
+// Searcher re-runs the policy/parallelism search under a measured slowdown
+// factor. Implementations must be safe to call from the controller goroutine.
+type Searcher interface {
+	Search(factor float64, cur runtime.ExecPolicy) (Candidate, error)
+}
+
+// State is the controller's position in the adaptation lifecycle.
+type State int
+
+const (
+	// Stable: no drift detected; the baseline TPOT anchor tracks slowly.
+	Stable State = iota
+	// Drifted: drift confirmed; searches run and swaps may be requested.
+	Drifted
+	// Canary: a swap was applied and is being measured against the pre-swap
+	// window; regression beyond the threshold rolls it back.
+	Canary
+)
+
+// String returns the state's wire name (the /stats JSON value).
+func (s State) String() string {
+	switch s {
+	case Stable:
+		return "stable"
+	case Drifted:
+		return "drifted"
+	case Canary:
+		return "canary"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the controller. DefaultConfig's values suit the tiny-model
+// serving stack; production knobs scale with Interval.
+type Config struct {
+	// Interval is the tick period of the background loop.
+	Interval time.Duration
+	// MinSamples gates every windowed judgment: ticks with fewer TPOT
+	// estimator samples in the window are inconclusive and change nothing.
+	MinSamples int
+	// QErrThreshold raises the drift signal when the windowed median q-error
+	// of the TPOT estimator exceeds it (1 = perfect predictions).
+	QErrThreshold float64
+	// RatioThreshold raises the drift signal when windowed actual TPOT
+	// exceeds this multiple of the stable baseline.
+	RatioThreshold float64
+	// DriftStreak and ClearStreak are the hysteresis: consecutive drifted
+	// ticks to enter Drifted, consecutive clean ticks to leave it.
+	DriftStreak int
+	ClearStreak int
+	// MinGain is the swap hysteresis: candidates predicting less than this
+	// step-time ratio are discarded.
+	MinGain float64
+	// CanaryTicks is how many conclusive post-swap ticks the canary observes
+	// before its verdict.
+	CanaryTicks int
+	// CanaryRegress rolls the swap back when canary TPOT median exceeds this
+	// multiple of the pre-swap window median.
+	CanaryRegress float64
+	// Cooldown is the minimum gap between swap attempts (searches included).
+	Cooldown time.Duration
+	// MaxSwapsPerHour bounds confirmed forward swaps; rollbacks are exempt.
+	MaxSwapsPerHour int
+	// ConfirmTimeout bounds the wait for an async swap to be applied; an
+	// unconfirmed swap counts as refused (the scheduler's apply-time
+	// interlock dropped it).
+	ConfirmTimeout time.Duration
+}
+
+// DefaultConfig returns the tuning used by lmo-serve -adapt and the drift
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Interval:        250 * time.Millisecond,
+		MinSamples:      8,
+		QErrThreshold:   1.5,
+		RatioThreshold:  1.4,
+		DriftStreak:     3,
+		ClearStreak:     6,
+		MinGain:         1.05,
+		CanaryTicks:     4,
+		CanaryRegress:   1.15,
+		Cooldown:        5 * time.Second,
+		MaxSwapsPerHour: 12,
+		ConfirmTimeout:  2 * time.Second,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("adapt: interval must be positive, got %v", c.Interval)
+	case c.MinSamples < 1:
+		return fmt.Errorf("adapt: min samples must be >= 1, got %d", c.MinSamples)
+	case c.QErrThreshold <= 1:
+		return fmt.Errorf("adapt: q-error threshold must be > 1, got %g", c.QErrThreshold)
+	case c.RatioThreshold <= 1:
+		return fmt.Errorf("adapt: ratio threshold must be > 1, got %g", c.RatioThreshold)
+	case c.DriftStreak < 1 || c.ClearStreak < 1:
+		return fmt.Errorf("adapt: streaks must be >= 1, got drift %d clear %d", c.DriftStreak, c.ClearStreak)
+	case c.MinGain <= 1:
+		return fmt.Errorf("adapt: min gain must be > 1, got %g", c.MinGain)
+	case c.CanaryTicks < 1:
+		return fmt.Errorf("adapt: canary ticks must be >= 1, got %d", c.CanaryTicks)
+	case c.CanaryRegress <= 1:
+		return fmt.Errorf("adapt: canary regression threshold must be > 1, got %g", c.CanaryRegress)
+	case c.Cooldown < 0:
+		return fmt.Errorf("adapt: cooldown must be >= 0, got %v", c.Cooldown)
+	case c.MaxSwapsPerHour < 1:
+		return fmt.Errorf("adapt: max swaps per hour must be >= 1, got %d", c.MaxSwapsPerHour)
+	case c.ConfirmTimeout <= 0:
+		return fmt.Errorf("adapt: confirm timeout must be positive, got %v", c.ConfirmTimeout)
+	}
+	return nil
+}
+
+// Status is a point-in-time controller snapshot for /stats and tests.
+type Status struct {
+	State State
+	// DriftFactor is the refitter's current slowdown estimate (1 = nominal).
+	DriftFactor float64
+	// BaselineTPOT is the stable-period anchor (seconds; 0 until anchored).
+	BaselineTPOT float64
+	// WindowTPOT and WindowQErr are the latest conclusive window's medians.
+	WindowTPOT float64
+	WindowQErr float64
+	// WindowCount is the latest window's sample count.
+	WindowCount int
+
+	Searches       int64
+	SwapsRequested int64
+	SwapsConfirmed int64
+	Commits        int64
+	Rollbacks      int64
+	// Refusals counts swap requests refused by the plant's interlocks,
+	// including apply-time drops observed as confirmation timeouts.
+	Refusals int64
+
+	// LastSwap is when the most recent swap was confirmed (zero if never).
+	LastSwap time.Time
+	// Candidate is the most recent search result (zero value if none yet).
+	Candidate Candidate
+}
+
+// Controller runs the detect → refit/search → swap → canary loop. Create it
+// with New, then either Start a background goroutine or drive Tick directly
+// (tests do the latter for determinism).
+type Controller struct {
+	cfg    Config
+	plant  Plant
+	col    *perfmodel.EstCollector
+	search Searcher
+	refit  *perfmodel.ProfileRefitter
+	tracer *xtrace.Recorder
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	mu sync.Mutex
+	st Status
+	// Detection state.
+	driftStreak int
+	clearStreak int
+	// Swap state.
+	lastAttempt time.Time   // cooldown anchor: searches and swap requests
+	swapTimes   []time.Time // confirmed forward swaps inside the rate window
+	preSwap     runtime.ExecPolicy
+	preTPOT     float64 // pre-swap window actual median (seconds)
+	canarySeen  int     // conclusive canary ticks observed
+	canaryIdle  int     // inconclusive canary ticks (no traffic)
+	rollback    bool    // a rollback request is pending confirmation
+}
+
+// New wires a controller. The collector must be the same EstObserver the
+// serving scheduler feeds (serve.Config.EstObserver), so the controller sees
+// the live TPOT estimator stream.
+func New(plant Plant, col *perfmodel.EstCollector, search Searcher, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plant == nil || col == nil || search == nil {
+		return nil, fmt.Errorf("adapt: plant, collector, and searcher are all required")
+	}
+	return &Controller{
+		cfg:    cfg,
+		plant:  plant,
+		col:    col,
+		search: search,
+		refit:  &perfmodel.ProfileRefitter{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// SetTracer records adaptation lifecycle events (drift_detect, refit,
+// policy_commit, policy_rollback, ...) into the given recorder on the adapt
+// lane. Call before Start.
+func (c *Controller) SetTracer(r *xtrace.Recorder) { c.tracer = r }
+
+// Start launches the background tick loop. Safe to call once; Stop ends it.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			tick := time.NewTicker(c.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tick.C:
+					c.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the background loop and waits for it to exit. Idempotent; a
+// controller that was never started returns immediately.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	// If Start never ran, consume its Once so the wait below returns.
+	c.startOnce.Do(func() { close(c.done) })
+	<-c.done
+}
+
+// Status snapshots the controller.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// StatsMap renders the status as the /stats "adapt" block. Suitable for
+// serve.Scheduler.SetAdaptStatsFunc.
+func (c *Controller) StatsMap() map[string]any {
+	st := c.Status()
+	out := map[string]any{
+		"state":           st.State.String(),
+		"drift_factor":    st.DriftFactor,
+		"baseline_tpot_s": st.BaselineTPOT,
+		"window_tpot_s":   st.WindowTPOT,
+		"window_qerr":     st.WindowQErr,
+		"window_count":    st.WindowCount,
+		"searches":        st.Searches,
+		"swaps_requested": st.SwapsRequested,
+		"swaps_confirmed": st.SwapsConfirmed,
+		"commits":         st.Commits,
+		"rollbacks":       st.Rollbacks,
+		"refusals":        st.Refusals,
+	}
+	if !st.LastSwap.IsZero() {
+		out["last_swap_unix_ms"] = st.LastSwap.UnixMilli()
+	}
+	if st.Candidate.PredictedGain > 0 {
+		out["candidate_gain"] = st.Candidate.PredictedGain
+		out["candidate_intra_op"] = st.Candidate.Policy.IntraOp
+	}
+	return out
+}
+
+// Tick runs one controller iteration. Exported so tests (and callers that
+// want their own scheduling) can drive the loop deterministically; Start's
+// goroutine just calls it on a timer.
+func (c *Controller) Tick() {
+	ws := c.col.WindowStats(perfmodel.EstTPOT)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws.Count >= c.cfg.MinSamples {
+		c.st.WindowTPOT = ws.ActualMedian
+		c.st.WindowQErr = ws.QErrMedian
+	}
+	c.st.WindowCount = ws.Count
+	c.st.DriftFactor = c.refit.Factor()
+	switch c.st.State {
+	case Stable:
+		c.tickStable(ws)
+	case Drifted:
+		c.tickDrifted(ws)
+	case Canary:
+		c.tickCanary(ws)
+	}
+}
+
+// drifted evaluates the dual detection condition on a conclusive window.
+func (c *Controller) drifted(ws perfmodel.EstWindowStats) bool {
+	if ws.QErrMedian > c.cfg.QErrThreshold {
+		return true
+	}
+	base := c.st.BaselineTPOT
+	return base > 0 && ws.ActualMedian > c.cfg.RatioThreshold*base
+}
+
+func (c *Controller) tickStable(ws perfmodel.EstWindowStats) {
+	if ws.Count < c.cfg.MinSamples {
+		return
+	}
+	if c.st.BaselineTPOT == 0 {
+		// First conclusive window anchors the baseline.
+		c.st.BaselineTPOT = ws.ActualMedian
+		return
+	}
+	c.refit.Observe(ws.ActualMedian, c.st.BaselineTPOT)
+	c.st.DriftFactor = c.refit.Factor()
+	if c.drifted(ws) {
+		c.driftStreak++
+		if c.driftStreak >= c.cfg.DriftStreak {
+			c.st.State = Drifted
+			c.clearStreak = 0
+			c.event(xtrace.TaskDriftDetect)
+		}
+		return
+	}
+	c.driftStreak = 0
+	// Track slow legitimate shifts (workload mix, occupancy) without letting
+	// a fast drift drag the anchor along: heavy smoothing, undrifted only.
+	c.st.BaselineTPOT = 0.9*c.st.BaselineTPOT + 0.1*ws.ActualMedian
+}
+
+func (c *Controller) tickDrifted(ws perfmodel.EstWindowStats) {
+	if ws.Count < c.cfg.MinSamples {
+		return
+	}
+	c.refit.Observe(ws.ActualMedian, c.st.BaselineTPOT)
+	c.st.DriftFactor = c.refit.Factor()
+	if !c.drifted(ws) {
+		c.clearStreak++
+		if c.clearStreak >= c.cfg.ClearStreak {
+			c.st.State = Stable
+			c.driftStreak = 0
+			c.event(xtrace.TaskDriftClear)
+		}
+		return
+	}
+	c.clearStreak = 0
+
+	// Interlocks: a degraded plant, a live cooldown, or an exhausted swap
+	// budget all silently skip this tick; detection state is untouched.
+	now := time.Now()
+	if !c.plant.Stable() ||
+		(!c.lastAttempt.IsZero() && now.Sub(c.lastAttempt) < c.cfg.Cooldown) ||
+		!c.budgetOKLocked(now) {
+		return
+	}
+	c.lastAttempt = now
+
+	// Refit + re-search off the hot path (this goroutine IS off the hot
+	// path: the serving loop never blocks on the controller).
+	factor := c.refit.Factor()
+	cur := c.plant.ExecPolicy()
+	t0 := time.Now()
+	cand, err := c.search.Search(factor, cur)
+	c.span(xtrace.TaskRefit, t0)
+	c.st.Searches++
+	if err != nil {
+		return
+	}
+	c.st.Candidate = cand
+	if cand.PredictedGain < c.cfg.MinGain || cand.Policy == cur {
+		return
+	}
+
+	// Swap: remember the pre-swap world, request, await confirmation.
+	c.st.SwapsRequested++
+	preTPOT := ws.ActualMedian
+	if err := c.plant.RequestSwap(cand.Policy); err != nil {
+		c.st.Refusals++
+		return
+	}
+	if !c.awaitPolicyLocked(cand.Policy) {
+		// Dropped at the apply-time interlock (or the plant is wedged);
+		// either way the swap did not land.
+		c.st.Refusals++
+		return
+	}
+	c.preSwap = cur
+	c.preTPOT = preTPOT
+	c.st.SwapsConfirmed++
+	c.st.LastSwap = time.Now()
+	c.swapTimes = append(c.swapTimes, c.st.LastSwap)
+	c.canarySeen, c.canaryIdle = 0, 0
+	c.rollback = false
+	c.st.State = Canary
+	// The canary must judge post-swap behavior only.
+	c.col.ResetWindow(perfmodel.EstTPOT)
+}
+
+func (c *Controller) tickCanary(ws perfmodel.EstWindowStats) {
+	if c.rollback {
+		// A prior rollback request was refused (plant unstable); keep
+		// retrying — reverting is the safety action.
+		c.finishRollback()
+		return
+	}
+	if !c.plant.Stable() {
+		// Pause the canary clock while the plant is unstable: its latency is
+		// dominated by whatever tripped the breaker, not by our swap.
+		return
+	}
+	if ws.Count < c.cfg.MinSamples {
+		c.canaryIdle++
+		if c.canaryIdle > 8*c.cfg.CanaryTicks {
+			// No traffic arrived to judge the swap. Commit by default: an
+			// idle server's policy is consequence-free, and the detector
+			// re-arms the moment traffic returns.
+			c.commitLocked(ws)
+		}
+		return
+	}
+	c.canarySeen++
+	if c.canarySeen < c.cfg.CanaryTicks {
+		return
+	}
+	if c.preTPOT > 0 && ws.ActualMedian > c.cfg.CanaryRegress*c.preTPOT {
+		// Measured regression: the swap made things worse. Revert.
+		c.rollback = true
+		c.finishRollback()
+		return
+	}
+	c.commitLocked(ws)
+}
+
+// commitLocked accepts the canaried policy: re-anchor the baseline on the
+// post-swap world and return to Stable.
+func (c *Controller) commitLocked(ws perfmodel.EstWindowStats) {
+	if ws.Count >= c.cfg.MinSamples {
+		c.st.BaselineTPOT = ws.ActualMedian
+	}
+	// Old ratios were measured against the pre-swap baseline; start the
+	// slowdown fit fresh.
+	c.refit.Reset()
+	c.st.DriftFactor = 1
+	c.st.Commits++
+	c.driftStreak, c.clearStreak = 0, 0
+	c.st.State = Stable
+	c.event(xtrace.TaskPolicyCommit)
+}
+
+// finishRollback requests the pre-swap policy and, once confirmed, returns to
+// Drifted (the underlying drift is still there; the cooldown prevents an
+// immediate identical retry).
+func (c *Controller) finishRollback() {
+	if err := c.plant.RequestSwap(c.preSwap); err != nil {
+		// Breaker interlock refused the revert; retry next tick.
+		return
+	}
+	if !c.awaitPolicyLocked(c.preSwap) {
+		return
+	}
+	c.rollback = false
+	c.st.Rollbacks++
+	c.lastAttempt = time.Now() // cooldown before the next experiment
+	c.st.State = Drifted
+	c.clearStreak = 0
+	c.event(xtrace.TaskPolicyRollback)
+	// Post-rollback measurements should not be judged against canary noise.
+	c.col.ResetWindow(perfmodel.EstTPOT)
+}
+
+// awaitPolicyLocked polls the plant until it reports the requested policy or
+// the confirm timeout lapses. Called with c.mu held; the wait is bounded and
+// only the controller goroutine contends for the lock in practice (Status
+// readers may block for up to ConfirmTimeout in the worst case).
+func (c *Controller) awaitPolicyLocked(want runtime.ExecPolicy) bool {
+	deadline := time.Now().Add(c.cfg.ConfirmTimeout)
+	step := c.cfg.Interval / 8
+	if step <= 0 || step > 50*time.Millisecond {
+		step = 5 * time.Millisecond
+	}
+	for {
+		if c.plant.ExecPolicy() == want {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(step)
+	}
+}
+
+// budgetOKLocked prunes the hourly swap window and reports whether another
+// forward swap is allowed.
+func (c *Controller) budgetOKLocked(now time.Time) bool {
+	cutoff := now.Add(-time.Hour)
+	kept := c.swapTimes[:0]
+	for _, t := range c.swapTimes {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	c.swapTimes = kept
+	return len(c.swapTimes) < c.cfg.MaxSwapsPerHour
+}
+
+// event records an instantaneous adaptation marker on the adapt lane.
+func (c *Controller) event(name string) {
+	if c.tracer != nil {
+		c.tracer.Event(name, xtrace.LaneAdapt, time.Now(), xtrace.NoLabels)
+	}
+}
+
+// span records a timed adaptation span (the refit+search) on the adapt lane.
+func (c *Controller) span(name string, t0 time.Time) {
+	if c.tracer != nil {
+		c.tracer.Record(name, xtrace.LaneAdapt, t0, time.Since(t0), xtrace.NoLabels)
+	}
+}

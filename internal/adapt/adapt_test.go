@@ -1,0 +1,399 @@
+package adapt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+)
+
+// fakePlant applies swaps synchronously, so confirmation is instant.
+type fakePlant struct {
+	mu     sync.Mutex
+	pol    runtime.ExecPolicy
+	stable bool
+	refuse bool
+	swaps  int
+}
+
+func (p *fakePlant) ExecPolicy() runtime.ExecPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pol
+}
+
+func (p *fakePlant) RequestSwap(q runtime.ExecPolicy) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.refuse {
+		return errors.New("refused")
+	}
+	p.pol = q
+	p.swaps++
+	return nil
+}
+
+func (p *fakePlant) Stable() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stable
+}
+
+func (p *fakePlant) set(f func(*fakePlant)) {
+	p.mu.Lock()
+	f(p)
+	p.mu.Unlock()
+}
+
+// fakeSearcher returns a fixed candidate.
+type fakeSearcher struct {
+	mu    sync.Mutex
+	cand  Candidate
+	err   error
+	calls int
+}
+
+func (s *fakeSearcher) Search(factor float64, cur runtime.ExecPolicy) (Candidate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	return s.cand, s.err
+}
+
+func (s *fakeSearcher) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// testConfig is tuned for deterministic manual ticking: no cooldown, tiny
+// streaks and canary, instant confirmation against the synchronous fake.
+func testConfig() Config {
+	return Config{
+		Interval:        10 * time.Millisecond,
+		MinSamples:      4,
+		QErrThreshold:   1.5,
+		RatioThreshold:  1.3,
+		DriftStreak:     2,
+		ClearStreak:     2,
+		MinGain:         1.05,
+		CanaryTicks:     2,
+		CanaryRegress:   1.2,
+		Cooldown:        0,
+		MaxSwapsPerHour: 100,
+		ConfirmTimeout:  200 * time.Millisecond,
+	}
+}
+
+// feed pushes n TPOT estimator samples with the given prediction/actual.
+func feed(col *perfmodel.EstCollector, n int, pred, act float64) {
+	for i := 0; i < n; i++ {
+		col.ObserveEstimate(perfmodel.EstTPOT, pred, act)
+	}
+}
+
+// newTestController wires a controller over a 16-sample window.
+func newTestController(t *testing.T, plant Plant, search Searcher, cfg Config) (*Controller, *perfmodel.EstCollector) {
+	t.Helper()
+	col := perfmodel.NewEstCollector()
+	col.SetWindowSize(16)
+	c, err := New(plant, col, search, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, col
+}
+
+// anchor brings a fresh controller to Stable with a 10ms TPOT baseline.
+func anchor(c *Controller, col *perfmodel.EstCollector) {
+	feed(col, 16, 0.010, 0.010)
+	c.Tick() // anchors the baseline
+	c.Tick() // first real stable evaluation
+}
+
+// driftTo flips the window to the given actual latency and ticks until the
+// controller confirms drift.
+func driftTo(t *testing.T, c *Controller, col *perfmodel.EstCollector, act float64) {
+	t.Helper()
+	feed(col, 16, 0.010, act)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+		if c.Status().State != Stable {
+			return
+		}
+	}
+	t.Fatalf("drift never detected; status %+v", c.Status())
+}
+
+// TestDetectSwapCommit walks the happy path: drift raised, search run, swap
+// confirmed, canary clean, policy committed and baseline re-anchored.
+func TestDetectSwapCommit(t *testing.T) {
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: true}
+	cand := Candidate{Policy: runtime.ExecPolicy{IntraOp: 4}, PredictedGain: 1.5}
+	search := &fakeSearcher{cand: cand}
+	c, col := newTestController(t, plant, search, testConfig())
+
+	anchor(c, col)
+	if st := c.Status(); st.State != Stable || st.BaselineTPOT == 0 {
+		t.Fatalf("anchor failed: %+v", st)
+	}
+	driftTo(t, c, col, 0.025)
+	if st := c.Status(); st.State != Drifted {
+		t.Fatalf("state %v after drift, want Drifted", st.State)
+	}
+	c.Tick() // drifted tick: search + swap -> canary
+	st := c.Status()
+	if st.State != Canary || st.SwapsConfirmed != 1 {
+		t.Fatalf("swap did not land: %+v", st)
+	}
+	if got := plant.ExecPolicy(); got != cand.Policy {
+		t.Fatalf("plant policy %+v, want candidate %+v", got, cand.Policy)
+	}
+	// Post-swap window is clean: the swap genuinely helped.
+	feed(col, 16, 0.010, 0.010)
+	for i := 0; i < 4 && c.Status().State == Canary; i++ {
+		c.Tick()
+	}
+	st = c.Status()
+	if st.State != Stable || st.Commits != 1 || st.Rollbacks != 0 {
+		t.Fatalf("commit did not happen: %+v", st)
+	}
+	if st.BaselineTPOT > 0.015 {
+		t.Fatalf("baseline not re-anchored on the post-swap world: %g", st.BaselineTPOT)
+	}
+}
+
+// TestPoisonedRollback: a swap whose canary window measurably regresses is
+// reverted and the pre-swap policy restored.
+func TestPoisonedRollback(t *testing.T) {
+	before := runtime.ExecPolicy{IntraOp: 2}
+	plant := &fakePlant{pol: before, stable: true}
+	search := &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 1}, PredictedGain: 2}}
+	c, col := newTestController(t, plant, search, testConfig())
+
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	c.Tick()
+	if st := c.Status(); st.State != Canary {
+		t.Fatalf("no canary: %+v", st)
+	}
+	// The poisoned policy makes things worse than the pre-swap window.
+	feed(col, 16, 0.010, 0.040)
+	for i := 0; i < 6 && c.Status().State == Canary; i++ {
+		c.Tick()
+	}
+	st := c.Status()
+	if st.Rollbacks != 1 || st.Commits != 0 {
+		t.Fatalf("rollback did not happen: %+v", st)
+	}
+	if st.State != Drifted {
+		t.Fatalf("state %v after rollback, want Drifted (the drift is still there)", st.State)
+	}
+	if got := plant.ExecPolicy(); got != before {
+		t.Fatalf("policy %+v after rollback, want pre-swap %+v", got, before)
+	}
+}
+
+// TestRollbackRetriesWhileUnstable: a rollback refused by the plant's
+// interlock is retried every tick until it lands — reverting is the safety
+// action and must not be abandoned.
+func TestRollbackRetriesWhileUnstable(t *testing.T) {
+	before := runtime.ExecPolicy{IntraOp: 2}
+	plant := &fakePlant{pol: before, stable: true}
+	search := &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 1}, PredictedGain: 2}}
+	c, col := newTestController(t, plant, search, testConfig())
+
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	c.Tick()
+	feed(col, 16, 0.010, 0.040)
+	// Refuse swaps right as the rollback verdict arrives.
+	plant.set(func(p *fakePlant) { p.refuse = true })
+	for i := 0; i < 6; i++ {
+		c.Tick()
+	}
+	if st := c.Status(); st.Rollbacks != 0 || st.State != Canary {
+		t.Fatalf("rollback should still be pending: %+v", st)
+	}
+	plant.set(func(p *fakePlant) { p.refuse = false })
+	c.Tick()
+	st := c.Status()
+	if st.Rollbacks != 1 || plant.ExecPolicy() != before {
+		t.Fatalf("rollback never landed after the plant recovered: %+v", st)
+	}
+}
+
+// TestInterlockUnstablePlant: while the plant reports unstable, a confirmed
+// drift produces no searches and no swaps.
+func TestInterlockUnstablePlant(t *testing.T) {
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: true}
+	search := &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 4}, PredictedGain: 2}}
+	c, col := newTestController(t, plant, search, testConfig())
+
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	plant.set(func(p *fakePlant) { p.stable = false })
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if n := search.callCount(); n != 0 {
+		t.Fatalf("%d searches ran against an unstable plant", n)
+	}
+	if plant.swaps != 0 {
+		t.Fatalf("%d swaps applied against an unstable plant", plant.swaps)
+	}
+	// Recovery: the first stable tick may search and swap again.
+	plant.set(func(p *fakePlant) { p.stable = true })
+	c.Tick()
+	if n := search.callCount(); n != 1 {
+		t.Fatalf("search count %d after recovery, want 1", n)
+	}
+}
+
+// TestInterlockCooldownAndBudget: the cooldown spaces attempts, and the
+// hourly budget caps confirmed forward swaps.
+func TestInterlockCooldownAndBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cooldown = time.Hour // effectively infinite for this test
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: true}
+	// Gain below MinGain: search runs but no swap follows.
+	search := &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 4}, PredictedGain: 1.01}}
+	c, col := newTestController(t, plant, search, cfg)
+
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if n := search.callCount(); n != 1 {
+		t.Fatalf("cooldown did not space searches: %d", n)
+	}
+	if plant.swaps != 0 {
+		t.Fatal("sub-threshold gain still swapped")
+	}
+
+	// Budget: a fresh controller with one swap allowed commits once, then
+	// re-drifts and must not search again.
+	cfg = testConfig()
+	cfg.MaxSwapsPerHour = 1
+	plant = &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: true}
+	search = &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 4}, PredictedGain: 2}}
+	c, col = newTestController(t, plant, search, cfg)
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	c.Tick() // swap 1 -> canary
+	feed(col, 16, 0.010, 0.010)
+	for i := 0; i < 4 && c.Status().State == Canary; i++ {
+		c.Tick()
+	}
+	if st := c.Status(); st.Commits != 1 {
+		t.Fatalf("first cycle did not commit: %+v", st)
+	}
+	calls := search.callCount()
+	driftTo(t, c, col, 0.030)
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if n := search.callCount(); n != calls {
+		t.Fatalf("budget-exhausted controller still searched (%d -> %d)", calls, n)
+	}
+}
+
+// TestHysteresisBlip: a transient bad window shorter than the drift streak
+// never leaves Stable.
+func TestHysteresisBlip(t *testing.T) {
+	cfg := testConfig()
+	cfg.DriftStreak = 3
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: true}
+	search := &fakeSearcher{cand: Candidate{Policy: runtime.ExecPolicy{IntraOp: 4}, PredictedGain: 2}}
+	c, col := newTestController(t, plant, search, cfg)
+
+	anchor(c, col)
+	feed(col, 16, 0.010, 0.025) // blip
+	c.Tick()                    // streak 1 of 3
+	feed(col, 16, 0.010, 0.010) // recovered
+	for i := 0; i < 6; i++ {
+		c.Tick()
+	}
+	if st := c.Status(); st.State != Stable || st.Searches != 0 {
+		t.Fatalf("blip escalated: %+v", st)
+	}
+}
+
+// TestDriftClear: confirmed drift that goes away (without any swap) walks
+// back to Stable after the clear streak.
+func TestDriftClear(t *testing.T) {
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 2}, stable: false} // unstable: no swaps interfere
+	search := &fakeSearcher{cand: Candidate{PredictedGain: 1}}
+	c, col := newTestController(t, plant, search, testConfig())
+
+	anchor(c, col)
+	driftTo(t, c, col, 0.025)
+	feed(col, 16, 0.010, 0.010)
+	for i := 0; i < 6 && c.Status().State != Stable; i++ {
+		c.Tick()
+	}
+	if st := c.Status(); st.State != Stable {
+		t.Fatalf("drift never cleared: %+v", st)
+	}
+}
+
+// TestStartStop: the background loop starts, ticks, and stops without
+// leaking; Stop on a never-started controller returns immediately.
+func TestStartStop(t *testing.T) {
+	plant := &fakePlant{pol: runtime.ExecPolicy{IntraOp: 1}, stable: true}
+	search := &fakeSearcher{}
+	cfg := testConfig()
+	cfg.Interval = time.Millisecond
+	c, col := newTestController(t, plant, search, cfg)
+	feed(col, 16, 0.010, 0.010)
+	c.Start()
+	deadline := time.Now().Add(time.Second)
+	for c.Status().BaselineTPOT == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never anchored the baseline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	c2, _ := newTestController(t, plant, search, cfg)
+	done := make(chan struct{})
+	go func() { c2.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop on a never-started controller hung")
+	}
+}
+
+// TestConfigValidate rejects degenerate configurations.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Interval = 0 },
+		func(c *Config) { c.MinSamples = 0 },
+		func(c *Config) { c.QErrThreshold = 1 },
+		func(c *Config) { c.RatioThreshold = 0.9 },
+		func(c *Config) { c.DriftStreak = 0 },
+		func(c *Config) { c.MinGain = 1 },
+		func(c *Config) { c.CanaryTicks = 0 },
+		func(c *Config) { c.CanaryRegress = 1 },
+		func(c *Config) { c.Cooldown = -time.Second },
+		func(c *Config) { c.MaxSwapsPerHour = 0 },
+		func(c *Config) { c.ConfirmTimeout = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package tune provides the paper-faithful adapt.Searcher backed by the root
+// package's AutoTune loop. It lives apart from the adapt core so that the
+// serving layer (which the root package transitively imports via the cluster
+// facade) can depend on adapt without an import cycle.
+package tune
+
+import (
+	"fmt"
+
+	lmoffload "repro"
+	"repro/internal/adapt"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+)
+
+// AutoTuneSearcher is the paper-faithful Searcher: it projects the measured
+// slowdown factor onto the execution profile's hardware coefficients
+// (perfmodel.RefitProfile), re-runs the full §3 policy / §4 parallelism
+// autotune loop under the refitted profile, and prices the *current* width
+// the same way (lmoffload.EvaluateIntraOp) so PredictedGain is a ratio of two
+// step times estimated by one model.
+//
+// The candidate keeps the current policy's InterOp, Prefetch, and StepTimeout
+// — the model's operator-graph concurrency is not the engine's GPU-batch
+// inter-op knob, and the other two are outside the search space. Only the
+// intra-op width moves, clamped to MaxIntraOp so a 56-core machine model
+// cannot prescribe a width the live thread pool does not have.
+type AutoTuneSearcher struct {
+	Plat *lmoffload.Platform
+	Mod  lmoffload.ModelConfig
+	Work lmoffload.Workload
+	// Base is the reference profile drift is measured against (typically
+	// perfmodel.LMOffloadProfile()).
+	Base perfmodel.ExecProfile
+	// MaxIters bounds the policy/parallelism rounds per search (>=1).
+	MaxIters int
+	// MaxIntraOp clamps the candidate width to the live pool (0 = no clamp).
+	MaxIntraOp int
+}
+
+// Search implements Searcher.
+func (s *AutoTuneSearcher) Search(factor float64, cur runtime.ExecPolicy) (adapt.Candidate, error) {
+	if s.Plat == nil {
+		return adapt.Candidate{}, fmt.Errorf("adapt: searcher has no platform")
+	}
+	iters := s.MaxIters
+	if iters < 1 {
+		iters = 4
+	}
+	prof, err := perfmodel.RefitProfile(s.Base, factor)
+	if err != nil {
+		return adapt.Candidate{}, err
+	}
+	tuned, err := lmoffload.AutoTuneWithProfile(s.Plat, s.Mod, s.Work, prof, iters)
+	if err != nil {
+		return adapt.Candidate{}, err
+	}
+	curIntra := cur.IntraOp
+	if curIntra < 1 {
+		curIntra = 1
+	}
+	curSet, err := lmoffload.EvaluateIntraOp(s.Plat, s.Mod, s.Work, prof, curIntra)
+	if err != nil {
+		return adapt.Candidate{}, err
+	}
+	gain := 1.0
+	if tuned.Parallelism.StepTime > 0 {
+		gain = curSet.StepTime / tuned.Parallelism.StepTime
+	}
+	intra := tuned.Parallelism.IntraOp
+	if s.MaxIntraOp > 0 && intra > s.MaxIntraOp {
+		intra = s.MaxIntraOp
+	}
+	pol := cur
+	pol.IntraOp = intra
+	return adapt.Candidate{Policy: pol, PredictedGain: gain, Profile: tuned.Profile.Name}, nil
+}

@@ -1,0 +1,51 @@
+package tune
+
+import (
+	"testing"
+	"time"
+
+	lmoffload "repro"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+)
+
+// TestAutoTuneSearcher: the paper-faithful searcher produces a valid
+// candidate under a slowdown factor, clamps the width, and preserves the
+// non-searched policy fields.
+func TestAutoTuneSearcher(t *testing.T) {
+	work, err := lmoffload.NewWorkload(64, 32, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &AutoTuneSearcher{
+		Plat:       lmoffload.SingleGPUA100(),
+		Mod:        lmoffload.OPT30B,
+		Work:       work,
+		Base:       perfmodel.LMOffloadProfile(),
+		MaxIters:   3,
+		MaxIntraOp: 4,
+	}
+	cur := runtime.ExecPolicy{IntraOp: 2, Prefetch: true, StepTimeout: time.Second}
+	cand, err := s.Search(2.0, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Policy.IntraOp < 1 || cand.Policy.IntraOp > 4 {
+		t.Fatalf("candidate width %d outside clamp", cand.Policy.IntraOp)
+	}
+	if !cand.Policy.Prefetch || cand.Policy.StepTimeout != time.Second {
+		t.Fatalf("non-searched fields not preserved: %+v", cand.Policy)
+	}
+	if cand.PredictedGain <= 0 {
+		t.Fatalf("gain %g", cand.PredictedGain)
+	}
+	if err := cand.Policy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The searcher's candidate under a slowdown should differ meaningfully
+	// from a degenerate one: the gain is a ratio of model step times, so it
+	// is finite and positive even when the tuned width equals the current.
+	if _, err := s.Search(-1, cur); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}

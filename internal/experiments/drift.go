@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/threadpool"
+)
+
+// DriftRunRow is one run of the online-adaptation experiment.
+type DriftRunRow struct {
+	Run          string
+	StartIntraOp int
+	FinalIntraOp int
+	// BaselineTPOT is the pre-drift stable anchor; DriftedTPOT the windowed
+	// median right after detection; FinalTPOT the settled post-run median.
+	// All seconds per token; zero when the phase does not apply to the run.
+	BaselineTPOT float64
+	DriftedTPOT  float64
+	FinalTPOT    float64
+	Swaps        int64
+	Commits      int64
+	Rollbacks    int64
+	Served       int64
+}
+
+// DriftResult is the online self-tuning experiment: the same live scheduler
+// and injected machine slowdown, three ways.
+//
+//   - adaptive: the adapt controller detects the drift, re-searches, swaps at
+//     a step boundary, and the canary commits. Its settled TPOT is the
+//     recovery headline.
+//   - fresh-fit: the policy the adaptive run converged to, installed from the
+//     start under the same slowdown — the oracle the adaptive run is scored
+//     against. Recovery gate: adaptive settled TPOT <= 1.25x fresh-fit.
+//   - poisoned: the searcher is poisoned (confidently proposes a policy whose
+//     predicted gain never materializes — the world degrades further during
+//     the canary window), so the canary must measure the regression and roll
+//     the swap back, restoring the pre-swap policy.
+type DriftResult struct {
+	Model         model.Config
+	SlowdownX     float64
+	Rows          []DriftRunRow
+	RecoveryRatio float64 // adaptive FinalTPOT / fresh-fit FinalTPOT
+	RecoveryGate  float64 // the 1.25 acceptance bound
+	// PoisonRestored records that the poisoned run's rollback restored the
+	// exact pre-swap execution policy.
+	PoisonRestored bool
+}
+
+// fixedSearcher always proposes the given width with a confident gain — the
+// experiment's stand-in for a full autotune pass (the policy it would find on
+// this 2-worker toy plant is known).
+type fixedSearcher struct {
+	intra int
+	gain  float64
+}
+
+func (s fixedSearcher) Search(factor float64, cur runtime.ExecPolicy) (adapt.Candidate, error) {
+	next := cur
+	next.IntraOp = s.intra
+	return adapt.Candidate{Policy: next, PredictedGain: s.gain, Profile: "drift-exp"}, nil
+}
+
+// driftStack is one live serving stack wired for adaptation experiments.
+type driftStack struct {
+	sched  *serve.Scheduler
+	col    *perfmodel.EstCollector
+	inj    *faults.Injector
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	served atomic.Int64
+}
+
+// newDriftStack builds a tiny engine (2-worker pool) behind a scheduler with
+// admission control and the TPOT estimator collector attached, then starts
+// `workers` background submitters.
+func newDriftStack(seed int64, startIntra, workers int) (*driftStack, error) {
+	cfg := model.Tiny()
+	m, err := model.NewModel(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: startIntra, Prefetch: true}, 1<<30, threadpool.MustNew(2))
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.MustNew(seed, nil)
+	eng.SetFaultInjector(inj)
+
+	scfg := serve.DefaultConfig(cfg.Vocab)
+	scfg.Slots = 3
+	scfg.QueueDepth = 64
+	scfg.MaxNewTokens = 12
+	scfg.DefaultNewTokens = 12
+	col := perfmodel.NewEstCollector()
+	col.SetWindowSize(16)
+	scfg.EstObserver = col
+	sched, err := serve.New(eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &driftStack{sched: sched, col: col, inj: inj, stop: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		st.wg.Add(1)
+		go func(seed int64) {
+			defer st.wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-st.stop:
+					return
+				default:
+				}
+				prompt := make([]int, 2+rng.Intn(4))
+				for j := range prompt {
+					prompt[j] = rng.Intn(cfg.Vocab)
+				}
+				h, err := sched.Submit(context.Background(), serve.Request{Prompt: prompt, MaxNewTokens: 4 + rng.Intn(8)})
+				if err == nil {
+					if _, werr := h.Wait(); werr == nil {
+						st.served.Add(1)
+					}
+				} else {
+					time.Sleep(10 * time.Millisecond)
+				}
+				time.Sleep(time.Duration(rng.ExpFloat64() * float64(8*time.Millisecond)))
+			}
+		}(seed*31 + int64(w))
+	}
+	return st, nil
+}
+
+func (st *driftStack) closeStack() {
+	close(st.stop)
+	st.wg.Wait()
+	st.sched.Close()
+}
+
+// settleTPOT clears the TPOT window and returns the median once it refills —
+// a regime-pure measurement of the stack's current operating point.
+func (st *driftStack) settleTPOT(minSamples int, deadline time.Duration) (float64, error) {
+	st.col.ResetWindow(perfmodel.EstTPOT)
+	end := time.Now().Add(deadline)
+	for {
+		ws := st.col.WindowStats(perfmodel.EstTPOT)
+		if ws.Count >= minSamples {
+			return ws.ActualMedian, nil
+		}
+		if time.Now().After(end) {
+			return 0, fmt.Errorf("experiments: drift: TPOT window never filled (%d/%d samples)", ws.Count, minSamples)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// driftWait polls cond until it holds or the deadline passes.
+func driftWait(what string, deadline time.Duration, cond func() bool) error {
+	end := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(end) {
+			return fmt.Errorf("experiments: drift: %s never happened", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// driftAdaptConfig is the controller tuning shared by the experiment's runs:
+// fast ticks so the whole lifecycle fits in seconds of wall clock.
+func driftAdaptConfig() adapt.Config {
+	return adapt.Config{
+		Interval:        40 * time.Millisecond,
+		MinSamples:      4,
+		QErrThreshold:   1.4,
+		RatioThreshold:  1.25,
+		DriftStreak:     2,
+		ClearStreak:     4,
+		MinGain:         1.05,
+		CanaryTicks:     3,
+		CanaryRegress:   1.2,
+		Cooldown:        200 * time.Millisecond,
+		MaxSwapsPerHour: 1000,
+		ConfirmTimeout:  3 * time.Second,
+	}
+}
+
+// DriftAdapt runs the three-way online-adaptation experiment under a
+// sustained `slowdown`x machine drift and gates the outcomes: the adaptive
+// run must settle within 1.25x of the fresh-fit oracle, and the poisoned run
+// must roll back to the exact pre-swap policy.
+func DriftAdapt(slowdown float64) (*DriftResult, error) {
+	if slowdown <= 1 {
+		slowdown = 2
+	}
+	const seed = 20250808
+	out := &DriftResult{Model: model.Tiny(), SlowdownX: slowdown, RecoveryGate: 1.25}
+
+	// Run 1: adaptive. Start at width 1; the searcher proposes width 2.
+	adaptive, committed, err := driftAdaptiveRun(seed, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, adaptive)
+
+	// Run 2: fresh-fit oracle. The committed policy from the start, same
+	// slowdown from the first request.
+	fresh, err := driftFreshRun(seed, slowdown, committed)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, fresh)
+	if fresh.FinalTPOT <= 0 {
+		return nil, fmt.Errorf("experiments: drift: fresh-fit run measured no TPOT")
+	}
+	out.RecoveryRatio = adaptive.FinalTPOT / fresh.FinalTPOT
+	if out.RecoveryRatio > out.RecoveryGate {
+		return nil, fmt.Errorf("experiments: drift: adaptive settled at %.2fx the fresh-fit oracle (gate %.2fx)",
+			out.RecoveryRatio, out.RecoveryGate)
+	}
+
+	// Run 3: poisoned searcher -> canary regression -> rollback.
+	poisoned, restored, err := driftPoisonedRun(seed, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, poisoned)
+	out.PoisonRestored = restored
+	if !restored {
+		return nil, fmt.Errorf("experiments: drift: rollback did not restore the pre-swap policy")
+	}
+	return out, nil
+}
+
+// driftAdaptiveRun drives drift -> detect -> swap -> canary -> commit and
+// returns the settled row plus the committed policy.
+func driftAdaptiveRun(seed int64, slowdown float64) (DriftRunRow, runtime.ExecPolicy, error) {
+	row := DriftRunRow{Run: "adaptive", StartIntraOp: 1}
+	st, err := newDriftStack(seed, 1, 4)
+	if err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	defer st.closeStack()
+
+	ctl, err := adapt.New(st.sched, st.col, fixedSearcher{intra: 2, gain: 1.4}, driftAdaptConfig())
+	if err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	st.sched.SetAdaptStatsFunc(ctl.StatsMap)
+	ctl.Start()
+	defer ctl.Stop()
+
+	if err := driftWait("baseline anchor", 20*time.Second, func() bool { return ctl.Status().BaselineTPOT > 0 }); err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	row.BaselineTPOT = ctl.Status().BaselineTPOT
+
+	if err := st.inj.SetDrift(faults.SustainedSlowdown(0, slowdown)); err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	if err := driftWait("drift detection", 30*time.Second, func() bool { return ctl.Status().State != adapt.Stable }); err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	row.DriftedTPOT = ctl.Status().WindowTPOT
+	if err := driftWait("canary commit", 30*time.Second, func() bool { return ctl.Status().Commits >= 1 }); err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	final, err := st.settleTPOT(12, 15*time.Second)
+	if err != nil {
+		return row, runtime.ExecPolicy{}, err
+	}
+	row.FinalTPOT = final
+
+	status := ctl.Status()
+	committed := st.sched.ExecPolicy()
+	row.FinalIntraOp = committed.IntraOp
+	row.Swaps = status.SwapsConfirmed
+	row.Commits = status.Commits
+	row.Rollbacks = status.Rollbacks
+	row.Served = st.served.Load()
+	if row.Served == 0 {
+		return row, committed, fmt.Errorf("experiments: drift: adaptive run served nothing")
+	}
+	return row, committed, nil
+}
+
+// driftFreshRun measures the oracle: the committed policy installed from the
+// start, the same slowdown active from the first request.
+func driftFreshRun(seed int64, slowdown float64, policy runtime.ExecPolicy) (DriftRunRow, error) {
+	row := DriftRunRow{Run: "fresh-fit", StartIntraOp: policy.IntraOp, FinalIntraOp: policy.IntraOp}
+	st, err := newDriftStack(seed, policy.IntraOp, 4)
+	if err != nil {
+		return row, err
+	}
+	defer st.closeStack()
+	if err := st.inj.SetDrift(faults.SustainedSlowdown(0, slowdown)); err != nil {
+		return row, err
+	}
+	// Warm up past prefill-heavy startup before taking the reference window.
+	time.Sleep(500 * time.Millisecond)
+	final, err := st.settleTPOT(12, 15*time.Second)
+	if err != nil {
+		return row, err
+	}
+	row.FinalTPOT = final
+	row.Served = st.served.Load()
+	return row, nil
+}
+
+// driftPoisonedRun drives a poisoned search to a canary rollback: the
+// searcher's claimed gain never materializes because the machine degrades
+// further the moment the canary opens, so the canary median regresses past
+// the guard and the controller restores the pre-swap policy.
+func driftPoisonedRun(seed int64, slowdown float64) (DriftRunRow, bool, error) {
+	row := DriftRunRow{Run: "poisoned", StartIntraOp: 2}
+	st, err := newDriftStack(seed, 2, 4)
+	if err != nil {
+		return row, false, err
+	}
+	defer st.closeStack()
+
+	cfg := driftAdaptConfig()
+	// One attempt per observation window: a long cooldown keeps the
+	// controller from re-searching between our rollback check and teardown.
+	cfg.Cooldown = time.Minute
+	ctl, err := adapt.New(st.sched, st.col, fixedSearcher{intra: 1, gain: 2.0}, cfg)
+	if err != nil {
+		return row, false, err
+	}
+	ctl.Start()
+	defer ctl.Stop()
+
+	if err := driftWait("baseline anchor", 20*time.Second, func() bool { return ctl.Status().BaselineTPOT > 0 }); err != nil {
+		return row, false, err
+	}
+	row.BaselineTPOT = ctl.Status().BaselineTPOT
+	if err := st.inj.SetDrift(faults.SustainedSlowdown(0, slowdown)); err != nil {
+		return row, false, err
+	}
+	if err := driftWait("poisoned swap", 30*time.Second, func() bool { return ctl.Status().State == adapt.Canary }); err != nil {
+		return row, false, err
+	}
+	row.DriftedTPOT = ctl.Status().WindowTPOT
+	// The co-tenant lands mid-canary: the window the canary judges is
+	// strictly worse than the pre-swap window, whatever the poisoned
+	// searcher promised.
+	if err := st.inj.SetDrift(faults.SustainedSlowdown(0, slowdown*4)); err != nil {
+		return row, false, err
+	}
+	if err := driftWait("canary rollback", 30*time.Second, func() bool { return ctl.Status().Rollbacks >= 1 }); err != nil {
+		return row, false, err
+	}
+
+	status := ctl.Status()
+	restored := st.sched.ExecPolicy().IntraOp == row.StartIntraOp
+	row.FinalIntraOp = st.sched.ExecPolicy().IntraOp
+	row.FinalTPOT = status.WindowTPOT
+	row.Swaps = status.SwapsConfirmed
+	row.Commits = status.Commits
+	row.Rollbacks = status.Rollbacks
+	row.Served = st.served.Load()
+	if row.Commits != 0 {
+		return row, restored, fmt.Errorf("experiments: drift: poisoned run committed a canary that should have regressed")
+	}
+	return row, restored, nil
+}
+
+// Format renders the experiment.
+func (r *DriftResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online adaptation under a sustained %.1fx machine slowdown (%s, live scheduler)\n",
+		r.SlowdownX, r.Model.Name)
+	t := stats.NewTable("run", "width", "baseline_tpot", "drifted_tpot", "final_tpot", "swaps", "commits", "rollbacks", "served")
+	for _, row := range r.Rows {
+		t.AddRowf("%s\t%d->%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d",
+			row.Run, row.StartIntraOp, row.FinalIntraOp,
+			driftMS(row.BaselineTPOT), driftMS(row.DriftedTPOT), driftMS(row.FinalTPOT),
+			row.Swaps, row.Commits, row.Rollbacks, row.Served)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "recovery: adaptive settled at %.2fx the fresh-fit oracle (gate <= %.2fx)\n",
+		r.RecoveryRatio, r.RecoveryGate)
+	fmt.Fprintf(&b, "poisoned: canary measured the regression and rolled back; pre-swap policy restored: %v\n",
+		r.PoisonRestored)
+	return b.String()
+}
+
+// CSV emits the per-run rows.
+func (r *DriftResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("run,start_intra_op,final_intra_op,baseline_tpot_s,drifted_tpot_s,final_tpot_s,swaps,commits,rollbacks,served,recovery_ratio\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.6f,%d,%d,%d,%d,%.3f\n",
+			row.Run, row.StartIntraOp, row.FinalIntraOp,
+			row.BaselineTPOT, row.DriftedTPOT, row.FinalTPOT,
+			row.Swaps, row.Commits, row.Rollbacks, row.Served, r.RecoveryRatio)
+	}
+	return b.String()
+}
+
+func driftMS(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fms", s*1e3)
+}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDriftScheduleFactorAt(t *testing.T) {
+	ds := SustainedSlowdown(100*time.Millisecond, 2)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f := ds.FactorAt(50 * time.Millisecond); f != 1 {
+		t.Fatalf("pre-onset factor = %g, want 1", f)
+	}
+	if f := ds.FactorAt(100 * time.Millisecond); f != 2 {
+		t.Fatalf("at-onset factor = %g, want 2", f)
+	}
+	if f := ds.FactorAt(time.Hour); f != 2 {
+		t.Fatalf("sustained factor = %g, want 2", f)
+	}
+}
+
+func TestRampSlowdown(t *testing.T) {
+	ds := RampSlowdown(0, 100*time.Millisecond, 3, 4)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The ramp is monotone non-decreasing and reaches the peak.
+	prev := 0.0
+	for off := time.Duration(0); off <= 150*time.Millisecond; off += 5 * time.Millisecond {
+		f := ds.FactorAt(off)
+		if f < prev {
+			t.Fatalf("ramp decreased at %v: %g < %g", off, f, prev)
+		}
+		prev = f
+	}
+	if prev != 3 {
+		t.Fatalf("ramp peak = %g, want 3", prev)
+	}
+}
+
+func TestInterferenceWindows(t *testing.T) {
+	ds := InterferenceWindows(10*time.Millisecond, 50*time.Millisecond, 20*time.Millisecond, 4, 2)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1},
+		{15 * time.Millisecond, 4},  // inside window 1
+		{35 * time.Millisecond, 1},  // between windows
+		{65 * time.Millisecond, 4},  // inside window 2
+		{200 * time.Millisecond, 1}, // after the last window closes
+	}
+	for _, c := range cases {
+		if f := ds.FactorAt(c.at); f != c.want {
+			t.Fatalf("factor at %v = %g, want %g", c.at, f, c.want)
+		}
+	}
+}
+
+func TestDriftScheduleValidate(t *testing.T) {
+	bad := []DriftSchedule{
+		{{At: 0, Factor: 0}},
+		{{At: 0, Factor: -1}},
+		{{At: -time.Second, Factor: 2}},
+		{{At: time.Second, Factor: 2}, {At: 0, Factor: 1}},
+	}
+	for i, ds := range bad {
+		if err := ds.Validate(); err == nil {
+			t.Fatalf("schedule %d should fail validation", i)
+		}
+	}
+}
+
+func TestInjectorDrift(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.DriftFactor() != 1 || nilInj.DriftDelay(time.Second) != 0 {
+		t.Fatal("nil injector must report nominal drift")
+	}
+	if err := nilInj.SetDrift(SustainedSlowdown(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	in := MustNew(1, nil)
+	if in.DriftFactor() != 1 {
+		t.Fatal("fresh injector must be nominal")
+	}
+	if err := in.SetDrift(DriftSchedule{{At: 0, Factor: -1}}); err == nil {
+		t.Fatal("invalid schedule must be rejected")
+	}
+	if err := in.SetDrift(SustainedSlowdown(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if f := in.DriftFactor(); f != 2 {
+		t.Fatalf("factor = %g, want 2", f)
+	}
+	if d := in.DriftDelay(10 * time.Millisecond); d != 10*time.Millisecond {
+		t.Fatalf("2x drift delay for 10ms = %v, want 10ms", d)
+	}
+	// Drift ignores the fault window gate: the machine is slow whether or
+	// not injected faults are firing.
+	in.SetActive(false)
+	if in.DriftFactor() != 2 {
+		t.Fatal("drift must not be gated by SetActive")
+	}
+	// A sub-unity factor never produces a negative delay.
+	if err := in.SetDrift(SustainedSlowdown(0, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if d := in.DriftDelay(10 * time.Millisecond); d != 0 {
+		t.Fatalf("speed-up delay = %v, want 0", d)
+	}
+	// Clearing restores nominal.
+	if err := in.SetDrift(nil); err != nil {
+		t.Fatal(err)
+	}
+	if in.DriftFactor() != 1 {
+		t.Fatal("nil schedule must clear drift")
+	}
+}

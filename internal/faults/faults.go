@@ -109,6 +109,11 @@ type Injector struct {
 	rngs     map[Site]*rand.Rand
 	fired    map[Site]int
 	inactive bool // window gating: when set, no site fires
+
+	// drift is the time-driven slowdown schedule (drift.go), anchored at
+	// driftEpoch; empty means no drift.
+	drift      DriftSchedule
+	driftEpoch time.Time
 }
 
 // New builds an injector. Rules for unknown sites are allowed (callers may

@@ -115,6 +115,48 @@ func (c *Controller) Optimize(og *OpGraph, transfers []TransferTask) (Setting, e
 	return best, nil
 }
 
+// Evaluate profiles one forced intra-op width under the controller's machine
+// model — the counterpart of Optimize for a setting the caller is already
+// running. The adapt loop uses it to price the *current* policy under a
+// refitted profile, so a candidate's predicted gain is a ratio of two step
+// times estimated the same way. Unlike Optimize, an over-wide width that
+// leaves fewer than the reserved transfer threads is still evaluated (each
+// load/store task keeps its minimum single thread): the running system may
+// well be in exactly that infeasible-but-real configuration.
+func (c *Controller) Evaluate(og *OpGraph, transfers []TransferTask, intra int) (Setting, error) {
+	if intra < 1 {
+		return Setting{}, fmt.Errorf("parallelism: intra-op width must be >= 1, got %d", intra)
+	}
+	if len(transfers) == 0 {
+		return Setting{}, fmt.Errorf("parallelism: no transfer tasks given")
+	}
+	work := og
+	if c.BundleThreshold > 0 {
+		work = og.Bundle(c.Profile, 8, c.BundleThreshold)
+	}
+	interCompute := work.MaxConcurrency()
+	compute, err := c.Profile.ComputeTaskTime(work, interCompute, intra)
+	if err != nil {
+		return Setting{}, err
+	}
+	free := c.Machine.Threads - interCompute*intra
+	threads := assignTransferThreads(transfers, free)
+	step := compute
+	for _, tr := range transfers {
+		if t := c.transferTime(tr, threads[tr.Name]); t > step {
+			step = t
+		}
+	}
+	return Setting{
+		IntraOp:         intra,
+		InterOpCompute:  interCompute,
+		InterOp:         interCompute + reservedTransferThreads,
+		TransferThreads: threads,
+		ComputeTime:     compute,
+		StepTime:        step,
+	}, nil
+}
+
 // DefaultSetting is PyTorch's default on the evaluation machine: intra-op =
 // physical cores (56), inter-op = hardware threads (112) — the §4.1 baseline.
 func (c *Controller) DefaultSetting(og *OpGraph, transfers []TransferTask) (Setting, error) {

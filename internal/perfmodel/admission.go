@@ -3,6 +3,7 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -139,9 +140,11 @@ func satScale(x int64, f float64) int64 {
 // store_cache per sequence), i.e. T_step(b) ≈ fixed + perSlot·b. The fit is
 // an exponentially-decayed least squares over (occupancy, duration) samples,
 // so the predictor tracks drift (degradation rungs change both
-// coefficients). It is not safe for concurrent use; the scheduler owns it
-// from its loop goroutine.
+// coefficients). All methods are safe for concurrent use: the scheduler
+// observes from its loop goroutine while the background adapt refitter reads
+// coefficients and predictions off it.
 type StepCostModel struct {
+	mu sync.Mutex
 	// decayed sufficient statistics for least squares on y = α + β·b
 	n, sb, sbb, sy, sby float64
 	samples             int64
@@ -161,21 +164,35 @@ func (m *StepCostModel) Observe(occupancy int, d time.Duration) {
 		return
 	}
 	b, y := float64(occupancy), d.Seconds()
+	m.mu.Lock()
 	m.n = m.n*stepCostDecay + 1
 	m.sb = m.sb*stepCostDecay + b
 	m.sbb = m.sbb*stepCostDecay + b*b
 	m.sy = m.sy*stepCostDecay + y
 	m.sby = m.sby*stepCostDecay + b*y
 	m.samples++
+	m.mu.Unlock()
 }
 
 // Ready reports whether the model has enough samples to predict.
-func (m *StepCostModel) Ready() bool { return m.samples >= stepCostMinSamples }
+func (m *StepCostModel) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ready()
+}
+
+func (m *StepCostModel) ready() bool { return m.samples >= stepCostMinSamples }
 
 // Coefficients returns the fitted (fixed, perSlot) parts in seconds. Before
 // Ready, or when the observed occupancies are degenerate (all equal), the
 // per-slot part is folded into an occupancy-independent mean.
 func (m *StepCostModel) Coefficients() (fixed, perSlot float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coefficients()
+}
+
+func (m *StepCostModel) coefficients() (fixed, perSlot float64) {
 	if m.n <= 0 {
 		return 0, 0
 	}
@@ -201,10 +218,16 @@ func (m *StepCostModel) Coefficients() (fixed, perSlot float64) {
 // occupancy (each step yields one token per active slot, so TPOT equals step
 // time). Zero before the model is Ready.
 func (m *StepCostModel) PredictTPOT(occupancy int) time.Duration {
-	if !m.Ready() || occupancy <= 0 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.predictTPOT(occupancy)
+}
+
+func (m *StepCostModel) predictTPOT(occupancy int) time.Duration {
+	if !m.ready() || occupancy <= 0 {
 		return 0
 	}
-	fixed, perSlot := m.Coefficients()
+	fixed, perSlot := m.coefficients()
 	return time.Duration((fixed + perSlot*float64(occupancy)) * float64(time.Second))
 }
 
@@ -212,11 +235,13 @@ func (m *StepCostModel) PredictTPOT(occupancy int) time.Duration {
 // across the given occupancy — the Retry-After hint for rejected requests.
 // Zero when the model is not Ready or there is nothing to drain.
 func (m *StepCostModel) PredictDrain(remainingTokens int64, occupancy int) time.Duration {
-	if remainingTokens <= 0 || occupancy <= 0 || !m.Ready() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if remainingTokens <= 0 || occupancy <= 0 || !m.ready() {
 		return 0
 	}
 	steps := (remainingTokens + int64(occupancy) - 1) / int64(occupancy)
-	return time.Duration(steps) * m.PredictTPOT(occupancy)
+	return time.Duration(steps) * m.predictTPOT(occupancy)
 }
 
 // PrefillCostModel predicts admission prefill latency as a function of the
@@ -227,9 +252,11 @@ func (m *StepCostModel) PredictDrain(remainingTokens int64, occupancy int) time.
 // same affine fit the step model uses: T_prefill(n) ≈ fixed + perToken·n,
 // with the quadratic attention term absorbed into the slope over the short
 // prompt ranges one deployment serves. Exponentially-decayed least squares,
-// same decay and readiness gate as StepCostModel; not safe for concurrent
-// use (the scheduler owns it from its loop goroutine).
+// same decay and readiness gate as StepCostModel; like it, safe for
+// concurrent use (the scheduler observes from its loop goroutine while the
+// adapt refitter and routers read predictions concurrently).
 type PrefillCostModel struct {
+	mu                  sync.Mutex
 	n, st, stt, sy, sty float64
 	samples             int64
 }
@@ -241,20 +268,34 @@ func (m *PrefillCostModel) Observe(tokens int, d time.Duration) {
 		return
 	}
 	t, y := float64(tokens), d.Seconds()
+	m.mu.Lock()
 	m.n = m.n*stepCostDecay + 1
 	m.st = m.st*stepCostDecay + t
 	m.stt = m.stt*stepCostDecay + t*t
 	m.sy = m.sy*stepCostDecay + y
 	m.sty = m.sty*stepCostDecay + t*y
 	m.samples++
+	m.mu.Unlock()
 }
 
 // Ready reports whether the model has enough samples to predict.
-func (m *PrefillCostModel) Ready() bool { return m.samples >= stepCostMinSamples }
+func (m *PrefillCostModel) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ready()
+}
+
+func (m *PrefillCostModel) ready() bool { return m.samples >= stepCostMinSamples }
 
 // Coefficients returns the fitted (fixed, perToken) parts in seconds, with
 // the same degenerate-input and negative-slope fallbacks as the step model.
 func (m *PrefillCostModel) Coefficients() (fixed, perToken float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coefficients()
+}
+
+func (m *PrefillCostModel) coefficients() (fixed, perToken float64) {
 	if m.n <= 0 {
 		return 0, 0
 	}
@@ -277,9 +318,11 @@ func (m *PrefillCostModel) Coefficients() (fixed, perToken float64) {
 // Predict returns the expected prefill stall for the given token count
 // (zero before Ready or for nothing to prefill).
 func (m *PrefillCostModel) Predict(tokens int) time.Duration {
-	if !m.Ready() || tokens <= 0 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.ready() || tokens <= 0 {
 		return 0
 	}
-	fixed, perToken := m.Coefficients()
+	fixed, perToken := m.coefficients()
 	return time.Duration((fixed + perToken*float64(tokens)) * float64(time.Second))
 }

@@ -94,20 +94,96 @@ func (a EstAccuracy) Max() float64 {
 	return m
 }
 
-// EstCollector is a thread-safe EstObserver that buckets observations by
-// estimator kind — the accumulator behind each grid cell.
-type EstCollector struct {
-	mu    sync.Mutex
-	kinds map[string]*EstAccuracy
+// DefaultEstWindow is the per-kind bounded window of recent observations the
+// collector keeps alongside the lifetime aggregates. Sized so drift detection
+// reacts within a few dozen decode steps while still median-smoothing fault
+// noise.
+const DefaultEstWindow = 64
+
+// estSample is one recent (predicted, actual) pair with its q-error.
+type estSample struct {
+	pred, act, qerr float64
 }
 
-// NewEstCollector returns an empty collector.
+// estWindow is a fixed-capacity ring of the most recent rankable samples for
+// one estimator kind.
+type estWindow struct {
+	ring []estSample
+	next int
+	full bool
+}
+
+func (w *estWindow) add(s estSample, capacity int) {
+	if len(w.ring) != capacity {
+		// Capacity changed (or first sample): restart the ring. Windows are
+		// short-lived views, so discarding on resize is fine.
+		w.ring = make([]estSample, capacity)
+		w.next, w.full = 0, false
+	}
+	w.ring[w.next] = s
+	w.next++
+	if w.next == len(w.ring) {
+		w.next, w.full = 0, true
+	}
+}
+
+func (w *estWindow) count() int {
+	if w.full {
+		return len(w.ring)
+	}
+	return w.next
+}
+
+// EstWindowStats summarizes the recent-observation window of one estimator
+// kind — the drift detector's view. QErrMedian is the windowed median
+// symmetric error; ActualMedian and PredictedMedian are the windowed medians
+// of the raw pair sides (ActualMedian of the TPOT kind is the live measured
+// step latency the canary compares).
+type EstWindowStats struct {
+	Count           int
+	QErrMedian      float64
+	ActualMedian    float64
+	PredictedMedian float64
+}
+
+// EstCollector is a thread-safe EstObserver that buckets observations by
+// estimator kind — the accumulator behind each grid cell. Each kind keeps
+// two views: a lifetime EstAccuracy (the /stats and grid aggregates) and a
+// bounded window of the most recent samples that drift detection reads and
+// can reset, so a detector sees recent q-errors rather than a lifetime
+// average that dilutes regime changes.
+type EstCollector struct {
+	mu      sync.Mutex
+	kinds   map[string]*EstAccuracy
+	windows map[string]*estWindow
+	winCap  int
+}
+
+// NewEstCollector returns an empty collector with DefaultEstWindow recent
+// samples retained per kind.
 func NewEstCollector() *EstCollector {
-	return &EstCollector{kinds: map[string]*EstAccuracy{}}
+	return &EstCollector{
+		kinds:   map[string]*EstAccuracy{},
+		windows: map[string]*estWindow{},
+		winCap:  DefaultEstWindow,
+	}
+}
+
+// SetWindowSize resizes the per-kind recent-sample window (minimum 1).
+// Resizing restarts the windows; lifetime aggregates are unaffected.
+func (c *EstCollector) SetWindowSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.winCap = n
+	c.windows = map[string]*estWindow{}
+	c.mu.Unlock()
 }
 
 // ObserveEstimate implements EstObserver.
 func (c *EstCollector) ObserveEstimate(kind string, predicted, actual float64) {
+	q := QError(predicted, actual)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	acc := c.kinds[kind]
@@ -116,6 +192,83 @@ func (c *EstCollector) ObserveEstimate(kind string, predicted, actual float64) {
 		c.kinds[kind] = acc
 	}
 	acc.Add(predicted, actual)
+	if q <= 0 {
+		return // unrankable pairs are dropped from both views
+	}
+	w := c.windows[kind]
+	if w == nil {
+		w = &estWindow{}
+		c.windows[kind] = w
+	}
+	w.add(estSample{pred: predicted, act: actual, qerr: q}, c.winCap)
+}
+
+// WindowAccuracy returns an EstAccuracy over only the recent-sample window
+// for the kind (empty if never observed or reset since).
+func (c *EstCollector) WindowAccuracy(kind string) EstAccuracy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.windows[kind]
+	if w == nil {
+		return EstAccuracy{}
+	}
+	acc := EstAccuracy{qerrs: make([]float64, 0, w.count())}
+	for i := 0; i < w.count(); i++ {
+		acc.qerrs = append(acc.qerrs, w.ring[i].qerr)
+	}
+	return acc
+}
+
+// WindowStats returns the windowed medians for the kind (zero-valued if the
+// window is empty).
+func (c *EstCollector) WindowStats(kind string) EstWindowStats {
+	c.mu.Lock()
+	w := c.windows[kind]
+	var qs, as, ps []float64
+	if w != nil {
+		n := w.count()
+		qs = make([]float64, 0, n)
+		as = make([]float64, 0, n)
+		ps = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			qs = append(qs, w.ring[i].qerr)
+			as = append(as, w.ring[i].act)
+			ps = append(ps, w.ring[i].pred)
+		}
+	}
+	c.mu.Unlock()
+	return EstWindowStats{
+		Count:           len(qs),
+		QErrMedian:      medianOf(qs),
+		ActualMedian:    medianOf(as),
+		PredictedMedian: medianOf(ps),
+	}
+}
+
+// ResetWindow clears the recent-sample window for one kind, leaving the
+// lifetime aggregates intact — the canary calls this at a swap boundary so
+// post-swap medians only cover post-swap steps.
+func (c *EstCollector) ResetWindow(kind string) {
+	c.mu.Lock()
+	delete(c.windows, kind)
+	c.mu.Unlock()
+}
+
+// ResetWindows clears every kind's recent-sample window.
+func (c *EstCollector) ResetWindows() {
+	c.mu.Lock()
+	c.windows = map[string]*estWindow{}
+	c.mu.Unlock()
+}
+
+// medianOf returns the median of vals (0 when empty) without mutating them.
+func medianOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // Kinds returns the estimator kinds observed so far, sorted.

@@ -1,0 +1,129 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ProfileRefitter estimates the live machine's slowdown against a reference
+// fit and projects it onto an ExecProfile's hardware coefficients — the
+// online-adaptation counterpart of StepCostModel's decayed step-cost refit.
+// It accumulates an exponentially-decayed mean of log(measured/reference)
+// latency ratios (log-domain so 2× slower and 2× faster average to neutral),
+// so the factor tracks drift with the same ~30-sample horizon the step-cost
+// fit uses. All methods are safe for concurrent use.
+type ProfileRefitter struct {
+	mu      sync.Mutex
+	logSum  float64 // decayed sum of log ratios
+	weight  float64 // decayed sample weight
+	samples int64
+}
+
+// refitDecay matches stepCostDecay: the refit factor and the step-cost fit
+// drift at the same rate, so the search runs against coefficients consistent
+// with the admission model's live view.
+const refitDecay = stepCostDecay
+
+// refitMinSamples gates Factor until the decayed mean is meaningful.
+const refitMinSamples = 8
+
+// refit factor clamp: a refit can claim at most 16× slowdown or speedup, so
+// a corrupted observation stream cannot drive the profile to a degenerate
+// corner the policy search would misread.
+const maxRefitFactor = 16.0
+
+// Observe folds one (measured, reference) latency pair into the decayed fit.
+// Non-positive values are dropped.
+func (r *ProfileRefitter) Observe(measured, reference float64) {
+	if measured <= 0 || reference <= 0 {
+		return
+	}
+	l := math.Log(measured / reference)
+	r.mu.Lock()
+	r.logSum = r.logSum*refitDecay + l
+	r.weight = r.weight*refitDecay + 1
+	r.samples++
+	r.mu.Unlock()
+}
+
+// Ready reports whether enough pairs have been observed to trust Factor.
+func (r *ProfileRefitter) Ready() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples >= refitMinSamples
+}
+
+// Samples returns how many pairs have been observed.
+func (r *ProfileRefitter) Samples() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples
+}
+
+// Reset drops the accumulated fit (used when the reference is re-anchored
+// after a policy commit: old ratios were measured against a stale baseline).
+func (r *ProfileRefitter) Reset() {
+	r.mu.Lock()
+	r.logSum, r.weight, r.samples = 0, 0, 0
+	r.mu.Unlock()
+}
+
+// Factor returns the fitted slowdown multiplier (>1 means the machine runs
+// slower than the reference fit; 1 before Ready), clamped to
+// [1/maxRefitFactor, maxRefitFactor].
+func (r *ProfileRefitter) Factor() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.samples < refitMinSamples || r.weight <= 0 {
+		return 1
+	}
+	f := math.Exp(r.logSum / r.weight)
+	if f > maxRefitFactor {
+		return maxRefitFactor
+	}
+	if f < 1/maxRefitFactor {
+		return 1 / maxRefitFactor
+	}
+	return f
+}
+
+// RefitProfile projects a measured slowdown factor onto the profile's
+// hardware coefficients: effective CPU compute and link efficiency scale
+// down by the factor and the fixed per-step overhead scales up, each clamped
+// to its valid range, so the returned profile always passes Validate. A
+// factor of 1 returns the profile unchanged; factors below 1 (the machine
+// got faster) scale the other way, capped at the coefficients' ceilings.
+func RefitProfile(p ExecProfile, factor float64) (ExecProfile, error) {
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return p, fmt.Errorf("perfmodel: refit factor %g must be positive and finite", factor)
+	}
+	if factor > maxRefitFactor {
+		factor = maxRefitFactor
+	}
+	if factor < 1/maxRefitFactor {
+		factor = 1 / maxRefitFactor
+	}
+	out := p
+	out.Name = p.Name + "-refit"
+	out.CPUCompute = clampUnitCoeff(p.CPUCompute / factor)
+	out.LinkEff = clampUnitCoeff(p.LinkEff / factor)
+	out.StepOverhead = p.StepOverhead * factor
+	if err := out.Validate(); err != nil {
+		return p, err
+	}
+	return out, nil
+}
+
+// clampUnitCoeff bounds a (0, 1] efficiency coefficient away from the open
+// endpoint so extreme refit factors still yield a valid profile.
+func clampUnitCoeff(v float64) float64 {
+	const floor = 1.0 / 1024
+	if v < floor {
+		return floor
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

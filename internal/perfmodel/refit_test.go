@@ -1,0 +1,208 @@
+package perfmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCostModelsConcurrent is the -race regression for the cost models: the
+// adapt refitter reads coefficients and predictions off the scheduler
+// goroutine while the loop keeps observing. Run with -race this fails on any
+// unsynchronized field access.
+func TestCostModelsConcurrent(t *testing.T) {
+	step := &StepCostModel{}
+	prefill := &PrefillCostModel{}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				step.Observe(1+(i+g)%4, time.Duration(1+i%7)*time.Millisecond)
+				prefill.Observe(1+(i+g)%32, time.Duration(1+i%5)*time.Millisecond)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				step.Ready()
+				step.Coefficients()
+				step.PredictTPOT(3)
+				step.PredictDrain(100, 3)
+				prefill.Ready()
+				prefill.Coefficients()
+				prefill.Predict(16)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if !step.Ready() || !prefill.Ready() {
+		t.Fatal("models should be ready after 2000 observations")
+	}
+}
+
+// TestStepCostRegimeChange pins the decay rate the adapt loop depends on:
+// after a sustained 2x step-cost shift, the fitted prediction must converge
+// to within 10% of the new regime inside 60 samples (roughly twice the
+// nominal ~30-step decay horizon), and must still be far from converged
+// after only 5.
+func TestStepCostRegimeChange(t *testing.T) {
+	m := &StepCostModel{}
+	oldStep := 10 * time.Millisecond
+	newStep := 20 * time.Millisecond
+	// Establish the old regime across two occupancies so the affine fit has
+	// a real slope to unlearn.
+	for i := 0; i < 100; i++ {
+		occ := 2 + i%2
+		m.Observe(occ, time.Duration(occ)*oldStep/2)
+	}
+	base := m.PredictTPOT(2)
+	if math.Abs(base.Seconds()-oldStep.Seconds()) > 0.1*oldStep.Seconds() {
+		t.Fatalf("old-regime prediction %v not near %v", base, oldStep)
+	}
+	// Shift: every step now costs 2x.
+	converged := -1
+	for i := 1; i <= 120; i++ {
+		occ := 2 + i%2
+		m.Observe(occ, time.Duration(occ)*newStep/2)
+		pred := m.PredictTPOT(2)
+		if converged < 0 && math.Abs(pred.Seconds()-newStep.Seconds()) <= 0.10*newStep.Seconds() {
+			converged = i
+		}
+		if i == 5 && math.Abs(pred.Seconds()-newStep.Seconds()) <= 0.05*newStep.Seconds() {
+			t.Fatalf("fit converged implausibly fast (%v after 5 samples): decay changed?", pred)
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("prediction never converged to new regime %v within 120 samples (got %v)", newStep, m.PredictTPOT(2))
+	}
+	if converged > 60 {
+		t.Fatalf("convergence took %d samples, want <= 60 (decay horizon drifted)", converged)
+	}
+	t.Logf("converged to 2x regime in %d samples", converged)
+}
+
+func TestEstCollectorWindow(t *testing.T) {
+	c := NewEstCollector()
+	c.SetWindowSize(8)
+	// 20 exact observations, then 8 that are 2x off: the window must see
+	// only the recent regime while lifetime stats keep the full history.
+	for i := 0; i < 20; i++ {
+		c.ObserveEstimate(EstTPOT, 1.0, 1.0)
+	}
+	for i := 0; i < 8; i++ {
+		c.ObserveEstimate(EstTPOT, 1.0, 2.0)
+	}
+	if got := c.WindowAccuracy(EstTPOT).Median(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("window median = %g, want 2.0 (recent regime only)", got)
+	}
+	if got := c.Accuracy(EstTPOT).Median(); got != 1.0 {
+		t.Fatalf("lifetime median = %g, want 1.0 (old regime dominates 28 samples)", got)
+	}
+	ws := c.WindowStats(EstTPOT)
+	if ws.Count != 8 || ws.ActualMedian != 2.0 || ws.PredictedMedian != 1.0 {
+		t.Fatalf("window stats = %+v, want count 8, actual 2.0, predicted 1.0", ws)
+	}
+	c.ResetWindow(EstTPOT)
+	if c.WindowAccuracy(EstTPOT).Count() != 0 {
+		t.Fatal("window survived reset")
+	}
+	if c.Accuracy(EstTPOT).Count() != 28 {
+		t.Fatalf("lifetime count = %d, want 28 after window reset", c.Accuracy(EstTPOT).Count())
+	}
+	// Unrankable pairs are dropped from both views.
+	c.ObserveEstimate(EstTPOT, 0, 1)
+	if c.WindowAccuracy(EstTPOT).Count() != 0 || c.Accuracy(EstTPOT).Count() != 28 {
+		t.Fatal("unrankable pair leaked into a view")
+	}
+	c.ObserveEstimate(EstTPOT, 3, 1)
+	c.ResetWindows()
+	if c.WindowStats(EstTPOT).Count != 0 {
+		t.Fatal("ResetWindows left samples behind")
+	}
+}
+
+func TestProfileRefitter(t *testing.T) {
+	r := &ProfileRefitter{}
+	if r.Factor() != 1 {
+		t.Fatalf("empty refitter factor = %g, want 1", r.Factor())
+	}
+	for i := 0; i < 40; i++ {
+		r.Observe(2.0, 1.0) // sustained 2x slowdown
+	}
+	if f := r.Factor(); math.Abs(f-2.0) > 0.05 {
+		t.Fatalf("factor = %g, want ~2.0", f)
+	}
+	// Decayed: a regime change back to 1x pulls the factor down within the
+	// decay horizon.
+	for i := 0; i < 80; i++ {
+		r.Observe(1.0, 1.0)
+	}
+	if f := r.Factor(); math.Abs(f-1.0) > 0.1 {
+		t.Fatalf("factor after recovery = %g, want ~1.0", f)
+	}
+	r.Reset()
+	if r.Factor() != 1 || r.Samples() != 0 {
+		t.Fatal("reset did not clear the fit")
+	}
+	// Unrankable observations are dropped.
+	r.Observe(-1, 1)
+	r.Observe(1, 0)
+	if r.Samples() != 0 {
+		t.Fatal("non-positive pairs were counted")
+	}
+}
+
+func TestRefitProfile(t *testing.T) {
+	base := LMOffloadProfile()
+	slow, err := RefitProfile(base, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Validate(); err != nil {
+		t.Fatalf("refit profile invalid: %v", err)
+	}
+	if slow.CPUCompute >= base.CPUCompute || slow.LinkEff >= base.LinkEff {
+		t.Fatalf("2x refit must lower efficiency coefficients: %+v vs %+v", slow, base)
+	}
+	if slow.StepOverhead <= base.StepOverhead {
+		t.Fatal("2x refit must raise step overhead")
+	}
+	// Extreme factors clamp instead of producing invalid profiles.
+	for _, f := range []float64{1e-9, 1e9, maxRefitFactor * 2} {
+		p, err := RefitProfile(base, f)
+		if err != nil {
+			t.Fatalf("factor %g: %v", f, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("factor %g produced invalid profile: %v", f, err)
+		}
+	}
+	if _, err := RefitProfile(base, 0); err == nil {
+		t.Fatal("zero factor must error")
+	}
+	if _, err := RefitProfile(base, math.NaN()); err == nil {
+		t.Fatal("NaN factor must error")
+	}
+	// Identity factor keeps the profile's numbers.
+	same, err := RefitProfile(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.CPUCompute != base.CPUCompute || same.LinkEff != base.LinkEff || same.StepOverhead != base.StepOverhead {
+		t.Fatalf("identity refit changed coefficients: %+v", same)
+	}
+}

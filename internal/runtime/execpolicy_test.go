@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/threadpool"
+)
+
+func TestExecPolicyValidate(t *testing.T) {
+	eng, err := NewEngine(tinyModel(t, 42), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []ExecPolicy{
+		{IntraOp: 0},
+		{IntraOp: -1},
+		{IntraOp: 1, InterOp: -1},
+		{IntraOp: 1, StepTimeout: -time.Second},
+	}
+	for _, p := range bad {
+		if err := eng.ApplyExecPolicy(p); err == nil {
+			t.Errorf("ApplyExecPolicy(%+v) accepted an invalid policy", p)
+		}
+	}
+	// A rejected swap must leave the current policy untouched.
+	if got := eng.ExecPolicy(); got.IntraOp != 1 {
+		t.Fatalf("policy mutated by rejected swap: %+v", got)
+	}
+}
+
+func TestExecPolicyRoundTrip(t *testing.T) {
+	pool := threadpool.MustNew(2)
+	eng, err := NewEngine(tinyModel(t, 42), Policy{IntraOp: 2, Prefetch: true}, bigArena, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExecPolicy{IntraOp: 1, InterOp: 2, Prefetch: false, StepTimeout: 250 * time.Millisecond}
+	if err := eng.ApplyExecPolicy(want); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ExecPolicy(); got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	// The full policy view agrees with the swapped subset.
+	if p := eng.Policy(); p.IntraOp != 1 || p.Prefetch || p.StepTimeout != want.StepTimeout {
+		t.Fatalf("engine policy not updated: %+v", p)
+	}
+}
+
+// TestExecPolicySwapTokenExact is the core hot-swap safety property: flipping
+// the swappable fields between steps of a live session must not change a
+// single served token relative to an uninterrupted run.
+func TestExecPolicySwapTokenExact(t *testing.T) {
+	const seed = 42
+	prompts := [][]int{{1, 2, 3, 4}, {9, 8, 7, 6, 5}}
+	const genLen = 12
+
+	pool := threadpool.MustNew(3)
+	eng, err := NewEngine(tinyModel(t, seed), Policy{IntraOp: 2, Prefetch: true}, bigArena, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([][]int, len(prompts))
+	for i, p := range prompts {
+		tok, err := sess.Admit(ctx, i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = append(out[i], tok)
+	}
+	// A different swap before every step boundary: widths up and down,
+	// prefetch toggled, a deadline appearing and vanishing.
+	swaps := []ExecPolicy{
+		{IntraOp: 1},
+		{IntraOp: 3, Prefetch: true},
+		{IntraOp: 2, InterOp: 2},
+		{IntraOp: 1, StepTimeout: time.Second},
+		{IntraOp: 2, Prefetch: true},
+	}
+	for step := 0; len(out[0]) < genLen; step++ {
+		if err := eng.ApplyExecPolicy(swaps[step%len(swaps)]); err != nil {
+			t.Fatal(err)
+		}
+		toks, err := sess.Step(ctx)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, st := range toks {
+			out[st.Slot] = append(out[st.Slot], st.Token)
+		}
+	}
+	for i := range prompts {
+		want := soloReference(t, seed, prompts[i], genLen)
+		assertTokens(t, [][]int{out[i][:genLen]}, [][]int{want})
+	}
+}
+
+// TestDriftStallStretchesStep: a sustained slowdown schedule on the fault
+// injector makes completed steps take measurably longer without changing the
+// tokens they produce.
+func TestDriftStallStretchesStep(t *testing.T) {
+	const seed = 42
+	prompt := []int{1, 2, 3, 4}
+	const genLen = 8
+
+	run := func(factor float64) (time.Duration, []int) {
+		eng, err := NewEngine(tinyModel(t, seed), Policy{IntraOp: 1}, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factor > 1 {
+			inj := faults.MustNew(1, nil)
+			if err := inj.SetDrift(faults.SustainedSlowdown(0, factor)); err != nil {
+				t.Fatal(err)
+			}
+			eng.SetFaultInjector(inj)
+		}
+		sess, err := eng.NewSession(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		tok, err := sess.Admit(ctx, 0, prompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks := []int{tok}
+		start := time.Now()
+		for len(toks) < genLen {
+			st, err := sess.Step(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks = append(toks, st[0].Token)
+		}
+		return time.Since(start), toks
+	}
+
+	base, baseToks := run(1)
+	drifted, driftToks := run(50)
+	// Factor 50 stretches each step ~50x; require a conservative 3x so the
+	// assertion stays robust under scheduler noise on slow CI machines.
+	if drifted < 3*base {
+		t.Fatalf("drifted run %v not measurably slower than baseline %v", drifted, base)
+	}
+	assertTokens(t, [][]int{driftToks}, [][]int{baseToks})
+}

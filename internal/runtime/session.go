@@ -453,6 +453,9 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 			s.e.stats.mu.Lock()
 			s.e.stats.TokensGenerated++
 			s.e.stats.mu.Unlock()
+			// Prefill is compute too: a drifted machine stretches it the
+			// same way Step is stretched.
+			s.e.driftStall(ctx, time.Since(t0))
 			return tok, nil
 		}
 		s.rollback(m)
@@ -593,6 +596,7 @@ func (s *Session) Step(ctx context.Context) ([]SlotToken, error) {
 		}
 		m := s.mark()
 		stepCtx, cancel := s.e.stepContext(ctx)
+		tStep := time.Now()
 		next, err := s.stepOnce(stepCtx, act)
 		cancel()
 		if err == nil {
@@ -605,6 +609,11 @@ func (s *Session) Step(ctx context.Context) ([]SlotToken, error) {
 			s.e.stats.mu.Lock()
 			s.e.stats.TokensGenerated += int64(len(act))
 			s.e.stats.mu.Unlock()
+			// Under an installed drift schedule the machine is `factor`
+			// slower: stretch the completed step accordingly so serving
+			// latency, the step-cost fit, and the adapt loop all observe the
+			// drifted regime.
+			s.e.driftStall(ctx, time.Since(tStep))
 			return out, nil
 		}
 		s.rollback(m)

@@ -225,6 +225,21 @@ func statsPayload(m Metrics) map[string]any {
 		out["prefix_cache_bytes"] = m.PrefixCacheBytes
 		out["prefix_cache_capacity"] = m.PrefixCacheCapacity
 	}
+	// Exec-policy hot-swap fields appear once any swap has been requested;
+	// the adapt controller's own status block appears when one is attached.
+	if m.SwapsApplied > 0 || m.SwapsRefused > 0 || m.Adapt != nil {
+		out["exec_policy"] = map[string]any{
+			"intra_op":        m.ExecPolicy.IntraOp,
+			"inter_op":        m.ExecPolicy.InterOp,
+			"prefetch":        m.ExecPolicy.Prefetch,
+			"step_timeout_ms": ms(m.ExecPolicy.StepTimeout),
+		}
+		out["swaps_applied"] = m.SwapsApplied
+		out["swaps_refused"] = m.SwapsRefused
+	}
+	if m.Adapt != nil {
+		out["adapt"] = m.Adapt
+	}
 	// Span aggregates appear only while tracing is enabled, keyed by the
 	// shared task vocabulary.
 	if m.TraceTasks != nil {

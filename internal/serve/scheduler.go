@@ -152,6 +152,14 @@ type Scheduler struct {
 	active      int // slots occupied, mirrored under mu for Metrics
 	press       pressureView
 	lastRetries int64
+	// Hot-swap state (adaptswap.go): the pending-policy mailbox the loop
+	// drains at step boundaries, the last-applied policy mirror readers see,
+	// lifetime swap counters, and the adapt loop's stats closure.
+	pendingSwap  *runtime.ExecPolicy
+	curExec      runtime.ExecPolicy
+	swapsApplied int64
+	swapsRefused int64
+	adaptStats   func() map[string]any
 	// Multi-tenant accounting (populated only when cfg.Tenants is set):
 	// active slots per tenant (the fair-share eligibility input) and the
 	// lifetime per-tenant counters Metrics reports.
@@ -196,6 +204,7 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 		tenantActive: make(map[string]int),
 		tenantCounts: make(map[string]*TenantMetrics),
 	}
+	s.curExec = eng.ExecPolicy()
 	if cfg.LatencySampleCap > 0 {
 		eng.Stats().SetServeSampleCap(cfg.LatencySampleCap)
 	}
@@ -432,6 +441,14 @@ type Metrics struct {
 	// Tenants holds the per-tenant accounting when fair-share scheduling is
 	// on (nil otherwise), keyed by resolved tenant name.
 	Tenants map[string]TenantMetrics
+
+	// Hot-swap view: the exec policy currently applied to the engine, the
+	// lifetime counts of swaps applied and refused at the breaker interlock,
+	// and — when an adapt controller registered itself — its status snapshot.
+	ExecPolicy   runtime.ExecPolicy
+	SwapsApplied int64
+	SwapsRefused int64
+	Adapt        map[string]any
 }
 
 // TenantMetrics is one tenant's point-in-time serving view: current queue
@@ -453,6 +470,9 @@ func (s *Scheduler) Metrics() Metrics {
 	depth := s.queue.len()
 	active := s.active
 	view := s.press
+	curExec := s.curExec
+	swapsApplied, swapsRefused := s.swapsApplied, s.swapsRefused
+	adaptFn := s.adaptStats
 	var tenants map[string]TenantMetrics
 	if s.cfg.fairShare() {
 		tenants = make(map[string]TenantMetrics, len(s.tenantCounts))
@@ -491,6 +511,12 @@ func (s *Scheduler) Metrics() Metrics {
 		PredictedTPOT:      view.tpotNow,
 		PredictedDrain:     view.drain,
 		Tenants:            tenants,
+		ExecPolicy:         curExec,
+		SwapsApplied:       swapsApplied,
+		SwapsRefused:       swapsRefused,
+	}
+	if adaptFn != nil {
+		m.Adapt = adaptFn()
 	}
 	if s.prefixStore != nil {
 		ps := s.prefixStore.Stats()
@@ -562,6 +588,7 @@ func (s *Scheduler) loop() {
 	defer close(s.done)
 	defer s.lifeCancel()
 	for {
+		s.applyPendingSwap()
 		s.retireCancelled()
 		if s.cfg.AdmissionControl {
 			s.managePressure()

@@ -1,0 +1,57 @@
+package sim
+
+// Drift scenario builders: the simulator-side counterparts of the fault
+// injector's DriftSchedule (faults/drift.go). Each returns slowdown
+// FaultEvent windows (Factor >= 1) against one resource, so the DES replays
+// the same thermal-ramp and co-tenant-interference regimes the live adapt
+// loop is tested under.
+
+// RampSlowdownEvents models progressive thermal throttling on a resource:
+// starting at `start`, the service rate degrades in `steps`
+// piecewise-constant increments from nominal to 1/peak over rampDur, then
+// holds peak for holdDur. peak must be > 1 and steps >= 1 for any events to
+// be produced.
+func RampSlowdownEvents(resource string, start, rampDur, holdDur float64, peak float64, steps int) []FaultEvent {
+	if resource == "" || peak <= 1 || steps < 1 || rampDur <= 0 {
+		return nil
+	}
+	var out []FaultEvent
+	stepDur := rampDur / float64(steps)
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		dur := stepDur
+		if i == steps {
+			dur += holdDur // the final rung holds the peak
+		}
+		if dur <= 0 {
+			continue
+		}
+		out = append(out, FaultEvent{
+			Resource: resource,
+			Start:    start + float64(i-1)*stepDur,
+			Duration: dur,
+			Factor:   1 + frac*(peak-1),
+		})
+	}
+	return out
+}
+
+// InterferenceEvents models a bursty co-tenant: `count` slowdown windows of
+// `width` seconds at the given period (the first opens at start), each
+// degrading the resource's service rate to 1/factor. factor must be > 1 and
+// width in (0, period] for any events to be produced.
+func InterferenceEvents(resource string, start, period, width float64, factor float64, count int) []FaultEvent {
+	if resource == "" || factor <= 1 || width <= 0 || period <= 0 || width > period {
+		return nil
+	}
+	var out []FaultEvent
+	for i := 0; i < count; i++ {
+		out = append(out, FaultEvent{
+			Resource: resource,
+			Start:    start + float64(i)*period,
+			Duration: width,
+			Factor:   factor,
+		})
+	}
+	return out
+}

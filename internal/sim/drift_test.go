@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+// TestRampSlowdownEvents checks the generated windows validate, tile the
+// ramp contiguously, and reach the peak factor on the final (held) rung.
+func TestRampSlowdownEvents(t *testing.T) {
+	evs := RampSlowdownEvents("gpu", 5, 10, 20, 3, 4)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	prevEnd, prevFactor := 5.0, 1.0
+	for i, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if ev.Start != prevEnd {
+			t.Fatalf("event %d starts at %g, want contiguous %g", i, ev.Start, prevEnd)
+		}
+		if ev.Factor <= prevFactor {
+			t.Fatalf("event %d factor %g not increasing past %g", i, ev.Factor, prevFactor)
+		}
+		prevEnd, prevFactor = ev.End(), ev.Factor
+	}
+	last := evs[len(evs)-1]
+	if last.Factor != 3 {
+		t.Fatalf("final factor = %g, want peak 3", last.Factor)
+	}
+	if last.Duration != 10.0/4+20 {
+		t.Fatalf("final rung duration = %g, want step+hold %g", last.Duration, 10.0/4+20)
+	}
+	// A ramp actually slows a simulated task: run one 10s task on the
+	// resource under the ramp and require it to finish later than nominal.
+	s := New()
+	s.AddResource("gpu")
+	s.AddTask(TaskSpec{Name: "work", Resource: "gpu", Duration: 30})
+	for _, ev := range evs {
+		if err := s.AddFault(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 30 {
+		t.Fatalf("ramped makespan %g not slower than nominal 30", res.Makespan)
+	}
+}
+
+func TestInterferenceEvents(t *testing.T) {
+	evs := InterferenceEvents("cpu", 1, 10, 4, 2, 3)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if want := 1 + float64(i)*10; ev.Start != want {
+			t.Fatalf("event %d start = %g, want %g", i, ev.Start, want)
+		}
+		if ev.Duration != 4 || ev.Factor != 2 {
+			t.Fatalf("event %d = %+v, want width 4 factor 2", i, ev)
+		}
+	}
+	// Degenerate parameters produce nothing rather than invalid windows.
+	if evs := InterferenceEvents("cpu", 0, 10, 11, 2, 3); evs != nil {
+		t.Fatal("width > period must produce no events")
+	}
+	if evs := InterferenceEvents("cpu", 0, 10, 4, 1, 3); evs != nil {
+		t.Fatal("factor <= 1 must produce no events")
+	}
+	if evs := RampSlowdownEvents("", 0, 10, 0, 3, 4); evs != nil {
+		t.Fatal("empty resource must produce no events")
+	}
+}

@@ -66,6 +66,19 @@ const (
 	TaskFailover    = "failover"
 	TaskReplicaDown = "replica_down"
 	TaskReplicaUp   = "replica_up"
+
+	// Online-adaptation lifecycle (internal/adapt): drift_detect/drift_clear
+	// mark the detector raising and lowering its drift verdict; refit covers
+	// one background profile-refit + policy re-search; policy_swap,
+	// policy_commit, and policy_rollback mark a candidate applied at a step
+	// boundary, surviving its canary, and being reverted after a measured
+	// regression.
+	TaskDriftDetect    = "drift_detect"
+	TaskDriftClear     = "drift_clear"
+	TaskRefit          = "refit"
+	TaskPolicySwap     = "policy_swap"
+	TaskPolicyCommit   = "policy_commit"
+	TaskPolicyRollback = "policy_rollback"
 )
 
 // Lanes name the logical resource a span occupied. The Chrome exporter maps
@@ -83,6 +96,7 @@ const (
 	LaneActDown = "d2h.act"
 	LaneServe   = "serve"
 	LaneCluster = "cluster"
+	LaneAdapt   = "adapt"
 )
 
 // Labels attach step/layer/slot coordinates to a span; -1 means "not
