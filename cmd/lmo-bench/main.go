@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, tab1, fig5, tab3, fig7, fig8, tab5, fig9, functional, scale, whatif, validation, ablations, availability, workload, drift")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, tab1, fig5, tab3, fig7, fig8, tab5, fig9, functional, scale, whatif, validation, ablations, availability, workload, drift, chunked, conformance")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files for plottable experiments into this directory")
 	flag.Parse()
 

@@ -40,6 +40,23 @@ func registry() []experiment {
 		driftRes = r
 		return r, nil
 	}
+	// The chunked A/B replays the long-prompt arrival once per arm; memoize
+	// so -csv reuses the run.
+	var chunkedRes *experiments.ChunkedResult
+	chunked := func() (*experiments.ChunkedResult, error) {
+		if chunkedRes != nil {
+			return chunkedRes, nil
+		}
+		r, err := experiments.ChunkedBench()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.CheckAcceptance(); err != nil {
+			return nil, err
+		}
+		chunkedRes = r
+		return r, nil
+	}
 	return []experiment{
 		{name: "fig3", run: func() (string, error) {
 			r, err := experiments.Figure3()
@@ -249,6 +266,19 @@ func registry() []experiment {
 			return r.Format(), nil
 		}, csv: func() (string, error) {
 			r, err := drift()
+			if err != nil {
+				return "", err
+			}
+			return r.CSV(), nil
+		}},
+		{name: "chunked", run: func() (string, error) {
+			r, err := chunked()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}, csv: func() (string, error) {
+			r, err := chunked()
 			if err != nil {
 				return "", err
 			}

@@ -18,8 +18,13 @@
 //	          [-workers 4] [-seed 42] [-faults spec] [-step-timeout dur]
 //	          [-arena-mb 2048] [-admission] [-hwm 0.85] [-lwm 0.65]
 //	          [-tpot-budget dur] [-host-kv-mb 0] [-prefix-cache-mb 0]
-//	          [-fair-share -tenants "free=1,pro=2/3"] [-latency-samples 4096]
-//	          [-adapt]
+//	          [-chunk-tokens 0] [-fair-share -tenants "free=1,pro=2/3"]
+//	          [-latency-samples 4096] [-adapt]
+//
+// With -chunk-tokens N, prompts longer than N are admitted incrementally:
+// one N-token prefill chunk runs between decode steps, so a long arrival
+// never stalls the live batch for more than one chunk's compute. Served
+// tokens are bit-identical to monolithic admission.
 //
 // With -adapt, a background controller watches the TPOT estimator's windowed
 // accuracy and the measured TPOT against a stable baseline; when the machine
@@ -87,6 +92,7 @@ func main() {
 	tpotBudget := flag.Duration("tpot-budget", 0, "reject admissions predicted to push TPOT past this (0 = off)")
 	hostKVMB := flag.Int64("host-kv-mb", 0, "host-side KV byte budget in MiB (0 = unlimited)")
 	prefixMB := flag.Int64("prefix-cache-mb", 0, "shared-prefix KV cache budget in MiB (0 = off); admissions reuse cached prompt prefixes and prefill only the suffix")
+	chunkTokens := flag.Int("chunk-tokens", 0, "chunked prefill: admit prompts longer than this incrementally, one chunk between decode steps, bounding the TPOT spike a long arrival can inflict (0 = monolithic admission)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file on shutdown")
 	tenants := flag.String("tenants", "", `fair-share tenants as name=slots[/weight[/depth]] entries, e.g. "free=1,pro=2/3,batch=1/1/16" (slots 0 = suspended; requests tagged "tenant" bill per-tenant, untagged ones bill to "default")`)
 	fairShare := flag.Bool("fair-share", false, "enable weighted fair-share scheduling (requires -tenants)")
@@ -158,6 +164,7 @@ func main() {
 	scfg.TPOTBudget = *tpotBudget
 	scfg.HostKVBudget = *hostKVMB << 20
 	scfg.PrefixCacheBytes = *prefixMB << 20
+	scfg.ChunkTokens = *chunkTokens
 	scfg.LatencySampleCap = *latencySamples
 	if *tenants != "" {
 		tcs, err := serve.ParseTenantSpec(*tenants)

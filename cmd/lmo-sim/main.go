@@ -6,6 +6,11 @@
 //
 //	lmo-sim [-model OPT-30B] [-gen 128] [-wg 55] [-cg 0] [-kvbits 4]
 //	        [-wbits 0] [-cpu-attn] [-profile flexgen|zero|lmoffload] [-steps 4]
+//	        [-chunk 0]
+//
+// With -chunk N, the prompt's prefill is additionally simulated in N-token
+// chunks — the serving engine's chunked-admission schedule — and compared
+// against the monolithic prefill and the analytical chunked closed form.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	profile := flag.String("profile", "flexgen", "execution profile: flexgen, zero, lmoffload")
 	steps := flag.Int("steps", 4, "decode steps to simulate")
 	curve := flag.Bool("curve", false, "print the per-token latency curve instead of the average")
+	chunk := flag.Int("chunk", 0, "also simulate a chunked prefill at this many tokens per chunk (0 = off)")
 	faultSpec := flag.String("faults", "", `resource fault windows, e.g. "h2d@0.5+0.2,gpu@1.0+0.5x3" (outage, or xF slowdown)`)
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated schedule to this file")
 	flag.Parse()
@@ -125,6 +131,26 @@ func main() {
 		fmt.Printf("  %-4s utilization %5.1f%%\n", r, res.Utilization[r]*100)
 	}
 	fmt.Printf("\nbottleneck resource: %s\n", res.Bottleneck())
+
+	if *chunk > 0 {
+		cres, err := sim.SimulateChunkedPrefill(est, *chunk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+			os.Exit(1)
+		}
+		mono, err := sim.SimulatePrefill(est)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmo-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nchunked prefill: %d-token prompt in %d chunks of %d\n",
+			est.Work.PromptLen, cres.Chunks, *chunk)
+		fmt.Printf("  makespan: %.2f ms simulated (monolithic %.2f ms, analytical chunked %.2f ms)\n",
+			cres.Total*1e3, mono.Total*1e3, est.TPrefillChunked(*chunk)*1e3)
+		for _, kind := range []string{"load_weight", "prefill_compute", "store_cache"} {
+			fmt.Printf("  %-15s busy %8.2f ms\n", kind, cres.TaskBusy[kind]*1e3)
+		}
+	}
 
 	if *curve {
 		fmt.Println("\nper-token step time (ms/layer):")

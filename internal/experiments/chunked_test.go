@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// TestChunkedSummarize4kNoTPOTOutlier is the satellite regression for the
+// workload grid's TPOT scoring: a 4096-token prompt arriving over live
+// summarize decode streams must not produce a TPOT outlier once chunked
+// admission is on. Two pins, both stable under -race:
+//
+//   - the decode streams keep flowing during the long prefill (an event
+//     count fixed by the scheduler's chunk/decode interleaving — monolithic
+//     admission delivers ~zero tokens in that window);
+//   - the EstTPOT q-error distribution stays tight, because the step-cost
+//     fit is scored on the timed decode window only. Chunk compute runs in
+//     the scheduler loop outside that window; a regression that leaks a
+//     ~chunk-sized cost into the decode measurement inflates p95 by an
+//     order of magnitude.
+func TestChunkedSummarize4kNoTPOTOutlier(t *testing.T) {
+	arm, outs, err := runChunkedArm(model.Tiny(), 32, 4096, 3, 96, 7103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if len(out) == 0 {
+			t.Errorf("request %d served no tokens", i)
+		}
+	}
+	if arm.During < 20 {
+		t.Errorf("only %d background tokens delivered during the 4k prefill, want >= 20 — the arrival stalled the batch", arm.During)
+	}
+	if arm.TPOTQErrN == 0 {
+		t.Fatal("EstTPOT never scored")
+	}
+	// Healthy runs sit near 2 (the occupancy-linear fit underpredicts steps
+	// whose batch holds the 4k-row slot); leaking one ~chunk-sized cost into
+	// the measured decode steps inflates this past 20.
+	if arm.TPOTQErrP95 > 5.0 {
+		t.Errorf("EstTPOT q-error p95 = %.2f, want <= 5.0 — chunk compute is leaking into the decode-step measurement", arm.TPOTQErrP95)
+	}
+	// Generous absolute ceiling: a chunked gap is bounded by one chunk's
+	// compute (~tens of ms here), while an unchunked 4k prefill lands its
+	// full multi-second duration inside a single gap.
+	if arm.TPOTP99 > 2500*time.Millisecond {
+		t.Errorf("background p99 inter-token gap %v — the 4k arrival produced a TPOT outlier", arm.TPOTP99)
+	}
+}
+
+// TestChunkedResultFormatting pins the report surfaces on a synthetic result
+// so the bench's CSV contract is cheap to check.
+func TestChunkedResultFormatting(t *testing.T) {
+	r := &ChunkedResult{
+		Model: model.Tiny(), PromptLen: 2048, Streams: 3, DecodeLen: 96,
+		TokenExact: true, P99Speedup: 24.5,
+		Arms: []ChunkedArm{
+			{ChunkTokens: 0, TPOTP50: time.Millisecond, TPOTP99: 2450 * time.Millisecond, TPOTMax: 2500 * time.Millisecond, LongTTFT: 2500 * time.Millisecond, Gaps: 280, TPOTQErrP95: 1.4, TPOTQErrMax: 2.1, TPOTQErrN: 200},
+			{ChunkTokens: 32, TPOTP50: time.Millisecond, TPOTP99: 100 * time.Millisecond, TPOTMax: 120 * time.Millisecond, LongTTFT: 2800 * time.Millisecond, During: 150, Gaps: 280, TPOTQErrP95: 1.3, TPOTQErrMax: 1.9, TPOTQErrN: 200},
+		},
+	}
+	if err := r.CheckAcceptance(); err != nil {
+		t.Errorf("synthetic passing result failed acceptance: %v", err)
+	}
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(r.Arms) {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+len(r.Arms))
+	}
+	if !strings.HasPrefix(csv, "chunk_tokens,prompt_len,streams,decode_len,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(r.Format(), "acceptance:") {
+		t.Error("Format lacks the acceptance verdict")
+	}
+	r.TokenExact = false
+	if err := r.CheckAcceptance(); err == nil {
+		t.Error("token-inexact result passed acceptance")
+	}
+}

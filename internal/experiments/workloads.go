@@ -130,6 +130,12 @@ func runWorkloadCell(cfg model.Config, kind, policy, profile string, perCell, sl
 	scfg.QueueDepth = perCell + 8
 	scfg.EstObserver = collector
 	scfg.LatencySampleCap = 4 * perCell // keep every cell sample for quantiles
+	// Chunked prefill is the production configuration: prompts past the
+	// chunk admit incrementally, so a long arrival never lands its whole
+	// prefill inside one decode gap. The estimator scoring is unchanged —
+	// TPOT and prefill q-errors are measured on the decode-step and
+	// chunk-advance windows respectively, never mixed.
+	scfg.ChunkTokens = 16
 	if policy == "fair" {
 		scfg.Tenants = gridTenants(slots)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/quant"
 	"repro/internal/tensor"
+	"repro/internal/threadpool"
 	"repro/internal/xtrace"
 )
 
@@ -65,6 +66,10 @@ type Session struct {
 	prefix     *PrefixStore
 	prefixRefs []*PrefixMatch
 	reused     []int
+
+	// chunk holds per-slot in-flight chunked prefills (BeginPrefill /
+	// PrefillChunk); a slot with a pending chunk state is not active yet.
+	chunk []*chunkState
 }
 
 // SlotToken is one decode-step result: the token generated for a slot.
@@ -92,6 +97,7 @@ func (e *Engine) NewSession(slots int) (*Session, error) {
 		slotCfgs:   make([]quant.Config, slots),
 		prefixRefs: make([]*PrefixMatch, slots),
 		reused:     make([]int, slots),
+		chunk:      make([]*chunkState, slots),
 	}
 	if e.policy.AttnOnCPU {
 		s.host = model.NewKVCache(cfg.Layers, slots, cfg.Hidden)
@@ -376,6 +382,9 @@ func (s *Session) AdmitKV(ctx context.Context, slot int, prompt []int, quantKV b
 	}
 	if s.active[slot] {
 		return 0, fmt.Errorf("runtime: admit into occupied slot %d", slot)
+	}
+	if s.chunk[slot] != nil {
+		return 0, fmt.Errorf("runtime: admit into slot %d with a chunked prefill in flight", slot)
 	}
 	if len(prompt) == 0 {
 		return 0, fmt.Errorf("runtime: admit with empty prompt")
@@ -683,56 +692,112 @@ func (s *Session) stepOnce(ctx context.Context, act []int) (next []int, err erro
 
 // stepLayer runs one layer over every active slot, releasing the staged
 // weights on every path.
+//
+// When inter-op parallelism is enabled and the batch mixes host-resident and
+// GPU-path slots, the host slots' CPU attention co-runs with the GPU slots'
+// stage/compute/store chain — the Eq. 2 overlap extended with the CPU as a
+// concurrent compute resource (APEX/HeteGen's heterogeneous split) instead of
+// a serialization point. The two partitions own disjoint slots, caches, and
+// hidden tensors, so overlapped execution is bit-identical to serial
+// execution regardless of scheduling order (the same argument as
+// Engine.runAttention).
 func (s *Session) stepLayer(ctx context.Context, j int, ll loadedLayer, act []int, x []*tensor.Tensor) error {
 	e := s.e
 	defer e.freeGPU(ll.resident)
-	cfg := e.mod.Cfg
+	var hostIdx, gpuIdx []int // indices into act
 	for i, slot := range act {
-		xs := x[i : i+1]
 		if s.slotOnHost(slot) {
-			// Host-resident attention: compute in place against the slot's
-			// cache; the new rows are appended by AttentionAt itself. The
-			// current row is consumed raw — matching the staged path, which
-			// quantizes only at store_cache time — then sealed for the steps
-			// that follow.
-			if err := e.probeWorkerPanic(); err != nil {
-				return err
-			}
-			t0 := time.Now()
-			model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, s.host, j, slot, xs)
-			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
-			e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
-			if s.quantKV[slot] {
-				if err := s.sealHostRows(j, slot, 1); err != nil {
-					return err
+			hostIdx = append(hostIdx, i)
+		} else {
+			gpuIdx = append(gpuIdx, i)
+		}
+	}
+	if e.policy.InterOp > 1 && e.pool != nil && len(hostIdx) > 0 && len(gpuIdx) > 0 {
+		if sched, err := threadpool.NewInterOp(e.pool, 2); err == nil {
+			var hostErr error
+			sched.Submit(threadpool.Op{
+				Name:  fmt.Sprintf("cpu_attn[layer %d]", j),
+				Width: e.policy.IntraOp,
+				Run: func(pool *threadpool.Pool, width int) {
+					for _, i := range hostIdx {
+						if herr := s.hostSlotStep(j, ll, act[i], x[i], pool, width); herr != nil {
+							hostErr = herr
+							return
+						}
+					}
+				},
+			})
+			var gpuErr error
+			for _, i := range gpuIdx {
+				if gpuErr = s.gpuSlotStep(ctx, j, ll, act[i], x[i]); gpuErr != nil {
+					break
 				}
+			}
+			if werr := sched.Wait(); werr != nil && gpuErr == nil {
+				gpuErr = werr
+			}
+			if gpuErr != nil {
+				return gpuErr
+			}
+			return hostErr
+		}
+	}
+	for i, slot := range act {
+		if s.slotOnHost(slot) {
+			if err := s.hostSlotStep(j, ll, slot, x[i], e.pool, e.policy.IntraOp); err != nil {
+				return err
 			}
 			continue
 		}
-		// GPU attention: stage the slot's KV into the arena (load_cache),
-		// compute, persist the new rows (store_cache), release the staging.
-		kv := e.loadCacheBatch(ctx, s.kv, j, slot, 1)
-		if kv.err != nil {
-			return kv.err
-		}
-		if err := func() error {
-			defer e.freeGPU(kv.fetched)
-			if err := e.probeWorkerPanic(); err != nil {
-				return err
-			}
-			t0 := time.Now()
-			out := model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, kv.cache, j, slot, xs)
-			model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, x[i])
-			e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
-			if err := e.storeChunk(ctx, s.kv, j, slot, out.NewK[0], out.NewV[0]); err != nil {
-				return err
-			}
-			return nil
-		}(); err != nil {
+		if err := s.gpuSlotStep(ctx, j, ll, slot, x[i]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// hostSlotStep is one (layer, slot) iteration of host-resident attention:
+// compute in place against the slot's cache; the new rows are appended by
+// AttentionAt itself. The current row is consumed raw — matching the staged
+// path, which quantizes only at store_cache time — then sealed for the steps
+// that follow.
+func (s *Session) hostSlotStep(j int, ll loadedLayer, slot int, xi *tensor.Tensor, pool *threadpool.Pool, width int) error {
+	e := s.e
+	cfg := e.mod.Cfg
+	if err := e.probeWorkerPanic(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	model.AttentionAt(pool, width, cfg, ll.weights, s.host, j, slot, []*tensor.Tensor{xi})
+	model.MLP(pool, width, cfg, ll.weights, xi)
+	e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
+	if s.quantKV[slot] {
+		if err := s.sealHostRows(j, slot, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gpuSlotStep is one (layer, slot) iteration of GPU-path attention: stage the
+// slot's KV into the arena (load_cache), compute, persist the new rows
+// (store_cache), release the staging.
+func (s *Session) gpuSlotStep(ctx context.Context, j int, ll loadedLayer, slot int, xi *tensor.Tensor) error {
+	e := s.e
+	cfg := e.mod.Cfg
+	kv := e.loadCacheBatch(ctx, s.kv, j, slot, 1)
+	if kv.err != nil {
+		return kv.err
+	}
+	defer e.freeGPU(kv.fetched)
+	if err := e.probeWorkerPanic(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	out := model.AttentionAt(e.pool, e.policy.IntraOp, cfg, ll.weights, kv.cache, j, slot, []*tensor.Tensor{xi})
+	model.MLP(e.pool, e.policy.IntraOp, cfg, ll.weights, xi)
+	e.task(xtrace.TaskCompute, xtrace.LaneGPU, t0, xtrace.At(-1, j, slot))
+	return e.storeChunk(ctx, s.kv, j, slot, out.NewK[0], out.NewV[0])
 }
 
 // Retire frees a slot: its KV storage is dropped and the slot becomes

@@ -176,6 +176,11 @@ type Scheduler struct {
 	level        int
 	healthyEvals int
 	stepIdx      int
+	// chunking maps slot -> request with a chunked prefill in flight
+	// (Config.ChunkTokens > 0). These slots are occupied but not yet
+	// decoding; the loop advances one chunk per iteration between decode
+	// steps, so no step stalls for more than one chunk's cost.
+	chunking map[int]*pending
 }
 
 // New builds a scheduler over the engine and starts its loop. The engine
@@ -201,6 +206,7 @@ func New(eng *runtime.Engine, cfg Config) (*Scheduler, error) {
 		wake:         make(chan struct{}, 1),
 		done:         make(chan struct{}),
 		running:      make(map[int]*pending),
+		chunking:     make(map[int]*pending),
 		tenantActive: make(map[string]int),
 		tenantCounts: make(map[string]*TenantMetrics),
 	}
@@ -594,9 +600,10 @@ func (s *Scheduler) loop() {
 			s.managePressure()
 		}
 		s.admit()
+		s.advanceChunk()
 		if s.sess.NumActive() == 0 {
 			s.mu.Lock()
-			idle := s.queue.len() == 0
+			idle := s.queue.len() == 0 && len(s.chunking) == 0
 			finished := idle && s.closed
 			s.mu.Unlock()
 			if finished {
@@ -612,12 +619,25 @@ func (s *Scheduler) loop() {
 }
 
 // retireCancelled frees the slots of requests whose context ended, so a
-// cancelled request stops consuming decode steps at the next boundary.
+// cancelled request stops consuming decode steps at the next boundary. A
+// cancelled mid-prefill chunk abandons its partial chunks the same way; the
+// prefix blocks its completed chunks committed stay cached for a retry.
 func (s *Scheduler) retireCancelled() {
 	for slot, p := range s.running {
 		if err := p.ctx.Err(); err != nil {
 			s.sess.Retire(slot)
 			delete(s.running, slot)
+			s.noteActive(p, -1)
+			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
+			p.stream.finish(err)
+			s.eng.Stats().RecordCancellation()
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Canceled++ })
+		}
+	}
+	for slot, p := range s.chunking {
+		if err := p.ctx.Err(); err != nil {
+			s.sess.CancelPrefill(slot)
+			delete(s.chunking, slot)
 			s.noteActive(p, -1)
 			s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, slot))
 			p.stream.finish(err)
@@ -683,6 +703,9 @@ func (s *Scheduler) pressureFractions() (gpuFrac, hostFrac float64) {
 	gpuFrac = float64(s.adm.ScaledKV(maxStaged)) / float64(s.kvHeadroom)
 	if s.cfg.HostKVBudget > 0 {
 		host := s.sess.HostKVBytes()
+		// In-flight chunked prefills retain their raw rows host-side until the
+		// final chunk; that is real host memory and must feel the budget.
+		host += s.sess.ChunkHostBytes()
 		if s.prefixStore != nil {
 			// Cached prefix blocks are host memory too; counting them here is
 			// what lets the ladder's drop-prefix rung actually relieve the
@@ -793,9 +816,16 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 		}
 		remaining += int64(p.req.MaxNewTokens - p.produced)
 	}
+	for _, p := range s.chunking {
+		pl, nt := p.finalKVTokens()
+		if kv := s.adm.SlotKVBytes(pl, nt); kv > maxKV {
+			maxKV = kv
+		}
+		remaining += int64(p.req.MaxNewTokens)
+	}
 	occ := len(s.running)
 	var predicted int64
-	if occ > 0 {
+	if occ+len(s.chunking) > 0 {
 		predicted = s.adm.PeakBytes(maxKV)
 	}
 	drain := s.cost.PredictDrain(remaining, occ)
@@ -807,7 +837,12 @@ func (s *Scheduler) publishPressure(gpuFrac, hostFrac float64) {
 		queued := s.queue.snapshot()
 		s.mu.Unlock()
 		for _, q := range queued {
-			drain += s.prefillCost.Predict(s.suffixTokens(q))
+			drain += s.prefillCost.PredictChunked(s.suffixTokens(q), s.cfg.ChunkTokens)
+		}
+		// In-flight chunked prefills still owe their remaining chunks.
+		for slot := range s.chunking {
+			done, total := s.sess.PrefillProgress(slot)
+			drain += s.prefillCost.PredictChunked(total-done, s.cfg.ChunkTokens)
 		}
 	}
 	tpotNext := s.cost.PredictTPOT(occ + 1)
@@ -864,6 +899,12 @@ func (s *Scheduler) gateHead(p *pending) gateDecision {
 			newMax = b
 		}
 	}
+	for _, q := range s.chunking {
+		qpl, qnt := q.finalKVTokens()
+		if b := s.adm.ScaledKV(s.adm.SlotKVBytes(qpl, qnt)); b > newMax {
+			newMax = b
+		}
+	}
 	if float64(newMax) > thr*float64(s.kvHeadroom) {
 		return gateDefer
 	}
@@ -880,8 +921,12 @@ func (s *Scheduler) gateHead(p *pending) gateDecision {
 		// actually prefill — its prompt minus whatever the prefix cache
 		// already holds. A cached-prefix request sails through where an
 		// equally long cold one defers. Deferrals are bounded so a cold
-		// head eventually admits regardless (FIFO liveness).
-		if s.prefillCost.Ready() && p.prefillDeferrals < maxPrefillDeferrals {
+		// head eventually admits regardless (FIFO liveness). With chunked
+		// prefill the gate is unnecessary — per-step prefill exposure is
+		// bounded to one chunk by construction — so it only applies to
+		// prompts short enough to admit monolithically.
+		if s.prefillCost.Ready() && p.prefillDeferrals < maxPrefillDeferrals &&
+			!(s.cfg.ChunkTokens > 0 && p.promptLen() > s.cfg.ChunkTokens) {
 			suffix := s.suffixTokens(p)
 			if s.prefillCost.Predict(suffix) > time.Duration(prefillStallSteps)*s.cfg.TPOTBudget {
 				p.prefillDeferrals++
@@ -928,7 +973,7 @@ func (s *Scheduler) takeQueued(p *pending) {
 // gated against the watermarks first — deferred requests stay queued in
 // place.
 func (s *Scheduler) admit() {
-	for s.sess.NumActive() < s.cfg.Slots {
+	for s.sess.NumActive()+len(s.chunking) < s.cfg.Slots {
 		s.mu.Lock()
 		p := s.queue.next(s.tenantEligibleLocked)
 		s.mu.Unlock()
@@ -965,6 +1010,24 @@ func (s *Scheduler) admit() {
 		// original one).
 		if !p.admittedOnce {
 			s.trace(xtrace.TaskQueueWait, p.submitted, xtrace.At(-1, -1, slot))
+		}
+		if s.cfg.ChunkTokens > 0 && len(prompt) > s.cfg.ChunkTokens {
+			// Chunked admission: open the prefill now, advance it one bounded
+			// chunk per loop iteration (advanceChunk), and deliver the first
+			// token when the final chunk lands. The slot is occupied from here
+			// on, so occupancy gating and tenant quotas see it immediately.
+			if s.cfg.AdmissionControl && !p.admittedOnce {
+				p.kvQuant = s.sess.QuantizeNewSlots()
+			}
+			if err := s.sess.BeginPrefill(slot, prompt, p.kvQuant); err != nil {
+				p.stream.finish(err)
+				s.eng.Stats().RecordRejection()
+				continue
+			}
+			p.slot = slot
+			s.chunking[slot] = p
+			s.noteActive(p, 1)
+			continue
 		}
 		tAdmit := time.Now()
 		var tok int
@@ -1030,6 +1093,12 @@ func (s *Scheduler) recordEstimate(p *pending) {
 			maxKV = kv
 		}
 	}
+	for _, q := range s.chunking {
+		qpl, qnt := q.finalKVTokens()
+		if kv := s.adm.SlotKVBytes(qpl, qnt); kv > maxKV {
+			maxKV = kv
+		}
+	}
 	p.estimate = s.adm.PeakBytes(maxKV)
 	s.mu.Lock()
 	if p.estimate > s.press.maxPredictedPeak {
@@ -1039,14 +1108,80 @@ func (s *Scheduler) recordEstimate(p *pending) {
 }
 
 // freeSlot returns an inactive slot index; admit only calls it when one
-// exists (NumActive < Slots).
+// exists (NumActive + chunking < Slots). A slot with a chunked prefill in
+// flight is occupied even though the session does not count it active yet.
 func (s *Scheduler) freeSlot() int {
 	for slot := 0; slot < s.cfg.Slots; slot++ {
-		if !s.sess.IsActive(slot) && s.running[slot] == nil {
+		if !s.sess.IsActive(slot) && s.running[slot] == nil && s.chunking[slot] == nil {
 			return slot
 		}
 	}
 	panic("serve: no free slot despite NumActive < Slots")
+}
+
+// advanceChunk advances exactly one in-flight chunked prefill by one chunk —
+// the oldest submission first, so chunked admissions complete in FIFO order.
+// Running at most one chunk per loop iteration is what bounds a decode step's
+// prefill exposure to ChunkTokens by construction. Chunk durations feed the
+// prefill-cost fit (each chunk is one (tokens, duration) sample); the final
+// chunk activates the slot and delivers the first token exactly as a
+// monolithic admission would have.
+func (s *Scheduler) advanceChunk() {
+	if len(s.chunking) == 0 {
+		return
+	}
+	var p *pending
+	for _, q := range s.chunking {
+		if p == nil || q.submitted.Before(p.submitted) {
+			p = q
+		}
+	}
+	prev, _ := s.sess.PrefillProgress(p.slot)
+	t0 := time.Now()
+	done, total, tok, err := s.sess.PrefillChunk(p.ctx, p.slot, s.cfg.ChunkTokens)
+	dur := time.Since(t0)
+	if err != nil {
+		s.sess.CancelPrefill(p.slot)
+		delete(s.chunking, p.slot)
+		s.noteActive(p, -1)
+		s.traceEvent(xtrace.TaskRetire, xtrace.At(-1, -1, p.slot))
+		p.stream.finish(err)
+		if p.ctx.Err() != nil {
+			s.eng.Stats().RecordCancellation()
+			s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Canceled++ })
+		} else {
+			s.eng.Stats().RecordRejection()
+		}
+		return
+	}
+	if s.cfg.AdmissionControl {
+		adv := done - prev
+		if obs := s.cfg.EstObserver; obs != nil && s.prefillCost.Ready() {
+			obs.ObserveEstimate(perfmodel.EstPrefill,
+				s.prefillCost.Predict(adv).Seconds(), dur.Seconds())
+		}
+		s.prefillCost.Observe(adv, dur)
+	}
+	if done < total {
+		return
+	}
+	delete(s.chunking, p.slot)
+	s.trace(xtrace.TaskAdmit, t0, xtrace.At(-1, -1, p.slot))
+	now := time.Now()
+	s.running[p.slot] = p
+	// The first token came from prefill: restart the decode-gap window
+	// without recording a gap (same TPOT discipline as monolithic admit).
+	p.noteAdmitToken(now)
+	if !p.admittedOnce {
+		p.admittedOnce = true
+		p.stream.setKVQuant(s.sess.SlotQuantizedKV(p.slot))
+		s.eng.Stats().RecordAdmission(now.Sub(p.submitted))
+		s.bumpTenant(p.tenant, func(m *TenantMetrics) { m.Admitted++ })
+	}
+	if s.cfg.AdmissionControl {
+		s.recordEstimate(p)
+	}
+	s.deliver(p, tok)
 }
 
 // stepBatch advances the whole active batch one token and fans the results

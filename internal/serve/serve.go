@@ -48,6 +48,15 @@ type Config struct {
 	// panics on them, so they must never reach a slot.
 	Vocab int
 
+	// ChunkTokens enables chunked prefill: a prompt longer than this many
+	// tokens is admitted incrementally, one bounded chunk between decode
+	// steps, so a long prefill never stalls the live batch for more than one
+	// chunk's cost (the TPOT-spike bound). The chunk-sized work items replace
+	// the all-or-nothing prefill-cost deferral gate. Zero disables chunking
+	// (monolithic admission, PR 2 behavior). Served tokens are bit-identical
+	// either way.
+	ChunkTokens int
+
 	// AdmissionControl enables the performance-model-guided overload
 	// protection: footprint estimates gate admission (structured 429s with
 	// Retry-After), the KV-pressure ladder sheds memory before the arena
@@ -146,6 +155,9 @@ func (c Config) Validate() error {
 	}
 	if c.Vocab <= 0 {
 		return fmt.Errorf("serve: vocab must be positive, got %d", c.Vocab)
+	}
+	if c.ChunkTokens < 0 {
+		return fmt.Errorf("serve: negative chunk tokens %d", c.ChunkTokens)
 	}
 	if c.AdmissionControl {
 		if !(c.ArenaLowWater > 0 && c.ArenaLowWater < c.ArenaHighWater && c.ArenaHighWater <= 1) {

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// ChunkedPrefillResult summarizes a simulated chunked prefill pass.
+type ChunkedPrefillResult struct {
+	// Total is the whole-prompt makespan across all chunks and layers.
+	Total float64
+	// Chunks is how many chunks the prompt was split into.
+	Chunks int
+	// TaskBusy is the total busy time per task kind (load_weight,
+	// prefill_compute, store_cache), in seconds, summed over every chunk and
+	// layer — NOT normalized per step the way OffloadResult.TaskBusy is.
+	// Busy totals are schedule-independent, so the conformance suite pins
+	// them against Estimator.ChunkedPrefillTasks at hard float tolerance.
+	TaskBusy map[string]float64
+	// Utilization per resource.
+	Utilization map[string]float64
+}
+
+// SimulateChunkedPrefill expands a chunked prefill into a task graph: the
+// prompt is split into ceil(s/chunk) chunks; each chunk streams every layer
+// (weight upload prefetched on the uplink), computes causal attention of its
+// rows against all earlier positions plus the MLP on the GPU, and offloads
+// its KV rows on the downlink, overlapping the next layer's work. Compute
+// chains across chunk boundaries exactly as it does across layers — chunk
+// k's layer 0 waits on chunk k-1's final layer — which is the serving
+// engine's execution order (Session.PrefillChunk runs chunks sequentially).
+// chunk <= 0 or >= the prompt degenerates to SimulatePrefill's graph.
+func SimulateChunkedPrefill(e *perfmodel.Estimator, chunk int) (*ChunkedPrefillResult, error) {
+	layers := e.Mod.Layers
+	if layers < 1 {
+		return nil, fmt.Errorf("sim: model has no layers")
+	}
+	prompt := e.Work.PromptLen
+	if prompt < 1 {
+		return nil, fmt.Errorf("sim: workload has no prompt")
+	}
+	if chunk <= 0 || chunk > prompt {
+		chunk = prompt
+	}
+
+	s := New()
+	for _, r := range []string{ResGPU, ResH2D, ResD2H} {
+		s.AddResource(r)
+	}
+	var prevCompute TaskID = -1
+	chunks := 0
+	for base := 0; base < prompt; base += chunk {
+		t := chunk
+		if prompt-base < t {
+			t = prompt - base
+		}
+		weightUp, compute, kvDown := e.ChunkPrefillParts(base, t)
+		for j := 0; j < layers; j++ {
+			lw := s.AddTask(TaskSpec{
+				Name: fmt.Sprintf("load_weight[%d,%d]", chunks, j), Resource: ResH2D, Duration: weightUp,
+			})
+			deps := []TaskID{lw}
+			if prevCompute >= 0 {
+				deps = append(deps, prevCompute)
+			}
+			comp := s.AddTask(TaskSpec{
+				Name: fmt.Sprintf("prefill_compute[%d,%d]", chunks, j), Resource: ResGPU, Duration: compute,
+				Deps: deps,
+			})
+			if kvDown > 0 {
+				s.AddTask(TaskSpec{
+					Name: fmt.Sprintf("store_cache[%d,%d]", chunks, j), Resource: ResD2H, Duration: kvDown,
+					Deps: []TaskID{comp},
+				})
+			}
+			prevCompute = comp
+		}
+		chunks++
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &ChunkedPrefillResult{
+		Total:       res.Makespan,
+		Chunks:      chunks,
+		TaskBusy:    map[string]float64{},
+		Utilization: map[string]float64{},
+	}
+	for i, task := range s.tasks {
+		kind := task.Name
+		if idx := strings.IndexByte(kind, '['); idx >= 0 {
+			kind = kind[:idx]
+		}
+		out.TaskBusy[kind] += res.End[i] - res.Start[i]
+	}
+	for _, r := range []string{ResGPU, ResH2D, ResD2H} {
+		out.Utilization[r] = res.Utilization(r)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestSimulateChunkedPrefillDegeneratesToMonolithic(t *testing.T) {
+	e := mkEstimator(t, perfmodel.Strategy{WeightsGPUPct: 0.55}, perfmodel.FlexGenProfile())
+	mono, err := SimulatePrefill(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{0, -1, e.Work.PromptLen, e.Work.PromptLen + 100} {
+		res, err := SimulateChunkedPrefill(e, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Chunks != 1 {
+			t.Errorf("chunk=%d: got %d chunks, want 1", chunk, res.Chunks)
+		}
+		if d := math.Abs(res.Total - mono.Total); d > 1e-9*mono.Total {
+			t.Errorf("chunk=%d: makespan %.9g != monolithic %.9g", chunk, res.Total, mono.Total)
+		}
+	}
+}
+
+func TestSimulateChunkedPrefillBusyMatchesAnalyticalModel(t *testing.T) {
+	// Per-kind busy totals are schedule-independent, so the DES and the
+	// closed form must agree to float rounding, not calibration error.
+	cases := []perfmodel.Strategy{
+		{WeightsGPUPct: 0.55},
+		{AttnOnCPU: true, WeightsGPUPct: 0.55},
+		{WeightsGPUPct: 0.55, QuantKV: true, KVBits: 4, GroupSize: 64},
+	}
+	kinds := []struct {
+		name string
+		pick func(perfmodel.TaskTimes) float64
+	}{
+		{"load_weight", func(tt perfmodel.TaskTimes) float64 { return tt.LoadWeight }},
+		{"prefill_compute", func(tt perfmodel.TaskTimes) float64 { return tt.Compute }},
+		{"store_cache", func(tt perfmodel.TaskTimes) float64 { return tt.StoreCache }},
+	}
+	for _, strat := range cases {
+		e := mkEstimator(t, strat, perfmodel.FlexGenProfile())
+		for _, chunk := range []int{1, 5, 16, 63, e.Work.PromptLen} {
+			res, err := SimulateChunkedPrefill(e, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := e.ChunkedPrefillTasks(chunk)
+			for _, k := range kinds {
+				w := k.pick(want)
+				got := res.TaskBusy[k.name]
+				diff := math.Abs(got - w)
+				if ref := math.Max(math.Abs(got), math.Abs(w)); ref > 0 && diff/ref > 1e-6 {
+					t.Errorf("%v chunk=%d: %s busy %.12g != model %.12g", strat, chunk, k.name, got, w)
+				}
+			}
+			// Structural makespan bounds: at least the busiest kind, at most
+			// the serial sum of everything.
+			maxKind, sum := 0.0, 0.0
+			for _, b := range res.TaskBusy {
+				sum += b
+				if b > maxKind {
+					maxKind = b
+				}
+			}
+			if res.Total < maxKind-1e-9 || res.Total > sum+1e-9 {
+				t.Errorf("%v chunk=%d: makespan %.9g outside [%.9g, %.9g]", strat, chunk, res.Total, maxKind, sum)
+			}
+		}
+	}
+}
+
+func TestSimulateChunkedPrefillComputeShrinksWithChunking(t *testing.T) {
+	// Causal chunked prefill never recomputes attention rows; smaller chunks
+	// mean earlier rows attend over shorter history, so total GPU busy time
+	// strictly decreases versus the monolithic pass.
+	e := mkEstimator(t, perfmodel.Strategy{WeightsGPUPct: 0.55}, perfmodel.FlexGenProfile())
+	mono, err := SimulateChunkedPrefill(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := SimulateChunkedPrefill(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Chunks != (e.Work.PromptLen+7)/8 {
+		t.Fatalf("got %d chunks", chunked.Chunks)
+	}
+	if chunked.TaskBusy["prefill_compute"] >= mono.TaskBusy["prefill_compute"] {
+		t.Errorf("chunked compute busy %.9g should be below monolithic %.9g",
+			chunked.TaskBusy["prefill_compute"], mono.TaskBusy["prefill_compute"])
+	}
+	// But weight streaming repeats per chunk, so the uplink pays for it.
+	if chunked.TaskBusy["load_weight"] <= mono.TaskBusy["load_weight"] {
+		t.Errorf("chunked load busy %.9g should exceed monolithic %.9g",
+			chunked.TaskBusy["load_weight"], mono.TaskBusy["load_weight"])
+	}
+}

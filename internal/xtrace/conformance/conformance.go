@@ -703,6 +703,16 @@ func Run() (*Report, error) {
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, sims.Rows...)
+	chunked, err := ChunkedSimVsModel()
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, chunked.Rows...)
+	cbound, err := ChunkedEngineBound()
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, cbound.Rows...)
 	eng, err := EngineVsModel()
 	if err != nil {
 		return nil, err

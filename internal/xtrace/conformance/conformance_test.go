@@ -28,6 +28,36 @@ func TestSimVsModel(t *testing.T) {
 	failuresText(t, rep)
 }
 
+// TestChunkedSimVsModel asserts the chunked-prefill hard-equality arm: the
+// DES per-kind busy totals equal the estimator's chunked closed form over
+// the strategy × chunk-size grid, and every makespan sits inside its
+// structural envelope.
+func TestChunkedSimVsModel(t *testing.T) {
+	rep, err := ChunkedSimVsModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("chunked-sim-vs-model produced no comparison rows")
+	}
+	failuresText(t, rep)
+}
+
+// TestChunkedEngineBound asserts the chunked serving structural guarantees:
+// no prefill_chunk span exceeds the configured chunk budget, chunked
+// admissions emit no monolithic prefill span, and the chunk token counts
+// conserve the submitted prompt tokens exactly.
+func TestChunkedEngineBound(t *testing.T) {
+	rep, err := ChunkedEngineBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 4 {
+		t.Fatalf("chunked-engine produced %d rows, want >= 4", len(rep.Rows))
+	}
+	failuresText(t, rep)
+}
+
 // TestEngineVsModel asserts the calibrated live-engine arm: structural span
 // presence, decisive Eq. 2 argmax agreement, and order/scale agreement on
 // the rate-anchored tasks.

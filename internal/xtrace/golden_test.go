@@ -110,6 +110,58 @@ func TestGoldenEngineTrace(t *testing.T) {
 	checkGolden(t, "engine_trace_golden.txt", traceStructure(rec.Spans()))
 }
 
+// TestGoldenChunkedSessionTrace pins the span structure of a deterministic
+// single-threaded session interleaving decode steps with a chunked prefill:
+// one prefill_chunk span per increment (three chunks for a 10-token prompt
+// at 4 tokens/chunk), decode steps continuing throughout, and no monolithic
+// prefill span for the chunked slot.
+func TestGoldenChunkedSessionTrace(t *testing.T) {
+	cfg := model.Tiny()
+	m, err := model.NewModel(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := runtime.NewEngine(m, runtime.Policy{IntraOp: 1}, 1<<31, threadpool.MustNew(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := xtrace.NewRecorder(0)
+	eng.SetTracer(rec)
+	sess, err := eng.NewSession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	mkPrompt := func(n int) []int {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = rng.Intn(cfg.Vocab)
+		}
+		return p
+	}
+	if _, err := sess.Admit(ctx, 0, mkPrompt(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.BeginPrefill(1, mkPrompt(10), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // 10 tokens at 4/chunk: exactly three chunks
+		if _, err := sess.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := sess.PrefillChunk(ctx, 1, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ { // both slots decode together
+		if _, err := sess.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkGolden(t, "chunked_trace_golden.txt", traceStructure(rec.Spans()))
+}
+
 // TestGoldenSimTrace pins the span structure of a simulated decode schedule
 // under a quantized offloading strategy: virtual time is exact, so counts
 // are a strict function of (layers, steps, strategy) and any drift means

@@ -39,10 +39,14 @@ const (
 	TaskDequantKV  = "dequant_kv"
 	TaskQuantKV    = "quant_kv"
 
-	// Engine lifecycle.
-	TaskPrefill    = "prefill"
-	TaskDecodeStep = "decode_step"
-	TaskKVSpill    = "kv_spill"
+	// Engine lifecycle. A prefill_chunk span covers one bounded increment of
+	// a chunked prefill (Session.PrefillChunk); its Step label carries the
+	// number of prompt tokens consumed by that chunk so conformance checks
+	// can assert no chunk exceeded the configured budget.
+	TaskPrefill      = "prefill"
+	TaskPrefillChunk = "prefill_chunk"
+	TaskDecodeStep   = "decode_step"
+	TaskKVSpill      = "kv_spill"
 
 	// Serving lifecycle.
 	TaskQueueWait = "queue_wait"
