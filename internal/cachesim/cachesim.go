@@ -25,8 +25,8 @@ type Cache struct {
 }
 
 // New builds a cache of the given total size, associativity, and line size.
-// Size must be a positive multiple of ways*lineBytes, with a power-of-two
-// set count.
+// Size must be a positive multiple of ways*lineBytes; the resulting set
+// count need not be a power of two (sets are modulo-indexed).
 func New(sizeBytes int64, ways int, lineBytes int64) (*Cache, error) {
 	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
 		return nil, fmt.Errorf("cachesim: non-positive geometry (%d, %d, %d)", sizeBytes, ways, lineBytes)
@@ -38,10 +38,11 @@ func New(sizeBytes int64, ways int, lineBytes int64) (*Cache, error) {
 	if sizeBytes%setBytes != 0 {
 		return nil, fmt.Errorf("cachesim: size %d not divisible by ways*line %d", sizeBytes, setBytes)
 	}
+	// Non-power-of-two set counts are allowed: Access indexes sets with a
+	// modulo, so sliced LLCs (e.g. 33 MB / 12-way / 64 B lines = 45056 sets)
+	// model exactly. Real hardware hashes slices similarly; a power-of-two
+	// restriction would exclude most server parts.
 	sets := int(sizeBytes / setBytes)
-	if sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("cachesim: set count %d not a power of two", sets)
-	}
 	c := &Cache{sets: sets, ways: ways, lineBytes: lineBytes}
 	c.tags = make([][]uint64, sets)
 	c.age = make([][]uint64, sets)

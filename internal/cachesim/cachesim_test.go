@@ -28,16 +28,66 @@ func TestNewValidation(t *testing.T) {
 		{0, 12, 64, false},
 		{48 << 20, 0, 64, false},
 		{48 << 20, 12, 0, false},
-		{48 << 20, 12, 63, false},    // line not power of two
-		{100, 12, 64, false},         // size not divisible
-		{3 * 64 * 12, 12, 64, false}, // sets=3 not power of two
-		{42 << 20, 12, 64, false},    // 42 MB/12-way: sets not power of two
+		{48 << 20, 12, 63, false},   // line not power of two
+		{100, 12, 64, false},        // size not divisible
+		{3 * 64 * 12, 12, 64, true}, // sets=3: modulo-indexed
+		{42 << 20, 12, 64, true},    // 42 MB/12-way: non-power-of-two sets
+		{33 << 20, 12, 64, true},    // 33 MB/12-way sliced LLC: 45056 sets
 	}
 	for _, tc := range cases {
 		_, err := New(tc.size, tc.ways, tc.line)
 		if (err == nil) != tc.valid {
 			t.Errorf("New(%d, %d, %d) err=%v, want valid=%v", tc.size, tc.ways, tc.line, err, tc.valid)
 		}
+	}
+}
+
+// TestNonPowerOfTwoSets pins modulo set indexing on a non-power-of-two
+// geometry: 2-way with 3 sets, so lines 0, 3, 6 share set 0 while lines 1
+// and 2 land in their own sets.
+func TestNonPowerOfTwoSets(t *testing.T) {
+	c, err := New(3*2*64, 2, 64) // 3 sets, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := func(i int) uint64 { return uint64(i) * 64 }
+	c.Access(line(0), false)
+	c.Access(line(3), false)
+	c.Access(line(0), false) // line 0 now MRU in set 0
+	c.Access(line(6), false) // evicts line 3 (LRU of set 0)
+	if !c.Access(line(0), false) {
+		t.Error("line 0 evicted despite being MRU in its modulo-indexed set")
+	}
+	if c.Access(line(3), false) {
+		t.Error("line 3 hit despite being the LRU victim")
+	}
+	// Other residues are independent sets: untouched lines are cold, and a
+	// single access warms them without disturbing set 0.
+	if c.Access(line(1), false) {
+		t.Error("cold line in residue-1 set hit")
+	}
+	if !c.Access(line(1), false) {
+		t.Error("warm line in residue-1 set missed")
+	}
+}
+
+// TestRealisticSlicedLLC exercises the geometry the tile tuner uses by
+// default: 33 MB / 12-way / 64 B lines = 45056 sets (2^12 x 11). Thirteen
+// same-set lines exceed the associativity and evict the LRU.
+func TestRealisticSlicedLLC(t *testing.T) {
+	c, err := New(33<<20, 12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStride := uint64(45056 * 64)
+	for i := 0; i < 13; i++ {
+		c.Access(uint64(i)*setStride, false)
+	}
+	if c.Access(0, false) {
+		t.Error("oldest line survived 13 fills of a 12-way set")
+	}
+	if st := c.Stats(); st.LoadMisses != 14 {
+		t.Errorf("load misses = %d, want 14 (every access cold or evicted)", st.LoadMisses)
 	}
 }
 

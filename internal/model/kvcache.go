@@ -17,6 +17,31 @@ type KVCache struct {
 	// keys[layer][seq] and values[layer][seq] are [tokens, hidden] tensors.
 	keys   [][]*tensor.Tensor
 	values [][]*tensor.Tensor
+	// packed[layer][seq] is the staged packed KV history for the fused
+	// quantized-domain attention path (see SetPacked); empty on the dense
+	// path.
+	packed [][][]PackedKV
+}
+
+// PackedKV is one offloaded KV chunk staged for the fused quantized-domain
+// attention path: either a pair of packed views (K and V non-nil, still in
+// their group-wise quantized form) or an already-dense pair (RawK/RawV, used
+// for chunks stored raw or as float16 under a pressure-ladder slot
+// override). A slot's staged history may mix both forms chunk by chunk.
+type PackedKV struct {
+	K, V       *tensor.QMat
+	RawK, RawV *tensor.Tensor
+}
+
+// Rows returns the chunk's token count.
+func (p PackedKV) Rows() int {
+	if p.K != nil {
+		return p.K.Rows
+	}
+	if p.RawK != nil {
+		return p.RawK.Dim(0)
+	}
+	return 0
 }
 
 // NewKVCache creates an empty cache for the given geometry.
@@ -27,11 +52,35 @@ func NewKVCache(layers, batch, hidden int) *KVCache {
 	kc := &KVCache{layers: layers, batch: batch, hidden: hidden}
 	kc.keys = make([][]*tensor.Tensor, layers)
 	kc.values = make([][]*tensor.Tensor, layers)
+	kc.packed = make([][][]PackedKV, layers)
 	for l := 0; l < layers; l++ {
 		kc.keys[l] = make([]*tensor.Tensor, batch)
 		kc.values[l] = make([]*tensor.Tensor, batch)
+		kc.packed[l] = make([][]PackedKV, batch)
 	}
 	return kc
+}
+
+// SetPacked stages the offloaded KV history for (layer, seq) in packed form
+// for the fused attention path, in ascending token order. The slot's dense
+// tensors then hold only rows appended after the staged history (the new
+// token's K/V), and attention computes over staged-then-dense. Staged packed
+// history is transient — it lives for one compute batch and is not part of
+// the rollback surface (TruncateTo only rewinds dense rows).
+func (kc *KVCache) SetPacked(layer, seq int, chunks []PackedKV) {
+	kc.packed[layer][seq] = chunks
+}
+
+// Packed returns the staged packed history for (layer, seq), or nil.
+func (kc *KVCache) Packed(layer, seq int) []PackedKV { return kc.packed[layer][seq] }
+
+// PackedRows returns the token count of the staged packed history.
+func (kc *KVCache) PackedRows(layer, seq int) int {
+	var n int
+	for _, c := range kc.packed[layer][seq] {
+		n += c.Rows()
+	}
+	return n
 }
 
 // Append adds one layer's new key/value rows for sequence seq. k and v must

@@ -1,0 +1,100 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// fusedPair returns the same (strategy, profile) estimator with the
+// FusedQuantKernels bit off and on.
+func fusedPair(t *testing.T, s Strategy) (base, fused *Estimator) {
+	t.Helper()
+	base = fixture(t, s, LMOffloadProfile())
+	p := LMOffloadProfile()
+	p.FusedQuantKernels = true
+	fused = fixture(t, s, p)
+	return base, fused
+}
+
+func eq(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %g, want %g", name, got, want)
+	}
+}
+
+// TestFusedCollapsesDequantPasses pins the term collapse: under fused
+// kernels the standalone weight and old-KV dequantization passes vanish,
+// new-KV quantization is untouched, and the compute term absorbs exactly
+// the Normalize arithmetic of the collapsed passes (the PostProcess memory
+// round-trips disappear — nothing is materialized).
+func TestFusedCollapsesDequantPasses(t *testing.T) {
+	s := Strategy{
+		WeightsGPUPct: 0.2, CacheGPUPct: 0,
+		QuantWeights: true, WeightBits: 4,
+		QuantKV: true, KVBits: 4, GroupSize: 64,
+	}
+	base, fused := fusedPair(t, s)
+
+	if got := fused.DequanWgt().Total(); got != 0 {
+		t.Errorf("fused DequanWgt = %g, want 0", got)
+	}
+	if got := fused.DequanOldCache().Total(); got != 0 {
+		t.Errorf("fused DequanOldCache = %g, want 0", got)
+	}
+	eq(t, "QuanNewCache", fused.QuanNewCache().Total(), base.QuanNewCache().Total())
+	eq(t, "QuanPfWgt", fused.QuanPfWgt().Total(), base.QuanPfWgt().Total())
+	eq(t, "QuanPfCache", fused.QuanPfCache().Total(), base.QuanPfCache().Total())
+
+	// The surviving arithmetic is the Normalize phase of the unfused passes,
+	// with the same per-batch multiplier the unfused weight pass pays.
+	wgtNorm := base.DequanWgt().Normalize
+	if !base.Exec.CacheDequantWeights {
+		wgtNorm *= float64(base.Work.NumBatches)
+	}
+	kvNorm := base.DequanOldCache().Normalize
+	eq(t, "fusedDequanWork", fused.fusedDequanWork(), wgtNorm+kvNorm)
+
+	bp, fp := base.Parts(), fused.Parts()
+	eq(t, "GPUCompute fold", fp.GPUCompute, bp.GPUCompute+wgtNorm+kvNorm)
+	// GPUQuant loses the full collapsed passes (Normalize + PostProcess).
+	eq(t, "GPUQuant drop", bp.GPUQuant-fp.GPUQuant,
+		base.DequanWgtPerToken()+base.DequanOldCache().Total())
+	eq(t, "LinkUp unchanged", fp.LinkUp, bp.LinkUp)
+	eq(t, "LinkDown unchanged", fp.LinkDown, bp.LinkDown)
+
+	// Net effect: total per-step work strictly drops (the PostProcess
+	// round-trips are gone), so the serial composition must improve.
+	if fused.TGenSerial() >= base.TGenSerial() {
+		t.Errorf("TGenSerial fused=%g >= unfused=%g", fused.TGenSerial(), base.TGenSerial())
+	}
+}
+
+// TestFusedTasksCollapse checks the six-task view: load_weight and
+// load_cache shed their dequantization surcharges, compute gains the folded
+// arithmetic, store_cache keeps the Eq. 7 quantization surcharge.
+func TestFusedTasksCollapse(t *testing.T) {
+	s := Strategy{
+		WeightsGPUPct: 0.2,
+		QuantWeights:  true, WeightBits: 4,
+		QuantKV: true, KVBits: 4, GroupSize: 64,
+	}
+	base, fused := fusedPair(t, s)
+	bt, ft := base.DecodeTasks(), fused.DecodeTasks()
+
+	eq(t, "LoadWeight", ft.LoadWeight, bt.LoadWeight-base.DequanWgtPerToken())
+	eq(t, "LoadCache", ft.LoadCache, bt.LoadCache-base.DequanOldCache().Total())
+	eq(t, "StoreCache", ft.StoreCache, bt.StoreCache)
+	eq(t, "Compute", ft.Compute, bt.Compute+fused.fusedDequanWork())
+}
+
+// TestFusedNoQuantNoOp: with nothing quantized the toggle changes no number.
+func TestFusedNoQuantNoOp(t *testing.T) {
+	base, fused := fusedPair(t, Strategy{WeightsGPUPct: 0.5, CacheGPUPct: 0.5})
+	eq(t, "TGen", fused.TGen(), base.TGen())
+	eq(t, "TGenSerial", fused.TGenSerial(), base.TGenSerial())
+	eq(t, "Latency", fused.Latency(), base.Latency())
+	if got := fused.fusedDequanWork(); got != 0 {
+		t.Errorf("fusedDequanWork = %g, want 0", got)
+	}
+}

@@ -86,9 +86,12 @@ func QuantizeParallel(pool *threadpool.Pool, width int, t *tensor.Tensor, cfg Co
 }
 
 // DequantizeParallel reverses QuantizeParallel over the pool. Groups write
-// disjoint output spans, so any group size is safe.
+// disjoint float32 output spans, but with a non-byte-aligned config
+// (AlignedForParallel() == false, e.g. Bits=3/GroupSize=10) adjacent groups
+// read shared packed bytes; like QuantizeParallel, those configs fall back
+// to the serial kernel, which is bit-exact with the parallel one.
 func DequantizeParallel(pool *threadpool.Pool, width int, q *Tensor) *tensor.Tensor {
-	if pool == nil || width <= 1 {
+	if pool == nil || width <= 1 || !q.cfg.AlignedForParallel() {
 		return Dequantize(q)
 	}
 	out := make([]float32, q.padded)

@@ -62,6 +62,47 @@ func TestParallelFallsBackOnMisalignedGroups(t *testing.T) {
 	}
 }
 
+// TestDequantizeParallelBitsGroupMatrix pins the misaligned-config fix:
+// DequantizeParallel must be bit-exact against the serial kernel for every
+// Bits × GroupSize combination — aligned configs through the parallel
+// kernel, misaligned ones (AlignedForParallel() == false, e.g. 3-bit codes
+// with group 10) through the serial fallback — including tensors whose last
+// group is padding. The dequantized shape must equal the original, so group
+// padding never leaks into the output.
+func TestDequantizeParallelBitsGroupMatrix(t *testing.T) {
+	pool := threadpool.MustNew(4)
+	rng := rand.New(rand.NewSource(17))
+	for bits := 1; bits <= 8; bits++ {
+		for _, group := range []int{1, 3, 7, 10, 16, 100} {
+			cfg := Config{Bits: bits, GroupSize: group}
+			// Sizes straddling group boundaries: exact multiples and padded
+			// tails of every phase.
+			for _, n := range []int{1, group, group + 1, 3*group - 1, 257} {
+				if n < 1 {
+					continue
+				}
+				x := tensor.RandN(rng, 1.5, n)
+				q, err := Quantize(x, cfg)
+				if err != nil {
+					t.Fatalf("b%d g%d n%d: %v", bits, group, n, err)
+				}
+				serial := Dequantize(q)
+				for _, width := range []int{1, 4} {
+					par := DequantizeParallel(pool, width, q)
+					if got, want := par.Numel(), n; got != want {
+						t.Fatalf("b%d g%d n%d w%d: numel %d, want %d (padding leaked)",
+							bits, group, n, width, got, want)
+					}
+					if d := serial.MaxAbsDiff(par); d != 0 {
+						t.Fatalf("b%d g%d n%d w%d: parallel differs from serial by %g",
+							bits, group, n, width, d)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestAlignedForParallel(t *testing.T) {
 	cases := []struct {
 		cfg  Config

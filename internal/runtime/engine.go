@@ -63,6 +63,15 @@ type Policy struct {
 	// A step exceeding it is cancelled, rolled back, and retried — possibly
 	// under a degraded policy. Zero disables the deadline.
 	StepTimeout time.Duration
+	// QuantKernels routes quantized operands through the fused
+	// quantized-domain kernels: streamed weights compute via tensor.MatMulQ
+	// on their packed blocks and quantized KV history attends via the packed
+	// attention path, dequantizing per cache-blocked tile instead of
+	// materializing float32 copies. Outputs are bit-identical to the
+	// dequantize-first path, so the toggle is numerics-safe and
+	// hot-swappable (part of ExecPolicy). A no-op when neither weights nor
+	// KV are quantized.
+	QuantKernels bool
 }
 
 // Validate reports inconsistent policies.
@@ -748,7 +757,9 @@ func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 			return loadedLayer{err: err}
 		}
 		lw := e.loadWeightsTraced(j)
-		e.stats.addOps(0, 6)
+		if !e.policy.QuantKernels {
+			e.stats.addOps(0, 6)
+		}
 		return loadedLayer{weights: lw, resident: scratch}
 	}
 	t0 := time.Now()
@@ -762,7 +773,7 @@ func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 	}
 	e.stats.addBytes(&e.stats.WeightUpBytes, e.weights.TransferBytes(j))
 	lw := e.loadWeightsTraced(j)
-	if e.weights.Quantized() {
+	if e.weights.Quantized() && !e.policy.QuantKernels {
 		e.stats.addOps(0, 6) // six matrices dequantized
 	}
 	return loadedLayer{weights: lw, resident: resident}
@@ -770,8 +781,14 @@ func (e *Engine) loadLayerOnce(ctx context.Context, j int) (out loadedLayer) {
 
 // loadWeightsTraced materializes layer j's weights, recording the Eq. 12–16
 // dequantization as a dequant_weight span (nested in the enclosing
-// load_weight span) when the store is quantized and tracing is on.
+// load_weight span) when the store is quantized and tracing is on. Under
+// the QuantKernels policy the packed blocks are staged as-is for the fused
+// kernels: no dequantization happens, so no span is recorded and the model
+// folds the work into the compute term instead.
 func (e *Engine) loadWeightsTraced(j int) *model.LayerWeights {
+	if e.policy.QuantKernels && e.weights.Quantized() {
+		return e.weights.LoadPacked(j)
+	}
 	rec := e.tracer.Load()
 	if rec == nil || !e.weights.Quantized() {
 		return e.weights.Load(j)
@@ -924,15 +941,45 @@ func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase
 		out.err = err
 		return out
 	}
-	// The dequant_kv span (Eqs. 12–16 applied to the old cache) covers the
-	// fetch loop: reconstruction and staging of the quantized chunks.
+	if e.policy.QuantKernels {
+		// Fused path: quantized chunks stage as packed views for the
+		// quantized-domain attention kernels — verified but never
+		// dequantized, so there is no dequant_kv span to record. The arena
+		// charge stays in dequantized-equivalent terms so admission
+		// estimates and peak tracking are invariant under the toggle.
+		for s := 0; s < batch; s++ {
+			chunks, rows, bytes, err := kvStore.FetchPacked(j, seqBase+s)
+			e.stats.addBytes(&e.stats.KVUpBytes, bytes)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			if rows > 0 {
+				kb := int64(rows) * int64(cfg.Hidden) * 4 * 2
+				if err := e.allocGPU(kb); err != nil {
+					out.err = err
+					return out
+				}
+				out.fetched += kb
+				out.cache.SetPacked(j, seqBase+s, chunks)
+			}
+		}
+		return out
+	}
+	// The dequant_kv span (Eqs. 12–16 applied to the old cache) carries only
+	// the time spent inside the dequantization kernels, as reported by
+	// FetchTimed — transfer accounting, checksum verification, and arena
+	// staging stay outside it so trace attribution cannot over-credit
+	// dequantization.
 	rec := e.tracer.Load()
 	var td time.Time
+	var dequant time.Duration
 	if rec != nil && e.policy.QuantKV {
 		td = time.Now()
 	}
 	for s := 0; s < batch; s++ {
-		k, v, bytes, err := kvStore.Fetch(j, seqBase+s)
+		k, v, bytes, d, err := kvStore.FetchTimed(j, seqBase+s)
+		dequant += d
 		e.stats.addBytes(&e.stats.KVUpBytes, bytes)
 		if err != nil {
 			out.err = err
@@ -952,7 +999,7 @@ func (e *Engine) loadCacheOnce(ctx context.Context, kvStore *KVStore, j, seqBase
 		}
 	}
 	if rec != nil && e.policy.QuantKV {
-		rec.Record(xtrace.TaskDequantKV, xtrace.LaneKVUp, td, time.Since(td), xtrace.At(-1, j, seqBase))
+		rec.Record(xtrace.TaskDequantKV, xtrace.LaneKVUp, td, dequant, xtrace.At(-1, j, seqBase))
 	}
 	return out
 }

@@ -1,0 +1,310 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/threadpool"
+	"repro/internal/xtrace"
+)
+
+// TestQuantKernelsTokenExact: flipping the QuantKernels policy must not
+// change a single generated token — the fused kernels are bit-identical to
+// dequantize-then-matmul — across every quantized configuration and its
+// interaction with batching, prefetch, inter-op attention, and compressed
+// residency.
+func TestQuantKernelsTokenExact(t *testing.T) {
+	q4 := quant.Config{Bits: 4, GroupSize: 16}
+	cases := []struct {
+		name string
+		pol  Policy
+	}{
+		{"w4", Policy{IntraOp: 1, QuantWeights: true, WeightCfg: q4}},
+		{"kv4", Policy{IntraOp: 1, QuantKV: true, KVCfg: q4}},
+		{"w4+kv4", Policy{IntraOp: 1, QuantWeights: true, WeightCfg: q4, QuantKV: true, KVCfg: q4}},
+		{"w4+kv4-batched", Policy{IntraOp: 2, GPUBatch: 2, Prefetch: true, InterOp: 2,
+			QuantWeights: true, WeightCfg: q4, QuantKV: true, KVCfg: q4}},
+		{"w4-resident-compressed", Policy{IntraOp: 1, QuantWeights: true, WeightCfg: q4,
+			ResidentLayers: 1, CompressResident: true}},
+	}
+	pool := threadpool.MustNew(4)
+	for _, tc := range cases {
+		run := func(fused bool) [][]int {
+			pol := tc.pol
+			pol.QuantKernels = fused
+			eng, err := NewEngine(tinyModel(t, 21), pol, bigArena, pool)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			out, err := eng.Generate(context.Background(), testPrompts(), 6)
+			if err != nil {
+				t.Fatalf("%s (fused=%v): %v", tc.name, fused, err)
+			}
+			return out
+		}
+		ref, fus := run(false), run(true)
+		for i := range ref {
+			for j := range ref[i] {
+				if ref[i][j] != fus[i][j] {
+					t.Fatalf("%s: QuantKernels changed tokens at seq %d tok %d: %v vs %v",
+						tc.name, i, j, ref[i], fus[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantKernelsNoQuantNoOp: with nothing quantized the toggle must be a
+// pure no-op (LoadPacked falls back to Load; the KV path never stages packed
+// chunks), still matching the plain reference model.
+func TestQuantKernelsNoQuantNoOp(t *testing.T) {
+	ref, err := tinyModel(t, 42).Generate(nil, 1, testPrompts(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tinyModel(t, 42), Policy{IntraOp: 1, QuantKernels: true}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Generate(context.Background(), testPrompts(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for j := range ref[i] {
+			if got[i][j] != ref[i][j] {
+				t.Fatalf("QuantKernels-without-quant diverges: %v vs %v", got, ref)
+			}
+		}
+	}
+}
+
+// TestExecPolicyCarriesQuantKernels: the toggle is hot-swappable — it rides
+// the ExecPolicy surface and survives an apply round-trip.
+func TestExecPolicyCarriesQuantKernels(t *testing.T) {
+	eng, err := NewEngine(tinyModel(t, 3), Policy{IntraOp: 1}, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eng.ExecPolicy()
+	if p.QuantKernels {
+		t.Fatal("QuantKernels unexpectedly on by default")
+	}
+	p.QuantKernels = true
+	if err := eng.ApplyExecPolicy(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ExecPolicy(); !got.QuantKernels {
+		t.Fatal("ApplyExecPolicy dropped QuantKernels")
+	}
+}
+
+// TestFetchPackedMixedSlots drives the pressure-ladder mixed case at the
+// store/model seam: a store-wide raw KV store with one slot overridden to
+// quantized must stage a heterogeneous chunk list whose fused attention
+// output is bit-identical to the dense Fetch path.
+func TestFetchPackedMixedSlots(t *testing.T) {
+	cfg := model.Tiny()
+	q4 := quant.Config{Bits: 4, GroupSize: 16}
+	st, err := NewKVStore(cfg.Layers, 2, false, quant.Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetSlotQuant(0, &q4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Slot 0: quantized chunk, then raw chunk (override lifted), then
+	// quantized again — the mixed history SetSlotQuant produces live.
+	for i, c := range []*quant.Config{&q4, nil, &q4} {
+		if err := st.SetSlotQuant(0, c); err != nil {
+			t.Fatal(err)
+		}
+		rows := 2 + i
+		for l := 0; l < cfg.Layers; l++ {
+			k := tensor.RandN(rng, 1, rows, cfg.Hidden)
+			v := tensor.RandN(rng, 1, rows, cfg.Hidden)
+			if _, err := st.Append(l, 0, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		chunks, rows, _, err := st.FetchPacked(l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != 3 {
+			t.Fatalf("layer %d: %d chunks, want 3", l, len(chunks))
+		}
+		if chunks[0].K == nil || chunks[1].RawK == nil || chunks[2].K == nil {
+			t.Fatalf("layer %d: chunk forms %v, want packed/raw/packed", l,
+				[]bool{chunks[0].K != nil, chunks[1].RawK != nil, chunks[2].K != nil})
+		}
+		if rows != 2+3+4 {
+			t.Fatalf("layer %d: staged rows %d, want 9", l, rows)
+		}
+	}
+
+	// Bit-exact attention: dense path via Fetch vs fused path via SetPacked.
+	lw := model.NewLayerWeights(rand.New(rand.NewSource(6)), cfg)
+	x := tensor.RandN(rand.New(rand.NewSource(7)), 1, 1, cfg.Hidden)
+	denseCache := model.NewKVCache(cfg.Layers, 1, cfg.Hidden)
+	fusedCache := model.NewKVCache(cfg.Layers, 1, cfg.Hidden)
+	k0, v0, _, err := st.Fetch(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseCache.SetKV(0, 0, k0, v0)
+	chunks, _, _, err := st.FetchPacked(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedCache.SetPacked(0, 0, chunks)
+	dOut := model.Attention(nil, 1, cfg, lw, denseCache, 0, []*tensor.Tensor{x.Clone()})
+	fOut := model.Attention(nil, 1, cfg, lw, fusedCache, 0, []*tensor.Tensor{x.Clone()})
+	dd, fd := dOut.Hidden.Data(), fOut.Hidden.Data()
+	for i := range dd {
+		if math.Float32bits(dd[i]) != math.Float32bits(fd[i]) {
+			t.Fatalf("fused attention diverges at %d: %g vs %g", i, fd[i], dd[i])
+		}
+	}
+}
+
+// TestFetchTimedDequantOnly pins the dequant_kv attribution fix at its
+// source: FetchTimed's duration covers only the dequantization kernels — a
+// non-quantized (f16) store reports zero even though it materializes and
+// transfers every chunk, and a quantized store reports a positive duration
+// bounded by the call's wall time.
+func TestFetchTimedDequantOnly(t *testing.T) {
+	cfg := model.Tiny()
+	rng := rand.New(rand.NewSource(8))
+	mk := func(quantize, f16 bool) *KVStore {
+		st, err := NewKVStore(cfg.Layers, 1, quantize, quant.Config{Bits: 4, GroupSize: 16}, f16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			k := tensor.RandN(rng, 1, 4, cfg.Hidden)
+			v := tensor.RandN(rng, 1, 4, cfg.Hidden)
+			if _, err := st.Append(0, 0, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}
+
+	f16st := mk(false, true)
+	if _, _, _, d, err := f16st.FetchTimed(0, 0); err != nil || d != 0 {
+		t.Fatalf("f16 store FetchTimed dequant = %v err = %v, want 0 and nil", d, err)
+	}
+
+	qst := mk(true, false)
+	t0 := time.Now()
+	_, _, _, d, err := qst.FetchTimed(0, 0)
+	wall := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("quantized store FetchTimed dequant = %v, want > 0", d)
+	}
+	if d > wall {
+		t.Fatalf("dequant time %v exceeds the whole fetch wall time %v", d, wall)
+	}
+}
+
+// TestDequantKVAttributionSplit is the engine-level regression for the
+// dequant_kv over-attribution bug: every recorded dequant_kv span must nest
+// inside a load_kv span of the same layer, and the total dequant_kv time
+// must be a strict subset of load_kv — the span no longer brackets the whole
+// fetch loop with its allocation, checksum, and staging work.
+func TestDequantKVAttributionSplit(t *testing.T) {
+	pol := Policy{IntraOp: 1, QuantKV: true, KVCfg: quant.Config{Bits: 4, GroupSize: 16}}
+	eng, err := NewEngine(tinyModel(t, 9), pol, bigArena, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := xtrace.NewRecorder(0)
+	eng.SetTracer(rec)
+	// A longer decode gives every slot many chunks, so per-chunk overheads
+	// (alloc, CRC verify, staging) dominate the loop body.
+	if _, err := eng.Generate(context.Background(), testPrompts(), 10); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	var dequant, loadKV time.Duration
+	var nd int
+	for _, s := range spans {
+		switch s.Name {
+		case xtrace.TaskDequantKV:
+			nd++
+			dequant += s.Dur
+			contained := false
+			for _, ls := range spans {
+				if ls.Name == xtrace.TaskLoadKV && ls.Layer == s.Layer &&
+					s.Start >= ls.Start && s.End() <= ls.End() {
+					contained = true
+					break
+				}
+			}
+			if !contained {
+				t.Fatalf("dequant_kv span (layer %d, start %v, dur %v) not nested in any load_kv span",
+					s.Layer, s.Start, s.Dur)
+			}
+		case xtrace.TaskLoadKV:
+			loadKV += s.Dur
+		}
+	}
+	if nd == 0 {
+		t.Fatal("no dequant_kv spans recorded under QuantKV")
+	}
+	if dequant >= loadKV {
+		t.Fatalf("dequant_kv total %v >= load_kv total %v — span covers more than the dequant kernels", dequant, loadKV)
+	}
+	// The attribution view must agree: load_kv keeps the larger share of the
+	// covered wall-clock.
+	attr := xtrace.Attribution(spans, xtrace.TaskLoadKV, xtrace.TaskDequantKV)
+	if attr[xtrace.TaskDequantKV] > attr[xtrace.TaskLoadKV] {
+		t.Fatalf("attribution gives dequant_kv %v > load_kv %v", attr[xtrace.TaskDequantKV], attr[xtrace.TaskLoadKV])
+	}
+}
+
+// TestQuantKernelsStatsInvariance: the fused path charges the same
+// dequantized-equivalent bytes to the arena, so admission estimates and the
+// arena peak stay comparable across the toggle. (Exact byte equality is the
+// design contract; op counters differ because no dequant ops run.)
+func TestQuantKernelsStatsInvariance(t *testing.T) {
+	q4 := quant.Config{Bits: 4, GroupSize: 16}
+	run := func(fused bool) (*Stats, int64) {
+		pol := Policy{IntraOp: 1, QuantKV: true, KVCfg: q4, QuantWeights: true, WeightCfg: q4, QuantKernels: fused}
+		eng, err := NewEngine(tinyModel(t, 31), pol, bigArena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Generate(context.Background(), testPrompts(), 5); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats(), eng.gpu.Peak()
+	}
+	off, offPeak := run(false)
+	on, onPeak := run(true)
+	if off.KVUpBytes != on.KVUpBytes {
+		t.Fatalf("KV upload bytes differ across toggle: %d vs %d", off.KVUpBytes, on.KVUpBytes)
+	}
+	if off.WeightUpBytes != on.WeightUpBytes {
+		t.Fatalf("weight upload bytes differ across toggle: %d vs %d", off.WeightUpBytes, on.WeightUpBytes)
+	}
+	if offPeak != onPeak {
+		t.Fatalf("arena peak differs across toggle: %d vs %d", offPeak, onPeak)
+	}
+	if on.DequantizeOps >= off.DequantizeOps {
+		t.Fatalf("fused run still counts dequant passes: %d vs %d unfused", on.DequantizeOps, off.DequantizeOps)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"math"
 	"sync"
 
+	"time"
+
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/quant"
@@ -118,6 +120,35 @@ func (ws *WeightStore) Load(i int) *model.LayerWeights {
 	}
 	for j, q := range ws.packed[i] {
 		*dst[j] = quant.DequantizeParallel(ws.pool, ws.width, q)
+	}
+	return out
+}
+
+// LoadPacked materializes layer i for the fused quantized-domain kernels:
+// instead of dequantizing, the six matrices come back as packed views that
+// tensor.MatMulQ consumes tile by tile, so no float32 copy of the weights
+// is ever built. Falls back to Load when the store is not quantized (raw
+// and f16 stores have no packed form). The views alias the host payload,
+// which is immutable once ingested.
+func (ws *WeightStore) LoadPacked(i int) *model.LayerWeights {
+	if !ws.quantized {
+		return ws.Load(i)
+	}
+	src := ws.layers[i]
+	out := &model.LayerWeights{
+		LN1Gain: src.LN1Gain,
+		LN2Gain: src.LN2Gain,
+	}
+	dst := []**tensor.QMat{&out.QWQ, &out.QWK, &out.QWV, &out.QWO, &out.QW1, &out.QW2}
+	for j, q := range ws.packed[i] {
+		qm, err := q.QMat()
+		if err != nil {
+			// Weights are always rank-2; a failure here is a programming
+			// error and surfaces through the load path's panic recovery.
+			panic(err)
+		}
+		view := qm
+		*dst[j] = &view
 	}
 	return out
 }
@@ -296,6 +327,15 @@ func (st *KVStore) Append(layer, seq int, k, v *tensor.Tensor) (int64, error) {
 // and a transient error when a chunk fails verification — the host copy is
 // intact, so the caller retries the fetch.
 func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64, err error) {
+	k, v, bytes, _, err = st.FetchTimed(layer, seq)
+	return k, v, bytes, err
+}
+
+// FetchTimed is Fetch that also reports the time spent purely inside the
+// dequantization kernels, excluding checksum verification, concatenation,
+// and every other staging overhead — the number the engine's dequant_kv
+// span must carry so trace attribution does not over-credit dequantization.
+func (st *KVStore) FetchTimed(layer, seq int) (k, v *tensor.Tensor, bytes int64, dequant time.Duration, err error) {
 	// Snapshot the chunk list under the read lock; chunks themselves are
 	// immutable once appended, so materialization proceeds unlocked.
 	st.mu.RLock()
@@ -304,9 +344,10 @@ func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64, err 
 	var ks, vs *tensor.Tensor
 	for ci, c := range chunks {
 		bytes += c.transferBytes()
-		ck, cv, cerr := st.materialize(c)
+		ck, cv, d, cerr := st.materialize(c)
+		dequant += d
 		if cerr != nil {
-			return nil, nil, bytes, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, cerr)
+			return nil, nil, bytes, dequant, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, cerr)
 		}
 		if ks == nil {
 			ks, vs = ck, cv
@@ -315,14 +356,62 @@ func (st *KVStore) Fetch(layer, seq int) (k, v *tensor.Tensor, bytes int64, err 
 		ks = tensor.ConcatRows(ks, ck)
 		vs = tensor.ConcatRows(vs, cv)
 	}
-	return ks, vs, bytes, nil
+	return ks, vs, bytes, dequant, nil
+}
+
+// FetchPacked reconstructs (layer, seq)'s chunk list for the fused
+// quantized-domain attention path: quantized chunks come back as verified
+// packed views — checksummed exactly like Fetch, but never dequantized —
+// while raw and f16 chunks are materialized to float32. rows is the total
+// staged token count and bytes the same transfer charge Fetch reports. The
+// packed views alias the host payload (immutable once appended); they stay
+// valid for the compute batch that staged them.
+func (st *KVStore) FetchPacked(layer, seq int) (chunks []model.PackedKV, rows int, bytes int64, err error) {
+	st.mu.RLock()
+	list := st.chunks[layer][seq]
+	st.mu.RUnlock()
+	for ci, c := range list {
+		bytes += c.transferBytes()
+		if c.qk == nil {
+			ck, cv, _, cerr := st.materialize(c)
+			if cerr != nil {
+				return nil, 0, bytes, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, cerr)
+			}
+			chunks = append(chunks, model.PackedKV{RawK: ck, RawV: cv})
+			rows += ck.Dim(0)
+			continue
+		}
+		qk, qv := c.qk, c.qv
+		if st.inj.ShouldCorrupt(faults.KVCorruption) {
+			qk = qk.Clone()
+			qk.Corrupt(1, 0x10)
+		}
+		if verr := qk.Verify(); verr != nil {
+			return nil, 0, bytes, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, wrapCorruption(qk != c.qk, verr))
+		}
+		if verr := qv.Verify(); verr != nil {
+			return nil, 0, bytes, fmt.Errorf("runtime: KV chunk %d of (layer %d, seq %d): %w", ci, layer, seq, wrapCorruption(false, verr))
+		}
+		km, kerr := c.qk.QMat()
+		if kerr != nil {
+			return nil, 0, bytes, kerr
+		}
+		vm, verr2 := c.qv.QMat()
+		if verr2 != nil {
+			return nil, 0, bytes, verr2
+		}
+		chunks = append(chunks, model.PackedKV{K: &km, V: &vm})
+		rows += km.Rows
+	}
+	return chunks, rows, bytes, nil
 }
 
 // materialize reconstructs one chunk's float32 tensors, modeling the
 // host-to-device transfer: the injector may corrupt the in-flight copy, and
 // the chunk's checksum is verified on arrival. The returned tensors never
-// alias the stored payload.
-func (st *KVStore) materialize(c kvChunk) (*tensor.Tensor, *tensor.Tensor, error) {
+// alias the stored payload. The duration covers only the dequantization
+// kernels (zero for raw and f16 chunks).
+func (st *KVStore) materialize(c kvChunk) (*tensor.Tensor, *tensor.Tensor, time.Duration, error) {
 	corrupt := st.inj.ShouldCorrupt(faults.KVCorruption)
 	switch {
 	case c.qk != nil:
@@ -332,33 +421,35 @@ func (st *KVStore) materialize(c kvChunk) (*tensor.Tensor, *tensor.Tensor, error
 			qk.Corrupt(1, 0x10)
 		}
 		if err := qk.Verify(); err != nil {
-			return nil, nil, wrapCorruption(corrupt, err)
+			return nil, nil, 0, wrapCorruption(corrupt, err)
 		}
 		if err := qv.Verify(); err != nil {
-			return nil, nil, wrapCorruption(corrupt, err)
+			return nil, nil, 0, wrapCorruption(corrupt, err)
 		}
-		return quant.DequantizeParallel(st.pool, st.width, qk),
-			quant.DequantizeParallel(st.pool, st.width, qv), nil
+		t0 := time.Now()
+		dk := quant.DequantizeParallel(st.pool, st.width, qk)
+		dv := quant.DequantizeParallel(st.pool, st.width, qv)
+		return dk, dv, time.Since(t0), nil
 	case c.hk != nil:
 		ck, cv := c.hk.ToFloat32(), c.hv.ToFloat32()
 		if corrupt && ck.Numel() > 0 {
 			ck.Data()[0] += 1 // in-flight bit flip on the staged copy
 		}
 		if got := floatsCRC(ck.Data(), cv.Data()); got != c.crc {
-			return nil, nil, wrapCorruption(corrupt,
+			return nil, nil, 0, wrapCorruption(corrupt,
 				fmt.Errorf("runtime: KV checksum mismatch (stored %08x, computed %08x)", c.crc, got))
 		}
-		return ck, cv, nil
+		return ck, cv, 0, nil
 	default:
 		ck, cv := c.k.Clone(), c.v.Clone()
 		if corrupt && ck.Numel() > 0 {
 			ck.Data()[0] += 1
 		}
 		if got := floatsCRC(ck.Data(), cv.Data()); got != c.crc {
-			return nil, nil, wrapCorruption(corrupt,
+			return nil, nil, 0, wrapCorruption(corrupt,
 				fmt.Errorf("runtime: KV checksum mismatch (stored %08x, computed %08x)", c.crc, got))
 		}
-		return ck, cv, nil
+		return ck, cv, 0, nil
 	}
 }
 

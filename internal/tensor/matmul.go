@@ -46,13 +46,14 @@ func checkMatMulShapes(a, b *Tensor) (m, k, n int) {
 }
 
 func matMulInto(pool *threadpool.Pool, width int, a, b, c *Tensor, m, k, n int) {
+	nf := skipFlags(a.data, b.data, k, n)
 	kernel := func(lo, hi int) {
 		ad, bd, cd := a.data, b.data, c.data
 		for i := lo; i < hi; i++ {
 			arow := ad[i*k : (i+1)*k]
 			crow := cd[i*n : (i+1)*n]
 			for p, av := range arow {
-				if av == 0 {
+				if av == 0 && (nf == nil || !nf[p]) {
 					continue
 				}
 				brow := bd[p*n : (p+1)*n]
@@ -67,6 +68,52 @@ func matMulInto(pool *threadpool.Pool, width int, a, b, c *Tensor, m, k, n int) 
 		return
 	}
 	pool.ParallelRange(m, width, kernel)
+}
+
+// isNonFinite reports NaN or ±Inf: v-v is zero for every finite v and NaN
+// otherwise, and a NaN comparison against zero is unequal.
+func isNonFinite(v float32) bool { return v-v != 0 }
+
+func hasZero(xs []float32) bool {
+	for _, v := range xs {
+		if v == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasNonFinite(xs []float32) bool {
+	for _, v := range xs {
+		if isNonFinite(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// skipFlags decides when the zero-skip in matMulInto is allowed to drop a
+// product. Skipping av == 0 is only value-preserving when row p of B is
+// finite: the skipped products are then ±0, and an accumulator that starts
+// at +0 and never adds two -0 terms in a row stays bit-identical whether or
+// not ±0 terms are added. With a non-finite row, 0×NaN and 0×Inf must
+// produce NaN, so the row cannot be skipped. The scan costs O(k) when A has
+// no zeros (the common dense case) and one pass over B otherwise; it returns
+// nil — "always skip" — when A has no zeros or B is entirely finite.
+func skipFlags(ad, bd []float32, k, n int) []bool {
+	if !hasZero(ad) {
+		return nil
+	}
+	var nf []bool
+	for p := 0; p < k; p++ {
+		if hasNonFinite(bd[p*n : (p+1)*n]) {
+			if nf == nil {
+				nf = make([]bool, k)
+			}
+			nf[p] = true
+		}
+	}
+	return nf
 }
 
 // MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k). This is the natural

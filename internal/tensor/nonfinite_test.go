@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/threadpool"
+)
+
+// naiveMatMul is the skip-free reference: every product is formed and added
+// in ascending p order, so IEEE-754 non-finite propagation is exact.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += a.data[i*k+p] * b.data[p*n+j]
+			}
+			c.data[i*n+j] = sum
+		}
+	}
+	return c
+}
+
+// bitsEqual compares tensors bit-for-bit — so -0 != +0 and Inf signs count —
+// except that any NaN matches any NaN: hardware NaN payload/sign propagation
+// depends on the operand order the compiler happens to emit (x86 addss
+// returns its first operand's payload), which no kernel contract can pin.
+func bitsEqual(t *testing.T, label string, got, want *Tensor) {
+	t.Helper()
+	for i, w := range want.data {
+		g := got.data[i]
+		if math.IsNaN(float64(w)) && math.IsNaN(float64(g)) {
+			continue
+		}
+		if math.Float32bits(g) != math.Float32bits(w) {
+			t.Fatalf("%s: element %d = %x (%g), want %x (%g)",
+				label, i, math.Float32bits(g), g, math.Float32bits(w), w)
+		}
+	}
+}
+
+// TestMatMulZeroTimesNonFinite pins the zero-skip bugfix: a zero in A must
+// not short-circuit a NaN or Inf in B — IEEE 754 says 0·NaN and 0·Inf are
+// NaN, and the kernel must propagate that exactly like the naive loop.
+func TestMatMulZeroTimesNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		a, b []float32
+		m, k int
+		n    int
+	}{
+		{"0xNaN", []float32{0}, []float32{nan}, 1, 1, 1},
+		{"0xInf", []float32{0}, []float32{inf}, 1, 1, 1},
+		{"0x-Inf", []float32{0}, []float32{float32(math.Inf(-1))}, 1, 1, 1},
+		{"negzero-x-NaN", []float32{float32(math.Copysign(0, -1))}, []float32{nan}, 1, 1, 1},
+		{"mixed-row", []float32{0, 2, 0}, []float32{nan, 1, 3, 1, inf, 1}, 1, 3, 2},
+		{"finite-col-untouched", []float32{0, 1}, []float32{nan, 5, 2, 7}, 1, 2, 2},
+	}
+	pool := threadpool.MustNew(4)
+	for _, tc := range cases {
+		a := FromSlice(tc.a, tc.m, tc.k)
+		b := FromSlice(tc.b, tc.k, tc.n)
+		want := naiveMatMul(a, b)
+		bitsEqual(t, tc.name+"/serial", MatMul(nil, 1, a, b), want)
+		bitsEqual(t, tc.name+"/parallel", MatMul(pool, 4, a, b), want)
+	}
+	// Direct regression for the original bug: a zero must yield NaN when the
+	// paired B element is NaN.
+	got := MatMul(nil, 1, FromSlice([]float32{0}, 1, 1), FromSlice([]float32{nan}, 1, 1))
+	if !math.IsNaN(float64(got.data[0])) {
+		t.Fatalf("0 x NaN = %g, want NaN", got.data[0])
+	}
+}
+
+// TestMatMulSkipPreservesSignedZero: the skip path can only be taken when B's
+// row is finite, and then skipping a ±0 product is bitwise identical to
+// adding it — because the accumulator starts at +0 and +0 + ±0 = +0, while a
+// nonzero accumulator absorbs ±0 unchanged.
+func TestMatMulSkipPreservesSignedZero(t *testing.T) {
+	negz := float32(math.Copysign(0, -1))
+	pool := threadpool.MustNew(2)
+	cases := []struct {
+		a, b []float32
+		m, k int
+		n    int
+	}{
+		// 0 · (-5): naive forms -0 then adds to +0 → +0; skip keeps +0.
+		{[]float32{0}, []float32{-5}, 1, 1, 1},
+		// -0 · 5 = -0 added to +0 → +0.
+		{[]float32{negz}, []float32{5}, 1, 1, 1},
+		// A nonzero sum followed by skipped zeros stays put.
+		{[]float32{1, 0, negz}, []float32{-2, 3, -7}, 1, 3, 1},
+	}
+	for _, tc := range cases {
+		a := FromSlice(tc.a, tc.m, tc.k)
+		b := FromSlice(tc.b, tc.k, tc.n)
+		want := naiveMatMul(a, b)
+		bitsEqual(t, "serial", MatMul(nil, 1, a, b), want)
+		bitsEqual(t, "parallel", MatMul(pool, 2, a, b), want)
+	}
+}
+
+// injectSpecials overwrites random positions with IEEE specials.
+func injectSpecials(rng *rand.Rand, xs []float32, frac float64) {
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)),
+	}
+	for i := range xs {
+		if rng.Float64() < frac {
+			xs[i] = specials[rng.Intn(len(specials))]
+		}
+	}
+}
+
+// TestPropertyMatMulNonFiniteEquivalence: for random shapes seeded with
+// NaN/±Inf/±0, serial and parallel kernels are bit-identical to the
+// skip-free naive reference.
+func TestPropertyMatMulNonFiniteEquivalence(t *testing.T) {
+	pool := threadpool.MustNew(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(24), 1+rng.Intn(24)
+		a, b := RandN(rng, 2, m, k), RandN(rng, 2, k, n)
+		injectSpecials(rng, a.data, 0.3)
+		injectSpecials(rng, b.data, 0.15)
+		want := naiveMatMul(a, b)
+		for _, w := range []int{1, 4} {
+			got := MatMul(pool, w, a, b)
+			for i := range want.data {
+				wv, gv := want.data[i], got.data[i]
+				if math.IsNaN(float64(wv)) && math.IsNaN(float64(gv)) {
+					continue
+				}
+				if math.Float32bits(gv) != math.Float32bits(wv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzMatMulNonFinite drives the same equivalence from fuzzed bytes: each
+// byte pair selects an element value, including the IEEE specials.
+func FuzzMatMulNonFinite(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(2))
+	f.Add(int64(99), uint8(1), uint8(1), uint8(1))
+	pool := threadpool.MustNew(3)
+	f.Fuzz(func(t *testing.T, seed int64, mr, kr, nr uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+int(mr%4), 1+int(kr%16), 1+int(nr%16)
+		a, b := RandN(rng, 1, m, k), RandN(rng, 1, k, n)
+		injectSpecials(rng, a.data, 0.4)
+		injectSpecials(rng, b.data, 0.25)
+		want := naiveMatMul(a, b)
+		bitsEqual(t, "serial", MatMul(nil, 1, a, b), want)
+		bitsEqual(t, "parallel", MatMul(pool, 3, a, b), want)
+	})
+}

@@ -1,0 +1,322 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/threadpool"
+)
+
+// QMat is a read-only view of a rank-2 matrix in the packed group-wise
+// quantized form of internal/quant (Eq. 10/11): bit-packed codes over the
+// flat row-major element stream, with per-group min and scale. It lives in
+// this package — rather than quant, which imports tensor — so the fused
+// kernels below can consume packed blocks directly without an import cycle.
+//
+// The fused kernels dequantize per cache-blocked tile into a small scratch
+// panel instead of materializing the whole float32 matrix, and are
+// bit-identical to dequantize-then-MatMul on the same packed payload: they
+// use the exact Eq. 11 arithmetic per element, accumulate each output in a
+// single register/slot in ascending inner-dimension order, and preserve the
+// reference kernels' zero-skip semantics (see skipFlags).
+type QMat struct {
+	Packed    []byte    // bit-packed codes, Bits per element, flat row-major
+	Mins      []float32 // per-group minimum
+	Scales    []float32 // per-group range (max - min); 0 collapses to Mins
+	Bits      int       // code width in [1, 8]
+	GroupSize int       // elements per group along the flat stream
+	Rows      int       // logical row count
+	Cols      int       // logical column count
+}
+
+func (q QMat) check() {
+	if q.Bits < 1 || q.Bits > 8 || q.GroupSize <= 0 || q.Rows < 0 || q.Cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid QMat geometry bits=%d group=%d shape=[%d %d]",
+			q.Bits, q.GroupSize, q.Rows, q.Cols))
+	}
+}
+
+// dequantFlat reconstructs flat elements [start, start+count) of the packed
+// stream into dst[:count], walking group chunks so every value uses its own
+// group's parameters. The arithmetic is exactly quant.Dequantize's Eq. 11:
+// float32(code)/levels*scale + min, with a degenerate (zero-range) group
+// collapsing to its minimum — bit-for-bit, so fused kernels reproduce the
+// dequantize-then-matmul reference exactly.
+func (q QMat) dequantFlat(dst []float32, start, count int) {
+	levels := float32(int(1)<<q.Bits - 1)
+	pos, end, di := start, start+count, 0
+	for pos < end {
+		g := pos / q.GroupSize
+		chunk := (g + 1) * q.GroupSize
+		if chunk > end {
+			chunk = end
+		}
+		mn, scale := q.Mins[g], q.Scales[g]
+		n := chunk - pos
+		switch {
+		case scale == 0:
+			for i := 0; i < n; i++ {
+				dst[di+i] = mn
+			}
+		case q.Bits == 4:
+			// Nibble fast path for the FlexGen default: codes never straddle
+			// a byte boundary.
+			for i := 0; i < n; i++ {
+				bp := (pos + i) * 4
+				c := (q.Packed[bp>>3] >> (bp & 7)) & 0xF
+				dst[di+i] = float32(c)/levels*scale + mn
+			}
+		case q.Bits == 8:
+			for i := 0; i < n; i++ {
+				dst[di+i] = float32(q.Packed[pos+i])/levels*scale + mn
+			}
+		default:
+			// General path, mirroring quant.unpackBits: a code may straddle
+			// two bytes.
+			mask := uint16(1)<<q.Bits - 1
+			for i := 0; i < n; i++ {
+				bitPos := (pos + i) * q.Bits
+				byteIdx := bitPos >> 3
+				shift := bitPos & 7
+				v := uint16(q.Packed[byteIdx]) >> shift
+				if shift+q.Bits > 8 && byteIdx+1 < len(q.Packed) {
+					v |= uint16(q.Packed[byteIdx+1]) << (8 - shift)
+				}
+				dst[di+i] = float32(uint8(v&mask))/levels*scale + mn
+			}
+		}
+		di += n
+		pos = chunk
+	}
+}
+
+// MatMulQ computes C = A·B where B is packed (k×n). It is bit-identical to
+// MatMul(pool, width, a, Dequantize(b)) but never materializes the float32
+// B: each worker dequantizes one KC×NC tile at a time into a scratch panel
+// (tile shape chosen by the cachesim-driven tuner, see TileFor) and streams
+// A against it. Workers split the column tiles, so their C segments are
+// disjoint and the parallel result matches the serial one exactly.
+func MatMulQ(pool *threadpool.Pool, width int, a *Tensor, b QMat) *Tensor {
+	b.check()
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulQ on rank %d, want 2", a.Rank()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Rows != k {
+		panic(fmt.Sprintf("tensor: MatMulQ inner dimensions %d and %d differ", k, b.Rows))
+	}
+	n := b.Cols
+	c := New(m, n)
+	tile := TileFor(k, n)
+	numJT := (n + tile.NC - 1) / tile.NC
+	az := hasZero(a.data)
+	kernel := func(lo, hi int) {
+		panel := make([]float32, tile.KC*tile.NC)
+		var flags []bool
+		if az {
+			flags = make([]bool, tile.KC)
+		}
+		for jt := lo; jt < hi; jt++ {
+			jlo := jt * tile.NC
+			jhi := jlo + tile.NC
+			if jhi > n {
+				jhi = n
+			}
+			tw := jhi - jlo
+			for plo := 0; plo < k; plo += tile.KC {
+				phi := plo + tile.KC
+				if phi > k {
+					phi = k
+				}
+				for p := plo; p < phi; p++ {
+					row := panel[(p-plo)*tw : (p-plo+1)*tw]
+					b.dequantFlat(row, p*n+jlo, tw)
+					if az {
+						flags[p-plo] = hasNonFinite(row)
+					}
+				}
+				for i := 0; i < m; i++ {
+					arow := a.data[i*k+plo : i*k+phi]
+					crow := c.data[i*n+jlo : i*n+jhi]
+					for pp, av := range arow {
+						// Same semantics as matMulInto's skip: ±0 products
+						// against a finite panel row are bit-level no-ops on
+						// the accumulator; non-finite rows must propagate.
+						if av == 0 && (flags == nil || !flags[pp]) {
+							continue
+						}
+						brow := panel[pp*tw : (pp+1)*tw]
+						for j, bv := range brow {
+							crow[j] += av * bv
+						}
+					}
+				}
+			}
+		}
+	}
+	if pool == nil || width <= 1 {
+		kernel(0, numJT)
+		return c
+	}
+	pool.ParallelRange(numJT, width, kernel)
+	return c
+}
+
+// MatMulQT computes C = A·Bᵀ where B is packed (n×k) — the attention-score
+// layout with both operands stored row-major per token. Bit-identical to
+// MatMulT against the dequantized B.
+func MatMulQT(pool *threadpool.Pool, width int, a *Tensor, b QMat) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulQT on rank %d, want 2", a.Rank()))
+	}
+	if b.Cols != a.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulQT inner dimensions %d and %d differ", a.Dim(1), b.Cols))
+	}
+	c := New(a.Dim(0), b.Rows)
+	MatMulQTSegInto(pool, width, a, b, 0, c, 0)
+	return c
+}
+
+// MatMulQTSegInto computes the score segment C[i, colBase+j] = A_i · B_j
+// over the column window [off, off+w) of packed B's rows, where w is A's
+// width — the per-head Q·Kᵀ against one packed KV chunk, written into its
+// column range of the full score matrix. Each worker dequantizes its B-row
+// segments into a w-length scratch; the dot product accumulates ascending
+// in a single register exactly like MatMulT.
+func MatMulQTSegInto(pool *threadpool.Pool, width int, a *Tensor, b QMat, off int, c *Tensor, colBase int) {
+	b.check()
+	m, w := a.Dim(0), a.Dim(1)
+	if off < 0 || off+w > b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulQTSegInto window [%d,%d) outside %d columns", off, off+w, b.Cols))
+	}
+	cn := c.Dim(1)
+	if c.Dim(0) != m || colBase < 0 || colBase+b.Rows > cn {
+		panic(fmt.Sprintf("tensor: MatMulQTSegInto destination %v cannot hold %d rows at column %d", c.Shape(), b.Rows, colBase))
+	}
+	kernel := func(lo, hi int) {
+		buf := make([]float32, w)
+		for j := lo; j < hi; j++ {
+			b.dequantFlat(buf, j*b.Cols+off, w)
+			for i := 0; i < m; i++ {
+				arow := a.data[i*w : (i+1)*w]
+				var sum float32
+				for p := range arow {
+					sum += arow[p] * buf[p]
+				}
+				c.data[i*cn+colBase+j] = sum
+			}
+		}
+	}
+	if pool == nil || width <= 1 {
+		kernel(0, b.Rows)
+		return
+	}
+	pool.ParallelRange(b.Rows, width, kernel)
+}
+
+// MatMulQSegAcc accumulates C += A[:, aLo:aLo+b.Rows] · B[:, off:off+w]
+// where B is packed and w = C's width — the probs·V leg of fused attention:
+// one packed KV chunk contributes its segment of the probability columns
+// into the context accumulator. Calls over consecutive [aLo, aLo+rows)
+// windows in ascending order reproduce the monolithic reference matmul
+// bit-for-bit, because each C element still accumulates in ascending global
+// p order with the reference's skip semantics.
+func MatMulQSegAcc(pool *threadpool.Pool, width int, a *Tensor, aLo int, b QMat, off int, c *Tensor) {
+	b.check()
+	m, t := a.Dim(0), a.Dim(1)
+	rows := b.Rows
+	if aLo < 0 || aLo+rows > t {
+		panic(fmt.Sprintf("tensor: MatMulQSegAcc window [%d,%d) outside %d columns", aLo, aLo+rows, t))
+	}
+	w := c.Dim(1)
+	if c.Dim(0) != m || off < 0 || off+w > b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulQSegAcc segment [%d,%d) outside %d columns", off, off+w, b.Cols))
+	}
+	// The skip gate scans all of A (the full probability matrix), matching
+	// the reference kernel's scan domain so the two paths skip identically.
+	az := hasZero(a.data)
+	kc := TileFor(rows, w).KC
+	kernel := func(lo, hi int) {
+		panel := make([]float32, kc*w)
+		var flags []bool
+		if az {
+			flags = make([]bool, kc)
+		}
+		for plo := 0; plo < rows; plo += kc {
+			phi := plo + kc
+			if phi > rows {
+				phi = rows
+			}
+			for p := plo; p < phi; p++ {
+				row := panel[(p-plo)*w : (p-plo+1)*w]
+				b.dequantFlat(row, p*b.Cols+off, w)
+				if az {
+					flags[p-plo] = hasNonFinite(row)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*t+aLo+plo : i*t+aLo+phi]
+				crow := c.data[i*w : (i+1)*w]
+				for pp, av := range arow {
+					if av == 0 && (flags == nil || !flags[pp]) {
+						continue
+					}
+					brow := panel[pp*w : (pp+1)*w]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	if pool == nil || width <= 1 {
+		kernel(0, m)
+		return
+	}
+	pool.ParallelRange(m, width, kernel)
+}
+
+// MatMulSegAcc is MatMulQSegAcc's dense counterpart: C += A[:, aLo:aLo+r]·B
+// for a float32 B (r×w) — the raw (not yet offloaded) tail rows of a fused
+// attention step. It shares the reference kernel's skip semantics, with the
+// zero-scan over all of A.
+func MatMulSegAcc(pool *threadpool.Pool, width int, a *Tensor, aLo int, b, c *Tensor) {
+	m, t := a.Dim(0), a.Dim(1)
+	rows, w := b.Dim(0), b.Dim(1)
+	if aLo < 0 || aLo+rows > t {
+		panic(fmt.Sprintf("tensor: MatMulSegAcc window [%d,%d) outside %d columns", aLo, aLo+rows, t))
+	}
+	if c.Dim(0) != m || c.Dim(1) != w {
+		panic(fmt.Sprintf("tensor: MatMulSegAcc destination %v, want [%d %d]", c.Shape(), m, w))
+	}
+	var nf []bool
+	if hasZero(a.data) {
+		for p := 0; p < rows; p++ {
+			if hasNonFinite(b.data[p*w : (p+1)*w]) {
+				if nf == nil {
+					nf = make([]bool, rows)
+				}
+				nf[p] = true
+			}
+		}
+	}
+	kernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*t+aLo : i*t+aLo+rows]
+			crow := c.data[i*w : (i+1)*w]
+			for p, av := range arow {
+				if av == 0 && (nf == nil || !nf[p]) {
+					continue
+				}
+				brow := b.data[p*w : (p+1)*w]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	if pool == nil || width <= 1 {
+		kernel(0, m)
+		return
+	}
+	pool.ParallelRange(m, width, kernel)
+}

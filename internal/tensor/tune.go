@@ -1,0 +1,194 @@
+package tensor
+
+// Tile tuning for the fused quantized-domain kernels: instead of measuring
+// candidate tile shapes on the machine, MatMulQ's KC×NC blocking is chosen
+// by replaying the kernel's memory-access stream against the modeled LLC in
+// internal/cachesim (the Table 5 cache model) and picking the candidate with
+// the fewest misses. Selection is deterministic, cheap (one replay per
+// candidate per distinct (k, n) problem shape, memoized), and retargetable:
+// SetLLC points the tuner at a different cache geometry, including the
+// non-power-of-two set counts of sliced server LLCs.
+
+import (
+	"sync"
+
+	"repro/internal/cachesim"
+)
+
+// Tile is a loop-blocking choice for MatMulQ: panels of KC packed rows by
+// NC columns are dequantized into scratch and streamed against A.
+type Tile struct {
+	KC int // rows of B dequantized per panel
+	NC int // columns per panel (one worker's column-tile width)
+}
+
+// LLCGeometry describes the last-level cache the tuner replays against.
+type LLCGeometry struct {
+	SizeBytes int64
+	Ways      int
+	LineBytes int64
+}
+
+// DefaultLLC models a sliced server LLC: 33 MB, 12-way, 64-byte lines —
+// 45056 sets, not a power of two, which is exactly why cachesim supports
+// modulo set indexing.
+var DefaultLLC = LLCGeometry{SizeBytes: 33 << 20, Ways: 12, LineBytes: 64}
+
+var (
+	llcMu  sync.RWMutex
+	llcGeo = DefaultLLC
+
+	tileMemo sync.Map // tileKey -> Tile
+)
+
+type tileKey struct{ k, n int }
+
+// SetLLC retargets the tuner at a different cache geometry (e.g. from a CLI
+// flag) and drops previously memoized tile choices.
+func SetLLC(g LLCGeometry) {
+	llcMu.Lock()
+	llcGeo = g
+	llcMu.Unlock()
+	tileMemo.Range(func(key, _ any) bool {
+		tileMemo.Delete(key)
+		return true
+	})
+}
+
+// LLC returns the geometry the tuner currently replays against.
+func LLC() LLCGeometry {
+	llcMu.RLock()
+	defer llcMu.RUnlock()
+	return llcGeo
+}
+
+// TileFor returns the tile the tuner selects for a k×n packed operand,
+// memoized per problem shape.
+func TileFor(k, n int) Tile {
+	if k < 1 {
+		k = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	key := tileKey{k, n}
+	if v, ok := tileMemo.Load(key); ok {
+		return v.(Tile)
+	}
+	t := searchTile(k, n, LLC())
+	tileMemo.Store(key, t)
+	return t
+}
+
+// candidateTiles enumerates the clipped KC×NC grid. Candidates are clipped
+// to the problem and deduplicated, so tiny problems degenerate to a single
+// full-matrix "tile".
+func candidateTiles(k, n int) []Tile {
+	kcs := []int{32, 64, 128, 256}
+	ncs := []int{32, 64, 128, 256, 512}
+	seen := map[Tile]bool{}
+	var out []Tile
+	for _, kc := range kcs {
+		if kc > k {
+			kc = k
+		}
+		for _, nc := range ncs {
+			if nc > n {
+				nc = n
+			}
+			t := Tile{KC: kc, NC: nc}
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// searchTile replays each candidate's access stream against a fresh modeled
+// cache and returns the one with the fewest total misses; ties break toward
+// the earlier (smaller) candidate so selection is deterministic. If the
+// geometry is rejected by cachesim, it falls back to a fixed mid-grid tile.
+func searchTile(k, n int, geo LLCGeometry) Tile {
+	cands := candidateTiles(k, n)
+	best := cands[0]
+	bestMiss := int64(-1)
+	for _, t := range cands {
+		c, err := cachesim.New(geo.SizeBytes, geo.Ways, geo.LineBytes)
+		if err != nil {
+			return Tile{KC: min2(128, k), NC: min2(128, n)}
+		}
+		s := replayMatMulQ(c, k, n, t)
+		miss := s.LoadMisses + s.StoreMisses
+		if bestMiss < 0 || miss < bestMiss {
+			best, bestMiss = t, miss
+		}
+	}
+	return best
+}
+
+// replayMatMulQ models MatMulQ's memory traffic for one worker at line
+// granularity: per (column tile, row tile) it reads the packed codes for the
+// panel, writes then re-reads the scratch panel, and streams A rows against
+// it while reading and writing the C tile. A representative A height of 8
+// rows stands in for the (shape-independent) activation operand. Address
+// regions are laid out disjointly, as the real allocations are.
+func replayMatMulQ(c *cachesim.Cache, k, n int, t Tile) cachesim.Stats {
+	const (
+		repM     = 8
+		elem     = 4 // float32 bytes
+		codeBits = 4 // representative packed width
+	)
+	line := int64(64)
+	aBase := int64(0)
+	bBase := aBase + int64(repM*k*elem)
+	panelBase := bBase + int64(k*n*codeBits/8+64)
+	cBase := panelBase + int64(t.KC*t.NC*elem+64)
+
+	touch := func(base, lo, hi int64, write bool) {
+		for a := lo &^ (line - 1); a < hi; a += line {
+			c.Access(uint64(base+a), write)
+		}
+	}
+	for jlo := 0; jlo < n; jlo += t.NC {
+		jhi := jlo + t.NC
+		if jhi > n {
+			jhi = n
+		}
+		tw := jhi - jlo
+		for plo := 0; plo < k; plo += t.KC {
+			phi := plo + t.KC
+			if phi > k {
+				phi = k
+			}
+			for p := plo; p < phi; p++ {
+				// Packed codes for this panel row segment, then the scratch
+				// panel write.
+				lo := int64((p*n + jlo) * codeBits / 8)
+				touch(bBase, lo, lo+int64(tw*codeBits/8), false)
+				po := int64((p - plo) * tw * elem)
+				touch(panelBase, po, po+int64(tw*elem), true)
+			}
+			for i := 0; i < repM; i++ {
+				alo := int64((i*k + plo) * elem)
+				touch(aBase, alo, alo+int64((phi-plo)*elem), false)
+				for p := plo; p < phi; p++ {
+					po := int64((p - plo) * tw * elem)
+					touch(panelBase, po, po+int64(tw*elem), false)
+					clo := int64((i*n + jlo) * elem)
+					touch(cBase, clo, clo+int64(tw*elem), false)
+					touch(cBase, clo, clo+int64(tw*elem), true)
+				}
+			}
+		}
+	}
+	return c.Stats()
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+func TestCandidateTilesClipAndDedup(t *testing.T) {
+	// A tiny problem degenerates to the single full-matrix tile.
+	small := candidateTiles(8, 8)
+	if len(small) != 1 || small[0] != (Tile{KC: 8, NC: 8}) {
+		t.Fatalf("candidateTiles(8,8) = %v, want [{8 8}]", small)
+	}
+	// A large problem keeps the full grid.
+	big := candidateTiles(4096, 4096)
+	if len(big) != 20 {
+		t.Fatalf("candidateTiles(4096,4096) has %d candidates, want 20", len(big))
+	}
+	seen := map[Tile]bool{}
+	for _, c := range big {
+		if c.KC < 1 || c.NC < 1 || c.KC > 4096 || c.NC > 4096 {
+			t.Fatalf("candidate %v out of range", c)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestTileForValidAndMemoized(t *testing.T) {
+	a := TileFor(512, 768)
+	if a.KC < 1 || a.KC > 512 || a.NC < 1 || a.NC > 768 {
+		t.Fatalf("TileFor(512,768) = %v out of bounds", a)
+	}
+	if b := TileFor(512, 768); b != a {
+		t.Fatalf("memoized TileFor changed: %v vs %v", b, a)
+	}
+	// Degenerate shapes are clamped, never panic.
+	if d := TileFor(0, -3); d.KC != 1 || d.NC != 1 {
+		t.Fatalf("TileFor(0,-3) = %v, want {1 1}", d)
+	}
+}
+
+func TestTileSelectionIsDeterministic(t *testing.T) {
+	g := LLC()
+	x := searchTile(513, 640, g)
+	if y := searchTile(513, 640, g); y != x {
+		t.Fatalf("searchTile not deterministic: %v vs %v", y, x)
+	}
+}
+
+// TestSetLLCInvalidatesMemo: retargeting the tuner must drop memoized
+// choices, so TileFor re-searches under the new geometry — the replay works
+// against both the sliced (non-power-of-two set count) default and a tiny
+// power-of-two cache.
+func TestSetLLCInvalidatesMemo(t *testing.T) {
+	defer SetLLC(DefaultLLC)
+
+	SetLLC(DefaultLLC)
+	TileFor(640, 640) // populate the memo under the default geometry
+
+	tiny := LLCGeometry{SizeBytes: 16 << 10, Ways: 2, LineBytes: 64}
+	SetLLC(tiny)
+	if got := LLC(); got != tiny {
+		t.Fatalf("LLC() = %+v after SetLLC(tiny)", got)
+	}
+	// Whatever TileFor returns now must be the fresh tiny-geometry search
+	// result, not a stale memo entry.
+	if got, want := TileFor(640, 640), searchTile(640, 640, tiny); got != want {
+		t.Fatalf("TileFor after SetLLC = %v, want fresh search %v", got, want)
+	}
+}
+
+// TestSearchTileFallsBackOnBadGeometry: an invalid cache geometry (rejected
+// by cachesim.New) must yield the fixed fallback tile instead of panicking.
+func TestSearchTileFallsBackOnBadGeometry(t *testing.T) {
+	bad := LLCGeometry{SizeBytes: 100, Ways: 3, LineBytes: 64} // 100/(3*64) < 1 set
+	got := searchTile(1000, 1000, bad)
+	want := Tile{KC: 128, NC: 128}
+	if got != want {
+		t.Fatalf("fallback tile = %v, want %v", got, want)
+	}
+	if s := searchTile(64, 50, bad); s != (Tile{KC: 64, NC: 50}) {
+		t.Fatalf("clipped fallback = %v, want {64 50}", s)
+	}
+}
+
+// TestReplayCountsTraffic: the replay must actually generate cache traffic,
+// and a full-matrix tile on a problem that fits in cache must miss only on
+// compulsory (first-touch) lines — sanity that the model is wired to the
+// simulator, not returning zeros.
+func TestReplayCountsTraffic(t *testing.T) {
+	c, err := cachesim.New(1<<20, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := replayMatMulQ(c, 64, 64, Tile{KC: 64, NC: 64})
+	if s.Loads == 0 || s.Stores == 0 {
+		t.Fatalf("replay generated no traffic: %+v", s)
+	}
+	if s.LoadMisses == 0 {
+		t.Fatalf("replay has no compulsory misses: %+v", s)
+	}
+}
